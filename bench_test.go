@@ -1,0 +1,241 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6). Each benchmark runs the corresponding experiment driver on a
+// reduced workload; `go test -bench . -benchmem` prints the measured tables
+// via b.Log at -v, and cmd/locater-bench prints them at full scale.
+//
+// One benchmark per paper artifact:
+//
+//	BenchmarkFig7Thresholds        — Fig. 7, coarse precision vs τl/τh
+//	BenchmarkTable2Weights         — Table 2, Pf vs weight combinations
+//	BenchmarkFig8History           — Fig. 8, precision vs weeks of history
+//	BenchmarkFig9CachingPrecision  — Fig. 9, precision with/without cache
+//	BenchmarkTable3Groups          — Table 3, per-group precision vs baselines
+//	BenchmarkTable4Scenarios       — Table 4, four simulated scenarios
+//	BenchmarkFig10Efficiency       — Fig. 10, latency vs #queries
+//	BenchmarkFig11StopConditions   — Fig. 11, stop conditions on/off
+//	BenchmarkFig12Caching          — Fig. 12, caching on/off latency
+//
+// plus ablation benchmarks for the design knobs called out in DESIGN.md and
+// micro-benchmarks of the hot query paths.
+package locater_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"locater"
+	"locater/internal/eval"
+	"locater/internal/experiments"
+)
+
+// benchParams is the reduced workload used by the benchmark harness.
+var benchParams = experiments.Params{
+	PerClass: 3,
+	Days:     21,
+	Queries:  120,
+	Seed:     1,
+	Fast:     true,
+}
+
+// runDriver executes one experiment driver per iteration and logs the
+// resulting tables once.
+func runDriver(b *testing.B, name string) {
+	b.Helper()
+	d, ok := experiments.Find(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	var logged bool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := d.Run(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !logged {
+			logged = true
+			var sb strings.Builder
+			for _, t := range tables {
+				t.Fprint(&sb)
+			}
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+func BenchmarkFig7Thresholds(b *testing.B)       { runDriver(b, "fig7") }
+func BenchmarkTable2Weights(b *testing.B)        { runDriver(b, "table2") }
+func BenchmarkFig8History(b *testing.B)          { runDriver(b, "fig8") }
+func BenchmarkFig9CachingPrecision(b *testing.B) { runDriver(b, "fig9") }
+func BenchmarkTable3Groups(b *testing.B)         { runDriver(b, "table3") }
+func BenchmarkTable4Scenarios(b *testing.B)      { runDriver(b, "table4") }
+func BenchmarkFig10Efficiency(b *testing.B)      { runDriver(b, "fig10") }
+func BenchmarkFig11StopConditions(b *testing.B)  { runDriver(b, "fig11") }
+func BenchmarkFig12Caching(b *testing.B)         { runDriver(b, "fig12") }
+
+// --- ablation benchmarks (DESIGN.md design decisions) ---------------------
+
+// BenchmarkAblationPromotion measures Algorithm 1's self-training cost as a
+// function of the per-round promotion batch size (1 = verbatim Algorithm 1).
+func BenchmarkAblationPromotion(b *testing.B) {
+	ds, err := experiments.BuildDBH(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "verbatim", 4: "batch4", 16: "batch16"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := locater.New(locater.Config{
+					Building:           ds.Building,
+					HistoryDays:        14,
+					PromotionsPerRound: k,
+					MaxTrainingGaps:    100,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Ingest(ds.Events); err != nil {
+					b.Fatal(err)
+				}
+				sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+				// Force one model training via a gap query.
+				tq := ds.Config.Start.AddDate(0, 0, 18).Add(12 * time.Hour)
+				if _, err := sys.Locate(ds.People[0].Device, tq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSigma measures query latency and neighbor-processing
+// effort under different Gaussian kernel widths in the caching engine.
+func BenchmarkAblationSigma(b *testing.B) {
+	ds, err := experiments.BuildDBH(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := experiments.SampleDefaultQueries(ds, benchParams, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sigma := range []time.Duration{15 * time.Minute, time.Hour, 6 * time.Hour} {
+		b.Run(sigma.String(), func(b *testing.B) {
+			sys, err := locater.New(locater.Config{
+				Building:           ds.Building,
+				Variant:            locater.DependentVariant,
+				EnableCache:        true,
+				CacheSigma:         sigma,
+				HistoryDays:        14,
+				PromotionsPerRound: 8,
+				MaxTrainingGaps:    100,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Ingest(ds.Events); err != nil {
+				b.Fatal(err)
+			}
+			sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := sys.Locate(q.Device, q.Time); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot paths -------------------------------------
+
+// BenchmarkLocateWarm measures steady-state per-query latency of both
+// variants with a warm cache (the converged regime of Fig. 10).
+func BenchmarkLocateWarm(b *testing.B) {
+	ds, err := experiments.BuildDBH(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := experiments.SampleDefaultQueries(ds, benchParams, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name    string
+		variant locater.Variant
+	}{
+		{"I-LOCATER", locater.IndependentVariant},
+		{"D-LOCATER", locater.DependentVariant},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			sys, err := locater.New(locater.Config{
+				Building:           ds.Building,
+				Variant:            v.variant,
+				EnableCache:        true,
+				HistoryDays:        14,
+				PromotionsPerRound: 8,
+				MaxTrainingGaps:    100,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Ingest(ds.Events); err != nil {
+				b.Fatal(err)
+			}
+			sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+			// Warm up models and the affinity graph.
+			for _, q := range queries[:30] {
+				if _, err := sys.Locate(q.Device, q.Time); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := sys.Locate(q.Device, q.Time); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest measures bulk ingestion throughput.
+func BenchmarkIngest(b *testing.B) {
+	ds, err := experiments.BuildDBH(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := locater.New(locater.Config{Building: ds.Building})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Ingest(ds.Events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(ds.Events)))
+}
+
+// BenchmarkScorePrecision measures the evaluation harness itself.
+func BenchmarkScorePrecision(b *testing.B) {
+	ds, err := experiments.BuildDBH(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := experiments.SampleDefaultQueries(ds, benchParams, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := eval.SystemFunc(func(q eval.Query) (eval.Answer, error) {
+		return eval.Answer{Outside: q.Truth.Outside, Room: q.Truth.Room}, nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Score(ds.Building, sys, queries)
+	}
+}

@@ -1,0 +1,150 @@
+// Command locater-gen generates synthetic WiFi connectivity datasets with
+// the trajectory simulator: a connectivity log (CSV, the paper's
+// ⟨eid, mac, timestamp, wap⟩ schema), the building metadata (JSON), and the
+// ground-truth trajectory segments (CSV) for evaluation.
+//
+// Usage:
+//
+//	locater-gen -scenario dbh -days 14 -seed 1 -out ./data
+//	locater-gen -scenario airport -scale 2 -days 15 -out ./data
+//
+// Scenarios: dbh (the campus-building stand-in), office, university, mall,
+// airport (the paper's four simulated environments).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/sim"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "dbh", "dbh | office | university | mall | airport")
+		days     = flag.Int("days", 14, "number of simulated days")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Int("scale", 1, "population scale divisor/multiplier per scenario")
+		perClass = flag.Int("per-class", 6, "people per predictability class (dbh only)")
+		outDir   = flag.String("out", ".", "output directory")
+		startStr = flag.String("start", "2026-01-05", "first simulated day (YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	start, err := time.Parse("2006-01-02", *startStr)
+	if err != nil {
+		fatalf("bad -start: %v", err)
+	}
+
+	var sc sim.Scenario
+	switch *scenario {
+	case "dbh":
+		sc, err = sim.DBH(*perClass)
+	case "office":
+		sc, err = sim.Office(*scale)
+	case "university":
+		sc, err = sim.University(*scale)
+	case "mall":
+		sc, err = sim.Mall(*scale)
+	case "airport":
+		sc, err = sim.Airport(*scale)
+	default:
+		fatalf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		fatalf("building scenario: %v", err)
+	}
+
+	ds, err := sim.Generate(sc.Config(start, *days, *seed))
+	if err != nil {
+		fatalf("generating: %v", err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatalf("creating output dir: %v", err)
+	}
+	eventsPath := filepath.Join(*outDir, *scenario+"-events.csv")
+	buildingPath := filepath.Join(*outDir, *scenario+"-building.json")
+	truthPath := filepath.Join(*outDir, *scenario+"-truth.csv")
+
+	if err := writeEvents(eventsPath, ds); err != nil {
+		fatalf("writing events: %v", err)
+	}
+	if err := writeBuilding(buildingPath, ds); err != nil {
+		fatalf("writing building: %v", err)
+	}
+	if err := writeTruth(truthPath, ds); err != nil {
+		fatalf("writing truth: %v", err)
+	}
+
+	fmt.Printf("scenario %s: %d people, %d events over %d days\n",
+		*scenario, len(ds.People), len(ds.Events), *days)
+	fmt.Printf("  %s\n  %s\n  %s\n", eventsPath, buildingPath, truthPath)
+}
+
+func writeEvents(path string, ds *sim.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := event.WriteCSV(f, ds.Events); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeBuilding(path string, ds *sim.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Building.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeTruth emits ground-truth segments: device,start,end,room,outside.
+func writeTruth(path string, ds *sim.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"device", "start", "end", "room", "outside"}); err != nil {
+		return err
+	}
+	for _, d := range ds.Truth.Devices() {
+		for _, s := range ds.Truth.Segments(d) {
+			rec := []string{
+				string(d),
+				s.Start.Format(event.TimeLayout),
+				s.End.Format(event.TimeLayout),
+				string(s.Room),
+				strconv.FormatBool(s.Outside),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command locater-query answers semantic localization queries over a CSV
+// connectivity dataset and JSON building metadata (as produced by
+// locater-gen or exported from a real deployment).
+//
+// Usage:
+//
+//	locater-query -events data/dbh-events.csv -building data/dbh-building.json \
+//	    -device d00:00:01 -time "2026-01-12 11:30:00"
+//
+//	# sweep a whole day at 30-minute steps:
+//	locater-query -events ... -building ... -device d00:00:01 \
+//	    -day 2026-01-12 -step 30m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"locater"
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+func main() {
+	var (
+		eventsPath   = flag.String("events", "", "connectivity CSV (required)")
+		buildingPath = flag.String("building", "", "building metadata JSON (required)")
+		device       = flag.String("device", "", "device MAC to locate (required)")
+		timeStr      = flag.String("time", "", "query time, '2006-01-02 15:04:05'")
+		dayStr       = flag.String("day", "", "sweep a whole day (YYYY-MM-DD) instead of one -time")
+		stepStr      = flag.Duration("step", 30*time.Minute, "sweep step for -day")
+		variant      = flag.String("variant", "dependent", "independent | dependent")
+		cache        = flag.Bool("cache", true, "enable the caching engine")
+	)
+	flag.Parse()
+
+	if *eventsPath == "" || *buildingPath == "" || *device == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *timeStr == "" && *dayStr == "" {
+		fatalf("one of -time or -day is required")
+	}
+
+	bf, err := os.Open(*buildingPath)
+	if err != nil {
+		fatalf("opening building metadata: %v", err)
+	}
+	building, err := space.ReadJSON(bf)
+	bf.Close()
+	if err != nil {
+		fatalf("parsing building metadata: %v", err)
+	}
+
+	ef, err := os.Open(*eventsPath)
+	if err != nil {
+		fatalf("opening events: %v", err)
+	}
+	events, err := event.ReadCSV(ef)
+	ef.Close()
+	if err != nil {
+		fatalf("parsing events: %v", err)
+	}
+
+	v := locater.DependentVariant
+	if *variant == "independent" {
+		v = locater.IndependentVariant
+	} else if *variant != "dependent" {
+		fatalf("unknown variant %q", *variant)
+	}
+
+	sys, err := locater.New(locater.Config{
+		Building:           building,
+		Variant:            v,
+		EnableCache:        *cache,
+		PromotionsPerRound: 8,
+	})
+	if err != nil {
+		fatalf("assembling LOCATER: %v", err)
+	}
+	if err := sys.Ingest(events); err != nil {
+		fatalf("ingesting: %v", err)
+	}
+	sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+	fmt.Printf("loaded %d events for %d devices (%s)\n",
+		sys.NumEvents(), sys.NumDevices(), building.Name())
+
+	if *timeStr != "" {
+		tq, err := time.Parse(event.TimeLayout, *timeStr)
+		if err != nil {
+			fatalf("bad -time: %v", err)
+		}
+		answer(sys, locater.DeviceID(*device), tq)
+		return
+	}
+
+	day, err := time.Parse("2006-01-02", *dayStr)
+	if err != nil {
+		fatalf("bad -day: %v", err)
+	}
+	for tq := day.Add(7 * time.Hour); tq.Before(day.Add(21 * time.Hour)); tq = tq.Add(*stepStr) {
+		answer(sys, locater.DeviceID(*device), tq)
+	}
+}
+
+func answer(sys *locater.System, d locater.DeviceID, tq time.Time) {
+	res, err := sys.Locate(d, tq)
+	if err != nil {
+		fatalf("query failed: %v", err)
+	}
+	kind := "observed"
+	if res.Repaired {
+		kind = "repaired"
+	}
+	if res.Outside {
+		fmt.Printf("%s  %s → outside the building (%s)\n", tq.Format(event.TimeLayout), d, kind)
+		return
+	}
+	fmt.Printf("%s  %s → region %s, room %s (p=%.2f, %s, %d/%d neighbors)\n",
+		tq.Format(event.TimeLayout), d, res.Region, res.Room,
+		res.RoomProbability, kind, res.ProcessedNeighbors, res.TotalNeighbors)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

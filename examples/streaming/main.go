@@ -1,0 +1,114 @@
+// Command streaming demonstrates LOCATER's online operation: connectivity
+// events arrive as a real-time stream (the paper's ingestion engine), and
+// location queries interleave with ingestion — the mode a live deployment
+// (e.g. the TIPPERS testbed) runs in.
+//
+// The example replays a simulated day event-by-event through IngestOne,
+// issuing a "where is everyone" query sweep every simulated two hours, and
+// reports how answer quality improves as the day's context accumulates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"locater"
+	"locater/internal/sim"
+)
+
+func main() {
+	scenario, err := sim.DBH(3)
+	if err != nil {
+		log.Fatalf("building scenario: %v", err)
+	}
+	start := time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+	const days = 8
+	ds, err := sim.Generate(scenario.Config(start, days, 23))
+	if err != nil {
+		log.Fatalf("generating workload: %v", err)
+	}
+
+	sys, err := locater.New(locater.Config{
+		Building:           ds.Building,
+		Variant:            locater.IndependentVariant, // cheapest for live use
+		EnableCache:        true,
+		HistoryDays:        7,
+		PromotionsPerRound: 8,
+	})
+	if err != nil {
+		log.Fatalf("assembling LOCATER: %v", err)
+	}
+
+	// Pre-load the first 7 days as history (batch), then stream the last.
+	lastDay := start.AddDate(0, 0, days-1)
+	var history, live []locater.Event
+	for _, e := range ds.Events {
+		if e.Time.Before(lastDay) {
+			history = append(history, e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	if err := sys.Ingest(history); err != nil {
+		log.Fatalf("ingesting history: %v", err)
+	}
+	sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+	fmt.Printf("preloaded %d historical events; streaming %d live events for %s\n",
+		len(history), len(live), lastDay.Format("2006-01-02"))
+
+	checkpoints := []time.Duration{9 * time.Hour, 11 * time.Hour, 13 * time.Hour, 15 * time.Hour, 17 * time.Hour}
+	ci := 0
+	ingested := 0
+	fmt.Println("\ntime   events  inside(est)  inside(truth)  room-accuracy")
+	for _, e := range live {
+		for ci < len(checkpoints) && !e.Time.Before(lastDay.Add(checkpoints[ci])) {
+			report(sys, ds, lastDay.Add(checkpoints[ci]), ingested)
+			ci++
+		}
+		if err := sys.IngestOne(e); err != nil {
+			log.Fatalf("streaming ingest: %v", err)
+		}
+		ingested++
+	}
+	for ; ci < len(checkpoints); ci++ {
+		report(sys, ds, lastDay.Add(checkpoints[ci]), ingested)
+	}
+
+	edges, hits, misses := sys.CacheStats()
+	fmt.Printf("\nfinal state: %d events, %d affinity edges, cache %d hits / %d misses\n",
+		sys.NumEvents(), edges, hits, misses)
+}
+
+// report sweeps every known device at tq and compares against the oracle.
+func report(sys *locater.System, ds *sim.Dataset, tq time.Time, ingested int) {
+	insideEst, insideTruth, roomHits, roomTotal := 0, 0, 0, 0
+	for _, p := range ds.People {
+		res, err := sys.Locate(p.Device, tq)
+		if err != nil {
+			log.Fatalf("query at %v: %v", tq, err)
+		}
+		seg, ok := ds.Truth.At(p.Device, tq)
+		if !ok {
+			continue
+		}
+		if !res.Outside {
+			insideEst++
+		}
+		if !seg.Outside {
+			insideTruth++
+			if !res.Outside {
+				roomTotal++
+				if res.Room == seg.Room {
+					roomHits++
+				}
+			}
+		}
+	}
+	acc := "n/a"
+	if roomTotal > 0 {
+		acc = fmt.Sprintf("%3.0f%%", 100*float64(roomHits)/float64(roomTotal))
+	}
+	fmt.Printf("%s  %6d  %11d  %13d  %s\n",
+		tq.Format("15:04"), ingested, insideEst, insideTruth, acc)
+}

@@ -1,0 +1,231 @@
+package locater_test
+
+// Cross-module integration tests: they exercise the full pipeline —
+// simulator → storage engine → coarse repair → fine disambiguation →
+// caching — through the public API, including failure injection (corrupt
+// ingest, unknown devices/APs) and consistency between variants.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"locater"
+	"locater/internal/eval"
+)
+
+// TestCorruptIngestRejected: malformed events must be rejected atomically
+// and leave the system answering queries.
+func TestCorruptIngestRejected(t *testing.T) {
+	ds := buildDataset(t, 3)
+	sys, err := locater.New(locater.Config{Building: ds.Building})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]locater.Event{
+		{{Device: "", Time: simStart, AP: "dbh-wap01"}},
+		{{Device: "d", Time: time.Time{}, AP: "dbh-wap01"}},
+		{{Device: "d", Time: simStart, AP: ""}},
+	}
+	for i, evs := range bad {
+		if err := sys.Ingest(evs); err == nil {
+			t.Errorf("corrupt batch %d accepted", i)
+		}
+	}
+	// The system still works after rejected ingests.
+	if err := sys.Ingest(ds.Events[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Locate(ds.Events[0].Device, ds.Events[0].Time); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnknownDeviceIsOutside: querying a device that never produced an
+// event must answer outside, not error.
+func TestUnknownDeviceIsOutside(t *testing.T) {
+	ds := buildDataset(t, 3)
+	sys := newSystem(t, ds, locater.Config{})
+	res, err := sys.Locate("never-seen", simStart.AddDate(0, 0, 2).Add(12*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outside {
+		t.Errorf("unknown device answered %+v", res)
+	}
+}
+
+// TestEventOnUnknownAPSurfacesError: an ingested event naming an AP absent
+// from the building metadata must fail the query that touches it with a
+// descriptive error (not a panic or silent wrong answer).
+func TestEventOnUnknownAPSurfacesError(t *testing.T) {
+	ds := buildDataset(t, 3)
+	sys := newSystem(t, ds, locater.Config{})
+	rogue := locater.Event{Device: "rogue", Time: simStart.AddDate(0, 0, 1).Add(10 * time.Hour), AP: "not-an-ap"}
+	if err := sys.IngestOne(rogue); err != nil {
+		t.Fatal(err) // store accepts it: metadata validation happens at query time
+	}
+	if _, err := sys.Locate("rogue", rogue.Time); err == nil {
+		t.Error("query over unknown AP should error")
+	}
+}
+
+// TestVariantsConsistency: across a workload, the two variants must agree
+// on every coarse answer (they share the coarse stage) and may differ only
+// in rooms.
+func TestVariantsConsistency(t *testing.T) {
+	ds := buildDataset(t, 10)
+	iSys := newSystem(t, ds, locater.Config{Variant: locater.IndependentVariant})
+	dSys := newSystem(t, ds, locater.Config{Variant: locater.DependentVariant})
+
+	queries, err := eval.SampleQueries(ds, eval.WorkloadOptions{
+		NumQueries: 40, Seed: 21,
+		From: simStart.AddDate(0, 0, 7), To: simStart.AddDate(0, 0, 10),
+		DaytimeOnly: true, InsideBias: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		ri, err := iSys.Locate(q.Device, q.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := dSys.Locate(q.Device, q.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Outside != rd.Outside {
+			t.Fatalf("variants disagree on inside/outside for (%s, %v)", q.Device, q.Time)
+		}
+		if !ri.Outside && ri.Region != rd.Region {
+			t.Fatalf("variants disagree on region for (%s, %v): %s vs %s",
+				q.Device, q.Time, ri.Region, rd.Region)
+		}
+	}
+}
+
+// TestDeterministicAnswers: two identically-configured systems over the same
+// ingest must answer every query identically (no hidden nondeterminism).
+func TestDeterministicAnswers(t *testing.T) {
+	ds := buildDataset(t, 7)
+	a := newSystem(t, ds, locater.Config{Variant: locater.DependentVariant})
+	b := newSystem(t, ds, locater.Config{Variant: locater.DependentVariant})
+
+	queries, err := eval.SampleQueries(ds, eval.WorkloadOptions{
+		NumQueries: 30, Seed: 33,
+		From: simStart.AddDate(0, 0, 5), To: simStart.AddDate(0, 0, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		ra, err := a.Locate(q.Device, q.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Locate(q.Device, q.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Outside != rb.Outside || ra.Region != rb.Region || ra.Room != rb.Room {
+			t.Fatalf("nondeterministic answer for (%s, %v): %+v vs %+v", q.Device, q.Time, ra, rb)
+		}
+	}
+}
+
+// TestBatchVsStreamingEquivalence: ingesting the same events in one batch or
+// one at a time must produce identical answers.
+func TestBatchVsStreamingEquivalence(t *testing.T) {
+	ds := buildDataset(t, 5)
+	cfg := locater.Config{Building: ds.Building, HistoryDays: 5, PromotionsPerRound: 8}
+
+	batch, err := locater.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Ingest(ds.Events); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := locater.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ds.Events {
+		if err := stream.IngestOne(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		dev := ds.People[i%len(ds.People)].Device
+		tq := simStart.AddDate(0, 0, 4).Add(time.Duration(9+i) * time.Hour)
+		ra, err := batch.Locate(dev, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := stream.Locate(dev, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Outside != rb.Outside || ra.Region != rb.Region || ra.Room != rb.Room {
+			t.Fatalf("batch/stream divergence for (%s, %v): %+v vs %+v", dev, tq, ra, rb)
+		}
+	}
+}
+
+// TestOfficematesShareBaseRoom: the DBH scenario pairs officemates
+// (OfficeShare=2); the co-location structure group affinity relies on must
+// actually exist in the generated population.
+func TestOfficematesShareBaseRoom(t *testing.T) {
+	ds := buildDataset(t, 2)
+	byRoom := map[locater.RoomID][]locater.DeviceID{}
+	for _, p := range ds.People {
+		byRoom[p.BaseRoom] = append(byRoom[p.BaseRoom], p.Device)
+	}
+	shared := 0
+	for _, devs := range byRoom {
+		if len(devs) >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no shared offices in DBH population — group-affinity signal missing")
+	}
+}
+
+// TestQueriesUnderConcurrentIngest: queries must stay correct while events
+// stream in from another goroutine (the online deployment pattern).
+func TestQueriesUnderConcurrentIngest(t *testing.T) {
+	ds := buildDataset(t, 5)
+	sys := newSystem(t, ds, locater.Config{EnableCache: true})
+
+	extra := make([]locater.Event, 200)
+	ap := ds.Building.AccessPoints()[0]
+	for i := range extra {
+		extra[i] = locater.Event{
+			Device: locater.DeviceID(fmt.Sprintf("cc%02d", i%4)),
+			Time:   simStart.AddDate(0, 0, 4).Add(time.Duration(i) * time.Minute),
+			AP:     ap,
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, e := range extra {
+			if err := sys.IngestOne(e); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 30; i++ {
+		dev := ds.People[i%len(ds.People)].Device
+		tq := simStart.AddDate(0, 0, 3).Add(time.Duration(8+i%10) * time.Hour)
+		if _, err := sys.Locate(dev, tq); err != nil {
+			t.Fatalf("query during ingest: %v", err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("concurrent ingest: %v", err)
+	}
+}

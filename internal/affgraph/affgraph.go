@@ -1,0 +1,296 @@
+// Package affgraph implements LOCATER's caching engine (paper Section 5):
+// the global affinity graph that accumulates, across queries, the local
+// affinity graphs produced by the fine-grained localization algorithm, and
+// uses them to (a) order neighbor devices by decreasing affinity so
+// Algorithm 2 converges after processing fewer devices, and (b) cache
+// pairwise device affinities so they are not recomputed from raw history on
+// every query.
+//
+// Nodes are devices; an edge between two devices carries a vector of
+// (weight, timestamp) pairs — one entry per local affinity graph that
+// contained the edge. At query time the vector is collapsed into a single
+// weight with a normalized Gaussian kernel centred at the query time, so
+// affinities observed near t_q dominate.
+package affgraph
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"locater/internal/event"
+)
+
+// WeightedEdge is one timestamped observation of an edge weight, taken from
+// a local affinity graph.
+type WeightedEdge struct {
+	Weight float64
+	Time   time.Time
+}
+
+// Graph is the global affinity graph. It is safe for concurrent use.
+type Graph struct {
+	mu sync.RWMutex
+
+	// edges[a][b] = observations, stored symmetrically (a < b).
+	edges map[event.DeviceID]map[event.DeviceID][]WeightedEdge
+
+	// pairCache memoizes collapsed device affinities per (pair, bucket).
+	pairCache map[pairKey]float64
+	// sigma of the Gaussian kernel used to collapse edge vectors.
+	sigma time.Duration
+	// maxObservations bounds the per-edge vector; oldest entries are
+	// dropped first. 0 = unbounded.
+	maxObservations int
+
+	numEdges   int
+	numUpdates int
+}
+
+type pairKey struct {
+	a, b   event.DeviceID
+	bucket int64
+}
+
+// Options configures the graph.
+type Options struct {
+	// Sigma is the standard deviation of the Gaussian time kernel.
+	// Default 1 hour (the paper uses a normalized normal with µ = t_q).
+	Sigma time.Duration
+	// MaxObservationsPerEdge caps each edge's vector. Default 64.
+	MaxObservationsPerEdge int
+}
+
+// New creates an empty global affinity graph.
+func New(opts Options) *Graph {
+	if opts.Sigma <= 0 {
+		opts.Sigma = time.Hour
+	}
+	if opts.MaxObservationsPerEdge == 0 {
+		opts.MaxObservationsPerEdge = 64
+	}
+	return &Graph{
+		edges:           make(map[event.DeviceID]map[event.DeviceID][]WeightedEdge),
+		pairCache:       make(map[pairKey]float64),
+		sigma:           opts.Sigma,
+		maxObservations: opts.MaxObservationsPerEdge,
+	}
+}
+
+func orderPair(a, b event.DeviceID) (event.DeviceID, event.DeviceID) {
+	if a <= b {
+		return a, b
+	}
+	return b, a
+}
+
+// Merge folds a local affinity graph into the global one: V̂g = Vg ∪ Vl,
+// Êg = Eg ∪ El, appending (weight, t_q) to each touched edge's vector.
+func (g *Graph) Merge(edges []Edge, tq time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range edges {
+		a, b := orderPair(e.From, e.To)
+		if a == b {
+			continue
+		}
+		m, ok := g.edges[a]
+		if !ok {
+			m = make(map[event.DeviceID][]WeightedEdge)
+			g.edges[a] = m
+		}
+		if _, existed := m[b]; !existed {
+			g.numEdges++
+		}
+		v := append(m[b], WeightedEdge{Weight: e.Weight, Time: tq})
+		if g.maxObservations > 0 && len(v) > g.maxObservations {
+			v = v[len(v)-g.maxObservations:]
+		}
+		m[b] = v
+		g.numUpdates++
+	}
+	// Invalidate the collapsed-weight cache lazily by generation: simplest
+	// correct policy is to clear it when the graph changes.
+	if len(edges) > 0 {
+		g.pairCache = make(map[pairKey]float64)
+	}
+}
+
+// Edge mirrors fine.LocalEdge without importing the package (avoiding an
+// import cycle): a pairwise affinity observation from one query.
+type Edge struct {
+	From, To event.DeviceID
+	Weight   float64
+}
+
+// Weight collapses the edge vector between a and b into a single affinity
+// at query time tq: a Gaussian-kernel weighted average with µ = t_q,
+// σ = Options.Sigma, normalized over the observations (paper Section 5).
+// Returns 0 when the edge does not exist.
+func (g *Graph) Weight(a, b event.DeviceID, tq time.Time) float64 {
+	a, b = orderPair(a, b)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.weightLocked(a, b, tq)
+}
+
+func (g *Graph) weightLocked(a, b event.DeviceID, tq time.Time) float64 {
+	m, ok := g.edges[a]
+	if !ok {
+		return 0
+	}
+	obs, ok := m[b]
+	if !ok || len(obs) == 0 {
+		return 0
+	}
+	sigma := g.sigma.Seconds()
+	num, den := 0.0, 0.0
+	for _, o := range obs {
+		dt := tq.Sub(o.Time).Seconds() / sigma
+		l := math.Exp(-0.5 * dt * dt)
+		num += l * o.Weight
+		den += l
+	}
+	if den <= 1e-300 {
+		// All observations are far from tq: fall back to plain average so
+		// stale knowledge still orders neighbors.
+		sum := 0.0
+		for _, o := range obs {
+			sum += o.Weight
+		}
+		return sum / float64(len(obs))
+	}
+	return num / den
+}
+
+// OrderNeighbors sorts the neighbor candidates by decreasing collapsed edge
+// weight w.r.t. the queried device, breaking ties by device ID. Devices
+// with no edge sort after devices with edges (weight 0), preserving their
+// relative input order. This implements fine.NeighborOrderer.
+func (g *Graph) OrderNeighbors(d event.DeviceID, neighbors []event.DeviceID, tq time.Time) []event.DeviceID {
+	type scored struct {
+		dev    event.DeviceID
+		weight float64
+		pos    int
+	}
+	g.mu.RLock()
+	ss := make([]scored, len(neighbors))
+	for i, n := range neighbors {
+		a, b := orderPair(d, n)
+		ss[i] = scored{dev: n, weight: g.weightLocked(a, b, tq), pos: i}
+	}
+	g.mu.RUnlock()
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].weight != ss[j].weight {
+			return ss[i].weight > ss[j].weight
+		}
+		return ss[i].pos < ss[j].pos
+	})
+	out := make([]event.DeviceID, len(ss))
+	for i, s := range ss {
+		out[i] = s.dev
+	}
+	return out
+}
+
+// NumEdges returns the number of distinct edges in the graph.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.numEdges
+}
+
+// NumDevices returns the number of devices that appear in at least one edge.
+func (g *Graph) NumDevices() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[event.DeviceID]bool)
+	for a, m := range g.edges {
+		if len(m) > 0 {
+			seen[a] = true
+		}
+		for b := range m {
+			seen[b] = true
+		}
+	}
+	return len(seen)
+}
+
+// Observations returns a copy of the raw edge vector (diagnostics).
+func (g *Graph) Observations(a, b event.DeviceID) []WeightedEdge {
+	a, b = orderPair(a, b)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	m, ok := g.edges[a]
+	if !ok {
+		return nil
+	}
+	obs := m[b]
+	out := make([]WeightedEdge, len(obs))
+	copy(out, obs)
+	return out
+}
+
+// CachedAffinity is a fine.PairAffinityProvider that first consults the
+// global graph and falls back to the underlying provider on a miss, caching
+// the fallback's answers in time buckets so repeated queries at nearby times
+// hit the cache.
+type CachedAffinity struct {
+	Graph *Graph
+	// Fallback computes affinities when the graph has no edge. Must be
+	// non-nil.
+	Fallback interface {
+		PairAffinity(a, b event.DeviceID, ref time.Time) float64
+	}
+	// BucketSize quantizes reference times for the fallback cache.
+	// Default 1 hour.
+	BucketSize time.Duration
+
+	mu    sync.Mutex
+	cache map[pairKey]float64
+
+	hits, misses int
+}
+
+// NewCachedAffinity wires a graph in front of a fallback provider.
+func NewCachedAffinity(g *Graph, fallback interface {
+	PairAffinity(a, b event.DeviceID, ref time.Time) float64
+}, bucket time.Duration) *CachedAffinity {
+	if bucket <= 0 {
+		bucket = time.Hour
+	}
+	return &CachedAffinity{Graph: g, Fallback: fallback, BucketSize: bucket, cache: make(map[pairKey]float64)}
+}
+
+// PairAffinity implements fine.PairAffinityProvider.
+func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float64 {
+	if w := c.Graph.Weight(a, b, ref); w > 0 {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return w
+	}
+	x, y := orderPair(a, b)
+	key := pairKey{a: x, b: y, bucket: ref.Unix() / int64(c.BucketSize.Seconds())}
+	c.mu.Lock()
+	if v, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.misses++
+	c.mu.Unlock()
+	v := c.Fallback.PairAffinity(a, b, ref)
+	c.mu.Lock()
+	c.cache[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Stats reports cache hits and misses.
+func (c *CachedAffinity) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

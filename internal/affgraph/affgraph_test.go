@@ -1,0 +1,250 @@
+package affgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locater/internal/event"
+)
+
+var t0 = time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+
+func TestMergeAndWeight(t *testing.T) {
+	g := New(Options{})
+	g.Merge([]Edge{{From: "a", To: "b", Weight: 0.4}}, t0)
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Same-time query returns the stored weight.
+	if w := g.Weight("a", "b", t0); math.Abs(w-0.4) > 1e-9 {
+		t.Errorf("weight = %v, want 0.4", w)
+	}
+	// Symmetric lookup.
+	if w := g.Weight("b", "a", t0); math.Abs(w-0.4) > 1e-9 {
+		t.Errorf("reverse weight = %v", w)
+	}
+	// Missing edge → 0.
+	if w := g.Weight("a", "z", t0); w != 0 {
+		t.Errorf("missing edge weight = %v", w)
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := New(Options{})
+	g.Merge([]Edge{{From: "a", To: "a", Weight: 0.9}}, t0)
+	if g.NumEdges() != 0 {
+		t.Error("self edge should be ignored")
+	}
+}
+
+func TestTimeWeightedCollapse(t *testing.T) {
+	g := New(Options{Sigma: time.Hour})
+	// Observation near the query dominates over a distant one.
+	g.Merge([]Edge{{From: "a", To: "b", Weight: 1.0}}, t0)
+	g.Merge([]Edge{{From: "a", To: "b", Weight: 0.0}}, t0.Add(10*time.Hour))
+	wNear := g.Weight("a", "b", t0)
+	if wNear < 0.9 {
+		t.Errorf("near-time collapse = %v, want ≈1.0", wNear)
+	}
+	wFar := g.Weight("a", "b", t0.Add(10*time.Hour))
+	if wFar > 0.1 {
+		t.Errorf("far-time collapse = %v, want ≈0.0", wFar)
+	}
+	// Midpoint blends both.
+	wMid := g.Weight("a", "b", t0.Add(5*time.Hour))
+	if wMid < 0.2 || wMid > 0.8 {
+		t.Errorf("mid collapse = %v, want blended", wMid)
+	}
+}
+
+func TestStaleObservationsFallBackToAverage(t *testing.T) {
+	g := New(Options{Sigma: time.Minute})
+	g.Merge([]Edge{{From: "a", To: "b", Weight: 0.2}}, t0)
+	g.Merge([]Edge{{From: "a", To: "b", Weight: 0.6}}, t0.Add(time.Minute))
+	// Query a year away: kernel underflows; plain average 0.4 expected.
+	w := g.Weight("a", "b", t0.AddDate(1, 0, 0))
+	if math.Abs(w-0.4) > 1e-9 {
+		t.Errorf("stale fallback = %v, want 0.4", w)
+	}
+}
+
+func TestMaxObservationsBound(t *testing.T) {
+	g := New(Options{MaxObservationsPerEdge: 3})
+	for i := 0; i < 10; i++ {
+		g.Merge([]Edge{{From: "a", To: "b", Weight: float64(i) / 10}}, t0.Add(time.Duration(i)*time.Minute))
+	}
+	obs := g.Observations("a", "b")
+	if len(obs) != 3 {
+		t.Fatalf("observations = %d, want 3 (bounded)", len(obs))
+	}
+	// Oldest dropped: remaining are the last three.
+	if obs[0].Weight != 0.7 {
+		t.Errorf("oldest remaining = %v, want 0.7", obs[0].Weight)
+	}
+}
+
+func TestOrderNeighbors(t *testing.T) {
+	g := New(Options{})
+	g.Merge([]Edge{
+		{From: "q", To: "low", Weight: 0.1},
+		{From: "q", To: "high", Weight: 0.9},
+		{From: "q", To: "mid", Weight: 0.5},
+	}, t0)
+	got := g.OrderNeighbors("q", []event.DeviceID{"low", "unknown1", "mid", "high", "unknown2"}, t0)
+	want := []event.DeviceID{"high", "mid", "low", "unknown1", "unknown2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNumDevices(t *testing.T) {
+	g := New(Options{})
+	g.Merge([]Edge{
+		{From: "a", To: "b", Weight: 0.1},
+		{From: "b", To: "c", Weight: 0.2},
+	}, t0)
+	if got := g.NumDevices(); got != 3 {
+		t.Errorf("devices = %d, want 3", got)
+	}
+}
+
+func TestConcurrentGraphAccess(t *testing.T) {
+	g := New(Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := event.DeviceID(fmt.Sprintf("d%d", w))
+				b := event.DeviceID(fmt.Sprintf("d%d", (w+1)%4))
+				g.Merge([]Edge{{From: a, To: b, Weight: 0.5}}, t0.Add(time.Duration(i)*time.Second))
+				g.Weight(a, b, t0)
+				g.OrderNeighbors(a, []event.DeviceID{b}, t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.NumEdges() == 0 {
+		t.Error("no edges after concurrent merges")
+	}
+}
+
+// fixedFallback counts fallback computations.
+type fixedFallback struct {
+	mu    sync.Mutex
+	calls int
+	value float64
+}
+
+func (f *fixedFallback) PairAffinity(a, b event.DeviceID, _ time.Time) float64 {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	return f.value
+}
+
+func TestCachedAffinityGraphHit(t *testing.T) {
+	g := New(Options{})
+	g.Merge([]Edge{{From: "a", To: "b", Weight: 0.33}}, t0)
+	fb := &fixedFallback{value: 0.9}
+	c := NewCachedAffinity(g, fb, time.Hour)
+
+	if got := c.PairAffinity("a", "b", t0); math.Abs(got-0.33) > 1e-9 {
+		t.Errorf("graph-backed affinity = %v", got)
+	}
+	if fb.calls != 0 {
+		t.Errorf("fallback called %d times despite graph hit", fb.calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCachedAffinityFallbackAndBucket(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.7}
+	c := NewCachedAffinity(g, fb, time.Hour)
+
+	// Miss → fallback; repeat within the same bucket → cached.
+	if got := c.PairAffinity("x", "y", t0); got != 0.7 {
+		t.Errorf("fallback affinity = %v", got)
+	}
+	c.PairAffinity("x", "y", t0.Add(time.Minute))
+	if fb.calls != 1 {
+		t.Errorf("fallback called %d times, want 1 (bucketed)", fb.calls)
+	}
+	// Different bucket → recompute.
+	c.PairAffinity("x", "y", t0.Add(2*time.Hour))
+	if fb.calls != 2 {
+		t.Errorf("fallback called %d times, want 2", fb.calls)
+	}
+}
+
+// Property: collapsed weight is always within [min, max] of the stored
+// observations (or their plain average when stale).
+func TestCollapseBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(Options{Sigma: time.Duration(1+rng.Intn(120)) * time.Minute})
+		n := 1 + rng.Intn(10)
+		lo, hi := 1.0, 0.0
+		for i := 0; i < n; i++ {
+			w := rng.Float64()
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+			g.Merge([]Edge{{From: "a", To: "b", Weight: w}}, t0.Add(time.Duration(rng.Intn(86400))*time.Second))
+		}
+		tq := t0.Add(time.Duration(rng.Intn(86400)) * time.Second)
+		w := g.Weight("a", "b", tq)
+		return w >= lo-1e-9 && w <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OrderNeighbors is a permutation of its input.
+func TestOrderNeighborsPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(Options{})
+		var devs []event.DeviceID
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			d := event.DeviceID(fmt.Sprintf("d%d", i))
+			devs = append(devs, d)
+			if rng.Intn(2) == 0 {
+				g.Merge([]Edge{{From: "q", To: d, Weight: rng.Float64()}}, t0)
+			}
+		}
+		got := g.OrderNeighbors("q", devs, t0)
+		if len(got) != len(devs) {
+			return false
+		}
+		seen := map[event.DeviceID]int{}
+		for _, d := range got {
+			seen[d]++
+		}
+		for _, d := range devs {
+			if seen[d] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

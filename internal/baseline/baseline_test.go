@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+var t0 = time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+
+func testBuilding(t *testing.T) *space.Building {
+	t.Helper()
+	b, err := space.NewBuilding(space.Config{
+		Name: "bl",
+		Rooms: []space.Room{
+			{ID: "r1", Kind: space.Private}, {ID: "r2", Kind: space.Public},
+			{ID: "r3", Kind: space.Private}, {ID: "r4", Kind: space.Private},
+		},
+		AccessPoints: []space.AccessPoint{
+			{ID: "apA", Coverage: []space.RoomID{"r1", "r2", "r3"}},
+			{ID: "apB", Coverage: []space.RoomID{"r3", "r4"}},
+		},
+		PreferredRooms: map[string][]space.RoomID{
+			"dev": {"r1"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func seededStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New(0)
+	st.SetDelta("dev", 10*time.Minute)
+	// Event at 9:00 on apA, then at 9:40 (gap 9:10–9:30), then a long gap
+	// until 12:00 on apB.
+	evs := []event.Event{
+		{Device: "dev", Time: t0, AP: "apA"},
+		{Device: "dev", Time: t0.Add(40 * time.Minute), AP: "apA"},
+		{Device: "dev", Time: t0.Add(3 * time.Hour), AP: "apB"},
+	}
+	if _, err := st.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCoarseBaselineValidity(t *testing.T) {
+	b := testBuilding(t)
+	st := seededStore(t)
+	c := &Coarse{Building: b, Store: st}
+
+	res, err := c.Locate("dev", t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA, _ := b.RegionOf("apA")
+	if res.Outside || res.Region != gA {
+		t.Errorf("validity hit = %+v, want region %s", res, gA)
+	}
+}
+
+func TestCoarseBaselineShortGapLastRegion(t *testing.T) {
+	b := testBuilding(t)
+	st := seededStore(t)
+	c := &Coarse{Building: b, Store: st}
+
+	// 9:20 is in the 20-minute gap: < 1h → inside, last region apA.
+	res, err := c.Locate("dev", t0.Add(20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA, _ := b.RegionOf("apA")
+	if res.Outside || res.Region != gA {
+		t.Errorf("short gap = %+v, want inside %s", res, gA)
+	}
+}
+
+func TestCoarseBaselineLongGapOutside(t *testing.T) {
+	b := testBuilding(t)
+	st := seededStore(t)
+	c := &Coarse{Building: b, Store: st}
+
+	// 11:00 is in the 9:50–12:50... actually gap from 9:50 to 2:50pm-δ;
+	// duration > 1h → outside.
+	res, err := c.Locate("dev", t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outside {
+		t.Errorf("long gap = %+v, want outside", res)
+	}
+}
+
+func TestCoarseBaselineNoData(t *testing.T) {
+	b := testBuilding(t)
+	st := seededStore(t)
+	c := &Coarse{Building: b, Store: st}
+	res, err := c.Locate("dev", t0.Add(-24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outside {
+		t.Errorf("no surrounding data should be outside, got %+v", res)
+	}
+	res, err = c.Locate("ghost", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outside {
+		t.Errorf("unknown device should be outside, got %+v", res)
+	}
+}
+
+func TestFineRandomDeterministicSeed(t *testing.T) {
+	b := testBuilding(t)
+	gA, _ := b.RegionOf("apA")
+	f1 := NewFineRandom(7)
+	f2 := NewFineRandom(7)
+	for i := 0; i < 20; i++ {
+		r1, err1 := f1.Pick(b, "dev", gA)
+		r2, err2 := f2.Pick(b, "dev", gA)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if r1 != r2 {
+			t.Fatal("same seed produced different picks")
+		}
+	}
+}
+
+func TestFineRandomCoversCandidates(t *testing.T) {
+	b := testBuilding(t)
+	gA, _ := b.RegionOf("apA")
+	f := NewFineRandom(1)
+	seen := map[space.RoomID]bool{}
+	for i := 0; i < 200; i++ {
+		r, err := f.Pick(b, "dev", gA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r] = true
+	}
+	for _, r := range b.CandidateRooms(gA) {
+		if !seen[r] {
+			t.Errorf("room %s never picked in 200 draws", r)
+		}
+	}
+	if _, err := f.Pick(b, "dev", "ghost"); err == nil {
+		t.Error("unknown region should error")
+	}
+}
+
+func TestFineMetadataPick(t *testing.T) {
+	b := testBuilding(t)
+	gA, _ := b.RegionOf("apA")
+	gB, _ := b.RegionOf("apB")
+	fm := &FineMetadata{}
+
+	// Preferred room r1 is a candidate of region A.
+	r, err := fm.Pick(b, "dev", gA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != "r1" {
+		t.Errorf("metadata pick = %s, want preferred r1", r)
+	}
+	// r1 is not in region B: fallback (first candidate).
+	r, err = fm.Pick(b, "dev", gB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != "r3" {
+		t.Errorf("fallback pick = %s, want first candidate r3", r)
+	}
+	// Custom fallback honored.
+	fm2 := &FineMetadata{Fallback: func(b *space.Building, d event.DeviceID, g space.RegionID) (space.RoomID, error) {
+		return "r4", nil
+	}}
+	r, err = fm2.Pick(b, "dev", gB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != "r4" {
+		t.Errorf("custom fallback = %s", r)
+	}
+	if _, err := fm.Pick(b, "dev", "ghost"); err == nil {
+		t.Error("unknown region should error")
+	}
+}
+
+func TestSystemsEndToEnd(t *testing.T) {
+	b := testBuilding(t)
+	st := seededStore(t)
+
+	b1 := NewBaseline1(b, st, 1)
+	b2 := NewBaseline2(b, st, 1)
+
+	// Validity hit: both answer inside with a room from the region.
+	for name, sys := range map[string]*System{"B1": b1, "B2": b2} {
+		res, err := sys.Locate("dev", t0.Add(5*time.Minute))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Outside {
+			t.Errorf("%s: validity query answered outside", name)
+		}
+		found := false
+		for _, r := range b.CandidateRooms(res.Region) {
+			if r == res.Room {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: room %s not in region %s", name, res.Room, res.Region)
+		}
+	}
+	// Baseline2 picks the metadata room.
+	res, err := b2.Locate("dev", t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Room != "r1" {
+		t.Errorf("Baseline2 room = %s, want r1", res.Room)
+	}
+	// Long gap: both outside.
+	res, err = b1.Locate("dev", t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outside {
+		t.Errorf("Baseline1 long gap = %+v", res)
+	}
+}

@@ -1,0 +1,305 @@
+// Package coarse implements LOCATER's coarse-grained localization: the
+// missing-value detection and repair stage (paper Section 3).
+//
+// Given a query (d, t_q) whose time falls inside a gap of device d's
+// connectivity log, the localizer decides (1) whether the device was inside
+// or outside the building during the gap and (2) if inside, which region
+// (AP coverage area) it was in. Both decisions use per-device classifiers
+// trained by a bootstrapping + semi-supervised self-training procedure
+// (Algorithm 1) over the gaps extracted from N past days of history:
+//
+//   - Bootstrapping labels "easy" gaps with duration heuristics: gaps
+//     shorter than τ_l are inside, gaps longer than τ_h are outside
+//     (similarly τ'_l / τ'_h at the region level). Inside gaps whose start
+//     and end regions agree are labeled with that region; otherwise with the
+//     device's most-visited region among historical events overlapping the
+//     gap's time-of-day window.
+//   - Self-training (Algorithm 1) then iteratively trains a logistic
+//     regression on the labeled set, predicts the unlabeled gaps, and
+//     promotes the prediction with the highest confidence — the variance of
+//     the prediction array — into the labeled set until none remain.
+package coarse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/ml"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+// Thresholds configures the bootstrap heuristics.
+type Thresholds struct {
+	// TauLow / TauHigh bound the inside/outside bootstrap: a gap with
+	// duration ≤ TauLow is labeled inside, ≥ TauHigh outside. The paper's
+	// best values are 20 and 180 minutes (Fig. 7).
+	TauLow  time.Duration
+	TauHigh time.Duration
+	// RegionTauLow / RegionTauHigh play the same role for the region-level
+	// bootstrap among inside-labeled gaps: short gaps (≤ RegionTauLow) get
+	// a region label immediately; gaps longer than RegionTauHigh stay
+	// unlabeled for the region model even if inside. Paper: 20 and 40 min.
+	RegionTauLow  time.Duration
+	RegionTauHigh time.Duration
+}
+
+// DefaultThresholds returns the paper's experimentally best settings:
+// τ_l = 20 min, τ_h = 180 min, τ'_l = 20 min, τ'_h = 40 min.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		TauLow:        20 * time.Minute,
+		TauHigh:       180 * time.Minute,
+		RegionTauLow:  20 * time.Minute,
+		RegionTauHigh: 40 * time.Minute,
+	}
+}
+
+// Options configures the coarse localizer.
+type Options struct {
+	Thresholds Thresholds
+	// HistoryDays is N, the number of past days of connectivity history
+	// used to extract training gaps. Default 56 (8 weeks, the paper's
+	// plateau point in Fig. 8).
+	HistoryDays int
+	// Train configures the underlying logistic regressions.
+	Train ml.Options
+	// MaxPromotionsPerRound promotes the top-k most confident unlabeled
+	// gaps per self-training round instead of exactly one. 1 reproduces
+	// Algorithm 1 verbatim; larger values trade fidelity for speed on
+	// large histories. Default 1.
+	MaxPromotionsPerRound int
+	// MaxTrainingGaps caps the number of gaps used for training (most
+	// recent kept). 0 means no cap.
+	MaxTrainingGaps int
+}
+
+func (o Options) withDefaults() Options {
+	z := Thresholds{}
+	if o.Thresholds == z {
+		o.Thresholds = DefaultThresholds()
+	}
+	if o.HistoryDays <= 0 {
+		o.HistoryDays = 56
+	}
+	if o.MaxPromotionsPerRound <= 0 {
+		o.MaxPromotionsPerRound = 1
+	}
+	return o
+}
+
+// Localizer answers coarse queries against a store and building.
+type Localizer struct {
+	opts     Options
+	building *space.Building
+	store    *store.Store
+
+	// models caches per-device trained classifiers.
+	models map[event.DeviceID]*deviceModel
+	// population is the building-wide fallback model for devices with no
+	// history of their own (paper footnote 5).
+	population *deviceModel
+}
+
+// Result is the coarse-level answer for a query.
+type Result struct {
+	// Outside is true when the device is predicted outside the building.
+	Outside bool
+	// Region is the predicted region when inside.
+	Region space.RegionID
+	// FromValidity is true when t_q fell inside a validity interval, so no
+	// repair was needed (the region is the connected AP's region).
+	FromValidity bool
+	// Confidence is the winning class probability (1 for validity hits and
+	// bootstrap-labeled answers).
+	Confidence float64
+	// Gap is the enclosing gap when the query required repair.
+	Gap *event.Gap
+}
+
+// New creates a coarse localizer over the given building and store.
+func New(b *space.Building, st *store.Store, opts Options) *Localizer {
+	return &Localizer{
+		opts:     opts.withDefaults(),
+		building: b,
+		store:    st,
+		models:   make(map[event.DeviceID]*deviceModel),
+	}
+}
+
+// InvalidateDevice drops the cached model for a device (e.g. after new
+// history was ingested).
+func (l *Localizer) InvalidateDevice(d event.DeviceID) { delete(l.models, d) }
+
+// InvalidateAll drops every cached model, including the population model.
+func (l *Localizer) InvalidateAll() {
+	l.models = make(map[event.DeviceID]*deviceModel)
+	l.population = nil
+}
+
+// Locate answers the coarse query (d, t_q).
+//
+// If t_q lies inside a validity interval the device is in the region covered
+// by the event's AP. If t_q lies in a gap, the gap is classified
+// inside/outside and, when inside, assigned a region. A query after the
+// device's last event (the real-time case: the gap has not closed yet) is
+// classified as an *open gap* using the elapsed duration since the last
+// validity. A query before the device's first event is reported outside.
+func (l *Localizer) Locate(d event.DeviceID, tq time.Time) (Result, error) {
+	v, g, err := l.store.At(d, tq)
+	if err != nil {
+		return Result{}, fmt.Errorf("coarse: locating %s: %w", d, err)
+	}
+	if v != nil {
+		region, ok := l.building.RegionOf(v.Event.AP)
+		if !ok {
+			return Result{}, fmt.Errorf("coarse: event references unknown AP %s", v.Event.AP)
+		}
+		return Result{Region: region, FromValidity: true, Confidence: 1}, nil
+	}
+	if g == nil {
+		if og, ok := l.openGap(d, tq); ok {
+			return l.classifyGap(d, og, tq)
+		}
+		// No events at or before t_q: the device is offline.
+		return Result{Outside: true, Confidence: 1}, nil
+	}
+	return l.classifyGap(d, *g, tq)
+}
+
+// openGap synthesizes the unclosed gap between the device's last event and
+// a query time beyond it: the gap runs from the end of the last validity to
+// t_q, and — since no later event exists — both endpoints carry the last
+// event's region. Used for real-time queries ("where is d now?").
+func (l *Localizer) openGap(d event.DeviceID, tq time.Time) (event.Gap, bool) {
+	last, ok := l.store.LastEventAtOrBefore(d, tq)
+	if !ok {
+		return event.Gap{}, false
+	}
+	start := last.Time.Add(l.store.Delta(d))
+	if !start.Before(tq) {
+		return event.Gap{}, false
+	}
+	next := last
+	next.Time = tq.Add(l.store.Delta(d))
+	return event.Gap{
+		Device:    d,
+		Start:     start,
+		End:       tq,
+		PrevEvent: last,
+		NextEvent: next,
+	}, true
+}
+
+// classifyGap runs the bootstrap heuristics and, when they are inconclusive,
+// the trained classifiers on the query gap.
+func (l *Localizer) classifyGap(d event.DeviceID, g event.Gap, tq time.Time) (Result, error) {
+	th := l.opts.Thresholds
+	feat := l.featurize(d, g)
+
+	// Bootstrap heuristics answer directly when conclusive.
+	switch {
+	case g.Duration() <= th.TauLow:
+		region := l.bootstrapRegion(d, g)
+		return Result{Region: region, Confidence: 1, Gap: &g}, nil
+	case g.Duration() >= th.TauHigh:
+		return Result{Outside: true, Confidence: 1, Gap: &g}, nil
+	}
+
+	m, err := l.model(d)
+	if err != nil {
+		return Result{}, err
+	}
+
+	inside, conf := m.predictInside(feat)
+	if !inside {
+		return Result{Outside: true, Confidence: conf, Gap: &g}, nil
+	}
+	region, rconf := m.predictRegion(feat, l.bootstrapRegion(d, g))
+	c := conf * rconf
+	return Result{Region: region, Confidence: c, Gap: &g}, nil
+}
+
+// bootstrapRegion applies the paper's region heuristic for inside gaps:
+// start==end region ⇒ that region; otherwise the most-visited region among
+// the device's historical events whose time of day overlaps the gap's
+// [start,end] time-of-day window.
+func (l *Localizer) bootstrapRegion(d event.DeviceID, g event.Gap) space.RegionID {
+	gs, okS := l.building.RegionOf(g.PrevEvent.AP)
+	ge, okE := l.building.RegionOf(g.NextEvent.AP)
+	if okS && okE && gs == ge {
+		return gs
+	}
+	if r, ok := l.mostVisitedRegionInWindow(d, g); ok {
+		return r
+	}
+	if okS {
+		return gs
+	}
+	if okE {
+		return ge
+	}
+	regions := l.building.Regions()
+	if len(regions) > 0 {
+		return regions[0]
+	}
+	return ""
+}
+
+// mostVisitedRegionInWindow counts the device's historical events whose
+// time-of-day falls inside the gap's time-of-day window and returns the
+// modal region. Ties break lexicographically for determinism.
+func (l *Localizer) mostVisitedRegionInWindow(d event.DeviceID, g event.Gap) (space.RegionID, bool) {
+	hist := l.historyEvents(d, g.Start)
+	if len(hist) == 0 {
+		return "", false
+	}
+	startSec := secondOfDay(g.Start)
+	endSec := secondOfDay(g.End)
+	counts := make(map[space.RegionID]int)
+	for _, e := range hist {
+		s := secondOfDay(e.Time)
+		if inDayWindow(s, startSec, endSec) {
+			if region, ok := l.building.RegionOf(e.AP); ok {
+				counts[region]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return "", false
+	}
+	regions := make([]space.RegionID, 0, len(counts))
+	for r := range counts {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	best := regions[0]
+	for _, r := range regions[1:] {
+		if counts[r] > counts[best] {
+			best = r
+		}
+	}
+	return best, true
+}
+
+func secondOfDay(t time.Time) int {
+	return t.Hour()*3600 + t.Minute()*60 + t.Second()
+}
+
+// inDayWindow reports whether second-of-day s lies in [start, end],
+// handling windows that wrap past midnight.
+func inDayWindow(s, start, end int) bool {
+	if start <= end {
+		return s >= start && s <= end
+	}
+	return s >= start || s <= end
+}
+
+// historyEvents returns the device's events in the N-day window ending at
+// ref (exclusive of events after ref).
+func (l *Localizer) historyEvents(d event.DeviceID, ref time.Time) []event.Event {
+	start := ref.AddDate(0, 0, -l.opts.HistoryDays)
+	return l.store.EventsBetween(d, start, ref)
+}

@@ -1,0 +1,144 @@
+package coarse
+
+import (
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// GapFeatures is the feature vector the paper extracts per gap (Section 3):
+// begin/end time of day, duration, begin/end day of week, begin/end region,
+// and the connection density ω — the average number of the device's logged
+// events during the gap's time-of-day window per day of history.
+type GapFeatures struct {
+	Gap event.Gap
+
+	StartTime float64 // seconds since midnight at gap start
+	EndTime   float64 // seconds since midnight at gap end
+	Duration  float64 // seconds
+	StartDay  float64 // day of week at start, 0=Sunday
+	EndDay    float64 // day of week at end
+	// StartRegion / EndRegion are the regions of the bounding events,
+	// encoded as indices into the building's region list.
+	StartRegion float64
+	EndRegion   float64
+	// Density is ω.
+	Density float64
+}
+
+// Vector flattens the features in a fixed order for the classifier.
+func (f GapFeatures) Vector() []float64 {
+	return []float64{
+		f.StartTime, f.EndTime, f.Duration,
+		f.StartDay, f.EndDay,
+		f.StartRegion, f.EndRegion,
+		f.Density,
+	}
+}
+
+// NumFeatures is the dimensionality of GapFeatures.Vector.
+const NumFeatures = 8
+
+// featurize computes the gap's feature vector using the device's history for
+// the density term.
+func (l *Localizer) featurize(d event.DeviceID, g event.Gap) GapFeatures {
+	f := GapFeatures{
+		Gap:       g,
+		StartTime: float64(secondOfDay(g.Start)),
+		EndTime:   float64(secondOfDay(g.End)),
+		Duration:  g.Duration().Seconds(),
+		StartDay:  float64(g.Start.Weekday()),
+		EndDay:    float64(g.End.Weekday()),
+	}
+	f.StartRegion = l.regionIndexOfAP(g.PrevEvent.AP)
+	f.EndRegion = l.regionIndexOfAP(g.NextEvent.AP)
+	f.Density = l.connectionDensity(d, g)
+	return f
+}
+
+// regionIndexOfAP encodes an AP's region as its index in the sorted region
+// list; unknown APs map to -1.
+func (l *Localizer) regionIndexOfAP(ap space.APID) float64 {
+	region, ok := l.building.RegionOf(ap)
+	if !ok {
+		return -1
+	}
+	return float64(l.regionIndex(region))
+}
+
+func (l *Localizer) regionIndex(g space.RegionID) int {
+	for i, r := range l.building.Regions() {
+		if r == g {
+			return i
+		}
+	}
+	return -1
+}
+
+// connectionDensity computes ω: the average number of the device's logged
+// connectivity events per history day within the gap's time-of-day window.
+func (l *Localizer) connectionDensity(d event.DeviceID, g event.Gap) float64 {
+	hist := l.historyEvents(d, g.Start)
+	if len(hist) == 0 {
+		return 0
+	}
+	startSec := secondOfDay(g.Start)
+	endSec := secondOfDay(g.End)
+	count := 0
+	for _, e := range hist {
+		if inDayWindow(secondOfDay(e.Time), startSec, endSec) {
+			count++
+		}
+	}
+	days := l.opts.HistoryDays
+	if days == 0 {
+		days = 1
+	}
+	return float64(count) / float64(days)
+}
+
+// windowDensity is a shared helper for training-time featurization where
+// the history slice is already materialized.
+func windowDensity(hist []event.Event, g event.Gap, historyDays int) float64 {
+	if len(hist) == 0 || historyDays <= 0 {
+		return 0
+	}
+	startSec := secondOfDay(g.Start)
+	endSec := secondOfDay(g.End)
+	count := 0
+	for _, e := range hist {
+		if inDayWindow(secondOfDay(e.Time), startSec, endSec) {
+			count++
+		}
+	}
+	return float64(count) / float64(historyDays)
+}
+
+// featurizeWithHistory computes features against a pre-fetched history
+// slice (used during training to avoid re-querying the store per gap).
+func (l *Localizer) featurizeWithHistory(g event.Gap, hist []event.Event) GapFeatures {
+	f := GapFeatures{
+		Gap:       g,
+		StartTime: float64(secondOfDay(g.Start)),
+		EndTime:   float64(secondOfDay(g.End)),
+		Duration:  g.Duration().Seconds(),
+		StartDay:  float64(g.Start.Weekday()),
+		EndDay:    float64(g.End.Weekday()),
+	}
+	f.StartRegion = l.regionIndexOfAP(g.PrevEvent.AP)
+	f.EndRegion = l.regionIndexOfAP(g.NextEvent.AP)
+	f.Density = windowDensity(hist, g, l.opts.HistoryDays)
+	return f
+}
+
+// gapSpansDays reports whether the gap crosses midnight. The paper assumes
+// gaps do not span multiple days; spanning gaps are handled by clamping the
+// end-time feature but are excluded from training.
+func gapSpansDays(g event.Gap) bool {
+	ys, ms, ds := g.Start.Date()
+	ye, me, de := g.End.Date()
+	return ys != ye || ms != me || ds != de
+}
+
+var _ = time.Second // keep time imported for doc references

@@ -1,0 +1,91 @@
+package coarse
+
+import (
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/ml"
+	"locater/internal/space"
+)
+
+// populationModel lazily trains a building-wide model on the pooled,
+// bootstrap-labeled gaps of every device with history. It serves devices
+// with no connectivity history of their own (e.g. a person entering the
+// building for the first time), per the paper's footnote 5: label such
+// devices "based on aggregated location, e.g., most common label for other
+// devices".
+//
+// Pooling uses only bootstrap labels (no per-device self-training): the
+// population model captures building-wide rhythm (night gaps are outside,
+// short daytime gaps are inside), not individual habits.
+func (l *Localizer) populationModel(ref time.Time) *deviceModel {
+	if l.population != nil && !l.population.trainedAt.Before(ref) {
+		return l.population
+	}
+	th := l.opts.Thresholds
+	regionLabels := l.building.Regions()
+	regionIdx := make(map[space.RegionID]int, len(regionLabels))
+	for i, r := range regionLabels {
+		regionIdx[r] = i
+	}
+
+	var labeled, rLabeled []labeledGap
+	devices := l.store.Devices()
+	const maxDevices = 64 // bound population training cost
+	if len(devices) > maxDevices {
+		devices = devices[:maxDevices]
+	}
+	for _, dev := range devices {
+		hist := l.historyEvents(dev, ref)
+		if len(hist) < 2 {
+			continue
+		}
+		tl, err := event.NewTimeline(dev, l.store.Delta(dev), hist)
+		if err != nil {
+			continue
+		}
+		gaps := tl.Gaps()
+		const maxGapsPerDevice = 50
+		if len(gaps) > maxGapsPerDevice {
+			gaps = gaps[len(gaps)-maxGapsPerDevice:]
+		}
+		for _, g := range gaps {
+			// Unlike per-device training, midnight-spanning gaps stay in
+			// the population pool when they are long: overnight absences
+			// are the clearest building-wide "outside" examples.
+			if gapSpansDays(g) && g.Duration() < th.TauHigh {
+				continue
+			}
+			f := l.featurizeWithHistory(g, hist)
+			switch {
+			case g.Duration() <= th.TauLow:
+				labeled = append(labeled, labeledGap{features: f, label: classInside})
+				gs, okS := l.building.RegionOf(g.PrevEvent.AP)
+				ge, okE := l.building.RegionOf(g.NextEvent.AP)
+				if okS && okE && gs == ge {
+					rLabeled = append(rLabeled, labeledGap{features: f, label: regionIdx[gs]})
+				}
+			case g.Duration() >= th.TauHigh:
+				labeled = append(labeled, labeledGap{features: f, label: classOutside})
+			}
+		}
+	}
+	if len(labeled) == 0 {
+		return nil
+	}
+
+	m := &deviceModel{trainedAt: ref, numGaps: len(labeled), regionLabels: regionLabels}
+	clf, maj, err := l.selfTrain(labeled, nil, 2)
+	if err != nil {
+		return nil
+	}
+	m.insideModel, m.insideMajority = clf, maj
+	rclf, rmaj, err := l.selfTrain(rLabeled, nil, len(regionLabels))
+	if err != nil {
+		m.regionMajority = &ml.MajorityClassifier{Class: 0}
+	} else {
+		m.regionModel, m.regionMajority = rclf, rmaj
+	}
+	l.population = m
+	return m
+}

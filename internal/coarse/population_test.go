@@ -1,0 +1,76 @@
+package coarse
+
+import (
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/store"
+)
+
+// TestPopulationFallbackForNewDevice: a device with zero history (first day
+// in the building) must be served by the building-wide population model —
+// night gaps classified outside, short daytime gaps inside — rather than a
+// blind default.
+func TestPopulationFallbackForNewDevice(t *testing.T) {
+	b := testBuilding(t)
+	st := store.New(0)
+	// Six resident devices with regular history feed the population model.
+	for i := 0; i < 6; i++ {
+		seedHistory(t, st, event.DeviceID("res"+string(rune('a'+i))), 10)
+	}
+	l := newLocalizer(t, b, st)
+
+	// The newcomer has exactly two events today, 40 minutes apart, with a
+	// 20-minute gap between validities (δ=10m): between τl and τh, so the
+	// classifier must decide — and it has no personal history.
+	day := t0.AddDate(0, 0, 9)
+	newDev := event.DeviceID("newcomer")
+	st.SetDelta(newDev, 10*time.Minute)
+	st.Ingest([]event.Event{
+		{Device: newDev, Time: day.Add(10 * time.Hour), AP: "apB"},
+		{Device: newDev, Time: day.Add(10*time.Hour + 50*time.Minute), AP: "apB"},
+	})
+
+	res, err := l.Locate(newDev, day.Add(10*time.Hour+25*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residents' short daytime gaps are inside; the population model should
+	// transfer that pattern.
+	if res.Outside {
+		t.Errorf("population model classified a short daytime gap outside: %+v", res)
+	}
+}
+
+func TestPopulationModelCachedAndInvalidated(t *testing.T) {
+	b := testBuilding(t)
+	st := store.New(0)
+	for i := 0; i < 4; i++ {
+		seedHistory(t, st, event.DeviceID("res"+string(rune('a'+i))), 6)
+	}
+	l := newLocalizer(t, b, st)
+	_, maxT, _ := st.TimeBounds()
+
+	m1 := l.populationModel(maxT)
+	if m1 == nil {
+		t.Fatal("population model not built despite resident history")
+	}
+	m2 := l.populationModel(maxT)
+	if m1 != m2 {
+		t.Error("population model rebuilt despite cache")
+	}
+	l.InvalidateAll()
+	if l.population != nil {
+		t.Error("InvalidateAll kept the population model")
+	}
+}
+
+func TestPopulationModelEmptyStore(t *testing.T) {
+	b := testBuilding(t)
+	st := store.New(0)
+	l := newLocalizer(t, b, st)
+	if m := l.populationModel(t0); m != nil {
+		t.Error("population model from empty store should be nil")
+	}
+}

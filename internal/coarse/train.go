@@ -1,0 +1,313 @@
+package coarse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/ml"
+	"locater/internal/space"
+)
+
+// labeledGap pairs a featurized gap with its (possibly bootstrap-assigned)
+// class label.
+type labeledGap struct {
+	features GapFeatures
+	label    int
+}
+
+// deviceModel holds the two classifiers trained for one device: the
+// inside/outside model and the region model, plus the label space mapping.
+type deviceModel struct {
+	// insideModel classifies {0: inside, 1: outside}. nil when training
+	// degenerated to a single class; then insideMajority applies.
+	insideModel    *ml.Classifier
+	insideMajority *ml.MajorityClassifier
+
+	// regionModel classifies over regionLabels. nil when degenerate; then
+	// regionMajority applies.
+	regionModel    *ml.Classifier
+	regionMajority *ml.MajorityClassifier
+	regionLabels   []space.RegionID
+
+	trainedAt time.Time
+	numGaps   int
+}
+
+const (
+	classInside  = 0
+	classOutside = 1
+)
+
+// model returns (training on demand) the device's classifiers.
+func (l *Localizer) model(d event.DeviceID) (*deviceModel, error) {
+	if m, ok := l.models[d]; ok {
+		return m, nil
+	}
+	m, err := l.train(d)
+	if err != nil {
+		return nil, err
+	}
+	l.models[d] = m
+	return m, nil
+}
+
+// train builds the per-device model: extract gaps from the history window,
+// bootstrap-label the easy ones, run Algorithm 1 twice (building level, then
+// region level for inside gaps).
+func (l *Localizer) train(d event.DeviceID) (*deviceModel, error) {
+	_, maxT, ok := l.store.TimeBounds()
+	if !ok {
+		return nil, fmt.Errorf("coarse: empty store, cannot train model for %s", d)
+	}
+	hist := l.historyEvents(d, maxT)
+	tl, err := event.NewTimeline(d, l.store.Delta(d), hist)
+	if err != nil {
+		return nil, fmt.Errorf("coarse: building timeline for %s: %w", d, err)
+	}
+	gaps := tl.Gaps()
+	if l.opts.MaxTrainingGaps > 0 && len(gaps) > l.opts.MaxTrainingGaps {
+		gaps = gaps[len(gaps)-l.opts.MaxTrainingGaps:]
+	}
+
+	m := &deviceModel{trainedAt: maxT, numGaps: len(gaps)}
+	if len(gaps) == 0 {
+		// No history gaps at all: the paper's footnote 5 labels such
+		// devices from aggregate behaviour ("most common label for other
+		// devices") — use the population model trained on every device's
+		// bootstrap-labeled gaps.
+		if pm := l.populationModel(maxT); pm != nil {
+			return pm, nil
+		}
+		m.insideMajority = &ml.MajorityClassifier{Class: classInside}
+		m.regionMajority = &ml.MajorityClassifier{Class: 0}
+		m.regionLabels = l.building.Regions()
+		return m, nil
+	}
+
+	th := l.opts.Thresholds
+
+	// --- Stage 1: inside/outside -------------------------------------
+	var labeled []labeledGap
+	var unlabeled []GapFeatures
+	var insideGaps []event.Gap // bootstrap-inside gaps feed stage 2
+	for _, g := range gaps {
+		if gapSpansDays(g) {
+			continue // paper assumes gaps do not span multiple days
+		}
+		f := l.featurizeWithHistory(g, hist)
+		switch {
+		case g.Duration() <= th.TauLow:
+			labeled = append(labeled, labeledGap{features: f, label: classInside})
+			insideGaps = append(insideGaps, g)
+		case g.Duration() >= th.TauHigh:
+			labeled = append(labeled, labeledGap{features: f, label: classOutside})
+		default:
+			unlabeled = append(unlabeled, f)
+		}
+	}
+	insideClf, insideMaj, err := l.selfTrain(labeled, unlabeled, 2)
+	if err != nil {
+		return nil, fmt.Errorf("coarse: training inside/outside model for %s: %w", d, err)
+	}
+	m.insideModel = insideClf
+	m.insideMajority = insideMaj
+
+	// --- Stage 2: region ----------------------------------------------
+	// Label space: the building's regions in sorted order.
+	m.regionLabels = l.building.Regions()
+	regionIdx := make(map[space.RegionID]int, len(m.regionLabels))
+	for i, r := range m.regionLabels {
+		regionIdx[r] = i
+	}
+	var rLabeled []labeledGap
+	var rUnlabeled []GapFeatures
+	for _, g := range insideGaps {
+		f := l.featurizeWithHistory(g, hist)
+		gs, okS := l.building.RegionOf(g.PrevEvent.AP)
+		ge, okE := l.building.RegionOf(g.NextEvent.AP)
+		switch {
+		case okS && okE && gs == ge:
+			rLabeled = append(rLabeled, labeledGap{features: f, label: regionIdx[gs]})
+		case g.Duration() <= th.RegionTauLow:
+			// Short ambiguous gap: most-visited-region heuristic.
+			if r, ok := l.mostVisitedRegionInWindowHist(hist, g); ok {
+				rLabeled = append(rLabeled, labeledGap{features: f, label: regionIdx[r]})
+			} else if okS {
+				rLabeled = append(rLabeled, labeledGap{features: f, label: regionIdx[gs]})
+			}
+		case g.Duration() <= th.RegionTauHigh:
+			rUnlabeled = append(rUnlabeled, f)
+		default:
+			// Long inside gaps are too uncertain for region training.
+		}
+	}
+	regionClf, regionMaj, err := l.selfTrain(rLabeled, rUnlabeled, len(m.regionLabels))
+	if err != nil {
+		return nil, fmt.Errorf("coarse: training region model for %s: %w", d, err)
+	}
+	m.regionModel = regionClf
+	m.regionMajority = regionMaj
+	return m, nil
+}
+
+// mostVisitedRegionInWindowHist is mostVisitedRegionInWindow against a
+// pre-fetched history slice.
+func (l *Localizer) mostVisitedRegionInWindowHist(hist []event.Event, g event.Gap) (space.RegionID, bool) {
+	startSec := secondOfDay(g.Start)
+	endSec := secondOfDay(g.End)
+	counts := make(map[space.RegionID]int)
+	for _, e := range hist {
+		if inDayWindow(secondOfDay(e.Time), startSec, endSec) {
+			if region, ok := l.building.RegionOf(e.AP); ok {
+				counts[region]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return "", false
+	}
+	regions := make([]space.RegionID, 0, len(counts))
+	for r := range counts {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	best := regions[0]
+	for _, r := range regions[1:] {
+		if counts[r] > counts[best] {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// selfTrain implements Algorithm 1. Starting from the bootstrap-labeled set,
+// it repeatedly trains a classifier, predicts every unlabeled gap, and
+// promotes the most confident prediction(s) (variance of the prediction
+// array) into the labeled set; it returns the classifier trained in the last
+// round. Degenerate label sets yield a majority classifier instead.
+func (l *Localizer) selfTrain(labeled []labeledGap, unlabeled []GapFeatures, numClasses int) (*ml.Classifier, *ml.MajorityClassifier, error) {
+	if len(labeled) == 0 {
+		return nil, &ml.MajorityClassifier{Class: 0}, nil
+	}
+	distinct := distinctLabels(labeled)
+	if distinct < 2 {
+		return nil, &ml.MajorityClassifier{Class: labeled[0].label, Total: len(labeled)}, nil
+	}
+
+	work := make([]labeledGap, len(labeled))
+	copy(work, labeled)
+	pending := make([]GapFeatures, len(unlabeled))
+	copy(pending, unlabeled)
+
+	var clf *ml.Classifier
+	var err error
+	for {
+		clf, err = ml.Train(examplesOf(work), numClasses, l.opts.Train)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(pending) == 0 {
+			return clf, nil, nil
+		}
+		// Score every pending gap; promote the top-k by confidence.
+		type scored struct {
+			idx   int
+			label int
+			conf  float64
+		}
+		best := make([]scored, 0, len(pending))
+		for i, f := range pending {
+			probs, label, perr := clf.Predict(f.Vector())
+			if perr != nil {
+				return nil, nil, perr
+			}
+			best = append(best, scored{idx: i, label: label, conf: ml.Variance(probs)})
+		}
+		sort.Slice(best, func(i, j int) bool {
+			if best[i].conf != best[j].conf {
+				return best[i].conf > best[j].conf
+			}
+			return best[i].idx < best[j].idx
+		})
+		k := l.opts.MaxPromotionsPerRound
+		if k > len(best) {
+			k = len(best)
+		}
+		promoted := make(map[int]bool, k)
+		for _, s := range best[:k] {
+			work = append(work, labeledGap{features: pending[s.idx], label: s.label})
+			promoted[s.idx] = true
+		}
+		next := pending[:0]
+		for i, f := range pending {
+			if !promoted[i] {
+				next = append(next, f)
+			}
+		}
+		pending = next
+	}
+}
+
+func distinctLabels(gaps []labeledGap) int {
+	seen := make(map[int]bool)
+	for _, g := range gaps {
+		seen[g.label] = true
+	}
+	return len(seen)
+}
+
+func examplesOf(gaps []labeledGap) []ml.Example {
+	out := make([]ml.Example, len(gaps))
+	for i, g := range gaps {
+		out[i] = ml.Example{Features: g.features.Vector(), Label: g.label}
+	}
+	return out
+}
+
+// predictInside classifies a gap as inside (true) or outside (false) with a
+// confidence equal to the winning probability.
+func (m *deviceModel) predictInside(f GapFeatures) (bool, float64) {
+	if m.insideModel == nil {
+		probs, label := m.insideMajority.Predict(2)
+		return label == classInside, probs[maxIdx(probs)]
+	}
+	probs, label, err := m.insideModel.Predict(f.Vector())
+	if err != nil {
+		return true, 0.5
+	}
+	return label == classInside, probs[label]
+}
+
+// predictRegion returns the region label with its probability; fallback is
+// used when the model is degenerate and carries no information.
+func (m *deviceModel) predictRegion(f GapFeatures, fallback space.RegionID) (space.RegionID, float64) {
+	if len(m.regionLabels) == 0 {
+		return fallback, 1
+	}
+	if m.regionModel == nil {
+		if m.regionMajority != nil && m.regionMajority.Total > 0 {
+			_, label := m.regionMajority.Predict(len(m.regionLabels))
+			if label >= 0 && label < len(m.regionLabels) {
+				return m.regionLabels[label], 1
+			}
+		}
+		return fallback, 1
+	}
+	probs, label, err := m.regionModel.Predict(f.Vector())
+	if err != nil || label < 0 || label >= len(m.regionLabels) {
+		return fallback, 0.5
+	}
+	return m.regionLabels[label], probs[label]
+}
+
+func maxIdx(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

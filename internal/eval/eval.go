@@ -1,0 +1,358 @@
+// Package eval is LOCATER's evaluation harness: it samples query workloads
+// from a simulated dataset's ground truth, scores any localization system
+// with the paper's precision metrics (Section 6.1), and times query
+// processing for the efficiency experiments.
+//
+// Metrics: for a query set Q, with Q_out the queries correctly answered
+// "outside", Q_region the queries whose region was returned correctly, and
+// Q_room the queries whose room was returned correctly,
+//
+//	Pc = (|Q_out| + |Q_region|) / |Q|     (coarse precision)
+//	Pf = |Q_room| / |Q_region|            (fine precision)
+//	Po = (|Q_room| + |Q_out|) / |Q|       (overall precision)
+//
+// Region correctness: the paper's oracle labels a person's region by the AP
+// that covers their true room; because regions overlap, we count a predicted
+// region as correct when its candidate-room set contains the true room.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/sim"
+	"locater/internal/space"
+)
+
+// Query asks for the location of Device at Time; Truth carries the oracle
+// answer used for scoring.
+type Query struct {
+	Device event.DeviceID
+	Time   time.Time
+	Truth  sim.TruthSegment
+}
+
+// Answer is a system's response to a query, normalized across LOCATER and
+// the baselines.
+type Answer struct {
+	Outside bool
+	Region  space.RegionID
+	Room    space.RoomID
+}
+
+// System is anything that can answer localization queries.
+type System interface {
+	Answer(q Query) (Answer, error)
+}
+
+// SystemFunc adapts a function to the System interface.
+type SystemFunc func(q Query) (Answer, error)
+
+// Answer implements System.
+func (f SystemFunc) Answer(q Query) (Answer, error) { return f(q) }
+
+// WorkloadOptions configures query sampling.
+type WorkloadOptions struct {
+	// NumQueries is the number of queries to draw.
+	NumQueries int
+	// Seed drives sampling.
+	Seed int64
+	// Devices restricts sampling to the given devices (nil = all with
+	// ground truth).
+	Devices []event.DeviceID
+	// From/To bound the sampled times; zero values use the dataset span.
+	From, To time.Time
+	// DaytimeOnly restricts query times to [7:00, 21:00), where the
+	// interesting inside/outside ambiguity lives.
+	DaytimeOnly bool
+	// InsideBias is the fraction of queries forced to times when the
+	// device was truly inside (the paper's ground truth skews inside
+	// because diaries/cameras record in-building activity). 0 disables.
+	InsideBias float64
+}
+
+// SampleQueries draws a query workload against the dataset's ground truth.
+// Queries are distributed approximately uniformly across the chosen devices,
+// mirroring the paper's per-individual balance.
+func SampleQueries(ds *sim.Dataset, opts WorkloadOptions) ([]Query, error) {
+	if opts.NumQueries <= 0 {
+		return nil, fmt.Errorf("eval: non-positive query count %d", opts.NumQueries)
+	}
+	devices := opts.Devices
+	if len(devices) == 0 {
+		devices = ds.Truth.Devices()
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("eval: dataset has no devices with ground truth")
+	}
+	from, to := opts.From, opts.To
+	if from.IsZero() {
+		from = ds.Config.Start
+	}
+	if to.IsZero() {
+		to = ds.Config.Start.AddDate(0, 0, ds.Config.Days)
+	}
+	if !to.After(from) {
+		return nil, fmt.Errorf("eval: empty sampling window [%v, %v]", from, to)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	span := to.Sub(from)
+	queries := make([]Query, 0, opts.NumQueries)
+	for len(queries) < opts.NumQueries {
+		d := devices[len(queries)%len(devices)]
+		var tq time.Time
+		if opts.InsideBias > 0 && rng.Float64() < opts.InsideBias {
+			segs := ds.Truth.InsideWindows(d, from, to)
+			if len(segs) > 0 {
+				s := segs[rng.Intn(len(segs))]
+				dur := s.End.Sub(s.Start)
+				tq = s.Start.Add(time.Duration(rng.Int63n(int64(dur))))
+			}
+		}
+		if tq.IsZero() {
+			for attempt := 0; attempt < 32; attempt++ {
+				tq = from.Add(time.Duration(rng.Int63n(int64(span))))
+				if !opts.DaytimeOnly {
+					break
+				}
+				h := tq.Hour()
+				if h >= 7 && h < 21 {
+					break
+				}
+				tq = time.Time{}
+			}
+			if tq.IsZero() {
+				continue
+			}
+		}
+		truth, ok := ds.Truth.At(d, tq)
+		if !ok {
+			continue
+		}
+		queries = append(queries, Query{Device: d, Time: tq, Truth: truth})
+	}
+	return queries, nil
+}
+
+// Precision aggregates the paper's three metrics plus raw counters.
+type Precision struct {
+	Queries       int
+	CorrectOut    int // |Q_out|
+	CorrectRegion int // |Q_region|
+	CorrectRoom   int // |Q_room|
+	Errors        int
+}
+
+// Pc is the coarse precision (|Q_out|+|Q_region|)/|Q|.
+func (p Precision) Pc() float64 {
+	if p.Queries == 0 {
+		return 0
+	}
+	return float64(p.CorrectOut+p.CorrectRegion) / float64(p.Queries)
+}
+
+// Pf is the fine precision |Q_room|/|Q_region|.
+func (p Precision) Pf() float64 {
+	if p.CorrectRegion == 0 {
+		return 0
+	}
+	return float64(p.CorrectRoom) / float64(p.CorrectRegion)
+}
+
+// Po is the overall precision (|Q_room|+|Q_out|)/|Q|.
+func (p Precision) Po() float64 {
+	if p.Queries == 0 {
+		return 0
+	}
+	return float64(p.CorrectRoom+p.CorrectOut) / float64(p.Queries)
+}
+
+// String renders the triple like the paper's tables: "Pc|Pf|Po" in percent.
+func (p Precision) String() string {
+	return fmt.Sprintf("%2.0f|%2.0f|%2.0f", p.Pc()*100, p.Pf()*100, p.Po()*100)
+}
+
+// Add merges another tally into p.
+func (p *Precision) Add(q Precision) {
+	p.Queries += q.Queries
+	p.CorrectOut += q.CorrectOut
+	p.CorrectRegion += q.CorrectRegion
+	p.CorrectRoom += q.CorrectRoom
+	p.Errors += q.Errors
+}
+
+// Score runs every query through the system and tallies precision.
+func Score(b *space.Building, sys System, queries []Query) Precision {
+	var p Precision
+	for _, q := range queries {
+		p.Add(scoreOne(b, sys, q))
+	}
+	return p
+}
+
+func scoreOne(b *space.Building, sys System, q Query) Precision {
+	p := Precision{Queries: 1}
+	ans, err := sys.Answer(q)
+	if err != nil {
+		p.Errors++
+		return p
+	}
+	if q.Truth.Outside {
+		if ans.Outside {
+			p.CorrectOut++
+		}
+		return p
+	}
+	if ans.Outside {
+		return p
+	}
+	// Region correct when the predicted region's coverage contains the
+	// true room.
+	regionOK := false
+	for _, r := range b.CandidateRooms(ans.Region) {
+		if r == q.Truth.Room {
+			regionOK = true
+			break
+		}
+	}
+	if !regionOK {
+		return p
+	}
+	p.CorrectRegion++
+	if ans.Room == q.Truth.Room {
+		p.CorrectRoom++
+	}
+	return p
+}
+
+// GroupBy partitions queries by a key function and scores each group.
+func GroupBy(b *space.Building, sys System, queries []Query, key func(Query) string) map[string]Precision {
+	groups := make(map[string][]Query)
+	for _, q := range queries {
+		k := key(q)
+		groups[k] = append(groups[k], q)
+	}
+	out := make(map[string]Precision, len(groups))
+	for k, qs := range groups {
+		out[k] = Score(b, sys, qs)
+	}
+	return out
+}
+
+// PredictabilityBand labels a predictability fraction with the paper's
+// bands: "[40,55)", "[55,70)", "[70,85)", "[85,100)"; fractions below 0.40
+// map to "<40".
+func PredictabilityBand(frac float64) string {
+	pct := frac * 100
+	switch {
+	case pct < 40:
+		return "<40"
+	case pct < 55:
+		return "[40,55)"
+	case pct < 70:
+		return "[55,70)"
+	case pct < 85:
+		return "[70,85)"
+	default:
+		return "[85,100)"
+	}
+}
+
+// Bands lists the paper's four predictability bands in order.
+func Bands() []string { return []string{"[40,55)", "[55,70)", "[70,85)", "[85,100)"} }
+
+// TimedResult captures latency measurements for the efficiency experiments.
+type TimedResult struct {
+	// PerQuery holds each query's wall-clock processing time, in order.
+	PerQuery []time.Duration
+	Total    time.Duration
+}
+
+// Average returns the mean per-query latency.
+func (t TimedResult) Average() time.Duration {
+	if len(t.PerQuery) == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(len(t.PerQuery))
+}
+
+// AverageUpTo returns the running mean after the first n queries, the
+// series Fig. 10 plots.
+func (t TimedResult) AverageUpTo(n int) time.Duration {
+	if n <= 0 || len(t.PerQuery) == 0 {
+		return 0
+	}
+	if n > len(t.PerQuery) {
+		n = len(t.PerQuery)
+	}
+	var sum time.Duration
+	for _, d := range t.PerQuery[:n] {
+		sum += d
+	}
+	return sum / time.Duration(n)
+}
+
+// WindowAverages returns the mean latency of consecutive windows of size w
+// (the per-checkpoint series of the efficiency figures).
+func (t TimedResult) WindowAverages(w int) []time.Duration {
+	if w <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	for i := 0; i < len(t.PerQuery); i += w {
+		end := i + w
+		if end > len(t.PerQuery) {
+			end = len(t.PerQuery)
+		}
+		var sum time.Duration
+		for _, d := range t.PerQuery[i:end] {
+			sum += d
+		}
+		out = append(out, sum/time.Duration(end-i))
+	}
+	return out
+}
+
+// Time runs the queries through the system, recording per-query latency.
+// Answers are discarded; errors abort.
+func Time(sys System, queries []Query) (TimedResult, error) {
+	res := TimedResult{PerQuery: make([]time.Duration, 0, len(queries))}
+	for _, q := range queries {
+		t0 := time.Now()
+		if _, err := sys.Answer(q); err != nil {
+			return res, fmt.Errorf("eval: timing query (%s, %v): %w", q.Device, q.Time, err)
+		}
+		d := time.Since(t0)
+		res.PerQuery = append(res.PerQuery, d)
+		res.Total += d
+	}
+	return res, nil
+}
+
+// DevicesInBand returns the dataset's devices whose measured predictability
+// falls in the named band, sorted.
+func DevicesInBand(ds *sim.Dataset, band string) []event.DeviceID {
+	var out []event.DeviceID
+	for d, frac := range ds.Predictability {
+		if PredictabilityBand(frac) == band {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DevicesByProfile returns the dataset's devices for a profile, sorted.
+func DevicesByProfile(ds *sim.Dataset, profile string) []event.DeviceID {
+	var out []event.DeviceID
+	for _, p := range ds.People {
+		if p.Profile == profile {
+			out = append(out, p.Device)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

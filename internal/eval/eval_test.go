@@ -1,0 +1,303 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"locater/internal/sim"
+	"locater/internal/space"
+)
+
+var simStart = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func smallDataset(t *testing.T) *sim.Dataset {
+	t.Helper()
+	b, err := sim.GridBuilding("e", 20, 4, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Name:     "eval",
+		Building: b,
+		Profiles: []sim.Profile{{
+			Name: "p", Count: 4, HasOffice: true, BaseStay: 0.7,
+			PresenceProb: 0.95,
+			ArrivalMean:  9 * time.Hour, ArrivalStd: 20 * time.Minute,
+			DepartureMean: 17 * time.Hour, DepartureStd: 20 * time.Minute,
+			AttendProb: 0.5, MidDayExitProb: 0.3,
+			EmitPeriod: 10 * time.Minute, EmitProb: 0.7,
+		}},
+	}
+	ds, err := sim.Generate(sc.Config(simStart, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSampleQueriesBasics(t *testing.T) {
+	ds := smallDataset(t)
+	qs, err := SampleQueries(ds, WorkloadOptions{NumQueries: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	lo := ds.Config.Start
+	hi := ds.Config.Start.AddDate(0, 0, ds.Config.Days)
+	perDevice := map[string]int{}
+	for _, q := range qs {
+		if q.Time.Before(lo) || q.Time.After(hi) {
+			t.Fatalf("query time %v outside dataset span", q.Time)
+		}
+		perDevice[string(q.Device)]++
+	}
+	// Approximately uniform across 4 devices: each gets 50/4 ± rounding.
+	for d, n := range perDevice {
+		if n < 10 || n > 15 {
+			t.Errorf("device %s got %d queries, want ≈12", d, n)
+		}
+	}
+}
+
+func TestSampleQueriesOptions(t *testing.T) {
+	ds := smallDataset(t)
+	if _, err := SampleQueries(ds, WorkloadOptions{NumQueries: 0}); err == nil {
+		t.Error("zero queries should fail")
+	}
+	from := simStart.AddDate(0, 0, 2)
+	to := simStart.AddDate(0, 0, 3)
+	qs, err := SampleQueries(ds, WorkloadOptions{NumQueries: 30, Seed: 2, From: from, To: to, DaytimeOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Time.Before(from) || q.Time.After(to) {
+			t.Fatalf("query outside window: %v", q.Time)
+		}
+		if h := q.Time.Hour(); h < 7 || h >= 21 {
+			t.Fatalf("daytime-only violated: %v", q.Time)
+		}
+	}
+	// Inverted window fails.
+	if _, err := SampleQueries(ds, WorkloadOptions{NumQueries: 5, From: to, To: from}); err == nil {
+		t.Error("inverted window should fail")
+	}
+}
+
+func TestSampleQueriesInsideBias(t *testing.T) {
+	ds := smallDataset(t)
+	qs, err := SampleQueries(ds, WorkloadOptions{NumQueries: 100, Seed: 3, InsideBias: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := 0
+	for _, q := range qs {
+		if !q.Truth.Outside {
+			inside++
+		}
+	}
+	if inside < 90 {
+		t.Errorf("with full inside bias only %d/100 queries are inside", inside)
+	}
+}
+
+func TestPrecisionMetrics(t *testing.T) {
+	p := Precision{Queries: 10, CorrectOut: 2, CorrectRegion: 6, CorrectRoom: 3}
+	if got := p.Pc(); got != 0.8 {
+		t.Errorf("Pc = %v, want 0.8", got)
+	}
+	if got := p.Pf(); got != 0.5 {
+		t.Errorf("Pf = %v, want 0.5", got)
+	}
+	if got := p.Po(); got != 0.5 {
+		t.Errorf("Po = %v, want 0.5", got)
+	}
+	var zero Precision
+	if zero.Pc() != 0 || zero.Pf() != 0 || zero.Po() != 0 {
+		t.Error("zero precision should be all zeros")
+	}
+	if zero.String() == "" {
+		t.Error("String should render")
+	}
+	zero.Add(p)
+	if zero.Queries != 10 || zero.CorrectRoom != 3 {
+		t.Error("Add did not merge")
+	}
+}
+
+// oracleSystem answers straight from ground truth with a configurable room
+// error rate, to validate the scorer.
+type oracleSystem struct {
+	b        *space.Building
+	ds       *sim.Dataset
+	roomFail bool
+}
+
+func (o *oracleSystem) Answer(q Query) (Answer, error) {
+	seg, ok := o.ds.Truth.At(q.Device, q.Time)
+	if !ok || seg.Outside {
+		return Answer{Outside: true}, nil
+	}
+	regions := o.b.RegionsOfRoom(seg.Room)
+	if len(regions) == 0 {
+		return Answer{Outside: true}, nil
+	}
+	room := seg.Room
+	if o.roomFail {
+		// Deliberately answer a different room in the same region.
+		for _, r := range o.b.CandidateRooms(regions[0]) {
+			if r != seg.Room {
+				room = r
+				break
+			}
+		}
+	}
+	return Answer{Region: regions[0], Room: room}, nil
+}
+
+func TestScorePerfectOracle(t *testing.T) {
+	ds := smallDataset(t)
+	qs, err := SampleQueries(ds, WorkloadOptions{NumQueries: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Score(ds.Building, &oracleSystem{b: ds.Building, ds: ds}, qs)
+	if p.Pc() != 1 || p.Po() != 1 {
+		t.Errorf("perfect oracle scored Pc=%v Po=%v", p.Pc(), p.Po())
+	}
+	if p.Errors != 0 {
+		t.Errorf("oracle errors = %d", p.Errors)
+	}
+}
+
+func TestScoreRoomErrors(t *testing.T) {
+	ds := smallDataset(t)
+	qs, err := SampleQueries(ds, WorkloadOptions{NumQueries: 80, Seed: 5, InsideBias: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Score(ds.Building, &oracleSystem{b: ds.Building, ds: ds, roomFail: true}, qs)
+	// Region still right, rooms all wrong → Pc high, Pf 0.
+	if p.Pf() != 0 {
+		t.Errorf("room-failing oracle Pf = %v, want 0", p.Pf())
+	}
+	if p.CorrectRegion == 0 {
+		t.Error("region hits expected")
+	}
+}
+
+func TestScoreErrorPath(t *testing.T) {
+	ds := smallDataset(t)
+	qs, _ := SampleQueries(ds, WorkloadOptions{NumQueries: 10, Seed: 7})
+	sys := SystemFunc(func(q Query) (Answer, error) { return Answer{}, fmt.Errorf("boom") })
+	p := Score(ds.Building, sys, qs)
+	if p.Errors != 10 {
+		t.Errorf("errors = %d, want 10", p.Errors)
+	}
+	if p.Po() != 0 {
+		t.Errorf("Po = %v", p.Po())
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	ds := smallDataset(t)
+	qs, _ := SampleQueries(ds, WorkloadOptions{NumQueries: 40, Seed: 9})
+	groups := GroupBy(ds.Building, &oracleSystem{b: ds.Building, ds: ds}, qs, func(q Query) string {
+		return string(q.Device)
+	})
+	total := 0
+	for _, p := range groups {
+		total += p.Queries
+	}
+	if total != 40 {
+		t.Errorf("grouped query total = %d", total)
+	}
+}
+
+func TestPredictabilityBands(t *testing.T) {
+	cases := map[float64]string{
+		0.2:  "<40",
+		0.45: "[40,55)",
+		0.55: "[55,70)",
+		0.72: "[70,85)",
+		0.9:  "[85,100)",
+		1.0:  "[85,100)",
+	}
+	for frac, want := range cases {
+		if got := PredictabilityBand(frac); got != want {
+			t.Errorf("band(%v) = %s, want %s", frac, got, want)
+		}
+	}
+	if len(Bands()) != 4 {
+		t.Error("Bands() should list the paper's four groups")
+	}
+}
+
+func TestTimedResult(t *testing.T) {
+	r := TimedResult{
+		PerQuery: []time.Duration{time.Millisecond, 3 * time.Millisecond, 5 * time.Millisecond},
+		Total:    9 * time.Millisecond,
+	}
+	if got := r.Average(); got != 3*time.Millisecond {
+		t.Errorf("Average = %v", got)
+	}
+	if got := r.AverageUpTo(2); got != 2*time.Millisecond {
+		t.Errorf("AverageUpTo(2) = %v", got)
+	}
+	if got := r.AverageUpTo(100); got != 3*time.Millisecond {
+		t.Errorf("AverageUpTo(100) = %v", got)
+	}
+	if got := r.AverageUpTo(0); got != 0 {
+		t.Errorf("AverageUpTo(0) = %v", got)
+	}
+	wa := r.WindowAverages(2)
+	if len(wa) != 2 || wa[0] != 2*time.Millisecond || wa[1] != 5*time.Millisecond {
+		t.Errorf("WindowAverages = %v", wa)
+	}
+	if r.WindowAverages(0) != nil {
+		t.Error("zero window should be nil")
+	}
+	var empty TimedResult
+	if empty.Average() != 0 {
+		t.Error("empty average should be 0")
+	}
+}
+
+func TestTimeHarness(t *testing.T) {
+	ds := smallDataset(t)
+	qs, _ := SampleQueries(ds, WorkloadOptions{NumQueries: 20, Seed: 11})
+	res, err := Time(&oracleSystem{b: ds.Building, ds: ds}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQuery) != 20 {
+		t.Errorf("timed %d queries", len(res.PerQuery))
+	}
+	// Error propagation.
+	sys := SystemFunc(func(q Query) (Answer, error) { return Answer{}, fmt.Errorf("x") })
+	if _, err := Time(sys, qs); err == nil {
+		t.Error("Time should propagate errors")
+	}
+}
+
+func TestDeviceSelectors(t *testing.T) {
+	ds := smallDataset(t)
+	devs := DevicesByProfile(ds, "p")
+	if len(devs) != 4 {
+		t.Errorf("profile devices = %d", len(devs))
+	}
+	if got := DevicesByProfile(ds, "nope"); len(got) != 0 {
+		t.Errorf("unknown profile devices = %v", got)
+	}
+	// Band selector covers all devices across bands.
+	total := 0
+	for _, b := range append(Bands(), "<40") {
+		total += len(DevicesInBand(ds, b))
+	}
+	if total != len(ds.People) {
+		t.Errorf("band partition covers %d of %d devices", total, len(ds.People))
+	}
+}

@@ -1,0 +1,79 @@
+package event
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"locater/internal/space"
+)
+
+// TimeLayout is the timestamp format used in CSV files, matching the paper's
+// examples ("2019-08-22 13:04:35").
+const TimeLayout = "2006-01-02 15:04:05"
+
+// csvHeader is the column layout written and expected by the codec.
+var csvHeader = []string{"eid", "mac_address", "timestamp", "wap"}
+
+// WriteCSV writes events in the paper's table schema
+// {eid, mac address, timestamp, wap} with a header row.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("event: writing CSV header: %w", err)
+	}
+	rec := make([]string, 4)
+	for _, e := range events {
+		rec[0] = strconv.FormatInt(e.ID, 10)
+		rec[1] = string(e.Device)
+		rec[2] = e.Time.Format(TimeLayout)
+		rec[3] = string(e.AP)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("event: writing CSV row for event %d: %w", e.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses events written by WriteCSV. A leading header row is
+// detected and skipped. Rows must have exactly four fields.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var out []Event
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("event: reading CSV: %w", err)
+		}
+		if first {
+			first = false
+			if rec[0] == csvHeader[0] {
+				continue // skip header
+			}
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("event: bad eid %q: %w", rec[0], err)
+		}
+		t, err := time.Parse(TimeLayout, rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("event: bad timestamp %q: %w", rec[2], err)
+		}
+		if rec[1] == "" {
+			return nil, fmt.Errorf("event: row %d has empty mac address", id)
+		}
+		if rec[3] == "" {
+			return nil, fmt.Errorf("event: row %d has empty wap", id)
+		}
+		out = append(out, Event{ID: id, Device: DeviceID(rec[1]), Time: t, AP: space.APID(rec[3])})
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package event
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	events := []Event{
+		{ID: 1, Device: "7fbh", Time: t0, AP: "wap3"},
+		{ID: 2, Device: "3ndb", Time: t0.Add(42 * time.Second), AP: "wap4"},
+		{ID: 3, Device: "dj8c", Time: t0.Add(time.Hour), AP: "wap3"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i].ID != events[i].ID || got[i].Device != events[i].Device ||
+			!got[i].Time.Equal(events[i].Time) || got[i].AP != events[i].AP {
+			t.Errorf("event %d: got %+v want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatalf("WriteCSV(nil): %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d events from empty file", len(got))
+	}
+}
+
+func TestCSVHeaderOptional(t *testing.T) {
+	// A file without a header parses too.
+	in := "5,aabb,2026-03-02 09:00:00,wap1\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 5 || got[0].Device != "aabb" {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad eid", "x,aabb,2026-03-02 09:00:00,wap1\n"},
+		{"bad timestamp", "1,aabb,not-a-time,wap1\n"},
+		{"empty mac", "1,,2026-03-02 09:00:00,wap1\n"},
+		{"empty wap", "1,aabb,2026-03-02 09:00:00,\n"},
+		{"wrong fields", "1,aabb,2026-03-02 09:00:00\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("expected error for %q", tc.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"locater"
+	"locater/internal/eval"
+)
+
+// efficiencyParams shrinks the default workload for the timing experiments:
+// latency curves need many queries, not many devices.
+func efficiencyParams(p Params) Params {
+	p = p.WithDefaults()
+	return p
+}
+
+// Fig10Efficiency reproduces Figure 10: average per-query latency as a
+// function of the number of processed queries, for I-LOCATER+C and
+// D-LOCATER+C, on two workloads: the "university" set (queries for a small
+// set of ground-truth devices) and the "generated" set (queries for
+// uniformly drawn devices).
+//
+// Paper shape: D-LOCATER+C starts expensive (empty affinity graph: first
+// queries cost seconds) and converges to ~5x cheaper as the graph warms up;
+// I-LOCATER+C stays flat and cheapest. The convergence point arrives later
+// on the generated set because many more devices must enter the graph.
+func Fig10Efficiency(p Params) ([]*Table, error) {
+	p = efficiencyParams(p)
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// University-style workload: a handful of devices queried repeatedly.
+	truthDevs := ds.Truth.Devices()
+	if len(truthDevs) > 8 {
+		truthDevs = truthDevs[:8]
+	}
+	uniQueries, err := SampleDefaultQueries(ds, p, truthDevs)
+	if err != nil {
+		return nil, err
+	}
+	// Generated workload: all devices, uniform times.
+	from, to := QueryWindow(ds)
+	genQueries, err := eval.SampleQueries(ds, eval.WorkloadOptions{
+		NumQueries: p.Queries,
+		Seed:       p.Seed + 101,
+		From:       from, To: to,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	for _, wl := range []struct {
+		name    string
+		queries []eval.Query
+	}{
+		{"university", uniQueries},
+		{"generated", genQueries},
+	} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 10 (%s): avg per-query time vs #processed queries", wl.name),
+			Header: []string{"#queries", "I-LOCATER+C (ms)", "D-LOCATER+C (ms)"},
+		}
+		series := map[string][]time.Duration{}
+		for _, v := range []struct {
+			name    string
+			variant locater.Variant
+		}{
+			{"I", locater.IndependentVariant},
+			{"D", locater.DependentVariant},
+		} {
+			sys, err := BuildSystem(ds, p, SystemSpec{Name: v.name, Variant: v.variant, Cache: true})
+			if err != nil {
+				return nil, err
+			}
+			timed, err := eval.Time(sys, wl.queries)
+			if err != nil {
+				return nil, err
+			}
+			series[v.name] = timed.PerQuery
+		}
+		n := len(wl.queries)
+		for _, checkpoint := range checkpoints(n) {
+			iAvg := averageOf(series["I"], checkpoint)
+			dAvg := averageOf(series["D"], checkpoint)
+			t.AddRow(fmt.Sprintf("%d", checkpoint), ms(iAvg), ms(dAvg))
+		}
+		t.Notes = append(t.Notes,
+			"paper: D+C warms up (first queries are several times slower than converged), I+C stays flat")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// checkpoints picks the x-axis of the latency figures: 1, then ~evenly
+// spaced counts up to n.
+func checkpoints(n int) []int {
+	if n <= 1 {
+		return []int{n}
+	}
+	out := []int{1}
+	for _, f := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		c := int(f * float64(n))
+		if c > out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// averageOf computes the running average of the first n samples.
+func averageOf(samples []time.Duration, n int) time.Duration {
+	if n > len(samples) {
+		n = len(samples)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples[:n] {
+		sum += s
+	}
+	return sum / time.Duration(n)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// Fig11StopConditions reproduces Figure 11: average per-query latency of
+// I-LOCATER with and without Algorithm 2's loose stop conditions, on both
+// workloads.
+//
+// Paper shape: without stop conditions every neighbor is processed and
+// queries are substantially slower; the loose conditions terminate early
+// with no precision loss (precision deltas are reported alongside).
+func Fig11StopConditions(p Params) ([]*Table, error) {
+	p = efficiencyParams(p)
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := SampleDefaultQueries(ds, p, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Fig 11: I-LOCATER avg per-query time, stop conditions on/off",
+		Header: []string{"config", "avg time (ms)", "Po (%)"},
+	}
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"with stop conditions", false},
+		{"without stop conditions", true},
+	} {
+		sys, err := BuildSystem(ds, p, SystemSpec{
+			Name: cfg.name, Variant: locater.IndependentVariant, DisableStop: cfg.disable,
+		})
+		if err != nil {
+			return nil, err
+		}
+		timed, err := eval.Time(sys, queries)
+		if err != nil {
+			return nil, err
+		}
+		prec := eval.Score(ds.Building, sys, queries)
+		t.AddRow(cfg.name, ms(timed.Average()), pct1(prec.Po()))
+	}
+	t.Notes = append(t.Notes,
+		"paper: early stop brings a considerable latency improvement without quality loss")
+	return []*Table{t}, nil
+}
+
+// Fig12Caching reproduces Figure 12: average per-query latency of
+// D-LOCATER with and without the caching engine.
+//
+// Paper shape: caching cuts the average per-query cost by roughly 5x
+// (≈5 s → ≈1 s on the paper's testbed).
+func Fig12Caching(p Params) ([]*Table, error) {
+	p = efficiencyParams(p)
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := SampleDefaultQueries(ds, p, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Fig 12: D-LOCATER avg per-query time, caching on/off",
+		Header: []string{"config", "avg time (ms)"},
+	}
+	for _, cfg := range []struct {
+		name  string
+		cache bool
+	}{
+		{"D-LOCATER (no cache)", false},
+		{"D-LOCATER+C (cached)", true},
+	} {
+		sys, err := BuildSystem(ds, p, SystemSpec{
+			Name: cfg.name, Variant: locater.DependentVariant, Cache: cfg.cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		timed, err := eval.Time(sys, queries)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cfg.name, ms(timed.Average()))
+	}
+	t.Notes = append(t.Notes, "paper: caching reduces D-LOCATER's per-query cost ≈5x")
+	return []*Table{t}, nil
+}

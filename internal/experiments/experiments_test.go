@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"locater"
+	"locater/internal/eval"
+)
+
+// tinyParams keeps experiment tests fast.
+var tinyParams = Params{PerClass: 2, Days: 14, Queries: 40, Seed: 1, Fast: true}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.WithDefaults()
+	if p.PerClass != 6 || p.Days != 70 || p.Queries != 400 || p.Seed != 1 || p.HistoryDays != 56 {
+		t.Errorf("defaults = %+v", p)
+	}
+	// Explicit values preserved.
+	p2 := Params{PerClass: 2, Days: 7, Queries: 10, Seed: 9, HistoryDays: 3}.WithDefaults()
+	if p2.PerClass != 2 || p2.Days != 7 || p2.Queries != 10 || p2.Seed != 9 || p2.HistoryDays != 3 {
+		t.Errorf("explicit params overridden: %+v", p2)
+	}
+}
+
+func TestBuildDBHCached(t *testing.T) {
+	a, err := BuildDBH(tinyParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDBH(tinyParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("BuildDBH should return the cached dataset for equal params")
+	}
+	c, err := BuildDBH(Params{PerClass: 2, Days: 7, Queries: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different params must not share a dataset")
+	}
+}
+
+func TestBuildSystemAllSpecs(t *testing.T) {
+	ds, err := BuildDBH(tinyParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := SampleDefaultQueries(ds, tinyParams, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []SystemSpec{
+		{Name: "B1", Baseline: 1},
+		{Name: "B2", Baseline: 2},
+		{Name: "I", Variant: locater.IndependentVariant},
+		{Name: "D", Variant: locater.DependentVariant, Cache: true},
+	}
+	for _, spec := range specs {
+		sys, err := BuildSystem(ds, tinyParams, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		p := eval.Score(ds.Building, sys, queries[:20])
+		if p.Errors > 0 {
+			t.Errorf("%s: %d errors", spec.Name, p.Errors)
+		}
+	}
+}
+
+func TestQueryWindowWithinDataset(t *testing.T) {
+	ds, err := BuildDBH(tinyParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := QueryWindow(ds)
+	if !from.Before(to) {
+		t.Error("empty query window")
+	}
+	if from.Before(ds.Config.Start) {
+		t.Error("window starts before dataset")
+	}
+	if to.After(ds.Config.Start.AddDate(0, 0, ds.Config.Days)) {
+		t.Error("window ends after dataset")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "longer-column"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("wide-cell", "3")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "longer-column", "wide-cell", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("registry has %d drivers, want 9 (one per table/figure)", len(all))
+	}
+	names := map[string]bool{}
+	for _, d := range all {
+		if d.Name == "" || d.Run == nil || d.Description == "" {
+			t.Errorf("incomplete driver %+v", d)
+		}
+		names[d.Name] = true
+	}
+	for _, want := range []string{"fig7", "table2", "fig8", "fig9", "table3", "table4", "fig10", "fig11", "fig12"} {
+		if !names[want] {
+			t.Errorf("missing driver %s", want)
+		}
+	}
+	if _, ok := Find("table3"); !ok {
+		t.Error("Find(table3) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+// TestDriversRunTiny executes the cheap drivers end to end at tiny scale to
+// catch wiring regressions. (The full-scale outputs are produced by
+// cmd/locater-bench and the root benchmarks.)
+func TestDriversRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	for _, name := range []string{"table2", "fig9", "fig11", "fig12"} {
+		t.Run(name, func(t *testing.T) {
+			d, _ := Find(name)
+			tables, err := d.Run(tinyParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q has no rows", tab.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	tables, err := Table3Groups(tinyParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("table3 produced %d tables", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("table3 has %d rows, want 4 systems", len(tab.Rows))
+	}
+	wantSystems := []string{"Baseline1", "Baseline2", "I-LOCATER", "D-LOCATER"}
+	for i, row := range tab.Rows {
+		if row[0] != wantSystems[i] {
+			t.Errorf("row %d system = %s, want %s", i, row[0], wantSystems[i])
+		}
+		if len(row) != 5 {
+			t.Errorf("row %d has %d cells", i, len(row))
+		}
+	}
+}

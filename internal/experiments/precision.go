@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"locater"
+	"locater/internal/eval"
+	"locater/internal/sim"
+)
+
+// Table3Groups reproduces Table 3: Pc|Pf|Po per predictability group
+// ([40,55), [55,70), [70,85), [85,100)) for Baseline1, Baseline2,
+// I-LOCATER, and D-LOCATER, using 8 weeks of history.
+//
+// Paper shape: both LOCATER variants beat both baselines in every group,
+// D ≥ I, and precision rises with predictability; the single exception is
+// Baseline2's fine precision on the most predictable group, where always
+// answering the preferred room is near-unbeatable.
+func Table3Groups(p Params) ([]*Table, error) {
+	p = p.WithDefaults()
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	bands := bandsOf(ds)
+
+	specs := []SystemSpec{
+		{Name: "Baseline1", Baseline: 1},
+		{Name: "Baseline2", Baseline: 2},
+		{Name: "I-LOCATER", Variant: locater.IndependentVariant},
+		{Name: "D-LOCATER", Variant: locater.DependentVariant},
+	}
+
+	t := &Table{
+		Title:  "Table 3: precision (Pc|Pf|Po, %) per predictability group",
+		Header: append([]string{"system"}, eval.Bands()...),
+	}
+	for _, spec := range specs {
+		sys, err := BuildSystem(ds, p, spec)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", spec.Name, err)
+		}
+		row := []string{spec.Name}
+		for _, band := range eval.Bands() {
+			devs := bands[band]
+			if len(devs) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			queries, err := SampleDefaultQueries(ds, p, devs)
+			if err != nil {
+				return nil, err
+			}
+			prec := eval.Score(ds.Building, sys, queries)
+			row = append(row, triple(prec))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: LOCATER wins everywhere except Baseline2's Pf on [85,100); D-LOCATER ≥ I-LOCATER")
+	return []*Table{t}, nil
+}
+
+// Fig7Thresholds reproduces Figure 7: coarse precision Pc as a function of
+// the bootstrap thresholds. Left series: τl ∈ {10..30} min with τh fixed at
+// 180; right series: τh ∈ {60..180} min with τl fixed at 20.
+//
+// Paper shape: Pc peaks around τl = 20 and then dips slightly; Pc grows
+// with τh and levels off near 170–180.
+func Fig7Thresholds(p Params) ([]*Table, error) {
+	p = p.WithDefaults()
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := SampleDefaultQueries(ds, p, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	coarsePc := func(tauLow, tauHigh time.Duration) (float64, error) {
+		spec := SystemSpec{
+			Name:    "I-LOCATER",
+			Variant: locater.IndependentVariant,
+			TauLow:  tauLow, TauHigh: tauHigh,
+		}
+		sys, err := BuildSystem(ds, p, spec)
+		if err != nil {
+			return 0, err
+		}
+		prec := eval.Score(ds.Building, sys, queries)
+		return prec.Pc(), nil
+	}
+
+	left := &Table{
+		Title:  "Fig 7 (left): coarse precision vs τl (τh = 180 min)",
+		Header: []string{"τl (min)", "Pc (%)"},
+	}
+	for _, tl := range []int{10, 15, 20, 25, 30} {
+		pc, err := coarsePc(time.Duration(tl)*time.Minute, 180*time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		left.AddRow(fmt.Sprintf("%d", tl), pct1(pc))
+	}
+	left.Notes = append(left.Notes, "paper: peak at τl = 20, slight decline after")
+
+	right := &Table{
+		Title:  "Fig 7 (right): coarse precision vs τh (τl = 20 min)",
+		Header: []string{"τh (min)", "Pc (%)"},
+	}
+	for _, th := range []int{60, 80, 100, 120, 140, 160, 180} {
+		pc, err := coarsePc(20*time.Minute, time.Duration(th)*time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		right.AddRow(fmt.Sprintf("%d", th), pct1(pc))
+	}
+	right.Notes = append(right.Notes, "paper: Pc rises with τh, plateaus beyond ~170")
+	return []*Table{left, right}, nil
+}
+
+// Table2Weights reproduces Table 2: fine precision Pf for the four weight
+// combinations C1 = {.7,.2,.1}, C2 = {.6,.3,.1}, C3 = {.5,.3,.2},
+// C4 = {.5,.4,.1}, for I-FINE and D-FINE.
+//
+// Paper shape: all combinations score similarly (C2 slightly best) and
+// D-FINE beats I-FINE by a few points on average.
+func Table2Weights(p Params) ([]*Table, error) {
+	p = p.WithDefaults()
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := SampleDefaultQueries(ds, p, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	combos := []struct {
+		name string
+		w    locater.Weights
+	}{
+		{"C1", locater.Weights{Preferred: 0.7, Public: 0.2, Private: 0.1}},
+		{"C2", locater.Weights{Preferred: 0.6, Public: 0.3, Private: 0.1}},
+		{"C3", locater.Weights{Preferred: 0.5, Public: 0.3, Private: 0.2}},
+		{"C4", locater.Weights{Preferred: 0.5, Public: 0.4, Private: 0.1}},
+	}
+	t := &Table{
+		Title:  "Table 2: fine precision Pf (%) vs room-affinity weights",
+		Header: []string{"Pf", "C1", "C2", "C3", "C4"},
+	}
+	for _, variant := range []struct {
+		name string
+		v    locater.Variant
+	}{
+		{"I-FINE", locater.IndependentVariant},
+		{"D-FINE", locater.DependentVariant},
+	} {
+		row := []string{variant.name}
+		for _, c := range combos {
+			sys, err := BuildSystem(ds, p, SystemSpec{
+				Name: variant.name, Variant: variant.v, Weights: c.w,
+			})
+			if err != nil {
+				return nil, err
+			}
+			prec := eval.Score(ds.Building, sys, queries)
+			row = append(row, pct1(prec.Pf()))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "paper: C2 slightly best; D-FINE ≈ +4.6% over I-FINE on average")
+	return []*Table{t}, nil
+}
+
+// Fig8History reproduces Figure 8: Pc, Pf, Po as a function of the weeks of
+// historical data (0–9) for the [40,55) and [55,70) predictability groups.
+//
+// Paper shape: coarse precision grows and plateaus around 8 weeks; fine
+// precision roughly doubles from 0 to 1 week and plateaus around 3 weeks;
+// the more predictable group dominates everywhere.
+func Fig8History(p Params) ([]*Table, error) {
+	p = p.WithDefaults()
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	bands := bandsOf(ds)
+	groups := []string{"[40,55)", "[55,70)"}
+
+	variants := []struct {
+		name string
+		v    locater.Variant
+	}{
+		{"I", locater.IndependentVariant},
+		{"D", locater.DependentVariant},
+	}
+
+	coarseT := &Table{
+		Title:  "Fig 8a: coarse precision Pc (%) vs weeks of history",
+		Header: []string{"weeks", "[40,55)", "[55,70)"},
+	}
+	fineT := &Table{
+		Title:  "Fig 8b: fine precision Pf (%) vs weeks of history",
+		Header: []string{"weeks", "I [40,55)", "I [55,70)", "D [40,55)", "D [55,70)"},
+	}
+	overallT := &Table{
+		Title:  "Fig 8c: overall precision Po (%) vs weeks of history",
+		Header: []string{"weeks", "I [40,55)", "I [55,70)", "D [40,55)", "D [55,70)"},
+	}
+
+	weeksList := []int{0, 1, 2, 3, 5, 7, 9}
+	for _, weeks := range weeksList {
+		historyDays := weeks * 7
+		if historyDays == 0 {
+			historyDays = 1 // no history: degenerate single day
+		}
+		// Precision per (variant, band).
+		type key struct{ variant, band string }
+		prec := make(map[key]eval.Precision)
+		for _, v := range variants {
+			sys, err := BuildSystem(ds, p, SystemSpec{
+				Name: v.name, Variant: v.v, HistoryDays: historyDays,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, band := range groups {
+				devs := bands[band]
+				if len(devs) == 0 {
+					continue
+				}
+				queries, err := SampleDefaultQueries(ds, p, devs)
+				if err != nil {
+					return nil, err
+				}
+				prec[key{v.name, band}] = eval.Score(ds.Building, sys, queries)
+			}
+		}
+		w := fmt.Sprintf("%d", weeks)
+		coarseT.AddRow(w,
+			pct1(prec[key{"I", "[40,55)"}].Pc()),
+			pct1(prec[key{"I", "[55,70)"}].Pc()))
+		fineT.AddRow(w,
+			pct1(prec[key{"I", "[40,55)"}].Pf()),
+			pct1(prec[key{"I", "[55,70)"}].Pf()),
+			pct1(prec[key{"D", "[40,55)"}].Pf()),
+			pct1(prec[key{"D", "[55,70)"}].Pf()))
+		overallT.AddRow(w,
+			pct1(prec[key{"I", "[40,55)"}].Po()),
+			pct1(prec[key{"I", "[55,70)"}].Po()),
+			pct1(prec[key{"D", "[40,55)"}].Po()),
+			pct1(prec[key{"D", "[55,70)"}].Po()))
+	}
+	coarseT.Notes = append(coarseT.Notes, "paper: rises with history, plateau ≈ 8 weeks")
+	fineT.Notes = append(fineT.Notes, "paper: near-doubles from 0→1 week, plateau ≈ 3 weeks")
+	overallT.Notes = append(overallT.Notes, "paper: follows the same pattern; higher band dominates")
+	return []*Table{coarseT, fineT, overallT}, nil
+}
+
+// Fig9CachingPrecision reproduces Figure 9: overall precision of I- and
+// D-LOCATER with and without the caching engine.
+//
+// Paper shape: caching costs at most 5–10% precision.
+func Fig9CachingPrecision(p Params) ([]*Table, error) {
+	p = p.WithDefaults()
+	ds, err := BuildDBH(p)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := SampleDefaultQueries(ds, p, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Fig 9: overall precision Po (%) with and without caching",
+		Header: []string{"system", "no cache", "with cache (+C)", "delta"},
+	}
+	for _, v := range []struct {
+		name    string
+		variant locater.Variant
+	}{
+		{"I-LOCATER", locater.IndependentVariant},
+		{"D-LOCATER", locater.DependentVariant},
+	} {
+		var po [2]float64
+		for i, cache := range []bool{false, true} {
+			sys, err := BuildSystem(ds, p, SystemSpec{Name: v.name, Variant: v.variant, Cache: cache})
+			if err != nil {
+				return nil, err
+			}
+			prec := eval.Score(ds.Building, sys, queries)
+			po[i] = prec.Po()
+		}
+		t.AddRow(v.name, pct1(po[0]), pct1(po[1]), pct1(po[1]-po[0]))
+	}
+	t.Notes = append(t.Notes, "paper: caching reduces precision by at most 5–10%")
+	return []*Table{t}, nil
+}
+
+// Table4Scenarios reproduces Table 4: D-LOCATER's Pc|Pf|Po per profile on
+// the four simulated scenarios (office, university, mall, airport), with
+// the delta of Po versus Baseline2 in parentheses.
+//
+// Paper shape: LOCATER beats Baseline2 for every profile; margins shrink
+// for highly unpredictable profiles (visitors, passengers); coarse
+// precision stays above ~80% everywhere; fine precision is strong (>75%)
+// for predictable profiles in every scenario.
+func Table4Scenarios(p Params) ([]*Table, error) {
+	p = p.WithDefaults()
+	days := 15 // the paper simulates 15 days per scenario
+	scale := 2 // shrink populations for laptop-scale runs
+
+	builders := []struct {
+		name  string
+		build func(int) (sim.Scenario, error)
+	}{
+		{"Office", sim.Office},
+		{"University", sim.University},
+		{"Mall", sim.Mall},
+		{"Airport", sim.Airport},
+	}
+
+	var tables []*Table
+	for si, b := range builders {
+		sc, err := b.build(scale)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := sim.Generate(sc.Config(simStart, days, p.Seed+int64(si)))
+		if err != nil {
+			return nil, err
+		}
+		scenarioParams := p
+		scenarioParams.HistoryDays = 10
+		dsys, err := BuildSystem(ds, scenarioParams, SystemSpec{Name: "D-LOCATER", Variant: locater.DependentVariant})
+		if err != nil {
+			return nil, err
+		}
+		bsys, err := BuildSystem(ds, scenarioParams, SystemSpec{Name: "Baseline2", Baseline: 2})
+		if err != nil {
+			return nil, err
+		}
+
+		t := &Table{
+			Title:  fmt.Sprintf("Table 4 (%s): D-LOCATER Pc|Pf|Po (%%), Po delta vs Baseline2", b.name),
+			Header: []string{"profile", "Pc|Pf|Po", "ΔPo vs B2"},
+		}
+		var avg, avgB eval.Precision
+		for _, prof := range sc.Profiles {
+			devs := eval.DevicesByProfile(ds, prof.Name)
+			if len(devs) == 0 {
+				continue
+			}
+			queries, err := SampleDefaultQueries(ds, scenarioParams, devs)
+			if err != nil {
+				return nil, err
+			}
+			prec := eval.Score(ds.Building, dsys, queries)
+			precB := eval.Score(ds.Building, bsys, queries)
+			avg.Add(prec)
+			avgB.Add(precB)
+			t.AddRow(prof.Name, triple(prec), fmt.Sprintf("(%+.0f)", (prec.Po()-precB.Po())*100))
+		}
+		t.AddRow("Avg", triple(avg), fmt.Sprintf("(%+.0f)", (avg.Po()-avgB.Po())*100))
+		tables = append(tables, t)
+	}
+	if len(tables) > 0 {
+		tables[len(tables)-1].Notes = append(tables[len(tables)-1].Notes,
+			"paper: LOCATER ≥ Baseline2 for every profile; margin shrinks for unpredictable profiles")
+	}
+	return tables, nil
+}

@@ -1,0 +1,258 @@
+// Package fine implements LOCATER's fine-grained localization: the location
+// disambiguation stage (paper Section 4). Given a device localized to a
+// region g_x at time t_q, it selects the specific room r ∈ R(g_x) by
+// combining:
+//
+//   - room affinity α(d, r, t_q): the prior chance of d being in room r
+//     given its region, computed from space metadata (preferred rooms,
+//     public/private room types) with weights w^pf > w^pb > w^pr;
+//   - device affinity α(D): the fraction of historical connectivity events
+//     in which the devices of D were connected to the same AP within each
+//     other's validity intervals;
+//   - group affinity α(D, r, t_q) (Eq. 1): the probability of the whole
+//     group being co-located in r, zero outside the intersecting rooms R_is.
+//
+// The iterative localization algorithm (Algorithm 2) processes neighbor
+// devices one at a time, maintaining the posterior of every candidate room
+// and stopping early via the min/max/expected probability bounds of
+// Theorems 1–3 (independent variant, I-FINE) or via affinity clusters
+// (dependent variant, D-FINE, Eq. 6).
+package fine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+// Weights are the room-affinity weights (w^pf, w^pb, w^pr) assigned to a
+// device's preferred rooms, to public rooms, and to private rooms within the
+// candidate set. Validity requires w^pf > w^pb > w^pr and a sum of 1
+// (paper Section 4.1).
+type Weights struct {
+	Preferred float64 // w^pf
+	Public    float64 // w^pb
+	Private   float64 // w^pr
+}
+
+// DefaultWeights returns C2 = {0.6, 0.3, 0.1}, the paper's best-performing
+// combination (Table 2).
+func DefaultWeights() Weights { return Weights{Preferred: 0.6, Public: 0.3, Private: 0.1} }
+
+// Validate checks the two conditions of Section 4.1.
+func (w Weights) Validate() error {
+	if !(w.Preferred > w.Public && w.Public > w.Private) {
+		return fmt.Errorf("fine: weights must satisfy w^pf > w^pb > w^pr, got %+v", w)
+	}
+	if w.Private <= 0 {
+		return fmt.Errorf("fine: weights must be positive, got %+v", w)
+	}
+	sum := w.Preferred + w.Public + w.Private
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("fine: weights must sum to 1, got %.6f", sum)
+	}
+	return nil
+}
+
+// RoomAffinities computes α(d, r) for every candidate room r ∈ R(g) using
+// the device's static preferred rooms. See RoomAffinitiesAt for the
+// time-dependent variant the paper suggests in Section 4.1.
+func RoomAffinities(b *space.Building, w Weights, dev event.DeviceID, g space.RegionID) map[space.RoomID]float64 {
+	return roomAffinities(b, w, g, b.PreferredRooms(string(dev)))
+}
+
+// RoomAffinitiesAt computes α(d, r, t_q) using the preferred rooms in effect
+// at t_q (time-scoped preferences override the static set — e.g. the break
+// room during lunch, the office otherwise).
+func RoomAffinitiesAt(b *space.Building, w Weights, dev event.DeviceID, g space.RegionID, tq time.Time) map[space.RoomID]float64 {
+	return roomAffinities(b, w, g, b.PreferredRoomsAt(string(dev), tq))
+}
+
+// roomAffinities computes the probability distribution over candidate rooms
+// given only metadata.
+//
+// Each class of rooms present in the candidate set shares its class weight
+// uniformly: the preferred rooms split w^pf, the public non-preferred rooms
+// split w^pb, and the private non-preferred rooms split w^pr. Weight
+// belonging to an absent class is redistributed proportionally so the
+// affinities always sum to 1 (paper example, Section 4.1).
+func roomAffinities(b *space.Building, w Weights, g space.RegionID, preferred []space.RoomID) map[space.RoomID]float64 {
+	candidates := b.CandidateRooms(g)
+	if len(candidates) == 0 {
+		return nil
+	}
+	prefSet := make(map[space.RoomID]bool)
+	for _, r := range preferred {
+		prefSet[r] = true
+	}
+	var pref, pub, priv []space.RoomID
+	for _, r := range candidates {
+		switch {
+		case prefSet[r]:
+			pref = append(pref, r)
+		case b.IsPublic(r):
+			pub = append(pub, r)
+		default:
+			priv = append(priv, r)
+		}
+	}
+	// Mass per class, dropping absent classes and renormalizing.
+	mass := 0.0
+	if len(pref) > 0 {
+		mass += w.Preferred
+	}
+	if len(pub) > 0 {
+		mass += w.Public
+	}
+	if len(priv) > 0 {
+		mass += w.Private
+	}
+	out := make(map[space.RoomID]float64, len(candidates))
+	if mass == 0 {
+		// Unreachable with valid weights, but keep a uniform fallback.
+		u := 1.0 / float64(len(candidates))
+		for _, r := range candidates {
+			out[r] = u
+		}
+		return out
+	}
+	assign := func(rooms []space.RoomID, classWeight float64) {
+		if len(rooms) == 0 {
+			return
+		}
+		each := classWeight / mass / float64(len(rooms))
+		for _, r := range rooms {
+			out[r] = each
+		}
+	}
+	assign(pref, w.Preferred)
+	assign(pub, w.Public)
+	assign(priv, w.Private)
+	return out
+}
+
+// DeviceAffinity computes α(D) for a pair of devices: the fraction of their
+// historical events that are "intersecting" — the other device logged an
+// event at the same AP within the validity interval — among all events of
+// the pair (paper Section 4.1). The window [start, end] bounds the history
+// considered.
+func DeviceAffinity(st *store.Store, a, b event.DeviceID, start, end time.Time) float64 {
+	ea := st.EventsBetween(a, start, end)
+	eb := st.EventsBetween(b, start, end)
+	total := len(ea) + len(eb)
+	if total == 0 {
+		return 0
+	}
+	da := st.Delta(a)
+	db := st.Delta(b)
+	inter := countIntersecting(ea, eb, da) + countIntersecting(eb, ea, db)
+	return float64(inter) / float64(total)
+}
+
+// countIntersecting counts events in xs that have a same-AP event of ys
+// within delta. Both inputs are sorted by time. Two-pointer sweep: O(n+m)
+// amortized per event window.
+func countIntersecting(xs, ys []event.Event, delta time.Duration) int {
+	count := 0
+	j := 0
+	for _, e := range xs {
+		lo := e.Time.Add(-delta)
+		hi := e.Time.Add(delta)
+		for j < len(ys) && ys[j].Time.Before(lo) {
+			j++
+		}
+		for k := j; k < len(ys) && !ys[k].Time.After(hi); k++ {
+			if ys[k].AP == e.AP {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// GroupAffinity computes α(D, r, t_q) per Eq. 1 for the device group D whose
+// members' conditional room distributions are given. The affinity is zero
+// when r is not an intersecting room of all members' candidate sets.
+//
+//	α(D, r, t_q) = α(D) · Π_{d∈D} P(@(d, r) | @(d, R_is))
+//
+// conds maps each device to its conditional probability of being in r given
+// it is in one of the intersecting rooms (already normalized over R_is).
+func GroupAffinity(deviceAffinity float64, conds []float64) float64 {
+	if deviceAffinity <= 0 {
+		return 0
+	}
+	p := deviceAffinity
+	for _, c := range conds {
+		if c <= 0 {
+			return 0
+		}
+		p *= c
+	}
+	return p
+}
+
+// ConditionalOverRooms normalizes a room-affinity map over the subset rooms
+// (R_is), returning P(@(d, r) | @(d, R_is)) for each r in rooms. Rooms with
+// zero total mass yield a uniform distribution.
+func ConditionalOverRooms(aff map[space.RoomID]float64, rooms []space.RoomID) map[space.RoomID]float64 {
+	out := make(map[space.RoomID]float64, len(rooms))
+	total := 0.0
+	for _, r := range rooms {
+		total += aff[r]
+	}
+	if total <= 0 {
+		if len(rooms) == 0 {
+			return out
+		}
+		u := 1.0 / float64(len(rooms))
+		for _, r := range rooms {
+			out[r] = u
+		}
+		return out
+	}
+	for _, r := range rooms {
+		out[r] = aff[r] / total
+	}
+	return out
+}
+
+// PairAffinityProvider supplies pairwise device affinities α({a, b}). The
+// fine localizer computes them from the store by default; the caching engine
+// substitutes a cached provider.
+type PairAffinityProvider interface {
+	// PairAffinity returns α({a, b}) over history ending at ref.
+	PairAffinity(a, b event.DeviceID, ref time.Time) float64
+}
+
+// storeAffinity computes pairwise affinities directly from the store over a
+// fixed-length history window.
+type storeAffinity struct {
+	st     *store.Store
+	window time.Duration
+}
+
+// NewStoreAffinity returns a PairAffinityProvider that scans the store over
+// a history window of the given length (ending at the reference time).
+func NewStoreAffinity(st *store.Store, window time.Duration) PairAffinityProvider {
+	return &storeAffinity{st: st, window: window}
+}
+
+func (s *storeAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float64 {
+	return DeviceAffinity(s.st, a, b, ref.Add(-s.window), ref)
+}
+
+// sortedRooms returns map keys in deterministic order.
+func sortedRooms(m map[space.RoomID]float64) []space.RoomID {
+	out := make([]space.RoomID, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

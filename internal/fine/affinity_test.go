@@ -1,0 +1,296 @@
+package fine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+var t0 = time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+
+// paperBuilding reproduces the running example of Section 4: region g3 with
+// candidate rooms {2059, 2061, 2065, 2069, 2099}, 2061 the preferred room
+// of device d1, 2065 the only public room.
+func paperBuilding(t testing.TB) *space.Building {
+	t.Helper()
+	b, err := space.NewBuilding(space.Config{
+		Name: "paper",
+		Rooms: []space.Room{
+			{ID: "2059", Kind: space.Private},
+			{ID: "2061", Kind: space.Private},
+			{ID: "2065", Kind: space.Public},
+			{ID: "2069", Kind: space.Private},
+			{ID: "2099", Kind: space.Private},
+			{ID: "2068", Kind: space.Private},
+		},
+		AccessPoints: []space.AccessPoint{
+			{ID: "wap3", Coverage: []space.RoomID{"2059", "2061", "2065", "2069", "2099"}},
+			{ID: "wap4", Coverage: []space.RoomID{"2065", "2069", "2099", "2068"}},
+		},
+		PreferredRooms: map[string][]space.RoomID{
+			"d1": {"2061"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestWeightsValidate(t *testing.T) {
+	if err := DefaultWeights().Validate(); err != nil {
+		t.Errorf("default weights invalid: %v", err)
+	}
+	bad := []Weights{
+		{Preferred: 0.3, Public: 0.4, Private: 0.3}, // not decreasing
+		{Preferred: 0.5, Public: 0.3, Private: 0.3}, // pb == pr... still not strictly decreasing
+		{Preferred: 0.6, Public: 0.3, Private: 0.2}, // sums to 1.1
+		{Preferred: 0.7, Public: 0.3, Private: 0},   // zero private
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: weights %+v should be invalid", i, w)
+		}
+	}
+}
+
+// TestRoomAffinitiesPaperExample checks the Section 4.1 worked example:
+// with w = {0.5, 0.3, 0.2}, α(d1, 2061) = 0.5, α(d1, 2065) = 0.3, and the
+// three remaining private rooms share 0.2/3 ≈ 0.066.
+func TestRoomAffinitiesPaperExample(t *testing.T) {
+	b := paperBuilding(t)
+	w := Weights{Preferred: 0.5, Public: 0.3, Private: 0.2}
+	g3, _ := b.RegionOf("wap3")
+	aff := RoomAffinities(b, w, "d1", g3)
+
+	if math.Abs(aff["2061"]-0.5) > 1e-9 {
+		t.Errorf("α(d1,2061) = %v, want 0.5", aff["2061"])
+	}
+	if math.Abs(aff["2065"]-0.3) > 1e-9 {
+		t.Errorf("α(d1,2065) = %v, want 0.3", aff["2065"])
+	}
+	for _, r := range []space.RoomID{"2059", "2069", "2099"} {
+		if math.Abs(aff[r]-0.2/3) > 1e-9 {
+			t.Errorf("α(d1,%s) = %v, want %v", r, aff[r], 0.2/3)
+		}
+	}
+	sum := 0.0
+	for _, v := range aff {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("affinities sum to %v", sum)
+	}
+}
+
+func TestRoomAffinitiesNoPreferred(t *testing.T) {
+	b := paperBuilding(t)
+	g3, _ := b.RegionOf("wap3")
+	// d2 has no preferred rooms: the preferred mass is redistributed, so
+	// public + private shares renormalize to 1.
+	aff := RoomAffinities(b, DefaultWeights(), "d2", g3)
+	sum := 0.0
+	for _, v := range aff {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("affinities sum to %v, want 1", sum)
+	}
+	// Public room 2065 gets w_pb/(w_pb+w_pr) = 0.3/0.4 = 0.75.
+	if math.Abs(aff["2065"]-0.75) > 1e-9 {
+		t.Errorf("public affinity = %v, want 0.75", aff["2065"])
+	}
+}
+
+func TestRoomAffinitiesUnknownRegion(t *testing.T) {
+	b := paperBuilding(t)
+	if aff := RoomAffinities(b, DefaultWeights(), "d1", "ghost"); aff != nil {
+		t.Errorf("unknown region should yield nil, got %v", aff)
+	}
+}
+
+// Property: room affinities are a probability distribution and respect the
+// class ordering preferred ≥ public ≥ private per room whenever all classes
+// are present.
+func TestRoomAffinitiesProperty(t *testing.T) {
+	b := paperBuilding(t)
+	g3, _ := b.RegionOf("wap3")
+	f := func(a, bw, c uint8) bool {
+		// Build valid random weights.
+		x := 1 + float64(a%50)
+		y := x + 1 + float64(bw%50)
+		z := y + 1 + float64(c%50)
+		total := x + y + z
+		w := Weights{Preferred: z / total, Public: y / total, Private: x / total}
+		if err := w.Validate(); err != nil {
+			return true // numerically degenerate; skip
+		}
+		aff := RoomAffinities(b, w, "d1", g3)
+		sum := 0.0
+		for _, v := range aff {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		// Per-room ordering: preferred room ≥ public room ≥ private rooms.
+		return aff["2061"] >= aff["2065"] && aff["2065"] >= aff["2059"]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceAffinity(t *testing.T) {
+	st := store.New(0)
+	st.SetDelta("a", 5*time.Minute)
+	st.SetDelta("b", 5*time.Minute)
+	// a and b co-located on apX for 3 events each (within validity), then a
+	// alone for 3 events.
+	var evs []event.Event
+	for i := 0; i < 3; i++ {
+		ts := t0.Add(time.Duration(i) * 20 * time.Minute)
+		evs = append(evs,
+			event.Event{Device: "a", Time: ts, AP: "apX"},
+			event.Event{Device: "b", Time: ts.Add(time.Minute), AP: "apX"},
+		)
+	}
+	for i := 0; i < 3; i++ {
+		evs = append(evs, event.Event{Device: "a", Time: t0.Add(5*time.Hour + time.Duration(i)*20*time.Minute), AP: "apY"})
+	}
+	st.Ingest(evs)
+
+	aff := DeviceAffinity(st, "a", "b", t0.Add(-time.Hour), t0.Add(10*time.Hour))
+	// Intersecting: 3 of a's events + 3 of b's events = 6; total = 9.
+	want := 6.0 / 9.0
+	if math.Abs(aff-want) > 1e-9 {
+		t.Errorf("device affinity = %v, want %v", aff, want)
+	}
+	// Empty history → 0.
+	if got := DeviceAffinity(st, "a", "b", t0.Add(-10*time.Hour), t0.Add(-9*time.Hour)); got != 0 {
+		t.Errorf("empty-window affinity = %v", got)
+	}
+	// Symmetric.
+	rev := DeviceAffinity(st, "b", "a", t0.Add(-time.Hour), t0.Add(10*time.Hour))
+	if math.Abs(aff-rev) > 1e-9 {
+		t.Errorf("affinity not symmetric: %v vs %v", aff, rev)
+	}
+}
+
+func TestDeviceAffinityDifferentAPsDontCount(t *testing.T) {
+	st := store.New(0)
+	st.SetDelta("a", 5*time.Minute)
+	st.SetDelta("b", 5*time.Minute)
+	st.Ingest([]event.Event{
+		{Device: "a", Time: t0, AP: "apX"},
+		{Device: "b", Time: t0.Add(time.Minute), AP: "apY"},
+	})
+	if got := DeviceAffinity(st, "a", "b", t0.Add(-time.Hour), t0.Add(time.Hour)); got != 0 {
+		t.Errorf("different-AP events should not intersect: %v", got)
+	}
+}
+
+// TestGroupAffinityPaperExample reproduces the Section 4.1 numeric example:
+// α({d1,d2}) = 0.4, P(@(d1,2065)|Ris) = 0.69..., P(@(d2,2065)|Ris) = 0.44,
+// giving α({d1,d2}, 2065) ≈ 0.12.
+func TestGroupAffinityPaperExample(t *testing.T) {
+	condD1 := 0.3 / (0.3 + 0.06 + 0.06)
+	condD2 := 0.4 / (0.4 + 0.01 + 0.5)
+	got := GroupAffinity(0.4, []float64{condD1, condD2})
+	if math.Abs(got-0.4*condD1*condD2) > 1e-12 {
+		t.Errorf("group affinity = %v", got)
+	}
+	if math.Abs(got-0.121) > 0.005 {
+		t.Errorf("group affinity = %v, want ≈ 0.12 (paper)", got)
+	}
+}
+
+func TestGroupAffinityZeroCases(t *testing.T) {
+	if GroupAffinity(0, []float64{0.5}) != 0 {
+		t.Error("zero device affinity → zero group affinity")
+	}
+	if GroupAffinity(0.5, []float64{0.5, 0}) != 0 {
+		t.Error("zero conditional → zero group affinity")
+	}
+}
+
+func TestConditionalOverRooms(t *testing.T) {
+	aff := map[space.RoomID]float64{"a": 0.3, "b": 0.06, "c": 0.06, "d": 0.5}
+	ris := []space.RoomID{"a", "b", "c"}
+	cond := ConditionalOverRooms(aff, ris)
+	if math.Abs(cond["a"]-0.3/0.42) > 1e-9 {
+		t.Errorf("cond[a] = %v", cond["a"])
+	}
+	sum := 0.0
+	for _, r := range ris {
+		sum += cond[r]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("conditional sums to %v", sum)
+	}
+	// Zero-mass set → uniform.
+	cond = ConditionalOverRooms(map[space.RoomID]float64{}, ris)
+	for _, r := range ris {
+		if math.Abs(cond[r]-1.0/3) > 1e-9 {
+			t.Errorf("uniform fallback broken: %v", cond)
+		}
+	}
+	// Empty room set → empty result.
+	if got := ConditionalOverRooms(aff, nil); len(got) != 0 {
+		t.Errorf("empty rooms should give empty conditionals: %v", got)
+	}
+}
+
+// Property: conditional distributions always sum to 1 over their support.
+func TestConditionalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		aff := map[space.RoomID]float64{}
+		var rooms []space.RoomID
+		for i := 0; i < n; i++ {
+			r := space.RoomID(string(rune('a' + i)))
+			rooms = append(rooms, r)
+			aff[r] = rng.Float64()
+		}
+		cond := ConditionalOverRooms(aff, rooms)
+		sum := 0.0
+		for _, r := range rooms {
+			if cond[r] < 0 || cond[r] > 1+1e-9 {
+				return false
+			}
+			sum += cond[r]
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAffinityProvider(t *testing.T) {
+	st := store.New(0)
+	st.SetDelta("a", 5*time.Minute)
+	st.SetDelta("b", 5*time.Minute)
+	st.Ingest([]event.Event{
+		{Device: "a", Time: t0, AP: "apX"},
+		{Device: "b", Time: t0.Add(time.Minute), AP: "apX"},
+	})
+	p := NewStoreAffinity(st, 24*time.Hour)
+	if got := p.PairAffinity("a", "b", t0.Add(time.Hour)); got <= 0 {
+		t.Errorf("provider affinity = %v, want > 0", got)
+	}
+	// Outside the window → 0.
+	if got := p.PairAffinity("a", "b", t0.Add(48*time.Hour)); got != 0 {
+		t.Errorf("stale affinity = %v, want 0", got)
+	}
+}

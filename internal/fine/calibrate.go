@@ -1,0 +1,124 @@
+package fine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// LabelStore accumulates crowd-sourced room-level location labels — the
+// extension the paper sketches in Section 4.1 (footnote 7): "Extending our
+// approach when such data is obtainable, at least [for] some subset of
+// devices, through techniques such as crowd-sourcing". Labels sharpen a
+// device's room-affinity prior: the metadata-derived distribution is blended
+// with the empirical distribution of labeled visits,
+//
+//	α'(d, r) = λ·empirical(d, r) + (1−λ)·α(d, r),   λ = n/(n+κ)
+//
+// where n is the number of labels the device has among the candidate rooms
+// and κ (Smoothing) controls how many labels are needed before the
+// empirical term dominates.
+type LabelStore struct {
+	mu sync.RWMutex
+	// visits[device][room] = number of labeled observations.
+	visits map[event.DeviceID]map[space.RoomID]int
+	// Smoothing is κ. Non-positive values default to 8.
+	Smoothing float64
+}
+
+// NewLabelStore creates an empty label store with smoothing κ.
+func NewLabelStore(smoothing float64) *LabelStore {
+	if smoothing <= 0 {
+		smoothing = 8
+	}
+	return &LabelStore{
+		visits:    make(map[event.DeviceID]map[space.RoomID]int),
+		Smoothing: smoothing,
+	}
+}
+
+// Add records one labeled observation: device d was in room r at time t.
+// The timestamp is accepted for future time-bucketed extensions; the current
+// model aggregates over all times.
+func (s *LabelStore) Add(d event.DeviceID, r space.RoomID, t time.Time) error {
+	if d == "" {
+		return fmt.Errorf("fine: label with empty device")
+	}
+	if r == "" {
+		return fmt.Errorf("fine: label with empty room")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.visits[d]
+	if !ok {
+		m = make(map[space.RoomID]int)
+		s.visits[d] = m
+	}
+	m[r]++
+	return nil
+}
+
+// Count returns the number of labels recorded for (d, r).
+func (s *LabelStore) Count(d event.DeviceID, r space.RoomID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.visits[d][r]
+}
+
+// Devices lists devices with at least one label, sorted.
+func (s *LabelStore) Devices() []event.DeviceID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]event.DeviceID, 0, len(s.visits))
+	for d := range s.visits {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Blend sharpens a metadata-derived room-affinity distribution with the
+// device's labels over the candidate rooms. The result remains a
+// probability distribution over the candidates. With no labels the prior is
+// returned unchanged (the same map, not a copy).
+func (s *LabelStore) Blend(d event.DeviceID, prior map[space.RoomID]float64) map[space.RoomID]float64 {
+	s.mu.RLock()
+	visits := s.visits[d]
+	kappa := s.Smoothing
+	s.mu.RUnlock()
+	if len(visits) == 0 {
+		return prior
+	}
+	n := 0
+	for r := range prior {
+		n += visits[r]
+	}
+	if n == 0 {
+		return prior
+	}
+	lambda := float64(n) / (float64(n) + kappa)
+	out := make(map[space.RoomID]float64, len(prior))
+	for r, p := range prior {
+		emp := float64(visits[r]) / float64(n)
+		out[r] = lambda*emp + (1-lambda)*p
+	}
+	return out
+}
+
+// SetLabelStore attaches a crowd-sourced label store to the localizer; nil
+// detaches. Attached labels sharpen every subsequent query's prior.
+func (l *Localizer) SetLabelStore(s *LabelStore) { l.labels = s }
+
+// priorFor computes the (possibly time-dependent, possibly label-sharpened)
+// room-affinity prior for a device in a region at a query time.
+func (l *Localizer) priorFor(d event.DeviceID, g space.RegionID, tq time.Time) map[space.RoomID]float64 {
+	prior := RoomAffinitiesAt(l.building, l.opts.Weights, d, g, tq)
+	if l.labels != nil {
+		prior = l.labels.Blend(d, prior)
+	}
+	return prior
+}

@@ -1,0 +1,687 @@
+package fine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+// Variant selects the fine-localization posterior model.
+type Variant int
+
+const (
+	// Independent is I-FINE: neighbors influence the posterior
+	// independently (Eq. 3) and the min/max/expected bounds of
+	// Theorems 1–3 drive the loose stop conditions.
+	Independent Variant = iota
+	// Dependent is D-FINE: neighbors are grouped into affinity clusters
+	// that influence the posterior jointly (Eq. 6).
+	Dependent
+)
+
+// String names the variant like the paper ("I-FINE"/"D-FINE").
+func (v Variant) String() string {
+	switch v {
+	case Independent:
+		return "I-FINE"
+	case Dependent:
+		return "D-FINE"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options configures the fine localizer.
+type Options struct {
+	// Weights are the room-affinity weights; DefaultWeights when zero.
+	Weights Weights
+	// Variant selects I-FINE or D-FINE.
+	Variant Variant
+	// UseStopConditions enables the loose early-termination conditions
+	// (Section 4.2). Disabling processes every neighbor (Fig. 11 ablation).
+	UseStopConditions bool
+	// HistoryWindow bounds the history used for device affinities.
+	// Default 8 weeks.
+	HistoryWindow time.Duration
+	// MaxNeighbors caps the neighbor set size (0 = unlimited).
+	MaxNeighbors int
+	// NeighborWindow is how far around t_q to look for neighbor-device
+	// events. Devices in gaps have no event within ±δ of t_q, so this must
+	// exceed the typical validity interval; default 1 hour.
+	NeighborWindow time.Duration
+	// MinPairAffinity filters out neighbors whose device affinity with the
+	// queried device falls below it. Default 0 (keep all positive).
+	MinPairAffinity float64
+}
+
+func (o Options) withDefaults() Options {
+	if (o.Weights == Weights{}) {
+		o.Weights = DefaultWeights()
+	}
+	if o.HistoryWindow <= 0 {
+		o.HistoryWindow = 8 * 7 * 24 * time.Hour
+	}
+	if o.NeighborWindow <= 0 {
+		o.NeighborWindow = time.Hour
+	}
+	return o
+}
+
+// NeighborOrderer optionally reorders the neighbor set before Algorithm 2
+// processes it. The caching engine's global affinity graph implements this
+// to process high-affinity devices first (paper Section 5).
+type NeighborOrderer interface {
+	OrderNeighbors(d event.DeviceID, neighbors []event.DeviceID, tq time.Time) []event.DeviceID
+}
+
+// Localizer answers room-level queries.
+type Localizer struct {
+	opts     Options
+	building *space.Building
+	store    *store.Store
+	affinity PairAffinityProvider
+	orderer  NeighborOrderer
+
+	// coarseRegion resolves a neighbor device's region at tq; injected by
+	// the system so fine can reason about devices in gaps too. May be nil:
+	// then only devices inside a validity interval count as online.
+	coarseRegion func(d event.DeviceID, tq time.Time) (space.RegionID, bool)
+
+	// labels optionally sharpens priors with crowd-sourced room labels.
+	labels *LabelStore
+}
+
+// Result is the fine-level answer.
+type Result struct {
+	Room space.RoomID
+	// Probability is the posterior of the winning room.
+	Probability float64
+	// Posterior maps every candidate room to its posterior (diagnostics).
+	Posterior map[space.RoomID]float64
+	// ProcessedNeighbors counts how many neighbor devices Algorithm 2
+	// consumed before stopping.
+	ProcessedNeighbors int
+	// TotalNeighbors is the size of the neighbor set D_n.
+	TotalNeighbors int
+	// StoppedEarly is true when a loose stop condition fired before all
+	// neighbors were processed.
+	StoppedEarly bool
+	// LocalGraph carries the pairwise edges computed during this query for
+	// the caching engine (device, weight) — see Section 5.
+	LocalGraph []LocalEdge
+}
+
+// LocalEdge is one edge of the local affinity graph built while answering a
+// query: the average group affinity between the queried device and the
+// neighbor across candidate rooms.
+type LocalEdge struct {
+	From, To event.DeviceID
+	Weight   float64
+}
+
+// New creates a fine localizer. affinity may be nil (a store-backed provider
+// over opts.HistoryWindow is used); orderer may be nil (store order).
+func New(b *space.Building, st *store.Store, affinity PairAffinityProvider, orderer NeighborOrderer, opts Options) *Localizer {
+	opts = opts.withDefaults()
+	if affinity == nil {
+		affinity = NewStoreAffinity(st, opts.HistoryWindow)
+	}
+	return &Localizer{
+		opts:     opts,
+		building: b,
+		store:    st,
+		affinity: affinity,
+		orderer:  orderer,
+	}
+}
+
+// SetCoarseResolver injects a resolver that returns a neighbor's region at
+// t_q when the neighbor is in a gap (LOCATER wires the coarse localizer in).
+func (l *Localizer) SetCoarseResolver(f func(d event.DeviceID, tq time.Time) (space.RegionID, bool)) {
+	l.coarseRegion = f
+}
+
+// neighborInfo captures everything Algorithm 2 needs about one neighbor.
+type neighborInfo struct {
+	dev event.DeviceID
+	// region the neighbor is located in at tq.
+	region space.RegionID
+	// pairAffinity = α({d_i, d_k}): the device affinity of the pair.
+	pairAffinity float64
+	// support[r] = α({d_i, d_k}, r, t_q): the pairwise group affinity
+	// (Eq. 1) for each candidate room of the queried device; zero outside
+	// the pair's intersecting rooms R_is.
+	support map[space.RoomID]float64
+	// condI[r] = P(@(d_i, r) | @(d_i, R_is)): the queried device's
+	// conditional room probability within the pair's intersecting rooms
+	// (zero outside R_is). Used by the Theorem 1/2 bounds.
+	condI map[space.RoomID]float64
+	// condK[r] is the analogous conditional for the neighbor device.
+	condK map[space.RoomID]float64
+	// sameRoomProb = α_pair · Σ_{r ∈ R_is} cond_i(r)·cond_k(r): the
+	// probability that the pair is co-located in the same room — the total
+	// group-affinity mass. It weights how much this neighbor's evidence
+	// can displace the prior.
+	sameRoomProb float64
+}
+
+// Locate disambiguates the room for device d known to be in region g at
+// time tq (the coarse stage's output).
+func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Result, error) {
+	candidates := l.building.CandidateRooms(g)
+	if len(candidates) == 0 {
+		return Result{}, fmt.Errorf("fine: region %s has no candidate rooms", g)
+	}
+	prior := l.priorFor(d, g, tq)
+
+	neighbors := l.neighborSet(d, g, tq, prior)
+	if l.orderer != nil {
+		neighbors = l.reorder(d, neighbors, tq)
+	}
+
+	var res Result
+	switch l.opts.Variant {
+	case Dependent:
+		res = l.locateDependent(d, candidates, prior, neighbors, tq)
+	default:
+		res = l.locateIndependent(candidates, prior, neighbors)
+	}
+	res.TotalNeighbors = len(neighbors)
+
+	// Local affinity graph edges: w = Σ_r α({d_a, d_b}, r, t_q) / |R(g_x)|.
+	for i := 0; i < res.ProcessedNeighbors && i < len(neighbors); i++ {
+		n := neighbors[i]
+		sum := 0.0
+		for _, r := range candidates {
+			sum += n.support[r]
+		}
+		res.LocalGraph = append(res.LocalGraph, LocalEdge{
+			From:   d,
+			To:     n.dev,
+			Weight: sum / float64(len(candidates)),
+		})
+	}
+	return res, nil
+}
+
+// reorder applies the NeighborOrderer (global affinity graph) to the
+// neighbor set, preserving entries the orderer does not know about.
+func (l *Localizer) reorder(d event.DeviceID, neighbors []neighborInfo, tq time.Time) []neighborInfo {
+	devs := make([]event.DeviceID, len(neighbors))
+	for i, n := range neighbors {
+		devs[i] = n.dev
+	}
+	ordered := l.orderer.OrderNeighbors(d, devs, tq)
+	byDev := make(map[event.DeviceID]neighborInfo, len(neighbors))
+	for _, n := range neighbors {
+		byDev[n.dev] = n
+	}
+	out := make([]neighborInfo, 0, len(neighbors))
+	for _, dev := range ordered {
+		if n, ok := byDev[dev]; ok {
+			out = append(out, n)
+			delete(byDev, dev)
+		}
+	}
+	for _, n := range neighbors {
+		if _, left := byDev[n.dev]; left {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// neighborSet finds D_n(d): devices online at tq whose region's candidate
+// rooms overlap the queried device's candidates and whose pairwise group
+// affinity is positive for some room (paper Section 4.2).
+func (l *Localizer) neighborSet(d event.DeviceID, g space.RegionID, tq time.Time, prior map[space.RoomID]float64) []neighborInfo {
+	window := l.opts.NeighborWindow
+	if d2 := l.store.Delta(d); d2 > window {
+		window = d2
+	}
+	active := l.store.ActiveDevices(tq.Add(-window), tq.Add(window))
+	candidates := l.building.CandidateRooms(g)
+
+	var out []neighborInfo
+	for _, dk := range active {
+		if dk == d {
+			continue
+		}
+		region, online := l.deviceRegionAt(dk, tq)
+		if !online {
+			continue
+		}
+		// (iii) overlapping regions.
+		if !l.building.OverlappingRegions(g, region) {
+			continue
+		}
+		// (ii) positive group affinity for some candidate room.
+		pa := l.affinity.PairAffinity(d, dk, tq)
+		if pa <= l.opts.MinPairAffinity || pa <= 0 {
+			continue
+		}
+		n := l.pairSupport(d, dk, g, region, prior, candidates, pa, tq)
+		positive := false
+		for _, s := range n.support {
+			if s > 0 {
+				positive = true
+				break
+			}
+		}
+		if !positive {
+			continue
+		}
+		out = append(out, n)
+		if l.opts.MaxNeighbors > 0 && len(out) >= l.opts.MaxNeighbors {
+			break
+		}
+	}
+	return out
+}
+
+// deviceRegionAt resolves which region a device is in at tq: from a validity
+// interval when connected, else via the injected coarse resolver.
+func (l *Localizer) deviceRegionAt(d event.DeviceID, tq time.Time) (space.RegionID, bool) {
+	if ap, ok := l.store.CurrentAP(d, tq); ok {
+		if g, ok2 := l.building.RegionOf(ap); ok2 {
+			return g, true
+		}
+		return "", false
+	}
+	if l.coarseRegion != nil {
+		return l.coarseRegion(d, tq)
+	}
+	return "", false
+}
+
+// pairSupport computes, for every candidate room r of the queried device,
+// the pairwise group affinity s_k(r) = α({d_i, d_k}, r, t_q) (Eq. 1) along
+// with both devices' conditionals over the pair's intersecting rooms R_is.
+func (l *Localizer) pairSupport(d, dk event.DeviceID, gd, gk space.RegionID, prior map[space.RoomID]float64, candidates []space.RoomID, pairAffinity float64, tq time.Time) neighborInfo {
+	n := neighborInfo{
+		dev:          dk,
+		region:       gk,
+		pairAffinity: pairAffinity,
+		support:      make(map[space.RoomID]float64, len(candidates)),
+		condI:        make(map[space.RoomID]float64, len(candidates)),
+		condK:        make(map[space.RoomID]float64, len(candidates)),
+	}
+	ris := l.building.IntersectCandidates([]space.RegionID{gd, gk})
+	if len(ris) == 0 {
+		return n
+	}
+	condD := ConditionalOverRooms(prior, ris)
+	priorK := l.priorFor(dk, gk, tq)
+	condK := ConditionalOverRooms(priorK, ris)
+	inRis := make(map[space.RoomID]bool, len(ris))
+	for _, r := range ris {
+		inRis[r] = true
+	}
+	mass := 0.0
+	for _, r := range ris {
+		mass += condD[r] * condK[r]
+	}
+	n.sameRoomProb = pairAffinity * mass
+	if n.sameRoomProb > 1 {
+		n.sameRoomProb = 1
+	}
+	for _, r := range candidates {
+		if !inRis[r] {
+			continue
+		}
+		n.condI[r] = condD[r]
+		n.condK[r] = condK[r]
+		n.support[r] = GroupAffinity(pairAffinity, []float64{condD[r], condK[r]})
+	}
+	return n
+}
+
+// --- posterior combination ------------------------------------------------
+//
+// The paper's Eq. 3 combines pairwise group affinities into
+// P(r | D̄_n) = 1/(1 + Π(1−s_k)/Π s_k). Applied verbatim, a single neighbor
+// whose intersecting-room set excludes r forces P(r) = 0 even when the prior
+// strongly favors r, which destroys precision for isolated devices. We keep
+// the same product-of-odds structure but combine the per-neighbor evidence
+// in log-odds space anchored at the prior — the standard naive-Bayes
+// identity logit P(r|e_1..e_n) = logit P(r) + Σ (logit P(r|e_k) − logit P(r))
+// — with per-neighbor posteriors given by the co-location mixture
+//
+//	P(r | obs_k) = s_k(r) + (1 − z_k)·prior(r)
+//	s_k(r) = α_pair·cond_i(r)·cond_k(r)·1[r ∈ R_is]   (Eq. 1)
+//	z_k    = Σ_{r ∈ R_is} s_k(r)                      (same-room probability)
+//
+// — with probability z_k the pair is co-located in one room (distributed by
+// the group affinities), otherwise the neighbor is uninformative and the
+// prior stands. Eq. 3's group-affinity supports appear unchanged; the prior
+// term only prevents the hard-zero collapse. Recorded in DESIGN.md.
+
+const probEps = 1e-9
+
+func logit(p float64) float64 {
+	if p < probEps {
+		p = probEps
+	}
+	if p > 1-probEps {
+		p = 1 - probEps
+	}
+	return math.Log(p / (1 - p))
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		e := math.Exp(-x)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// combinePosterior folds blended per-neighbor posteriors into the prior.
+func combinePosterior(prior float64, blended []float64) float64 {
+	if len(blended) == 0 {
+		return prior
+	}
+	lp := logit(prior)
+	acc := lp
+	for _, b := range blended {
+		acc += logit(b) - lp
+	}
+	return sigmoid(acc)
+}
+
+// blendedSupport is P(r | obs_k) for a processed neighbor.
+func blendedSupport(n neighborInfo, r space.RoomID, prior float64) float64 {
+	return n.support[r] + (1-n.sameRoomProb)*prior
+}
+
+// hypoSupport is P(r | neighbor known to be in room w) for the
+// possible-world bounds: if the neighbor is hypothesized in room r
+// (inRoom), its own conditional becomes 1 so the co-location term is
+// α_pair·cond_i(r); hypothesized elsewhere, only the uninformative prior
+// term remains. This is monotone in the hypothesis, so Theorem 1's world
+// (all unprocessed in r_j) maximizes the posterior and Theorem 2's world
+// (all in r_max ≠ r_j) minimizes it.
+func hypoSupport(inRoom bool, pairAffinity, condI, prior float64) float64 {
+	co := pairAffinity * condI
+	if co > 1 {
+		co = 1
+	}
+	s := (1 - co) * prior
+	if inRoom {
+		s += co
+	}
+	return s
+}
+
+// --- Independent variant (I-FINE) --------------------------------------
+
+func (l *Localizer) locateIndependent(candidates []space.RoomID, prior map[space.RoomID]float64, neighbors []neighborInfo) Result {
+	blended := make(map[space.RoomID][]float64, len(candidates))
+	posterior := make(map[space.RoomID]float64, len(candidates))
+	for _, r := range candidates {
+		posterior[r] = prior[r]
+	}
+
+	processed := 0
+	stopped := false
+	for idx, n := range neighbors {
+		for _, r := range candidates {
+			blended[r] = append(blended[r], blendedSupport(n, r, prior[r]))
+		}
+		processed = idx + 1
+		for _, r := range candidates {
+			posterior[r] = combinePosterior(prior[r], blended[r])
+		}
+		if !l.opts.UseStopConditions {
+			continue
+		}
+		if l.checkStop(candidates, prior, posterior, blended, neighbors[processed:]) {
+			stopped = processed < len(neighbors)
+			break
+		}
+	}
+	best := argmaxRoom(posterior, candidates)
+	return Result{
+		Room:               best,
+		Probability:        posterior[best],
+		Posterior:          posterior,
+		ProcessedNeighbors: processed,
+		StoppedEarly:       stopped,
+	}
+}
+
+// checkStop evaluates the loose stop conditions on the top-2 rooms:
+//
+//  1. minP(r_a | D̄_n) > expP(r_b | D̄_n), or
+//  2. expP(r_a | D̄_n) > maxP(r_b | D̄_n),
+//
+// where expP = P (Theorem 3), maxP assumes every unprocessed neighbor is in
+// the room (Theorem 1), and minP assumes they are all in the best other room
+// (Theorem 2).
+func (l *Localizer) checkStop(candidates []space.RoomID, prior, posterior map[space.RoomID]float64, blended map[space.RoomID][]float64, unprocessed []neighborInfo) bool {
+	if len(candidates) < 2 {
+		return true
+	}
+	ra, rb := top2Rooms(posterior, candidates)
+	if len(unprocessed) == 0 {
+		return posterior[ra] > posterior[rb]
+	}
+	minA := l.boundPosterior(ra, prior, blended, unprocessed, false)
+	maxB := l.boundPosterior(rb, prior, blended, unprocessed, true)
+	expA := posterior[ra] // Theorem 3
+	expB := posterior[rb]
+	return minA > expB || expA > maxB
+}
+
+// boundPosterior computes maxP (assumeIn=true: every unprocessed neighbor
+// hypothesized in room r, Theorem 1) or minP (assumeIn=false: every
+// unprocessed neighbor hypothesized in the rival room, Theorem 2).
+func (l *Localizer) boundPosterior(r space.RoomID, prior map[space.RoomID]float64, blended map[space.RoomID][]float64, unprocessed []neighborInfo, assumeIn bool) float64 {
+	supports := make([]float64, 0, len(blended[r])+len(unprocessed))
+	supports = append(supports, blended[r]...)
+	for _, n := range unprocessed {
+		supports = append(supports, hypoSupport(assumeIn, n.pairAffinity, n.condI[r], prior[r]))
+	}
+	return combinePosterior(prior[r], supports)
+}
+
+// --- Dependent variant (D-FINE) -----------------------------------------
+
+// locateDependent clusters the processed neighbors by nonzero pairwise
+// device affinity and lets each cluster influence the posterior jointly,
+// following Eq. 6's structure: the cluster-wide group affinity
+//
+//	α({D̄_nl, d_i}, r, t_q) = A_l · cond_i(r) · Π_{d_k ∈ D̄_nl} cond_k(r)
+//
+// (A_l = the cluster's device affinity, approximated by the minimum pairwise
+// affinity with the queried device) replaces the per-neighbor group affinity
+// in the evidence combination. Processing stops early when every cluster's
+// affinity is zero for all rooms (the paper's D-FINE termination).
+func (l *Localizer) locateDependent(d event.DeviceID, candidates []space.RoomID, prior map[space.RoomID]float64, neighbors []neighborInfo, tq time.Time) Result {
+	posterior := make(map[space.RoomID]float64, len(candidates))
+	for _, r := range candidates {
+		posterior[r] = prior[r]
+	}
+
+	processed := 0
+	stopped := false
+	for idx := range neighbors {
+		processed = idx + 1
+		active := neighbors[:processed]
+		groups := l.clusterNeighbors(active, tq)
+		anyPositive := false
+		// Cluster-wide group affinities per room, plus each cluster's
+		// total co-location mass (for the mixture blend).
+		gas := make([]map[space.RoomID]float64, len(groups))
+		zs := make([]float64, len(groups))
+		for gi, grp := range groups {
+			gas[gi] = make(map[space.RoomID]float64, len(candidates))
+			for _, r := range candidates {
+				_, ga := l.clusterAffinity(grp, r, prior[r])
+				gas[gi][r] = ga
+				zs[gi] += ga
+				if ga > 0 {
+					anyPositive = true
+				}
+			}
+			if zs[gi] > 1 {
+				zs[gi] = 1
+			}
+		}
+		for _, r := range candidates {
+			blended := make([]float64, len(groups))
+			for gi := range groups {
+				blended[gi] = gas[gi][r] + (1-zs[gi])*prior[r]
+			}
+			posterior[r] = combinePosterior(prior[r], blended)
+		}
+		if l.opts.UseStopConditions && !anyPositive {
+			stopped = processed < len(neighbors)
+			break
+		}
+	}
+	best := argmaxRoom(posterior, candidates)
+	return Result{
+		Room:               best,
+		Probability:        posterior[best],
+		Posterior:          posterior,
+		ProcessedNeighbors: processed,
+		StoppedEarly:       stopped,
+	}
+}
+
+// clusterNeighbors partitions processed neighbors into affinity clusters:
+// neighbors with nonzero pairwise device affinity share a cluster
+// (union-find). Cluster order is deterministic.
+func (l *Localizer) clusterNeighbors(active []neighborInfo, tq time.Time) [][]neighborInfo {
+	n := len(active)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l.affinity.PairAffinity(active[i].dev, active[j].dev, tq) > 0 {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]neighborInfo)
+	var roots []int
+	for i, ninfo := range active {
+		r := find(i)
+		if _, seen := byRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], ninfo)
+	}
+	sort.Ints(roots)
+	out := make([][]neighborInfo, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// clusterAffinity returns (A_l, α({D̄_nl, d_i}, r)): the cluster device
+// affinity and the cluster-wide group affinity for room r.
+func (l *Localizer) clusterAffinity(grp []neighborInfo, r space.RoomID, prior float64) (deviceAff, groupAff float64) {
+	if len(grp) == 0 {
+		return 0, 0
+	}
+	minPair := math.Inf(1)
+	condProduct := 1.0
+	condI := 0.0
+	for _, n := range grp {
+		if n.pairAffinity < minPair {
+			minPair = n.pairAffinity
+		}
+		ck, ok := n.condK[r]
+		if !ok || ck <= 0 {
+			return minAff(minPair), 0
+		}
+		condProduct *= ck
+		// cond_i over the pair's R_is: use the largest available — the
+		// queried device's conditional should reflect the tightest
+		// intersecting set in the cluster.
+		if ci := n.condI[r]; ci > condI {
+			condI = ci
+		}
+	}
+	if condI <= 0 {
+		return minAff(minPair), 0
+	}
+	ga := minPair * condI * condProduct
+	if ga > 1 {
+		ga = 1
+	}
+	return minAff(minPair), ga
+}
+
+func minAff(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+// --- shared helpers -------------------------------------------------------
+
+func argmaxRoom(m map[space.RoomID]float64, rooms []space.RoomID) space.RoomID {
+	if len(rooms) == 0 {
+		return ""
+	}
+	best := rooms[0]
+	for _, r := range rooms[1:] {
+		if m[r] > m[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+// top2Rooms returns the two rooms with the highest posterior (deterministic
+// tie-break by room ID, since candidates are sorted).
+func top2Rooms(m map[space.RoomID]float64, rooms []space.RoomID) (space.RoomID, space.RoomID) {
+	ra, rb := rooms[0], rooms[0]
+	first := true
+	for _, r := range rooms {
+		if first {
+			ra = r
+			first = false
+			continue
+		}
+		if m[r] > m[ra] {
+			rb = ra
+			ra = r
+		} else if rb == ra || m[r] > m[rb] {
+			rb = r
+		}
+	}
+	if rb == ra && len(rooms) > 1 {
+		for _, r := range rooms {
+			if r != ra {
+				rb = r
+				break
+			}
+		}
+	}
+	return ra, rb
+}

@@ -1,0 +1,103 @@
+package fine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+// benchScene wires a region full of neighbors around the queried device.
+func benchScene(b *testing.B, neighbors int, variant Variant, stop bool) (*Localizer, space.RegionID) {
+	b.Helper()
+	bld := paperBuilding(b)
+	st := store.New(0)
+	aff := fixedAffinity{}
+	conns := map[event.DeviceID]space.APID{"d1": "wap3"}
+	for i := 0; i < neighbors; i++ {
+		d := event.DeviceID(fmt.Sprintf("n%03d", i))
+		conns[d] = "wap3"
+		aff[pair("d1", d)] = 0.1 + 0.8*float64(i%7)/7
+	}
+	for d, ap := range conns {
+		if err := st.IngestOne(event.Event{Device: d, Time: t0, AP: ap}); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.SetDelta(d, 10*time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l := New(bld, st, aff, nil, Options{Variant: variant, UseStopConditions: stop})
+	g3, _ := bld.RegionOf("wap3")
+	return l, g3
+}
+
+func BenchmarkLocateIndependent(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("neighbors=%d", n), func(b *testing.B) {
+			l, g := benchScene(b, n, Independent, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Locate("d1", g, t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLocateDependent(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("neighbors=%d", n), func(b *testing.B) {
+			l, g := benchScene(b, n, Dependent, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Locate("d1", g, t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLocateNoStopConditions(b *testing.B) {
+	l, g := benchScene(b, 32, Independent, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Locate("d1", g, t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceAffinity(b *testing.B) {
+	st := store.New(0)
+	st.SetDelta("a", 5*time.Minute)
+	st.SetDelta("b", 5*time.Minute)
+	var evs []event.Event
+	for i := 0; i < 5000; i++ {
+		ts := t0.Add(time.Duration(i) * time.Minute)
+		evs = append(evs,
+			event.Event{Device: "a", Time: ts, AP: "apX"},
+			event.Event{Device: "b", Time: ts.Add(30 * time.Second), AP: "apX"},
+		)
+	}
+	st.Ingest(evs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeviceAffinity(st, "a", "b", t0, t0.Add(5000*time.Minute))
+	}
+}
+
+func BenchmarkRoomAffinities(b *testing.B) {
+	bld := paperBuilding(b)
+	g3, _ := bld.RegionOf("wap3")
+	w := DefaultWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoomAffinities(bld, w, "d1", g3)
+	}
+}

@@ -1,0 +1,336 @@
+// Package ml is LOCATER's machine-learning substrate: a from-scratch,
+// stdlib-only multinomial (softmax) logistic regression with L2
+// regularization, feature standardization, and the prediction-array variance
+// that the semi-supervised self-training loop of the coarse-grained
+// localization algorithm uses as its confidence score (paper Section 3).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Example is one training instance: a dense feature vector and an integer
+// class label in [0, numClasses).
+type Example struct {
+	Features []float64
+	Label    int
+}
+
+// Options configures training.
+type Options struct {
+	// Epochs is the number of full gradient-descent passes. Default 200.
+	Epochs int
+	// LearningRate is the GD step size. Default 0.1.
+	LearningRate float64
+	// L2 is the ridge penalty on weights (not biases). Default 1e-3.
+	L2 float64
+	// Seed drives deterministic weight initialization. Default 1.
+	Seed int64
+	// Tolerance stops training early when the loss improvement between
+	// epochs falls below it. Default 1e-7 (set negative to disable).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epochs <= 0 {
+		o.Epochs = 200
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+	if o.L2 < 0 {
+		o.L2 = 0
+	} else if o.L2 == 0 {
+		o.L2 = 1e-3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-7
+	}
+	return o
+}
+
+// Classifier is a trained softmax regression model. The zero value is not
+// usable; construct with Train.
+type Classifier struct {
+	numClasses  int
+	numFeatures int
+	// weights[c][f], biases[c].
+	weights [][]float64
+	biases  []float64
+	scaler  *Scaler
+	// trainLoss records the regularized negative log-likelihood per epoch.
+	trainLoss []float64
+}
+
+// ErrNoData is returned when Train receives no examples.
+var ErrNoData = errors.New("ml: no training examples")
+
+// Train fits a softmax logistic regression on the examples. numClasses must
+// cover every label. Features are standardized internally; the scaler is
+// stored in the classifier and applied on prediction.
+func Train(examples []Example, numClasses int, opts Options) (*Classifier, error) {
+	if len(examples) == 0 {
+		return nil, ErrNoData
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("ml: numClasses %d < 2", numClasses)
+	}
+	nf := len(examples[0].Features)
+	if nf == 0 {
+		return nil, errors.New("ml: zero-dimensional features")
+	}
+	for i, ex := range examples {
+		if len(ex.Features) != nf {
+			return nil, fmt.Errorf("ml: example %d has %d features, want %d", i, len(ex.Features), nf)
+		}
+		if ex.Label < 0 || ex.Label >= numClasses {
+			return nil, fmt.Errorf("ml: example %d has label %d outside [0,%d)", i, ex.Label, numClasses)
+		}
+	}
+	opts = opts.withDefaults()
+
+	scaler := FitScaler(examples)
+	x := make([][]float64, len(examples))
+	for i, ex := range examples {
+		x[i] = scaler.Transform(ex.Features)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := &Classifier{
+		numClasses:  numClasses,
+		numFeatures: nf,
+		weights:     make([][]float64, numClasses),
+		biases:      make([]float64, numClasses),
+		scaler:      scaler,
+	}
+	for k := 0; k < numClasses; k++ {
+		c.weights[k] = make([]float64, nf)
+		for f := 0; f < nf; f++ {
+			c.weights[k][f] = (rng.Float64() - 0.5) * 0.01
+		}
+	}
+
+	n := float64(len(examples))
+	probs := make([]float64, numClasses)
+	gradW := make([][]float64, numClasses)
+	gradB := make([]float64, numClasses)
+	for k := range gradW {
+		gradW[k] = make([]float64, nf)
+	}
+	prevLoss := math.Inf(1)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for k := 0; k < numClasses; k++ {
+			gradB[k] = 0
+			for f := 0; f < nf; f++ {
+				gradW[k][f] = 0
+			}
+		}
+		loss := 0.0
+		for i, ex := range examples {
+			c.logits(x[i], probs)
+			softmaxInPlace(probs)
+			p := probs[ex.Label]
+			if p < 1e-15 {
+				p = 1e-15
+			}
+			loss -= math.Log(p)
+			for k := 0; k < numClasses; k++ {
+				d := probs[k]
+				if k == ex.Label {
+					d -= 1
+				}
+				gradB[k] += d
+				xi := x[i]
+				gw := gradW[k]
+				for f := 0; f < nf; f++ {
+					gw[f] += d * xi[f]
+				}
+			}
+		}
+		// L2 penalty and parameter update.
+		for k := 0; k < numClasses; k++ {
+			wk := c.weights[k]
+			gw := gradW[k]
+			for f := 0; f < nf; f++ {
+				loss += 0.5 * opts.L2 * wk[f] * wk[f]
+				g := gw[f]/n + opts.L2*wk[f]
+				wk[f] -= opts.LearningRate * g
+			}
+			c.biases[k] -= opts.LearningRate * gradB[k] / n
+		}
+		loss /= n
+		c.trainLoss = append(c.trainLoss, loss)
+		if opts.Tolerance > 0 && prevLoss-loss < opts.Tolerance && epoch > 5 {
+			break
+		}
+		prevLoss = loss
+	}
+	return c, nil
+}
+
+// logits writes w_k·x + b_k into out (len == numClasses).
+func (c *Classifier) logits(x []float64, out []float64) {
+	for k := 0; k < c.numClasses; k++ {
+		s := c.biases[k]
+		wk := c.weights[k]
+		for f, v := range x {
+			s += wk[f] * v
+		}
+		out[k] = s
+	}
+}
+
+func softmaxInPlace(z []float64) {
+	max := z[0]
+	for _, v := range z[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range z {
+		e := math.Exp(v - max)
+		z[i] = e
+		sum += e
+	}
+	for i := range z {
+		z[i] /= sum
+	}
+}
+
+// Predict returns the probability array over classes (summing to 1) and the
+// arg-max label for the feature vector. This is the paper's
+// Predict(classifier, gap) returning (prediction array, label).
+func (c *Classifier) Predict(features []float64) ([]float64, int, error) {
+	if len(features) != c.numFeatures {
+		return nil, 0, fmt.Errorf("ml: predict with %d features, want %d", len(features), c.numFeatures)
+	}
+	x := c.scaler.Transform(features)
+	probs := make([]float64, c.numClasses)
+	c.logits(x, probs)
+	softmaxInPlace(probs)
+	best := 0
+	for k := 1; k < c.numClasses; k++ {
+		if probs[k] > probs[best] {
+			best = k
+		}
+	}
+	return probs, best, nil
+}
+
+// NumClasses returns the model's class count.
+func (c *Classifier) NumClasses() int { return c.numClasses }
+
+// NumFeatures returns the model's input dimensionality.
+func (c *Classifier) NumFeatures() int { return c.numFeatures }
+
+// TrainLoss returns the per-epoch regularized training loss (diagnostics).
+func (c *Classifier) TrainLoss() []float64 { return c.trainLoss }
+
+// Variance returns the population variance of a prediction array. The
+// self-training loop uses it as the confidence of a prediction: a peaked
+// distribution (one label much more likely than the rest) has high variance,
+// a flat one has variance near zero (paper Section 3).
+func Variance(probs []float64) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, p := range probs {
+		mean += p
+	}
+	mean /= float64(len(probs))
+	v := 0.0
+	for _, p := range probs {
+		d := p - mean
+		v += d * d
+	}
+	return v / float64(len(probs))
+}
+
+// Scaler standardizes features to zero mean and unit variance. Constant
+// features pass through unchanged (their std is clamped to 1).
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-feature mean and standard deviation.
+func FitScaler(examples []Example) *Scaler {
+	if len(examples) == 0 {
+		return &Scaler{}
+	}
+	nf := len(examples[0].Features)
+	mean := make([]float64, nf)
+	std := make([]float64, nf)
+	for _, ex := range examples {
+		for f, v := range ex.Features {
+			mean[f] += v
+		}
+	}
+	n := float64(len(examples))
+	for f := range mean {
+		mean[f] /= n
+	}
+	for _, ex := range examples {
+		for f, v := range ex.Features {
+			d := v - mean[f]
+			std[f] += d * d
+		}
+	}
+	for f := range std {
+		std[f] = math.Sqrt(std[f] / n)
+		if std[f] < 1e-12 {
+			std[f] = 1
+		}
+	}
+	return &Scaler{Mean: mean, Std: std}
+}
+
+// transformClamp bounds standardized features so that even adversarial
+// inputs (±Inf, ±1e308) keep the downstream logits finite.
+const transformClamp = 1e12
+
+// Transform standardizes one feature vector (allocating a new slice).
+// Non-finite and extreme values are clamped to keep predictions finite.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for f, v := range x {
+		if f < len(s.Mean) {
+			v = (v - s.Mean[f]) / s.Std[f]
+		}
+		switch {
+		case math.IsNaN(v):
+			v = 0
+		case v > transformClamp:
+			v = transformClamp
+		case v < -transformClamp:
+			v = -transformClamp
+		}
+		out[f] = v
+	}
+	return out
+}
+
+// MajorityClassifier is the degenerate fallback used when every training
+// gap carries the same label (softmax needs ≥2 classes): it always predicts
+// that label with probability 1.
+type MajorityClassifier struct {
+	Class int
+	Total int
+}
+
+// Predict returns a one-hot probability array of the given width.
+func (m *MajorityClassifier) Predict(width int) ([]float64, int) {
+	probs := make([]float64, width)
+	if m.Class >= 0 && m.Class < width {
+		probs[m.Class] = 1
+	}
+	return probs, m.Class
+}

@@ -1,0 +1,42 @@
+package ml
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkTrain(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			examples := linearlySeparable(n, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(examples, 2, Options{Epochs: 100}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	examples := linearlySeparable(200, 42)
+	clf, err := Train(examples, 2, Options{Epochs: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := clf.Predict(examples[i%len(examples)].Features); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariance(b *testing.B) {
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Variance(probs)
+	}
+}

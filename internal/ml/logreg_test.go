@@ -1,0 +1,259 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// linearlySeparable builds a 2-class dataset split by x0 > 0.
+func linearlySeparable(n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, n)
+	for i := range out {
+		x0 := rng.NormFloat64()
+		x1 := rng.NormFloat64()
+		label := 0
+		if x0 > 0 {
+			label = 1
+		}
+		out[i] = Example{Features: []float64{x0*3 + 0.5*x1, x1}, Label: label}
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 2, Options{}); err != ErrNoData {
+		t.Errorf("nil examples: err = %v, want ErrNoData", err)
+	}
+	ex := []Example{{Features: []float64{1}, Label: 0}}
+	if _, err := Train(ex, 1, Options{}); err == nil {
+		t.Error("numClasses < 2 should fail")
+	}
+	if _, err := Train([]Example{{Features: nil, Label: 0}}, 2, Options{}); err == nil {
+		t.Error("zero-dim features should fail")
+	}
+	bad := []Example{{Features: []float64{1}, Label: 0}, {Features: []float64{1, 2}, Label: 1}}
+	if _, err := Train(bad, 2, Options{}); err == nil {
+		t.Error("ragged features should fail")
+	}
+	oob := []Example{{Features: []float64{1}, Label: 5}}
+	if _, err := Train(oob, 2, Options{}); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestTrainSeparable(t *testing.T) {
+	examples := linearlySeparable(200, 42)
+	clf, err := Train(examples, 2, Options{Epochs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range examples {
+		_, label, err := clf.Predict(ex.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == ex.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(examples))
+	if acc < 0.95 {
+		t.Errorf("training accuracy %.2f < 0.95 on separable data", acc)
+	}
+}
+
+func TestTrainMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var examples []Example
+	centers := [][]float64{{-4, 0}, {4, 0}, {0, 5}}
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		examples = append(examples, Example{
+			Features: []float64{centers[c][0] + rng.NormFloat64()*0.5, centers[c][1] + rng.NormFloat64()*0.5},
+			Label:    c,
+		})
+	}
+	clf, err := Train(examples, 3, Options{Epochs: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range examples {
+		_, label, _ := clf.Predict(ex.Features)
+		if label == ex.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(examples)); acc < 0.95 {
+		t.Errorf("multiclass accuracy %.2f < 0.95", acc)
+	}
+	if clf.NumClasses() != 3 || clf.NumFeatures() != 2 {
+		t.Errorf("dims = %d classes, %d features", clf.NumClasses(), clf.NumFeatures())
+	}
+}
+
+func TestPredictProbabilitiesSumToOne(t *testing.T) {
+	examples := linearlySeparable(100, 3)
+	clf, err := Train(examples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range examples[:10] {
+		probs, _, err := clf.Predict(ex.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability out of range: %v", probs)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	clf, err := Train(linearlySeparable(50, 1), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clf.Predict([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong feature count should fail")
+	}
+}
+
+func TestTrainLossNonIncreasing(t *testing.T) {
+	examples := linearlySeparable(150, 11)
+	clf, err := Train(examples, 2, Options{Epochs: 150, LearningRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := clf.TrainLoss()
+	if len(losses) < 2 {
+		t.Fatalf("too few loss samples: %d", len(losses))
+	}
+	for i := 1; i < len(losses); i++ {
+		if losses[i] > losses[i-1]+1e-6 {
+			t.Fatalf("loss increased at epoch %d: %v -> %v", i, losses[i-1], losses[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	examples := linearlySeparable(100, 5)
+	a, err := Train(examples, 2, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(examples, 2, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range examples[:20] {
+		pa, la, _ := a.Predict(ex.Features)
+		pb, lb, _ := b.Predict(ex.Features)
+		if la != lb {
+			t.Fatal("labels differ across identical training runs")
+		}
+		for i := range pa {
+			if math.Abs(pa[i]-pb[i]) > 1e-12 {
+				t.Fatal("probabilities differ across identical training runs")
+			}
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if Variance(nil) != 0 {
+		t.Error("variance of empty slice should be 0")
+	}
+	flat := Variance([]float64{0.5, 0.5})
+	peaked := Variance([]float64{0.99, 0.01})
+	if flat != 0 {
+		t.Errorf("flat variance = %v, want 0", flat)
+	}
+	if peaked <= flat {
+		t.Error("peaked distribution should have higher variance than flat")
+	}
+	// Confidence ordering: more peaked → higher variance.
+	mid := Variance([]float64{0.7, 0.3})
+	if !(peaked > mid && mid > flat) {
+		t.Errorf("variance ordering violated: %v %v %v", peaked, mid, flat)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	examples := []Example{
+		{Features: []float64{10, 5, 3}},
+		{Features: []float64{20, 5, 1}},
+		{Features: []float64{30, 5, 2}},
+	}
+	s := FitScaler(examples)
+	// Constant feature (index 1) must pass through with std clamped to 1.
+	if s.Std[1] != 1 {
+		t.Errorf("constant feature std = %v, want 1", s.Std[1])
+	}
+	x := s.Transform([]float64{20, 5, 2})
+	if math.Abs(x[0]) > 1e-9 {
+		t.Errorf("mean-centered value = %v, want 0", x[0])
+	}
+	if math.Abs(x[1]) > 1e-9 {
+		t.Errorf("constant feature transforms to %v, want 0", x[1])
+	}
+	// Empty scaler copies input.
+	empty := &Scaler{}
+	y := empty.Transform([]float64{1, 2})
+	if y[0] != 1 || y[1] != 2 {
+		t.Errorf("empty scaler mangled input: %v", y)
+	}
+}
+
+func TestMajorityClassifier(t *testing.T) {
+	m := &MajorityClassifier{Class: 1, Total: 10}
+	probs, label := m.Predict(3)
+	if label != 1 || probs[1] != 1 || probs[0] != 0 || probs[2] != 0 {
+		t.Errorf("majority predict = %v %d", probs, label)
+	}
+	// Out-of-range class yields zero vector.
+	m2 := &MajorityClassifier{Class: 5}
+	probs, _ = m2.Predict(2)
+	if probs[0] != 0 || probs[1] != 0 {
+		t.Errorf("out-of-range majority = %v", probs)
+	}
+}
+
+// Property: prediction arrays always sum to 1 and variance is non-negative
+// and bounded by 0.25 for 2 classes.
+func TestPredictionArrayProperty(t *testing.T) {
+	examples := linearlySeparable(80, 123)
+	clf, err := Train(examples, 2, Options{Epochs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		probs, _, err := clf.Predict([]float64{a, b})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+		}
+		v := Variance(probs)
+		return math.Abs(sum-1) < 1e-6 && v >= 0 && v <= 0.25+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"locater/internal/space"
+)
+
+// Scenario bundles a ready-to-generate configuration: a building, the
+// profile mix and event templates of one of the paper's environments.
+type Scenario struct {
+	Name     string
+	Building *space.Building
+	Profiles []Profile
+	Events   []EventTemplate
+}
+
+// Config materializes a sim.Config for the scenario.
+func (s Scenario) Config(start time.Time, days int, seed int64) Config {
+	return Config{
+		Building: s.Building,
+		Profiles: s.Profiles,
+		Events:   s.Events,
+		Start:    start,
+		Days:     days,
+		Seed:     seed,
+	}
+}
+
+// GridBuilding constructs a building with numRooms rooms laid out linearly
+// and numAPs access points, each covering a contiguous window of
+// roomsPerAP rooms. Consecutive coverage windows overlap, so rooms can
+// belong to multiple regions — matching the paper's description of DBH
+// (64 APs, 300+ rooms, ~11 rooms covered per AP). Every publicEvery-th room
+// is public (lounges, meeting rooms); the rest are private offices.
+func GridBuilding(name string, numRooms, numAPs, roomsPerAP, publicEvery int) (*space.Building, error) {
+	if numRooms <= 0 || numAPs <= 0 || roomsPerAP <= 0 {
+		return nil, fmt.Errorf("sim: invalid grid building dims rooms=%d aps=%d perAP=%d", numRooms, numAPs, roomsPerAP)
+	}
+	rooms := make([]space.Room, numRooms)
+	ids := make([]space.RoomID, numRooms)
+	for i := 0; i < numRooms; i++ {
+		id := space.RoomID(fmt.Sprintf("%s-r%03d", name, i+1))
+		ids[i] = id
+		kind := space.Private
+		if publicEvery > 0 && i%publicEvery == 0 {
+			kind = space.Public
+		}
+		rooms[i] = space.Room{ID: id, Kind: kind}
+	}
+	aps := make([]space.AccessPoint, numAPs)
+	for a := 0; a < numAPs; a++ {
+		// Evenly spread AP anchor positions; window of roomsPerAP rooms.
+		var anchor int
+		if numAPs == 1 {
+			anchor = 0
+		} else {
+			anchor = a * (numRooms - roomsPerAP) / (numAPs - 1)
+		}
+		if anchor < 0 {
+			anchor = 0
+		}
+		if anchor+roomsPerAP > numRooms {
+			anchor = numRooms - roomsPerAP
+		}
+		cov := make([]space.RoomID, roomsPerAP)
+		copy(cov, ids[anchor:anchor+roomsPerAP])
+		aps[a] = space.AccessPoint{
+			ID:       space.APID(fmt.Sprintf("%s-wap%02d", name, a+1)),
+			Coverage: cov,
+		}
+	}
+	return space.NewBuilding(space.Config{Name: name, Rooms: rooms, AccessPoints: aps})
+}
+
+// publicRooms returns the first n public rooms of the building.
+func publicRooms(b *space.Building, n int) []space.RoomID {
+	var out []space.RoomID
+	for _, r := range b.Rooms() {
+		if b.IsPublic(r) {
+			out = append(out, r)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DBH builds the stand-in for the paper's Donald Bren Hall dataset: a
+// 300-room, 64-AP building whose population is split into the paper's four
+// predictability classes ([40,55), [55,70), [70,85), [85,100) percent of
+// inside time in the preferred room), tuned via the profiles' BaseStay.
+// perClass is the number of people per predictability class.
+func DBH(perClass int) (Scenario, error) {
+	b, err := GridBuilding("dbh", 300, 64, 11, 10)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if perClass <= 0 {
+		perClass = 6
+	}
+	meeting := publicRooms(b, 6)
+	baseProfile := func(name string, baseStay float64) Profile {
+		return Profile{
+			Name: name, Count: perClass,
+			HasOffice:    true,
+			OfficeShare:  2, // officemates: the co-location signal
+			BaseStay:     baseStay,
+			PresenceProb: 0.9,
+			ArrivalMean:  9 * time.Hour, ArrivalStd: 45 * time.Minute,
+			DepartureMean: 17*time.Hour + 30*time.Minute, DepartureStd: time.Hour,
+			AttendProb:     0.75,
+			MidDayExitProb: 0.45,
+			EmitPeriod:     15 * time.Minute,
+			EmitProb:       0.6,
+			SilenceProb:    0.08,
+			SilenceMin:     40 * time.Minute,
+			SilenceMax:     150 * time.Minute,
+		}
+	}
+	profiles := []Profile{
+		// BaseStay values tuned so *measured* predictability (fraction of
+		// inside time in the preferred room, which exceeds BaseStay
+		// because base-room stays are longer than wander chunks) lands in
+		// the four bands of Section 6.2.
+		baseProfile("p40", 0.29),
+		baseProfile("p55", 0.40),
+		baseProfile("p70", 0.62),
+		baseProfile("p85", 0.93),
+	}
+	// Recurring meetings create the co-location structure that group
+	// affinity exploits: each meeting draws from all classes, and several
+	// run every weekday so pairwise device affinities accumulate quickly.
+	all := map[string]float64{"p40": 0.5, "p55": 0.5, "p70": 0.5, "p85": 0.5}
+	var events []EventTemplate
+	for i, room := range meeting {
+		days := []time.Weekday{time.Monday + time.Weekday(i%5)}
+		if i < 3 {
+			days = weekdays() // the first three meetings run daily
+		}
+		events = append(events, EventTemplate{
+			Name:     fmt.Sprintf("meeting-%d", i+1),
+			Room:     room,
+			Start:    time.Duration(10+i) * time.Hour,
+			Duration: time.Hour,
+			Days:     days,
+			Profiles: all,
+			Capacity: 8,
+		})
+	}
+	return Scenario{Name: "dbh", Building: b, Profiles: profiles, Events: events}, nil
+}
+
+// Office builds the paper's office scenario: janitorial staff, visitors,
+// a manager, employees, and a receptionist, in increasing predictability.
+func Office(scale int) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	b, err := GridBuilding("office", 60, 12, 9, 8)
+	if err != nil {
+		return Scenario{}, err
+	}
+	lobby := publicRooms(b, 4)
+	profiles := []Profile{
+		{Name: "Janitorial", Count: 3 * scale, HasOffice: false, BaseRooms: lobby[:1], BaseStay: 0.25,
+			PresenceProb: 0.9, ArrivalMean: 6 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 14 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.1,
+			MidDayExitProb: 0.3, EmitPeriod: 9 * time.Minute, EmitProb: 0.7},
+		{Name: "Visitors", Count: 6 * scale, HasOffice: false, BaseRooms: lobby, BaseStay: 0.3,
+			PresenceProb: 0.5, ArrivalMean: 10 * time.Hour, ArrivalStd: 2 * time.Hour,
+			DepartureMean: 14 * time.Hour, DepartureStd: 2 * time.Hour, AttendProb: 0.4,
+			MidDayExitProb: 0.5, EmitPeriod: 10 * time.Minute, EmitProb: 0.65},
+		{Name: "Manager", Count: 2 * scale, HasOffice: true, BaseStay: 0.72,
+			PresenceProb: 0.95, ArrivalMean: 8*time.Hour + 30*time.Minute, ArrivalStd: 20 * time.Minute,
+			DepartureMean: 18 * time.Hour, DepartureStd: 45 * time.Minute, AttendProb: 0.85,
+			MidDayExitProb: 0.4, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "Employees", Count: 12 * scale, HasOffice: true, BaseStay: 0.85,
+			PresenceProb: 0.92, ArrivalMean: 9 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 17*time.Hour + 30*time.Minute, DepartureStd: 45 * time.Minute, AttendProb: 0.7,
+			MidDayExitProb: 0.35, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "Receptionist", Count: 2 * scale, HasOffice: true, BaseStay: 0.9,
+			PresenceProb: 0.95, ArrivalMean: 8 * time.Hour, ArrivalStd: 15 * time.Minute,
+			DepartureMean: 17 * time.Hour, DepartureStd: 20 * time.Minute, AttendProb: 0.3,
+			MidDayExitProb: 0.3, EmitPeriod: 7 * time.Minute, EmitProb: 0.8},
+	}
+	events := []EventTemplate{
+		{Name: "standup", Room: lobby[1], Start: 9*time.Hour + 30*time.Minute, Duration: 30 * time.Minute,
+			Days: weekdays(), Profiles: map[string]float64{"Manager": 0.9, "Employees": 0.8}, Capacity: 15 * scale},
+		{Name: "all-hands", Room: lobby[2], Start: 14 * time.Hour, Duration: time.Hour,
+			Days: []time.Weekday{time.Wednesday}, Profiles: map[string]float64{"Manager": 0.95, "Employees": 0.9, "Receptionist": 0.5}, Capacity: 20 * scale},
+		{Name: "client-visit", Room: lobby[3], Start: 11 * time.Hour, Duration: 90 * time.Minute,
+			Days: []time.Weekday{time.Tuesday, time.Thursday}, Profiles: map[string]float64{"Visitors": 0.7, "Manager": 0.6}, Capacity: 8 * scale},
+	}
+	return Scenario{Name: "office", Building: b, Profiles: sparsify(profiles), Events: events}, nil
+}
+
+// University builds the paper's university scenario: visitors,
+// undergraduates, professors, graduate students, and staff.
+func University(scale int) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	b, err := GridBuilding("univ", 120, 24, 10, 7)
+	if err != nil {
+		return Scenario{}, err
+	}
+	classrooms := publicRooms(b, 8)
+	profiles := []Profile{
+		{Name: "Visitors", Count: 5 * scale, BaseRooms: classrooms[:2], BaseStay: 0.2,
+			PresenceProb: 0.4, ArrivalMean: 11 * time.Hour, ArrivalStd: 2 * time.Hour,
+			DepartureMean: 14 * time.Hour, DepartureStd: 90 * time.Minute, AttendProb: 0.3,
+			MidDayExitProb: 0.5, EmitPeriod: 10 * time.Minute, EmitProb: 0.6},
+		{Name: "Undergraduate", Count: 14 * scale, BaseRooms: classrooms, BaseStay: 0.45,
+			PresenceProb: 0.8, ArrivalMean: 10 * time.Hour, ArrivalStd: 90 * time.Minute,
+			DepartureMean: 16 * time.Hour, DepartureStd: 2 * time.Hour, AttendProb: 0.85,
+			MidDayExitProb: 0.5, EmitPeriod: 9 * time.Minute, EmitProb: 0.7},
+		{Name: "Professor", Count: 5 * scale, HasOffice: true, BaseStay: 0.72,
+			PresenceProb: 0.85, ArrivalMean: 9 * time.Hour, ArrivalStd: 45 * time.Minute,
+			DepartureMean: 17 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.9,
+			MidDayExitProb: 0.4, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "Graduate", Count: 10 * scale, HasOffice: true, BaseStay: 0.8,
+			PresenceProb: 0.9, ArrivalMean: 10 * time.Hour, ArrivalStd: time.Hour,
+			DepartureMean: 19 * time.Hour, DepartureStd: 90 * time.Minute, AttendProb: 0.6,
+			MidDayExitProb: 0.4, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "Staff", Count: 6 * scale, HasOffice: true, BaseStay: 0.9,
+			PresenceProb: 0.95, ArrivalMean: 8*time.Hour + 30*time.Minute, ArrivalStd: 20 * time.Minute,
+			DepartureMean: 17 * time.Hour, DepartureStd: 30 * time.Minute, AttendProb: 0.25,
+			MidDayExitProb: 0.35, EmitPeriod: 7 * time.Minute, EmitProb: 0.8},
+	}
+	var events []EventTemplate
+	for i := 0; i < 6; i++ {
+		events = append(events, EventTemplate{
+			Name:     fmt.Sprintf("class-%d", i+1),
+			Room:     classrooms[i%len(classrooms)],
+			Start:    time.Duration(9+i) * time.Hour,
+			Duration: 80 * time.Minute,
+			Days:     alternatingDays(i),
+			Profiles: map[string]float64{"Undergraduate": 0.7, "Professor": 0.35, "Graduate": 0.3},
+			Capacity: 25 * scale,
+		})
+	}
+	events = append(events, EventTemplate{
+		Name: "seminar", Room: classrooms[6], Start: 15 * time.Hour, Duration: time.Hour,
+		Days:     []time.Weekday{time.Friday},
+		Profiles: map[string]float64{"Professor": 0.8, "Graduate": 0.7, "Staff": 0.2},
+		Capacity: 30 * scale,
+	})
+	return Scenario{Name: "university", Building: b, Profiles: sparsify(profiles), Events: events}, nil
+}
+
+// Mall builds the paper's mall scenario: random customers, regular
+// customers, staff, and salesmen in restaurants and shops.
+func Mall(scale int) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	b, err := GridBuilding("mall", 80, 16, 10, 4)
+	if err != nil {
+		return Scenario{}, err
+	}
+	shops := publicRooms(b, 10)
+	profiles := []Profile{
+		{Name: "RandomCustomer", Count: 20 * scale, BaseRooms: nil, BaseStay: 0,
+			PresenceProb: 0.35, ArrivalMean: 12 * time.Hour, ArrivalStd: 3 * time.Hour,
+			DepartureMean: 15 * time.Hour, DepartureStd: 2 * time.Hour, AttendProb: 0.5,
+			MidDayExitProb: 0.2, EmitPeriod: 11 * time.Minute, EmitProb: 0.6},
+		{Name: "RegularCustomer", Count: 10 * scale, BaseRooms: shops[:3], BaseStay: 0.5,
+			PresenceProb: 0.6, ArrivalMean: 11 * time.Hour, ArrivalStd: 2 * time.Hour,
+			DepartureMean: 14 * time.Hour, DepartureStd: 90 * time.Minute, AttendProb: 0.6,
+			MidDayExitProb: 0.25, EmitPeriod: 10 * time.Minute, EmitProb: 0.65},
+		{Name: "Staff", Count: 8 * scale, BaseRooms: shops[3:5], BaseStay: 0.65,
+			PresenceProb: 0.9, ArrivalMean: 9 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 18 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.3,
+			MidDayExitProb: 0.4, EmitPeriod: 9 * time.Minute, EmitProb: 0.7},
+		{Name: "SalesmanRes", Count: 6 * scale, BaseRooms: shops[5:7], BaseStay: 0.8,
+			PresenceProb: 0.92, ArrivalMean: 10 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 20 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.2,
+			MidDayExitProb: 0.3, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "SalesmanShops", Count: 6 * scale, BaseRooms: shops[7:9], BaseStay: 0.85,
+			PresenceProb: 0.92, ArrivalMean: 9*time.Hour + 30*time.Minute, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 19 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.2,
+			MidDayExitProb: 0.3, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+	}
+	events := []EventTemplate{
+		{Name: "lunch-rush", Room: shops[5], Start: 12 * time.Hour, Duration: 90 * time.Minute,
+			Profiles: map[string]float64{"RandomCustomer": 0.5, "RegularCustomer": 0.6, "Staff": 0.3}, Capacity: 30 * scale},
+		{Name: "promo", Room: shops[9], Start: 15 * time.Hour, Duration: time.Hour,
+			Days:     []time.Weekday{time.Saturday, time.Sunday},
+			Profiles: map[string]float64{"RandomCustomer": 0.4, "RegularCustomer": 0.5}, Capacity: 25 * scale},
+	}
+	return Scenario{Name: "mall", Building: b, Profiles: sparsify(profiles), Events: events}, nil
+}
+
+// Airport builds the paper's airport scenario from the Santa Ana layout
+// description: restaurant staff (15), store staff (15), airline
+// representatives (20), TSA staff (15), and passengers (200), attending
+// security checks, dining, boarding, and shopping events. scale divides the
+// passenger count for small test runs (scale=1 reproduces the paper's mix).
+func Airport(scale int) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	b, err := GridBuilding("airport", 100, 20, 10, 3)
+	if err != nil {
+		return Scenario{}, err
+	}
+	halls := publicRooms(b, 12)
+	gates, security, dining, stores := halls[0:4], halls[4:6], halls[6:9], halls[9:12]
+	profiles := []Profile{
+		{Name: "Passenger", Count: 200 / scale, BaseRooms: gates, BaseStay: 0.35,
+			PresenceProb: 0.5, ArrivalMean: 10 * time.Hour, ArrivalStd: 4 * time.Hour,
+			DepartureMean: 13 * time.Hour, DepartureStd: 3 * time.Hour, AttendProb: 0.8,
+			MidDayExitProb: 0.05, EmitPeriod: 9 * time.Minute, EmitProb: 0.65},
+		{Name: "TSA", Count: 15 / scaleMin(scale, 3), BaseRooms: security, BaseStay: 0.6,
+			PresenceProb: 0.95, ArrivalMean: 6 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 16 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.9,
+			MidDayExitProb: 0.3, EmitPeriod: 8 * time.Minute, EmitProb: 0.7},
+		{Name: "AirlineRep", Count: 20 / scaleMin(scale, 4), BaseRooms: gates, BaseStay: 0.7,
+			PresenceProb: 0.9, ArrivalMean: 7 * time.Hour, ArrivalStd: time.Hour,
+			DepartureMean: 17 * time.Hour, DepartureStd: 90 * time.Minute, AttendProb: 0.85,
+			MidDayExitProb: 0.3, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "StoreStaff", Count: 15 / scaleMin(scale, 3), BaseRooms: stores, BaseStay: 0.82,
+			PresenceProb: 0.92, ArrivalMean: 8 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 18 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.3,
+			MidDayExitProb: 0.3, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+		{Name: "ResStaff", Count: 15 / scaleMin(scale, 3), BaseRooms: dining, BaseStay: 0.85,
+			PresenceProb: 0.92, ArrivalMean: 7 * time.Hour, ArrivalStd: 30 * time.Minute,
+			DepartureMean: 17 * time.Hour, DepartureStd: time.Hour, AttendProb: 0.35,
+			MidDayExitProb: 0.3, EmitPeriod: 8 * time.Minute, EmitProb: 0.75},
+	}
+	var events []EventTemplate
+	for i, g := range gates {
+		events = append(events, EventTemplate{
+			Name: fmt.Sprintf("boarding-%d", i+1), Room: g,
+			Start: time.Duration(9+2*i) * time.Hour, Duration: time.Hour,
+			Profiles: map[string]float64{"Passenger": 0.6, "AirlineRep": 0.7},
+			Capacity: 60,
+		})
+	}
+	for i, s := range security {
+		events = append(events, EventTemplate{
+			Name: fmt.Sprintf("security-%d", i+1), Room: s,
+			Start: time.Duration(8+4*i) * time.Hour, Duration: 2 * time.Hour,
+			Profiles: map[string]float64{"Passenger": 0.7, "TSA": 0.9},
+			Capacity: 80,
+		})
+	}
+	events = append(events,
+		EventTemplate{Name: "dining", Room: dining[0], Start: 12 * time.Hour, Duration: 90 * time.Minute,
+			Profiles: map[string]float64{"Passenger": 0.5, "ResStaff": 0.6}, Capacity: 50},
+		EventTemplate{Name: "shopping", Room: stores[0], Start: 14 * time.Hour, Duration: time.Hour,
+			Profiles: map[string]float64{"Passenger": 0.4, "StoreStaff": 0.6}, Capacity: 40},
+	)
+	return Scenario{Name: "airport", Building: b, Profiles: sparsify(profiles), Events: events}, nil
+}
+
+// sparsify applies realistic log sparsity to scenario profiles that do not
+// set their own emission knobs: slower emission and occasional OS silence,
+// so connectivity logs contain inside gaps for the coarse stage to repair.
+func sparsify(profiles []Profile) []Profile {
+	for i := range profiles {
+		if profiles[i].SilenceProb == 0 {
+			profiles[i].SilenceProb = 0.06
+			profiles[i].SilenceMin = 40 * time.Minute
+			profiles[i].SilenceMax = 130 * time.Minute
+		}
+		profiles[i].EmitPeriod = profiles[i].EmitPeriod * 3 / 2
+	}
+	return profiles
+}
+
+func weekdays() []time.Weekday {
+	return []time.Weekday{time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday}
+}
+
+func alternatingDays(i int) []time.Weekday {
+	if i%2 == 0 {
+		return []time.Weekday{time.Monday, time.Wednesday, time.Friday}
+	}
+	return []time.Weekday{time.Tuesday, time.Thursday}
+}
+
+// scaleMin caps the divisor so small staff profiles never hit zero count.
+func scaleMin(scale, max int) int {
+	if scale > max {
+		return max
+	}
+	if scale < 1 {
+		return 1
+	}
+	return scale
+}

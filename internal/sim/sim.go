@@ -1,0 +1,592 @@
+// Package sim is LOCATER's workload substrate: a trajectory and WiFi
+// connectivity simulator equivalent in role to the SmartBench simulator the
+// paper uses for its synthetic scenarios (Section 6.3) and, with the DBH
+// scenario, a stand-in for the proprietary DBH-WIFI campus dataset
+// (Section 6.1).
+//
+// The simulator generates realistic movement of people through a building:
+// people belong to profiles (e.g. TSA staff, passengers), attend
+// spatio-temporal events subject to capacity constraints (e.g. a class, a
+// security check, a boarding), spend the rest of their time in a preferred
+// "base" room or wandering, and occasionally leave the building. Devices
+// carried by people emit sporadic WiFi association events while inside —
+// connectivity is probabilistic and periodic-with-jitter, so logs contain
+// exactly the gap structure LOCATER must repair. The simulator also emits
+// exact ground-truth (device, room, interval) segments used as the
+// evaluation oracle.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// Profile describes a class of people with a shared behavioural pattern.
+type Profile struct {
+	// Name labels the profile (e.g. "Passenger", "TSA").
+	Name string
+	// Count is the number of people instantiated from the profile.
+	Count int
+
+	// HasOffice assigns each person a private room as their preferred
+	// room. When false, BaseRooms supplies a shared pool.
+	HasOffice bool
+	// OfficeShare is how many people share one office when HasOffice is
+	// set (officemates create the co-location structure group affinity
+	// exploits). Values < 1 mean private offices.
+	OfficeShare int
+	// BaseRooms is a pool of rooms used as base when HasOffice is false
+	// (e.g. a staff room). Empty means no base: free time is all wander.
+	BaseRooms []space.RoomID
+
+	// BaseStay is the probability that a free-time chunk is spent in the
+	// base room rather than wandering. It directly controls the person's
+	// predictability (fraction of inside time in the preferred room).
+	BaseStay float64
+
+	// PresenceProb is the probability the person shows up on a given day.
+	PresenceProb float64
+	// ArrivalMean/ArrivalStd and DepartureMean/DepartureStd describe the
+	// daily arrival/departure times as offsets from midnight.
+	ArrivalMean, ArrivalStd     time.Duration
+	DepartureMean, DepartureStd time.Duration
+
+	// AttendProb is the default probability of attending an eligible
+	// event instance (templates may override per profile).
+	AttendProb float64
+
+	// MidDayExitProb is the chance of one mid-day excursion outside
+	// (e.g. lunch out) lasting 30–90 minutes.
+	MidDayExitProb float64
+
+	// EmitPeriod is the mean interval between connectivity emissions
+	// while inside; EmitProb gates each emission. Together they shape the
+	// sporadicity (and hence the gaps) of the device's log.
+	EmitPeriod time.Duration
+	EmitProb   float64
+
+	// SilenceProb is the per-emission-opportunity probability that the
+	// device goes silent (OS stops probing: screen off, power save) for a
+	// period drawn uniformly from [SilenceMin, SilenceMax] even though the
+	// person remains inside. Silence creates the long inside gaps that the
+	// coarse classifier must distinguish from genuinely-outside gaps.
+	SilenceProb float64
+	SilenceMin  time.Duration
+	SilenceMax  time.Duration
+}
+
+// EventTemplate is a recurring spatio-temporal event: it occupies a room at
+// a time of day on given weekdays, accepts people from given profiles with
+// given probabilities, and enforces a capacity (e.g. max class enrollment).
+type EventTemplate struct {
+	Name     string
+	Room     space.RoomID
+	Start    time.Duration // offset from midnight
+	Duration time.Duration
+	// Days lists the weekdays on which the event occurs; empty = daily.
+	Days []time.Weekday
+	// Profiles maps profile name → attendance probability. Profiles not
+	// listed do not attend. A probability of -1 uses the profile default.
+	Profiles map[string]float64
+	// Capacity caps attendance per instance; 0 = unlimited.
+	Capacity int
+}
+
+func (t EventTemplate) occursOn(d time.Weekday) bool {
+	if len(t.Days) == 0 {
+		return true
+	}
+	for _, day := range t.Days {
+		if day == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Config drives dataset generation.
+type Config struct {
+	Building *space.Building
+	Profiles []Profile
+	Events   []EventTemplate
+	// Start is the first day (midnight) of the simulation.
+	Start time.Time
+	// Days is the number of simulated days.
+	Days int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Person is one simulated individual and their device.
+type Person struct {
+	Device    event.DeviceID
+	Profile   string
+	BaseRoom  space.RoomID // preferred room ("" when none)
+	PersonIdx int
+}
+
+// TruthSegment is one ground-truth interval: the device was in Room (or
+// outside) during [Start, End).
+type TruthSegment struct {
+	Start, End time.Time
+	Room       space.RoomID
+	Outside    bool
+}
+
+// Dataset is the generation output: the connectivity log, the ground truth,
+// and the population.
+type Dataset struct {
+	Building *space.Building
+	Events   []event.Event
+	Truth    *Truth
+	People   []Person
+	// Predictability[device] is the measured fraction of inside time the
+	// device spent in its preferred room (0 when it has none).
+	Predictability map[event.DeviceID]float64
+	Config         Config
+}
+
+// Generate runs the simulation.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Building == nil {
+		return nil, fmt.Errorf("sim: nil building")
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("sim: non-positive day count %d", cfg.Days)
+	}
+	if len(cfg.Profiles) == 0 {
+		return nil, fmt.Errorf("sim: no profiles")
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC) // a Monday
+	}
+	for _, t := range cfg.Events {
+		if _, ok := cfg.Building.Room(t.Room); !ok {
+			return nil, fmt.Errorf("sim: event %q in unknown room %q", t.Name, t.Room)
+		}
+	}
+
+	master := rand.New(rand.NewSource(cfg.Seed))
+	people, err := buildPopulation(cfg, master)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &generator{
+		cfg:    cfg,
+		people: people,
+		rngs:   make([]*rand.Rand, len(people)),
+		truth:  newTruth(),
+	}
+	for i := range people {
+		g.rngs[i] = rand.New(rand.NewSource(cfg.Seed + 7919*int64(i+1)))
+	}
+
+	for day := 0; day < cfg.Days; day++ {
+		g.simulateDay(day, master)
+	}
+
+	event.SortEvents(g.events)
+	for i := range g.events {
+		g.events[i].ID = int64(i + 1)
+	}
+	g.truth.finalize()
+
+	ds := &Dataset{
+		Building:       cfg.Building,
+		Events:         g.events,
+		Truth:          g.truth,
+		People:         people,
+		Predictability: make(map[event.DeviceID]float64, len(people)),
+		Config:         cfg,
+	}
+	for _, p := range people {
+		ds.Predictability[p.Device] = g.truth.predictability(p.Device, p.BaseRoom)
+	}
+	return ds, nil
+}
+
+// buildPopulation instantiates people, assigning offices (private rooms not
+// used by event templates) round-robin for HasOffice profiles.
+func buildPopulation(cfg Config, master *rand.Rand) ([]Person, error) {
+	eventRooms := make(map[space.RoomID]bool)
+	for _, t := range cfg.Events {
+		eventRooms[t.Room] = true
+	}
+	var offices []space.RoomID
+	for _, r := range cfg.Building.Rooms() {
+		if cfg.Building.IsPrivate(r) && !eventRooms[r] {
+			offices = append(offices, r)
+		}
+	}
+	var people []Person
+	officeIdx := 0
+	personIdx := 0
+	for _, prof := range cfg.Profiles {
+		if prof.Count <= 0 {
+			return nil, fmt.Errorf("sim: profile %q has non-positive count", prof.Name)
+		}
+		for i := 0; i < prof.Count; i++ {
+			p := Person{
+				Device:    deviceID(personIdx),
+				Profile:   prof.Name,
+				PersonIdx: personIdx,
+			}
+			if prof.HasOffice {
+				if len(offices) == 0 {
+					return nil, fmt.Errorf("sim: profile %q needs offices but building has none left", prof.Name)
+				}
+				share := prof.OfficeShare
+				if share < 1 {
+					share = 1
+				}
+				p.BaseRoom = offices[(officeIdx/share)%len(offices)]
+				officeIdx++
+			} else if len(prof.BaseRooms) > 0 {
+				p.BaseRoom = prof.BaseRooms[master.Intn(len(prof.BaseRooms))]
+			}
+			people = append(people, p)
+			personIdx++
+		}
+	}
+	// Register preferred rooms as building metadata so LOCATER and
+	// Baseline2 see the same information the paper assumes.
+	for _, p := range people {
+		if p.BaseRoom != "" {
+			if err := cfg.Building.SetPreferredRooms(string(p.Device), []space.RoomID{p.BaseRoom}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return people, nil
+}
+
+func deviceID(i int) event.DeviceID {
+	return event.DeviceID(fmt.Sprintf("d%02x:%02x:%02x", (i>>16)&0xff, (i>>8)&0xff, i&0xff))
+}
+
+// generator holds the evolving simulation state.
+type generator struct {
+	cfg    Config
+	people []Person
+	rngs   []*rand.Rand
+	events []event.Event
+	truth  *Truth
+}
+
+// attendance is one person's planned event instance for a day.
+type attendance struct {
+	room       space.RoomID
+	start, end time.Time
+}
+
+// simulateDay plans attendance (respecting capacities) and generates each
+// present person's segments and connectivity for one day.
+func (g *generator) simulateDay(day int, master *rand.Rand) {
+	dayStart := g.cfg.Start.AddDate(0, 0, day)
+	weekday := dayStart.Weekday()
+
+	profiles := make(map[string]*Profile, len(g.cfg.Profiles))
+	for i := range g.cfg.Profiles {
+		profiles[g.cfg.Profiles[i].Name] = &g.cfg.Profiles[i]
+	}
+
+	// Presence and working hours per person.
+	present := make([]bool, len(g.people))
+	arrive := make([]time.Time, len(g.people))
+	depart := make([]time.Time, len(g.people))
+	for i, p := range g.people {
+		prof := profiles[p.Profile]
+		rng := g.rngs[i]
+		if rng.Float64() >= prof.PresenceProb {
+			continue
+		}
+		a := gaussDuration(rng, prof.ArrivalMean, prof.ArrivalStd)
+		d := gaussDuration(rng, prof.DepartureMean, prof.DepartureStd)
+		if d <= a+30*time.Minute {
+			d = a + 30*time.Minute
+		}
+		if d > 23*time.Hour+30*time.Minute {
+			d = 23*time.Hour + 30*time.Minute
+		}
+		present[i] = true
+		arrive[i] = dayStart.Add(a)
+		depart[i] = dayStart.Add(d)
+	}
+
+	// Plan event attendance with capacity enforcement. People are
+	// considered in a day-seeded shuffled order for fairness.
+	plans := make([][]attendance, len(g.people))
+	order := master.Perm(len(g.people))
+	for _, tmpl := range g.cfg.Events {
+		if !tmpl.occursOn(weekday) {
+			continue
+		}
+		start := dayStart.Add(tmpl.Start)
+		end := start.Add(tmpl.Duration)
+		taken := 0
+		for _, pi := range order {
+			if tmpl.Capacity > 0 && taken >= tmpl.Capacity {
+				break
+			}
+			if !present[pi] {
+				continue
+			}
+			p := g.people[pi]
+			prob, eligible := tmpl.Profiles[p.Profile]
+			if !eligible {
+				continue
+			}
+			prof := profiles[p.Profile]
+			if prob < 0 {
+				prob = prof.AttendProb
+			}
+			// The event must fit in the person's working hours.
+			if start.Before(arrive[pi]) || end.After(depart[pi]) {
+				continue
+			}
+			if g.rngs[pi].Float64() >= prob {
+				continue
+			}
+			// Skip if overlapping an already-planned attendance.
+			if overlapsAny(plans[pi], start, end) {
+				continue
+			}
+			plans[pi] = append(plans[pi], attendance{room: tmpl.Room, start: start, end: end})
+			taken++
+		}
+	}
+
+	// Generate each present person's day.
+	for i := range g.people {
+		if !present[i] {
+			continue
+		}
+		sort.Slice(plans[i], func(a, b int) bool { return plans[i][a].start.Before(plans[i][b].start) })
+		g.simulatePersonDay(i, profiles[g.people[i].Profile], arrive[i], depart[i], plans[i])
+	}
+}
+
+func overlapsAny(plan []attendance, start, end time.Time) bool {
+	for _, a := range plan {
+		if start.Before(a.end) && a.start.Before(end) {
+			return true
+		}
+	}
+	return false
+}
+
+// simulatePersonDay fills the person's day with segments (events, base-room
+// stays, wandering, an optional outside excursion) and emits connectivity.
+func (g *generator) simulatePersonDay(pi int, prof *Profile, arrive, depart time.Time, plan []attendance) {
+	p := g.people[pi]
+	rng := g.rngs[pi]
+
+	var segments []TruthSegment
+
+	// Optional mid-day excursion: carve an outside window.
+	var exitStart, exitEnd time.Time
+	if prof.MidDayExitProb > 0 && rng.Float64() < prof.MidDayExitProb {
+		dayLen := depart.Sub(arrive)
+		if dayLen > 3*time.Hour {
+			off := dayLen/3 + time.Duration(rng.Int63n(int64(dayLen/3)))
+			exitStart = arrive.Add(off)
+			exitEnd = exitStart.Add(30*time.Minute + time.Duration(rng.Int63n(int64(time.Hour))))
+			if exitEnd.After(depart) {
+				exitEnd = depart
+			}
+		}
+	}
+
+	cursor := arrive
+	planIdx := 0
+	for cursor.Before(depart) {
+		// Next fixed boundary: event start or departure.
+		var nextEvent *attendance
+		if planIdx < len(plan) {
+			nextEvent = &plan[planIdx]
+		}
+		if nextEvent != nil && !cursor.Before(nextEvent.start) {
+			// Attend the event.
+			end := minTime(nextEvent.end, depart)
+			segments = appendSegment(segments, TruthSegment{Start: cursor, End: end, Room: nextEvent.room})
+			cursor = end
+			planIdx++
+			continue
+		}
+		blockEnd := depart
+		if nextEvent != nil && nextEvent.start.Before(blockEnd) {
+			blockEnd = nextEvent.start
+		}
+		// Excursion outside?
+		if !exitStart.IsZero() && !cursor.After(exitStart) && exitStart.Before(blockEnd) {
+			if cursor.Before(exitStart) {
+				segments = g.fillFreeBlock(segments, p, prof, rng, cursor, exitStart)
+			}
+			end := minTime(exitEnd, blockEnd)
+			segments = appendSegment(segments, TruthSegment{Start: exitStart, End: end, Outside: true})
+			cursor = end
+			exitStart = time.Time{} // consumed
+			continue
+		}
+		segments = g.fillFreeBlock(segments, p, prof, rng, cursor, blockEnd)
+		cursor = blockEnd
+	}
+
+	var silentUntil time.Time
+	for _, s := range segments {
+		g.truth.add(p.Device, s)
+		if !s.Outside {
+			silentUntil = g.emitConnectivity(p, prof, rng, s, silentUntil)
+		}
+	}
+}
+
+// fillFreeBlock splits [start, end) into chunks spent in the base room
+// (w.p. BaseStay) or wandering to a random room.
+func (g *generator) fillFreeBlock(segments []TruthSegment, p Person, prof *Profile, rng *rand.Rand, start, end time.Time) []TruthSegment {
+	cursor := start
+	for cursor.Before(end) {
+		remaining := end.Sub(cursor)
+		var room space.RoomID
+		var chunk time.Duration
+		if p.BaseRoom != "" && rng.Float64() < prof.BaseStay {
+			room = p.BaseRoom
+			chunk = 30*time.Minute + time.Duration(rng.Int63n(int64(90*time.Minute)))
+		} else {
+			room = g.randomRoom(rng, p.BaseRoom)
+			chunk = 10*time.Minute + time.Duration(rng.Int63n(int64(35*time.Minute)))
+		}
+		if chunk > remaining {
+			chunk = remaining
+		}
+		segments = appendSegment(segments, TruthSegment{Start: cursor, End: cursor.Add(chunk), Room: room})
+		cursor = cursor.Add(chunk)
+	}
+	return segments
+}
+
+// randomRoom picks a wander destination: public rooms with probability 0.7,
+// otherwise any room other than the person's base.
+func (g *generator) randomRoom(rng *rand.Rand, base space.RoomID) space.RoomID {
+	rooms := g.cfg.Building.Rooms()
+	if rng.Float64() < 0.7 {
+		// Try a few times to hit a public room.
+		for attempt := 0; attempt < 8; attempt++ {
+			r := rooms[rng.Intn(len(rooms))]
+			if g.cfg.Building.IsPublic(r) {
+				return r
+			}
+		}
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		r := rooms[rng.Intn(len(rooms))]
+		if r != base {
+			return r
+		}
+	}
+	return rooms[rng.Intn(len(rooms))]
+}
+
+// appendSegment merges adjacent segments in the same place.
+func appendSegment(segments []TruthSegment, s TruthSegment) []TruthSegment {
+	if !s.Start.Before(s.End) {
+		return segments
+	}
+	if n := len(segments); n > 0 {
+		last := &segments[n-1]
+		if last.End.Equal(s.Start) && last.Outside == s.Outside && last.Room == s.Room {
+			last.End = s.End
+			return segments
+		}
+	}
+	return append(segments, s)
+}
+
+// emitConnectivity generates the device's association events for one inside
+// segment: a roaming event near the segment start with high probability
+// (devices re-associate when moving), then periodic-with-jitter emissions
+// gated by EmitProb, interrupted by occasional silence periods (SilenceProb)
+// during which the OS stops probing. The AP is the room's primary covering
+// AP most of the time, with occasional spill to another covering AP.
+// It returns the time until which the device remains silent, so silence can
+// span segment boundaries.
+func (g *generator) emitConnectivity(p Person, prof *Profile, rng *rand.Rand, s TruthSegment, silentUntil time.Time) time.Time {
+	b := g.cfg.Building
+	regions := b.RegionsOfRoom(s.Room)
+	if len(regions) == 0 {
+		return silentUntil // room out of WiFi coverage (Appendix 9.1 allows this)
+	}
+	period := prof.EmitPeriod
+	if period <= 0 {
+		period = 10 * time.Minute
+	}
+	silMin, silMax := prof.SilenceMin, prof.SilenceMax
+	if silMin <= 0 {
+		silMin = 45 * time.Minute
+	}
+	if silMax <= silMin {
+		silMax = silMin + 90*time.Minute
+	}
+	chooseAP := func() space.APID {
+		// Primary AP: first covering region (deterministic); spill 15%.
+		idx := 0
+		if len(regions) > 1 && rng.Float64() < 0.15 {
+			idx = 1 + rng.Intn(len(regions)-1)
+		}
+		ap, _ := b.APOf(regions[idx])
+		return ap
+	}
+	maybeSilence := func(t time.Time) time.Time {
+		if prof.SilenceProb > 0 && rng.Float64() < prof.SilenceProb {
+			return t.Add(silMin + time.Duration(rng.Int63n(int64(silMax-silMin))))
+		}
+		return silentUntil
+	}
+	// Roaming association shortly after entering the room.
+	t := s.Start.Add(time.Duration(rng.Int63n(int64(2 * time.Minute))))
+	if t.Before(s.End) && t.After(silentUntil) && rng.Float64() < 0.9 {
+		g.events = append(g.events, event.Event{Device: p.Device, Time: t, AP: chooseAP()})
+		silentUntil = maybeSilence(t)
+	}
+	for {
+		step := time.Duration(rng.ExpFloat64() * float64(period))
+		if step < 30*time.Second {
+			step = 30 * time.Second
+		}
+		if step > 4*period {
+			step = 4 * period
+		}
+		t = t.Add(step)
+		if !t.Before(s.End) {
+			return silentUntil
+		}
+		if t.Before(silentUntil) {
+			continue
+		}
+		if rng.Float64() < prof.EmitProb {
+			g.events = append(g.events, event.Event{Device: p.Device, Time: t, AP: chooseAP()})
+			silentUntil = maybeSilence(t)
+		}
+	}
+}
+
+func gaussDuration(rng *rand.Rand, mean, std time.Duration) time.Duration {
+	v := time.Duration(rng.NormFloat64()*float64(std)) + mean
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// Truth is the ground-truth oracle: per-device ordered location segments.
+type Truth struct {
+	segments map[event.DeviceID][]TruthSegment
+}
+
+func newTruth() *Truth {
+	return &Truth{segments: make(map[event.DeviceID][]TruthSegment)}
+}
+
+func (t *Truth) add(d event.DeviceID, s TruthSegment) {
+	t.segments[d] = append(t.segments[d], s)
+}
+
+// finalize sorts each device's segments (generation emits them day by day
+// in order, but sorting keeps the invariant explicit).
+func (t *Truth) finalize() {
+	for d := range t.segments {
+		segs := t.segments[d]
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start.Before(segs[j].Start) })
+	}
+}
+
+// At returns the device's ground-truth segment at time tq. When tq falls in
+// no segment (e.g. overnight, before arrival), the device is outside and
+// ok is still true with an Outside segment; ok is false only for devices
+// the oracle has never seen.
+func (t *Truth) At(d event.DeviceID, tq time.Time) (TruthSegment, bool) {
+	segs, known := t.segments[d]
+	if !known {
+		return TruthSegment{}, false
+	}
+	idx := sort.Search(len(segs), func(i int) bool { return segs[i].End.After(tq) })
+	if idx < len(segs) && !segs[idx].Start.After(tq) {
+		return segs[idx], true
+	}
+	return TruthSegment{Start: tq, End: tq, Outside: true}, true
+}
+
+// Devices lists the devices known to the oracle, sorted.
+func (t *Truth) Devices() []event.DeviceID {
+	out := make([]event.DeviceID, 0, len(t.segments))
+	for d := range t.segments {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Segments returns a copy of the device's ordered segments.
+func (t *Truth) Segments(d event.DeviceID) []TruthSegment {
+	segs := t.segments[d]
+	out := make([]TruthSegment, len(segs))
+	copy(out, segs)
+	return out
+}
+
+// InsideWindows returns the device's inside segments overlapping [from, to].
+func (t *Truth) InsideWindows(d event.DeviceID, from, to time.Time) []TruthSegment {
+	var out []TruthSegment
+	for _, s := range t.segments[d] {
+		if s.Outside {
+			continue
+		}
+		if s.End.After(from) && s.Start.Before(to) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// predictability measures the fraction of inside time spent in the base
+// room. Returns 0 when base is empty or the device was never inside.
+func (t *Truth) predictability(d event.DeviceID, base space.RoomID) float64 {
+	if base == "" {
+		return 0
+	}
+	var inside, inBase time.Duration
+	for _, s := range t.segments[d] {
+		if s.Outside {
+			continue
+		}
+		dur := s.End.Sub(s.Start)
+		inside += dur
+		if s.Room == base {
+			inBase += dur
+		}
+	}
+	if inside == 0 {
+		return 0
+	}
+	return float64(inBase) / float64(inside)
+}
+
+// OccupancyAt counts, for every room, the devices inside it at time tq.
+// Example applications (HVAC/occupancy analytics) build on this oracle view
+// to validate LOCATER-derived occupancy.
+func (t *Truth) OccupancyAt(tq time.Time) map[space.RoomID]int {
+	out := make(map[space.RoomID]int)
+	for d := range t.segments {
+		if s, ok := t.At(d, tq); ok && !s.Outside {
+			out[s.Room]++
+		}
+	}
+	return out
+}

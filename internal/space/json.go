@@ -1,0 +1,94 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonConfig is the on-disk representation of a building's metadata: the
+// inputs a real deployment would supply (Appendix 9.1) — room types, AP
+// coverage, and optional per-device preferred rooms.
+type jsonConfig struct {
+	Name  string     `json:"name"`
+	Rooms []jsonRoom `json:"rooms"`
+	APs   []jsonAP   `json:"access_points"`
+	// Preferred maps device MAC → preferred room IDs.
+	Preferred map[string][]string `json:"preferred_rooms,omitempty"`
+}
+
+type jsonRoom struct {
+	ID string `json:"id"`
+	// Kind is "public" or "private".
+	Kind  string `json:"kind"`
+	Owner string `json:"owner,omitempty"`
+}
+
+type jsonAP struct {
+	ID       string   `json:"id"`
+	Coverage []string `json:"coverage"`
+}
+
+// WriteJSON serializes the building's metadata.
+func (b *Building) WriteJSON(w io.Writer) error {
+	cfg := jsonConfig{Name: b.name, Preferred: map[string][]string{}}
+	for _, id := range b.roomIDs {
+		r := b.rooms[id]
+		cfg.Rooms = append(cfg.Rooms, jsonRoom{ID: string(r.ID), Kind: r.Kind.String(), Owner: r.Owner})
+	}
+	for _, apID := range b.apIDs {
+		ap := b.aps[apID]
+		cov := make([]string, len(ap.Coverage))
+		for i, r := range ap.Coverage {
+			cov[i] = string(r)
+		}
+		cfg.APs = append(cfg.APs, jsonAP{ID: string(ap.ID), Coverage: cov})
+	}
+	for dev, rooms := range b.preferred {
+		rs := make([]string, len(rooms))
+		for i, r := range rooms {
+			rs[i] = string(r)
+		}
+		cfg.Preferred[dev] = rs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// ReadJSON parses building metadata written by WriteJSON (or authored by
+// hand for a real deployment) and validates it via NewBuilding.
+func ReadJSON(r io.Reader) (*Building, error) {
+	var cfg jsonConfig
+	if err := json.NewDecoder(r).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("space: parsing building JSON: %w", err)
+	}
+	out := Config{Name: cfg.Name, PreferredRooms: map[string][]RoomID{}}
+	for _, r := range cfg.Rooms {
+		kind := Private
+		switch r.Kind {
+		case "public":
+			kind = Public
+		case "private", "":
+			kind = Private
+		default:
+			return nil, fmt.Errorf("space: room %q has unknown kind %q", r.ID, r.Kind)
+		}
+		out.Rooms = append(out.Rooms, Room{ID: RoomID(r.ID), Kind: kind, Owner: r.Owner})
+	}
+	for _, ap := range cfg.APs {
+		cov := make([]RoomID, len(ap.Coverage))
+		for i, r := range ap.Coverage {
+			cov[i] = RoomID(r)
+		}
+		out.AccessPoints = append(out.AccessPoints, AccessPoint{ID: APID(ap.ID), Coverage: cov})
+	}
+	for dev, rooms := range cfg.Preferred {
+		rs := make([]RoomID, len(rooms))
+		for i, r := range rooms {
+			rs[i] = RoomID(r)
+		}
+		out.PreferredRooms[dev] = rs
+	}
+	return NewBuilding(out)
+}

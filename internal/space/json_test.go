@@ -1,0 +1,77 @@
+package space
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := fixture(t)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Name() != b.Name() {
+		t.Errorf("name = %q, want %q", got.Name(), b.Name())
+	}
+	if got.NumRooms() != b.NumRooms() || got.NumAccessPoints() != b.NumAccessPoints() {
+		t.Errorf("dims = %d/%d, want %d/%d",
+			got.NumRooms(), got.NumAccessPoints(), b.NumRooms(), b.NumAccessPoints())
+	}
+	if !reflect.DeepEqual(got.Rooms(), b.Rooms()) {
+		t.Errorf("rooms differ: %v vs %v", got.Rooms(), b.Rooms())
+	}
+	for _, ap := range b.AccessPoints() {
+		if !reflect.DeepEqual(got.Coverage(ap), b.Coverage(ap)) {
+			t.Errorf("coverage of %s differs", ap)
+		}
+	}
+	// Room kinds preserved.
+	if !got.IsPublic("2065") {
+		t.Error("public kind lost in round trip")
+	}
+	if !got.IsPrivate("2061") {
+		t.Error("private kind lost in round trip")
+	}
+	// Preferred rooms preserved.
+	if !reflect.DeepEqual(got.PreferredRooms("7fbh"), b.PreferredRooms("7fbh")) {
+		t.Errorf("preferred rooms differ: %v vs %v",
+			got.PreferredRooms("7fbh"), b.PreferredRooms("7fbh"))
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "{nope"},
+		{"bad kind", `{"rooms":[{"id":"r","kind":"palace"}],"access_points":[{"id":"a","coverage":["r"]}]}`},
+		{"invalid building", `{"rooms":[],"access_points":[]}`},
+		{"unknown coverage", `{"rooms":[{"id":"r","kind":"public"}],"access_points":[{"id":"a","coverage":["zz"]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadJSONDefaultsPrivate(t *testing.T) {
+	in := `{"rooms":[{"id":"r"}],"access_points":[{"id":"a","coverage":["r"]}]}`
+	b, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsPrivate("r") {
+		t.Error("missing kind should default to private")
+	}
+}

@@ -1,0 +1,364 @@
+package space
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// fixture builds the Figure-1-like building used across tests: 8 rooms,
+// 3 APs with overlapping coverage.
+func fixture(t *testing.T) *Building {
+	t.Helper()
+	b, err := NewBuilding(Config{
+		Name: "test",
+		Rooms: []Room{
+			{ID: "2059", Kind: Private},
+			{ID: "2061", Kind: Private},
+			{ID: "2065", Kind: Public},
+			{ID: "2069", Kind: Private},
+			{ID: "2099", Kind: Private},
+			{ID: "2004", Kind: Public},
+			{ID: "2057", Kind: Private},
+			{ID: "2068", Kind: Private},
+		},
+		AccessPoints: []AccessPoint{
+			{ID: "wap2", Coverage: []RoomID{"2004", "2057", "2059", "2061", "2068"}},
+			{ID: "wap3", Coverage: []RoomID{"2059", "2061", "2065", "2069", "2099"}},
+			{ID: "wap4", Coverage: []RoomID{"2099", "2068"}},
+		},
+		PreferredRooms: map[string][]RoomID{
+			"7fbh": {"2061"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewBuilding: %v", err)
+	}
+	return b
+}
+
+func TestNewBuildingValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no rooms", Config{AccessPoints: []AccessPoint{{ID: "a", Coverage: []RoomID{"r"}}}}},
+		{"no aps", Config{Rooms: []Room{{ID: "r"}}}},
+		{"empty room id", Config{
+			Rooms:        []Room{{ID: ""}},
+			AccessPoints: []AccessPoint{{ID: "a", Coverage: []RoomID{"r"}}},
+		}},
+		{"duplicate room", Config{
+			Rooms:        []Room{{ID: "r"}, {ID: "r"}},
+			AccessPoints: []AccessPoint{{ID: "a", Coverage: []RoomID{"r"}}},
+		}},
+		{"empty ap id", Config{
+			Rooms:        []Room{{ID: "r"}},
+			AccessPoints: []AccessPoint{{ID: "", Coverage: []RoomID{"r"}}},
+		}},
+		{"duplicate ap", Config{
+			Rooms: []Room{{ID: "r"}},
+			AccessPoints: []AccessPoint{
+				{ID: "a", Coverage: []RoomID{"r"}},
+				{ID: "a", Coverage: []RoomID{"r"}},
+			},
+		}},
+		{"ap covers nothing", Config{
+			Rooms:        []Room{{ID: "r"}},
+			AccessPoints: []AccessPoint{{ID: "a"}},
+		}},
+		{"ap covers unknown room", Config{
+			Rooms:        []Room{{ID: "r"}},
+			AccessPoints: []AccessPoint{{ID: "a", Coverage: []RoomID{"zz"}}},
+		}},
+		{"preferred unknown room", Config{
+			Rooms:          []Room{{ID: "r"}},
+			AccessPoints:   []AccessPoint{{ID: "a", Coverage: []RoomID{"r"}}},
+			PreferredRooms: map[string][]RoomID{"d": {"zz"}},
+		}},
+		{"preferred empty device", Config{
+			Rooms:          []Room{{ID: "r"}},
+			AccessPoints:   []AccessPoint{{ID: "a", Coverage: []RoomID{"r"}}},
+			PreferredRooms: map[string][]RoomID{"": {"r"}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewBuilding(tc.cfg); err == nil {
+				t.Fatalf("expected error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestBuildingAccessors(t *testing.T) {
+	b := fixture(t)
+	if got := b.Name(); got != "test" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := b.NumRooms(); got != 8 {
+		t.Errorf("NumRooms = %d, want 8", got)
+	}
+	if got := b.NumAccessPoints(); got != 3 {
+		t.Errorf("NumAccessPoints = %d, want 3", got)
+	}
+	if got := len(b.Regions()); got != 3 {
+		t.Errorf("len(Regions) = %d, want 3", got)
+	}
+	if !sort.SliceIsSorted(b.Rooms(), func(i, j int) bool { return b.Rooms()[i] < b.Rooms()[j] }) {
+		t.Error("Rooms() not sorted")
+	}
+	room, ok := b.Room("2065")
+	if !ok || room.Kind != Public {
+		t.Errorf("Room(2065) = %+v, %v", room, ok)
+	}
+	if _, ok := b.Room("nope"); ok {
+		t.Error("Room(nope) should not exist")
+	}
+}
+
+func TestRegionAPBijection(t *testing.T) {
+	b := fixture(t)
+	for _, ap := range b.AccessPoints() {
+		g, ok := b.RegionOf(ap)
+		if !ok {
+			t.Fatalf("RegionOf(%s) missing", ap)
+		}
+		back, ok := b.APOf(g)
+		if !ok || back != ap {
+			t.Errorf("APOf(RegionOf(%s)) = %s, want %s", ap, back, ap)
+		}
+	}
+	if _, ok := b.RegionOf("unknown"); ok {
+		t.Error("RegionOf(unknown) should fail")
+	}
+	if _, ok := b.APOf("unknown"); ok {
+		t.Error("APOf(unknown) should fail")
+	}
+}
+
+func TestCandidateRooms(t *testing.T) {
+	b := fixture(t)
+	g, _ := b.RegionOf("wap3")
+	got := b.CandidateRooms(g)
+	want := []RoomID{"2059", "2061", "2065", "2069", "2099"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CandidateRooms(wap3) = %v, want %v", got, want)
+	}
+	if b.CandidateRooms("unknown") != nil {
+		t.Error("CandidateRooms(unknown) should be nil")
+	}
+}
+
+func TestRegionsOfRoomOverlap(t *testing.T) {
+	b := fixture(t)
+	// 2059 and 2061 are covered by wap2 and wap3 (overlapping regions).
+	for _, r := range []RoomID{"2059", "2061"} {
+		regs := b.RegionsOfRoom(r)
+		if len(regs) != 2 {
+			t.Errorf("RegionsOfRoom(%s) = %v, want 2 regions", r, regs)
+		}
+	}
+	// 2065 only in wap3.
+	if regs := b.RegionsOfRoom("2065"); len(regs) != 1 {
+		t.Errorf("RegionsOfRoom(2065) = %v, want 1 region", regs)
+	}
+}
+
+func TestIntersectCandidates(t *testing.T) {
+	b := fixture(t)
+	g2, _ := b.RegionOf("wap2")
+	g3, _ := b.RegionOf("wap3")
+	g4, _ := b.RegionOf("wap4")
+
+	got := b.IntersectCandidates([]RegionID{g2, g3})
+	want := []RoomID{"2059", "2061"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect(g2,g3) = %v, want %v", got, want)
+	}
+	got = b.IntersectCandidates([]RegionID{g3, g4})
+	want = []RoomID{"2099"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect(g3,g4) = %v, want %v", got, want)
+	}
+	if got := b.IntersectCandidates(nil); got != nil {
+		t.Errorf("Intersect(nil) = %v, want nil", got)
+	}
+	// Single region: the intersection is its own candidate set.
+	got = b.IntersectCandidates([]RegionID{g4})
+	want = []RoomID{"2068", "2099"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect(g4) = %v, want %v", got, want)
+	}
+}
+
+func TestOverlappingRegions(t *testing.T) {
+	b := fixture(t)
+	g2, _ := b.RegionOf("wap2")
+	g3, _ := b.RegionOf("wap3")
+	g4, _ := b.RegionOf("wap4")
+	if !b.OverlappingRegions(g2, g3) {
+		t.Error("g2 and g3 should overlap (2059, 2061)")
+	}
+	if !b.OverlappingRegions(g2, g4) {
+		t.Error("g2 and g4 should overlap (2068)")
+	}
+	if !b.OverlappingRegions(g3, g3) {
+		t.Error("a region overlaps itself")
+	}
+}
+
+func TestPreferredRooms(t *testing.T) {
+	b := fixture(t)
+	if got := b.PreferredRooms("7fbh"); !reflect.DeepEqual(got, []RoomID{"2061"}) {
+		t.Errorf("PreferredRooms(7fbh) = %v", got)
+	}
+	if got := b.PreferredRooms("unknown"); got != nil {
+		t.Errorf("PreferredRooms(unknown) = %v, want nil", got)
+	}
+	if err := b.SetPreferredRooms("newdev", []RoomID{"2065", "2059", "2065"}); err != nil {
+		t.Fatalf("SetPreferredRooms: %v", err)
+	}
+	if got := b.PreferredRooms("newdev"); !reflect.DeepEqual(got, []RoomID{"2059", "2065"}) {
+		t.Errorf("PreferredRooms(newdev) = %v, want deduped sorted", got)
+	}
+	if err := b.SetPreferredRooms("newdev", []RoomID{"bogus"}); err == nil {
+		t.Error("SetPreferredRooms with unknown room should fail")
+	}
+	if err := b.SetPreferredRooms("", []RoomID{"2059"}); err == nil {
+		t.Error("SetPreferredRooms with empty device should fail")
+	}
+}
+
+func TestRoomKinds(t *testing.T) {
+	b := fixture(t)
+	if !b.IsPublic("2065") || b.IsPrivate("2065") {
+		t.Error("2065 should be public")
+	}
+	if !b.IsPrivate("2061") || b.IsPublic("2061") {
+		t.Error("2061 should be private")
+	}
+	if b.IsPublic("nope") || b.IsPrivate("nope") {
+		t.Error("unknown room is neither public nor private")
+	}
+	if Public.String() != "public" || Private.String() != "private" {
+		t.Errorf("RoomKind strings: %s/%s", Public, Private)
+	}
+	if RoomKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestCoverageDeduplicated(t *testing.T) {
+	b, err := NewBuilding(Config{
+		Rooms: []Room{{ID: "a"}, {ID: "b"}},
+		AccessPoints: []AccessPoint{
+			{ID: "ap", Coverage: []RoomID{"b", "a", "b", "a"}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewBuilding: %v", err)
+	}
+	if got := b.Coverage("ap"); !reflect.DeepEqual(got, []RoomID{"a", "b"}) {
+		t.Errorf("Coverage = %v, want deduped sorted [a b]", got)
+	}
+}
+
+// randomBuilding builds a random valid building for property tests.
+func randomBuilding(rng *rand.Rand) *Building {
+	numRooms := 2 + rng.Intn(30)
+	rooms := make([]Room, numRooms)
+	ids := make([]RoomID, numRooms)
+	for i := range rooms {
+		ids[i] = RoomID(fmt.Sprintf("r%03d", i))
+		kind := Private
+		if rng.Intn(3) == 0 {
+			kind = Public
+		}
+		rooms[i] = Room{ID: ids[i], Kind: kind}
+	}
+	numAPs := 1 + rng.Intn(6)
+	aps := make([]AccessPoint, numAPs)
+	for a := range aps {
+		n := 1 + rng.Intn(numRooms)
+		cov := make([]RoomID, 0, n)
+		for j := 0; j < n; j++ {
+			cov = append(cov, ids[rng.Intn(numRooms)])
+		}
+		aps[a] = AccessPoint{ID: APID(fmt.Sprintf("ap%02d", a)), Coverage: cov}
+	}
+	b, err := NewBuilding(Config{Name: "rand", Rooms: rooms, AccessPoints: aps})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Property: IntersectCandidates(gs) equals the naive set intersection of
+// the candidate sets.
+func TestIntersectCandidatesProperty(t *testing.T) {
+	f := func(seed int64, pick []bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBuilding(rng)
+		regions := b.Regions()
+		var chosen []RegionID
+		for i, p := range pick {
+			if p && i < len(regions) {
+				chosen = append(chosen, regions[i])
+			}
+		}
+		if len(chosen) == 0 {
+			return true
+		}
+		counts := map[RoomID]int{}
+		for _, g := range chosen {
+			seen := map[RoomID]bool{}
+			for _, r := range b.CandidateRooms(g) {
+				if !seen[r] {
+					seen[r] = true
+					counts[r]++
+				}
+			}
+		}
+		var want []RoomID
+		for r, c := range counts {
+			if c == len(chosen) {
+				want = append(want, r)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := b.IntersectCandidates(chosen)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OverlappingRegions(a,b) iff IntersectCandidates({a,b}) nonempty.
+func TestOverlapConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBuilding(rng)
+		regions := b.Regions()
+		for _, ga := range regions {
+			for _, gb := range regions {
+				overlap := b.OverlappingRegions(ga, gb)
+				inter := b.IntersectCandidates([]RegionID{ga, gb})
+				if overlap != (len(inter) > 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

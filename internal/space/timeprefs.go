@@ -1,0 +1,85 @@
+package space
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TimePreference scopes a preferred-room set to a daily time window.
+// The paper notes that "preferred rooms could be time dependent (e.g., user
+// is expected to be in the break room during lunch, while being in office
+// during other times)" and that such metadata yields more accurate room
+// affinities (Section 4.1). Windows are expressed in minutes since midnight
+// and may wrap past midnight (Start > End).
+type TimePreference struct {
+	// StartMinute and EndMinute delimit the daily window [Start, End).
+	StartMinute int
+	EndMinute   int
+	// Rooms are the preferred rooms during the window.
+	Rooms []RoomID
+}
+
+// contains reports whether the minute-of-day m falls in the window.
+func (p TimePreference) contains(m int) bool {
+	if p.StartMinute <= p.EndMinute {
+		return m >= p.StartMinute && m < p.EndMinute
+	}
+	return m >= p.StartMinute || m < p.EndMinute
+}
+
+// SetTimePreferredRooms registers time-scoped preferred rooms for a device.
+// Outside every window the device's static preferred rooms (if any) apply.
+// Windows are validated against the building's rooms.
+func (b *Building) SetTimePreferredRooms(device string, prefs []TimePreference) error {
+	if device == "" {
+		return fmt.Errorf("space: empty device ID")
+	}
+	cleaned := make([]TimePreference, 0, len(prefs))
+	for i, p := range prefs {
+		if p.StartMinute < 0 || p.StartMinute >= 24*60 || p.EndMinute < 0 || p.EndMinute > 24*60 {
+			return fmt.Errorf("space: time preference %d for %q has invalid window [%d, %d)",
+				i, device, p.StartMinute, p.EndMinute)
+		}
+		if len(p.Rooms) == 0 {
+			return fmt.Errorf("space: time preference %d for %q has no rooms", i, device)
+		}
+		var rooms []RoomID
+		seen := make(map[RoomID]bool, len(p.Rooms))
+		for _, r := range p.Rooms {
+			if _, ok := b.rooms[r]; !ok {
+				return fmt.Errorf("space: time preference %d for %q names unknown room %q", i, device, r)
+			}
+			if !seen[r] {
+				seen[r] = true
+				rooms = append(rooms, r)
+			}
+		}
+		sort.Slice(rooms, func(x, y int) bool { return rooms[x] < rooms[y] })
+		cleaned = append(cleaned, TimePreference{StartMinute: p.StartMinute, EndMinute: p.EndMinute, Rooms: rooms})
+	}
+	if b.timePreferred == nil {
+		b.timePreferred = make(map[string][]TimePreference)
+	}
+	b.timePreferred[device] = cleaned
+	return nil
+}
+
+// TimePreferredRooms returns the registered time-scoped preferences for a
+// device (nil when none).
+func (b *Building) TimePreferredRooms(device string) []TimePreference {
+	return b.timePreferred[device]
+}
+
+// PreferredRoomsAt returns R^pf(device, t): the preferred rooms in effect at
+// time t — the rooms of the first matching time window, or the static
+// preferred rooms when no window matches.
+func (b *Building) PreferredRoomsAt(device string, t time.Time) []RoomID {
+	minute := t.Hour()*60 + t.Minute()
+	for _, p := range b.timePreferred[device] {
+		if p.contains(minute) {
+			return p.Rooms
+		}
+	}
+	return b.preferred[device]
+}

@@ -1,0 +1,90 @@
+package space
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestTimePreferredRooms(t *testing.T) {
+	b := fixture(t)
+	// Lunch window 12:00–13:00 prefers the public room 2065; otherwise the
+	// static preference 2061 applies.
+	err := b.SetTimePreferredRooms("7fbh", []TimePreference{
+		{StartMinute: 12 * 60, EndMinute: 13 * 60, Rooms: []RoomID{"2065"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+	if got := b.PreferredRoomsAt("7fbh", day.Add(12*time.Hour+30*time.Minute)); !reflect.DeepEqual(got, []RoomID{"2065"}) {
+		t.Errorf("lunch prefs = %v, want [2065]", got)
+	}
+	if got := b.PreferredRoomsAt("7fbh", day.Add(9*time.Hour)); !reflect.DeepEqual(got, []RoomID{"2061"}) {
+		t.Errorf("morning prefs = %v, want static [2061]", got)
+	}
+	// Device without time prefs: static set at all times.
+	if got := b.PreferredRoomsAt("unknown", day); got != nil {
+		t.Errorf("unknown device prefs = %v", got)
+	}
+	if got := b.TimePreferredRooms("7fbh"); len(got) != 1 {
+		t.Errorf("TimePreferredRooms = %v", got)
+	}
+}
+
+func TestTimePreferenceWrapsMidnight(t *testing.T) {
+	b := fixture(t)
+	// Night shift: 22:00–06:00 prefers 2004.
+	err := b.SetTimePreferredRooms("night", []TimePreference{
+		{StartMinute: 22 * 60, EndMinute: 6 * 60, Rooms: []RoomID{"2004"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+	if got := b.PreferredRoomsAt("night", day.Add(23*time.Hour)); !reflect.DeepEqual(got, []RoomID{"2004"}) {
+		t.Errorf("23:00 prefs = %v", got)
+	}
+	if got := b.PreferredRoomsAt("night", day.Add(3*time.Hour)); !reflect.DeepEqual(got, []RoomID{"2004"}) {
+		t.Errorf("03:00 prefs = %v", got)
+	}
+	if got := b.PreferredRoomsAt("night", day.Add(12*time.Hour)); got != nil {
+		t.Errorf("noon prefs = %v, want nil (no static prefs)", got)
+	}
+}
+
+func TestSetTimePreferredRoomsValidation(t *testing.T) {
+	b := fixture(t)
+	cases := []struct {
+		name  string
+		dev   string
+		prefs []TimePreference
+	}{
+		{"empty device", "", []TimePreference{{EndMinute: 60, Rooms: []RoomID{"2061"}}}},
+		{"negative start", "d", []TimePreference{{StartMinute: -1, EndMinute: 60, Rooms: []RoomID{"2061"}}}},
+		{"start too large", "d", []TimePreference{{StartMinute: 24*60 + 1, EndMinute: 60, Rooms: []RoomID{"2061"}}}},
+		{"no rooms", "d", []TimePreference{{EndMinute: 60}}},
+		{"unknown room", "d", []TimePreference{{EndMinute: 60, Rooms: []RoomID{"bogus"}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := b.SetTimePreferredRooms(tc.dev, tc.prefs); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTimePreferenceDedupSort(t *testing.T) {
+	b := fixture(t)
+	err := b.SetTimePreferredRooms("d", []TimePreference{
+		{StartMinute: 0, EndMinute: 24 * 60, Rooms: []RoomID{"2065", "2061", "2065"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.TimePreferredRooms("d")[0].Rooms
+	if !reflect.DeepEqual(got, []RoomID{"2061", "2065"}) {
+		t.Errorf("rooms = %v, want deduped sorted", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package srv implements the HTTP JSON API around a LOCATER system: the
+// online query/ingest surface that applications (occupancy dashboards, HVAC
+// controllers, exposure analysis) integrate with. It is deliberately thin:
+// all semantics live in the locater package.
+package srv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"locater"
+	"locater/internal/event"
+)
+
+// Server wraps a LOCATER system with HTTP handlers. It serializes ingestion
+// (the underlying store is already concurrency-safe; the mutex keeps
+// model-invalidation and ingest atomic per request).
+type Server struct {
+	mu  sync.Mutex
+	sys *locater.System
+	mux *http.ServeMux
+
+	started time.Time
+}
+
+// New builds the HTTP handler around an assembled system.
+func New(sys *locater.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/locate", s.handleLocate)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// LocateResponse is the JSON shape of a localization answer.
+type LocateResponse struct {
+	Device   string  `json:"device"`
+	Time     string  `json:"time"`
+	Outside  bool    `json:"outside"`
+	Region   string  `json:"region,omitempty"`
+	Room     string  `json:"room,omitempty"`
+	RoomProb float64 `json:"room_probability,omitempty"`
+	Repaired bool    `json:"repaired"`
+}
+
+// IngestEvent is the JSON shape of one streamed connectivity event.
+type IngestEvent struct {
+	Device string `json:"device"`
+	// Time is RFC 3339 or the paper's "2006-01-02 15:04:05" layout.
+	Time string `json:"time"`
+	AP   string `json:"ap"`
+}
+
+// StatsResponse reports system counters.
+type StatsResponse struct {
+	Events       int    `json:"events"`
+	Devices      int    `json:"devices"`
+	Queries      int    `json:"queries"`
+	CacheEdges   int    `json:"cache_edges"`
+	CacheHits    int    `json:"cache_hits"`
+	CacheMisses  int    `json:"cache_misses"`
+	UptimeSecond int64  `json:"uptime_seconds"`
+	Building     string `json:"building"`
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	device := r.URL.Query().Get("device")
+	if device == "" {
+		httpError(w, http.StatusBadRequest, "missing device parameter")
+		return
+	}
+	tq, err := parseTime(r.URL.Query().Get("time"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	res, err := s.sys.Locate(locater.DeviceID(device), tq)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, LocateResponse{
+		Device:   device,
+		Time:     tq.UTC().Format(time.RFC3339),
+		Outside:  res.Outside,
+		Region:   string(res.Region),
+		Room:     string(res.Room),
+		RoomProb: res.RoomProbability,
+		Repaired: res.Repaired,
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var in []IngestEvent
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	events := make([]locater.Event, 0, len(in))
+	for i, e := range in {
+		t, err := parseTime(e.Time)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("event %d: %v", i, err))
+			return
+		}
+		events = append(events, locater.Event{
+			Device: locater.DeviceID(e.Device),
+			Time:   t,
+			AP:     locater.APID(e.AP),
+		})
+	}
+	s.mu.Lock()
+	err := s.sys.Ingest(events)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]int{"ingested": len(events)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	edges, hits, misses := s.sys.CacheStats()
+	resp := StatsResponse{
+		Events:       s.sys.NumEvents(),
+		Devices:      s.sys.NumDevices(),
+		Queries:      s.sys.NumQueries(),
+		CacheEdges:   edges,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		UptimeSecond: int64(time.Since(s.started).Seconds()),
+		Building:     s.sys.Building().Name(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// parseTime accepts RFC 3339 or the CSV layout; empty means "now".
+func parseTime(v string) (time.Time, error) {
+	if v == "" {
+		return time.Now(), nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t, nil
+	}
+	if t, err := time.Parse(event.TimeLayout, v); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("unparseable time %q (want RFC3339 or %q)", v, event.TimeLayout)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

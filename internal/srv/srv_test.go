@@ -1,0 +1,176 @@
+package srv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locater"
+	"locater/internal/sim"
+)
+
+var simStart = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func newTestServer(t *testing.T) (*Server, *sim.Dataset) {
+	t.Helper()
+	sc, err := sim.DBH(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sim.Generate(sc.Config(simStart, 7, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := locater.New(locater.Config{
+		Building:           ds.Building,
+		EnableCache:        true,
+		HistoryDays:        7,
+		PromotionsPerRound: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(ds.Events); err != nil {
+		t.Fatal(err)
+	}
+	sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+	return New(sys), ds
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestLocateEndpoint(t *testing.T) {
+	s, ds := newTestServer(t)
+	dev := ds.People[0].Device
+	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour)
+
+	url := fmt.Sprintf("/locate?device=%s&time=%s", dev, tq.Format(time.RFC3339))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("locate = %d: %s", rec.Code, rec.Body)
+	}
+	var resp LocateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Device != string(dev) {
+		t.Errorf("device = %s", resp.Device)
+	}
+	if !resp.Outside && resp.Room == "" {
+		t.Error("inside answer without a room")
+	}
+}
+
+func TestLocateEndpointValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		method string
+		url    string
+		code   int
+	}{
+		{http.MethodPost, "/locate?device=x", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/locate", http.StatusBadRequest},
+		{http.MethodGet, "/locate?device=x&time=garbage", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.url, nil))
+		if rec.Code != tc.code {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.url, rec.Code, tc.code)
+		}
+	}
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	s, ds := newTestServer(t)
+	ap := ds.Building.AccessPoints()[0]
+	body, _ := json.Marshal([]IngestEvent{
+		{Device: "new-device", Time: "2026-01-11 09:00:00", AP: string(ap)},
+		{Device: "new-device", Time: simStart.AddDate(0, 0, 6).Add(10 * time.Hour).Format(time.RFC3339), AP: string(ap)},
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", rec.Code, rec.Body)
+	}
+	var resp map[string]int
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp["ingested"] != 2 {
+		t.Errorf("ingested = %d", resp["ingested"])
+	}
+
+	// Bad payloads rejected.
+	for _, bad := range []string{
+		`not json`,
+		`[{"device":"d","time":"nope","ap":"a"}]`,
+		`[{"device":"","time":"2026-01-11 09:00:00","ap":"a"}]`,
+	} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader([]byte(bad))))
+		if rec.Code == http.StatusOK {
+			t.Errorf("payload %q accepted", bad)
+		}
+	}
+	// GET not allowed.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/ingest", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest = %d", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, ds := newTestServer(t)
+	// One query so the counter moves.
+	url := fmt.Sprintf("/locate?device=%s&time=%s",
+		ds.People[0].Device, simStart.AddDate(0, 0, 5).Add(11*time.Hour).Format(time.RFC3339))
+	s.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, url, nil))
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Events == 0 || resp.Devices == 0 {
+		t.Errorf("stats = %+v", resp)
+	}
+	if resp.Queries < 1 {
+		t.Errorf("queries = %d, want ≥ 1", resp.Queries)
+	}
+	if resp.Building != ds.Building.Name() {
+		t.Errorf("building = %s", resp.Building)
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	if _, err := parseTime("2026-01-11 09:00:00"); err != nil {
+		t.Errorf("CSV layout rejected: %v", err)
+	}
+	if _, err := parseTime("2026-01-11T09:00:00Z"); err != nil {
+		t.Errorf("RFC3339 rejected: %v", err)
+	}
+	if _, err := parseTime("bogus"); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Empty = now.
+	got, err := parseTime("")
+	if err != nil || time.Since(got) > time.Minute {
+		t.Errorf("empty time = %v, %v", got, err)
+	}
+}

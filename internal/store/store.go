@@ -1,0 +1,336 @@
+// Package store implements LOCATER's storage engine: an in-memory,
+// time-indexed repository of WiFi connectivity events supporting batch and
+// streaming ingestion, per-device timelines, time-window scans, and the gap
+// lookups that the cleaning engine issues for every query.
+//
+// The store keeps one sorted event log per device. Campus-scale deployments
+// generate millions of tuples per day (paper Section 1), so all temporal
+// lookups are binary searches over the per-device logs, and ingestion
+// amortizes sorting by buffering out-of-order arrivals.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// DefaultDelta is the fallback validity interval δ used for devices without
+// a configured or estimated value. Ten minutes reflects the typical probe
+// periodicity of mobile devices.
+const DefaultDelta = 10 * time.Minute
+
+// Store is an in-memory event repository. It is safe for concurrent use:
+// reads take a shared lock, ingestion takes an exclusive lock.
+type Store struct {
+	mu sync.RWMutex
+
+	logs map[event.DeviceID]*deviceLog
+
+	// deltas holds per-device validity intervals; defaultDelta applies to
+	// devices not present.
+	deltas       map[event.DeviceID]time.Duration
+	defaultDelta time.Duration
+
+	nextID int64
+
+	// bounds of all ingested data.
+	minTime time.Time
+	maxTime time.Time
+	count   int
+}
+
+type deviceLog struct {
+	events []event.Event // sorted by (Time, ID)
+	sorted bool
+}
+
+// New creates an empty store with the given default validity interval δ.
+// A non-positive defaultDelta falls back to DefaultDelta.
+func New(defaultDelta time.Duration) *Store {
+	if defaultDelta <= 0 {
+		defaultDelta = DefaultDelta
+	}
+	return &Store{
+		logs:         make(map[event.DeviceID]*deviceLog),
+		deltas:       make(map[event.DeviceID]time.Duration),
+		defaultDelta: defaultDelta,
+		nextID:       1,
+	}
+}
+
+// SetDelta registers a device-specific validity interval δ(d).
+func (s *Store) SetDelta(d event.DeviceID, delta time.Duration) error {
+	if delta <= 0 {
+		return fmt.Errorf("store: non-positive delta %v for device %s", delta, d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deltas[d] = delta
+	return nil
+}
+
+// Delta returns the validity interval for a device (the configured value or
+// the default).
+func (s *Store) Delta(d event.DeviceID) time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if dl, ok := s.deltas[d]; ok {
+		return dl
+	}
+	return s.defaultDelta
+}
+
+// EstimateDeltas derives δ(d) for every device from its own log (see
+// event.EstimateDelta) and registers the results. Devices with too little
+// data keep the default.
+func (s *Store) EstimateDeltas(quantile float64, minD, maxD time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for dev, lg := range s.logs {
+		lg.ensureSorted()
+		d := event.EstimateDelta(lg.events, quantile, minD, maxD, s.defaultDelta)
+		s.deltas[dev] = d
+	}
+}
+
+// Ingest adds a batch of events. Events with ID == 0 receive fresh sequence
+// numbers. Returns the number of events added.
+func (s *Store) Ingest(events []event.Event) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
+		if e.Device == "" {
+			return 0, fmt.Errorf("store: event with empty device at %v", e.Time)
+		}
+		if e.AP == "" {
+			return 0, fmt.Errorf("store: event with empty AP for device %s at %v", e.Device, e.Time)
+		}
+		if e.Time.IsZero() {
+			return 0, fmt.Errorf("store: event with zero timestamp for device %s", e.Device)
+		}
+		if e.ID == 0 {
+			e.ID = s.nextID
+		}
+		if e.ID >= s.nextID {
+			s.nextID = e.ID + 1
+		}
+		lg, ok := s.logs[e.Device]
+		if !ok {
+			lg = &deviceLog{sorted: true}
+			s.logs[e.Device] = lg
+		}
+		// Maintain sortedness cheaply: appending in time order is the
+		// common case for streaming ingestion.
+		if lg.sorted && len(lg.events) > 0 && e.Before(lg.events[len(lg.events)-1]) {
+			lg.sorted = false
+		}
+		lg.events = append(lg.events, e)
+		if s.count == 0 || e.Time.Before(s.minTime) {
+			s.minTime = e.Time
+		}
+		if s.count == 0 || e.Time.After(s.maxTime) {
+			s.maxTime = e.Time
+		}
+		s.count++
+	}
+	return len(events), nil
+}
+
+// IngestOne adds a single event (streaming ingestion).
+func (s *Store) IngestOne(e event.Event) error {
+	_, err := s.Ingest([]event.Event{e})
+	return err
+}
+
+func (lg *deviceLog) ensureSorted() {
+	if !lg.sorted {
+		event.SortEvents(lg.events)
+		lg.sorted = true
+	}
+}
+
+// NumEvents returns the total number of stored events.
+func (s *Store) NumEvents() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// NumDevices returns the number of distinct devices seen.
+func (s *Store) NumDevices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.logs)
+}
+
+// TimeBounds returns the earliest and latest event timestamps. ok is false
+// for an empty store.
+func (s *Store) TimeBounds() (min, max time.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.count == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return s.minTime, s.maxTime, true
+}
+
+// Devices returns all device IDs in sorted order.
+func (s *Store) Devices() []event.DeviceID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]event.DeviceID, 0, len(s.logs))
+	for d := range s.logs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Events returns a copy of a device's full event log in time order.
+func (s *Store) Events(d event.DeviceID) []event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lg, ok := s.logs[d]
+	if !ok {
+		return nil
+	}
+	lg.ensureSorted()
+	out := make([]event.Event, len(lg.events))
+	copy(out, lg.events)
+	return out
+}
+
+// EventsBetween returns a copy of the device's events with
+// start ≤ t ≤ end, via binary search.
+func (s *Store) EventsBetween(d event.DeviceID, start, end time.Time) []event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lg, ok := s.logs[d]
+	if !ok {
+		return nil
+	}
+	lg.ensureSorted()
+	evs := lg.events
+	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]event.Event, hi-lo)
+	copy(out, evs[lo:hi])
+	return out
+}
+
+// Timeline builds the device's timeline (sorted events + δ). The returned
+// timeline shares no state with the store.
+func (s *Store) Timeline(d event.DeviceID) (*event.Timeline, error) {
+	evs := s.Events(d)
+	return event.NewTimeline(d, s.Delta(d), evs)
+}
+
+// TimelineBetween builds a timeline restricted to [start, end].
+func (s *Store) TimelineBetween(d event.DeviceID, start, end time.Time) (*event.Timeline, error) {
+	evs := s.EventsBetween(d, start, end)
+	return event.NewTimeline(d, s.Delta(d), evs)
+}
+
+// At classifies time t for device d: inside a validity interval, inside a
+// gap, or unknown (before first/after last event). It is the store-level
+// entry point the cleaning engine uses for every query.
+func (s *Store) At(d event.DeviceID, t time.Time) (*event.Validity, *event.Gap, error) {
+	tl, err := s.Timeline(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, g := tl.At(t)
+	return v, g, nil
+}
+
+// ActiveDevices returns the devices that have at least one event with
+// timestamp in [start, end], sorted. The fine-grained algorithm uses this to
+// find candidate neighbor devices that are "online" around the query time.
+func (s *Store) ActiveDevices(start, end time.Time) []event.DeviceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []event.DeviceID
+	for d, lg := range s.logs {
+		lg.ensureSorted()
+		evs := lg.events
+		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
+		if lo < len(evs) && !evs[lo].Time.After(end) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastEventAtOrBefore returns the device's latest event with Time ≤ t.
+func (s *Store) LastEventAtOrBefore(d event.DeviceID, t time.Time) (event.Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lg, ok := s.logs[d]
+	if !ok {
+		return event.Event{}, false
+	}
+	lg.ensureSorted()
+	evs := lg.events
+	idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
+	if idx == 0 {
+		return event.Event{}, false
+	}
+	return evs[idx-1], true
+}
+
+// FirstEventAfter returns the device's earliest event with Time > t.
+func (s *Store) FirstEventAfter(d event.DeviceID, t time.Time) (event.Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lg, ok := s.logs[d]
+	if !ok {
+		return event.Event{}, false
+	}
+	lg.ensureSorted()
+	evs := lg.events
+	idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
+	if idx == len(evs) {
+		return event.Event{}, false
+	}
+	return evs[idx], true
+}
+
+// CurrentAP returns the AP the device is connected to at time t when t falls
+// inside a validity interval; ok is false otherwise. This is the "online"
+// test for neighbor devices at query time.
+func (s *Store) CurrentAP(d event.DeviceID, t time.Time) (space.APID, bool) {
+	v, _, err := s.At(d, t)
+	if err != nil || v == nil {
+		return "", false
+	}
+	return v.Event.AP, true
+}
+
+// Clone returns a deep copy of the store. Used by experiments that mutate
+// per-device deltas while sharing the ingested data.
+func (s *Store) Clone() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := New(s.defaultDelta)
+	c.nextID = s.nextID
+	c.minTime, c.maxTime, c.count = s.minTime, s.maxTime, s.count
+	for d, dl := range s.deltas {
+		c.deltas[d] = dl
+	}
+	for dev, lg := range s.logs {
+		lg.ensureSorted()
+		cp := make([]event.Event, len(lg.events))
+		copy(cp, lg.events)
+		c.logs[dev] = &deviceLog{events: cp, sorted: true}
+	}
+	return c
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+)
+
+// seedBench fills a store with n events across k devices.
+func seedBench(b *testing.B, n, k int) *Store {
+	b.Helper()
+	s := New(0)
+	evs := make([]event.Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%03d", i%k)),
+			Time:   t0.Add(time.Duration(i) * time.Minute),
+			AP:     "ap",
+		})
+	}
+	if _, err := s.Ingest(evs); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkIngestBatch(b *testing.B) {
+	evs := make([]event.Event, 10000)
+	for i := range evs {
+		evs[i] = event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%03d", i%50)),
+			Time:   t0.Add(time.Duration(i) * time.Second),
+			AP:     "ap",
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(0)
+		if _, err := s.Ingest(evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(evs)))
+}
+
+func BenchmarkEventsBetween(b *testing.B) {
+	s := seedBench(b, 100000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := event.DeviceID(fmt.Sprintf("d%03d", i%100))
+		start := t0.Add(time.Duration(i%1000) * time.Hour)
+		s.EventsBetween(dev, start, start.Add(8*time.Hour))
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	s := seedBench(b, 50000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := event.DeviceID(fmt.Sprintf("d%03d", i%50))
+		if _, _, err := s.At(dev, t0.Add(time.Duration(i%50000)*time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActiveDevices(b *testing.B) {
+	s := seedBench(b, 100000, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := t0.Add(time.Duration(i%1000) * time.Hour)
+		s.ActiveDevices(start, start.Add(time.Hour))
+	}
+}

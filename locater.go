@@ -1,0 +1,381 @@
+// Package locater is a reproduction of "LOCATER: Cleaning WiFi Connectivity
+// Datasets for Semantic Localization" (Lin et al., VLDB 2020): an online
+// cleaning system that answers room-level localization queries over raw WiFi
+// association logs.
+//
+// LOCATER poses semantic indoor localization as two data-cleaning problems.
+// Coarse-grained localization treats the periods between a device's sporadic
+// connectivity events ("gaps") as missing values: a bootstrapped,
+// semi-supervised classifier decides whether the device was inside or
+// outside the building during the gap and, when inside, which access-point
+// coverage region it was in. Fine-grained localization disambiguates the
+// specific room among the region's candidates using room affinities derived
+// from space metadata and group affinities derived from historical device
+// co-location, processed by an iterative algorithm with probabilistic early
+// termination. A caching engine (the global affinity graph) accumulates
+// affinity knowledge across queries to reach near-real-time responses.
+//
+// Basic usage:
+//
+//	sys, err := locater.New(locater.Config{Building: b})
+//	...
+//	sys.Ingest(events)
+//	res, err := sys.Locate("7f:bh:..", queryTime)
+//	if res.Outside { ... } else { fmt.Println(res.Region, res.Room) }
+package locater
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"locater/internal/affgraph"
+	"locater/internal/coarse"
+	"locater/internal/event"
+	"locater/internal/fine"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+// Re-exported identifier types, so callers need not import internal
+// packages.
+type (
+	// DeviceID is a device MAC address.
+	DeviceID = event.DeviceID
+	// RoomID identifies a room.
+	RoomID = space.RoomID
+	// RegionID identifies an AP coverage region.
+	RegionID = space.RegionID
+	// APID identifies an access point.
+	APID = space.APID
+	// Event is one WiFi association record ⟨mac, time, wap⟩.
+	Event = event.Event
+	// Building is the space metadata model.
+	Building = space.Building
+	// Weights are the room-affinity weights (w^pf, w^pb, w^pr).
+	Weights = fine.Weights
+	// TimePreference scopes preferred rooms to a daily time window
+	// (Section 4.1's time-dependent preferred-room extension).
+	TimePreference = space.TimePreference
+)
+
+// Variant selects the fine-grained inference model.
+type Variant = fine.Variant
+
+const (
+	// IndependentVariant is I-LOCATER: neighbors treated independently
+	// (Eq. 3 posterior with the Theorem 1–3 stop bounds).
+	IndependentVariant = fine.Independent
+	// DependentVariant is D-LOCATER: neighbors grouped in affinity
+	// clusters (Eq. 6 posterior; slightly more precise, slower).
+	DependentVariant = fine.Dependent
+)
+
+// DefaultWeights returns the paper's best weight combination C2 =
+// {0.6, 0.3, 0.1} (Table 2).
+func DefaultWeights() Weights { return fine.DefaultWeights() }
+
+// Config configures a LOCATER system. The zero value of every optional
+// field selects the paper's defaults.
+type Config struct {
+	// Building is the space metadata (required).
+	Building *space.Building
+
+	// DefaultDelta is the fallback validity interval δ per event.
+	// Default 10 minutes.
+	DefaultDelta time.Duration
+
+	// Variant selects I-LOCATER or D-LOCATER. Default independent.
+	Variant Variant
+	// Weights are the room-affinity weights; DefaultWeights when zero.
+	Weights Weights
+	// DisableStopConditions turns off Algorithm 2's loose early
+	// termination (the Fig. 11 ablation). Default off (conditions used).
+	DisableStopConditions bool
+	// HistoryDays is the coarse stage's training window N in days.
+	// Default 56 (8 weeks).
+	HistoryDays int
+	// TauLow/TauHigh are the inside/outside bootstrap thresholds
+	// (defaults 20 and 180 minutes; Fig. 7). RegionTauLow/RegionTauHigh
+	// are the region-level analogues (defaults 20 and 40 minutes).
+	TauLow, TauHigh             time.Duration
+	RegionTauLow, RegionTauHigh time.Duration
+	// PromotionsPerRound is how many unlabeled gaps each self-training
+	// round promotes; 1 reproduces Algorithm 1 exactly. Default 1.
+	PromotionsPerRound int
+	// MaxTrainingGaps caps the gaps used to train per-device models
+	// (most recent kept; 0 = unlimited).
+	MaxTrainingGaps int
+
+	// HistoryWindow bounds the history scanned for device affinities.
+	// Default 8 weeks.
+	HistoryWindow time.Duration
+	// MaxNeighbors caps Algorithm 2's neighbor set (0 = unlimited).
+	MaxNeighbors int
+
+	// EnableCache turns on the caching engine (global affinity graph).
+	EnableCache bool
+	// CacheSigma is the Gaussian kernel width for collapsing timestamped
+	// affinity observations. Default 1 hour.
+	CacheSigma time.Duration
+}
+
+func (c Config) coarseOptions() coarse.Options {
+	th := coarse.DefaultThresholds()
+	if c.TauLow > 0 {
+		th.TauLow = c.TauLow
+	}
+	if c.TauHigh > 0 {
+		th.TauHigh = c.TauHigh
+	}
+	if c.RegionTauLow > 0 {
+		th.RegionTauLow = c.RegionTauLow
+	}
+	if c.RegionTauHigh > 0 {
+		th.RegionTauHigh = c.RegionTauHigh
+	}
+	return coarse.Options{
+		Thresholds:            th,
+		HistoryDays:           c.HistoryDays,
+		MaxPromotionsPerRound: c.PromotionsPerRound,
+		MaxTrainingGaps:       c.MaxTrainingGaps,
+	}
+}
+
+func (c Config) fineOptions() fine.Options {
+	return fine.Options{
+		Weights:           c.Weights,
+		Variant:           c.Variant,
+		UseStopConditions: !c.DisableStopConditions,
+		HistoryWindow:     c.HistoryWindow,
+		MaxNeighbors:      c.MaxNeighbors,
+	}
+}
+
+// Result is a localization answer at all granularities.
+type Result struct {
+	// Outside reports the device outside the building at the query time.
+	Outside bool
+	// Region is the coarse answer when inside.
+	Region RegionID
+	// Room is the fine answer when inside.
+	Room RoomID
+	// RoomProbability is the posterior of the chosen room.
+	RoomProbability float64
+	// CoarseConfidence is the confidence of the coarse stage.
+	CoarseConfidence float64
+	// Repaired is true when the query time fell in a gap (a missing value
+	// was repaired); false when an actual connectivity event covered it.
+	Repaired bool
+	// ProcessedNeighbors / TotalNeighbors report Algorithm 2's work.
+	ProcessedNeighbors int
+	TotalNeighbors     int
+}
+
+// System is the LOCATER engine: storage + cleaning + caching. It is safe
+// for concurrent use: queries and ingestion serialize on an internal mutex
+// (the coarse stage's model cache is rebuilt lazily and must not race with
+// ingest-triggered invalidation).
+type System struct {
+	// mu guards the cleaning engines' lazily-built state (coarse models,
+	// label store) and the query counter. The store and affinity graph
+	// have their own finer-grained locks.
+	mu sync.Mutex
+
+	cfg      Config
+	building *space.Building
+	store    *store.Store
+	coarse   *coarse.Localizer
+	fine     *fine.Localizer
+	graph    *affgraph.Graph
+	cached   *affgraph.CachedAffinity
+	labels   *fine.LabelStore
+
+	queries int
+}
+
+// New validates the configuration and assembles a system.
+func New(cfg Config) (*System, error) {
+	if cfg.Building == nil {
+		return nil, fmt.Errorf("locater: Config.Building is required")
+	}
+	if (cfg.Weights != fine.Weights{}) {
+		if err := cfg.Weights.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	st := store.New(cfg.DefaultDelta)
+	s := &System{
+		cfg:      cfg,
+		building: cfg.Building,
+		store:    st,
+	}
+	s.coarse = coarse.New(cfg.Building, st, cfg.coarseOptions())
+
+	fineOpts := cfg.fineOptions()
+	var provider fine.PairAffinityProvider
+	var orderer fine.NeighborOrderer
+	if cfg.EnableCache {
+		s.graph = affgraph.New(affgraph.Options{Sigma: cfg.CacheSigma})
+		window := fineOpts.HistoryWindow
+		if window <= 0 {
+			window = 8 * 7 * 24 * time.Hour
+		}
+		base := fine.NewStoreAffinity(st, window)
+		s.cached = affgraph.NewCachedAffinity(s.graph, base, time.Hour)
+		provider = s.cached
+		orderer = s.graph
+	}
+	s.fine = fine.New(cfg.Building, st, provider, orderer, fineOpts)
+	// Fine localization resolves neighbor regions through the coarse
+	// stage when the neighbor is itself inside a gap.
+	s.fine.SetCoarseResolver(func(d event.DeviceID, tq time.Time) (space.RegionID, bool) {
+		res, err := s.coarse.Locate(d, tq)
+		if err != nil || res.Outside {
+			return "", false
+		}
+		return res.Region, true
+	})
+	return s, nil
+}
+
+// Ingest adds a batch of connectivity events. Models trained before the
+// ingest are invalidated for the affected devices.
+func (s *System) Ingest(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.store.Ingest(events); err != nil {
+		return err
+	}
+	for _, e := range events {
+		s.coarse.InvalidateDevice(e.Device)
+	}
+	return nil
+}
+
+// IngestOne adds one event (streaming ingestion).
+func (s *System) IngestOne(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.IngestOne(e); err != nil {
+		return err
+	}
+	s.coarse.InvalidateDevice(e.Device)
+	return nil
+}
+
+// SetDelta registers a device-specific validity interval δ(d).
+func (s *System) SetDelta(d DeviceID, delta time.Duration) error {
+	return s.store.SetDelta(d, delta)
+}
+
+// EstimateDeltas derives δ(d) for every ingested device from its own log
+// (Appendix 9.1), clamped to [min, max], at the given quantile of same-AP
+// inter-event spacings.
+func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.EstimateDeltas(quantile, min, max)
+	s.coarse.InvalidateAll()
+}
+
+// AddRoomLabel records a crowd-sourced room-level observation — device d was
+// known to be in room r at time t (e.g. from a calendar, badge reader, or
+// user report). Labels sharpen the device's room-affinity prior, the
+// extension sketched in the paper's footnote 7.
+func (s *System) AddRoomLabel(d DeviceID, r RoomID, t time.Time) error {
+	if _, ok := s.building.Room(r); !ok {
+		return fmt.Errorf("locater: label references unknown room %s", r)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.labels == nil {
+		s.labels = fine.NewLabelStore(0)
+		s.fine.SetLabelStore(s.labels)
+	}
+	return s.labels.Add(d, r, t)
+}
+
+// SetTimePreferredRooms registers time-of-day-scoped preferred rooms for a
+// device (e.g. the break room over lunch, the office otherwise). See
+// space.TimePreference.
+func (s *System) SetTimePreferredRooms(d DeviceID, prefs []TimePreference) error {
+	return s.building.SetTimePreferredRooms(string(d), prefs)
+}
+
+// Locate answers the query Q = (device, t): the paper's end-to-end flow.
+// The coarse stage classifies the query point (validity hit, or gap repair);
+// if the device is inside, the fine stage disambiguates the room.
+func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	cres, err := s.coarse.Locate(d, t)
+	if err != nil {
+		return Result{}, err
+	}
+	if cres.Outside {
+		return Result{
+			Outside:          true,
+			CoarseConfidence: cres.Confidence,
+			Repaired:         cres.Gap != nil,
+		}, nil
+	}
+	fres, err := s.fine.Locate(d, cres.Region, t)
+	if err != nil {
+		return Result{}, err
+	}
+	if s.graph != nil && len(fres.LocalGraph) > 0 {
+		edges := make([]affgraph.Edge, len(fres.LocalGraph))
+		for i, e := range fres.LocalGraph {
+			edges[i] = affgraph.Edge{From: e.From, To: e.To, Weight: e.Weight}
+		}
+		s.graph.Merge(edges, t)
+	}
+	return Result{
+		Region:             cres.Region,
+		Room:               fres.Room,
+		RoomProbability:    fres.Probability,
+		CoarseConfidence:   cres.Confidence,
+		Repaired:           !cres.FromValidity,
+		ProcessedNeighbors: fres.ProcessedNeighbors,
+		TotalNeighbors:     fres.TotalNeighbors,
+	}, nil
+}
+
+// LocateCoarse runs only the coarse stage (building/region granularity).
+func (s *System) LocateCoarse(d DeviceID, t time.Time) (outside bool, region RegionID, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cres, err := s.coarse.Locate(d, t)
+	if err != nil {
+		return false, "", err
+	}
+	return cres.Outside, cres.Region, nil
+}
+
+// Building returns the space metadata the system operates on.
+func (s *System) Building() *Building { return s.building }
+
+// NumEvents returns the number of ingested connectivity events.
+func (s *System) NumEvents() int { return s.store.NumEvents() }
+
+// NumDevices returns the number of distinct ingested devices.
+func (s *System) NumDevices() int { return s.store.NumDevices() }
+
+// NumQueries returns the number of Locate calls served.
+func (s *System) NumQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// CacheStats reports the caching engine's state: edges in the global
+// affinity graph and affinity cache hits/misses. Zeroes when caching is off.
+func (s *System) CacheStats() (edges, hits, misses int) {
+	if s.graph == nil {
+		return 0, 0, 0
+	}
+	h, m := s.cached.Stats()
+	return s.graph.NumEdges(), h, m
+}
