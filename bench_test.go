@@ -20,7 +20,9 @@
 package locater_test
 
 import (
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -152,16 +154,10 @@ func BenchmarkAblationSigma(b *testing.B) {
 // --- micro-benchmarks of the hot paths -------------------------------------
 
 // BenchmarkLocateWarm measures steady-state per-query latency of both
-// variants with a warm cache (the converged regime of Fig. 10).
+// variants with a warm cache (the converged regime of Fig. 10). It shares
+// experiments.WarmedSystem with BenchmarkLocateParallel so the serial and
+// parallel numbers compare identically configured systems.
 func BenchmarkLocateWarm(b *testing.B) {
-	ds, err := experiments.BuildDBH(benchParams)
-	if err != nil {
-		b.Fatal(err)
-	}
-	queries, err := experiments.SampleDefaultQueries(ds, benchParams, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
 	for _, v := range []struct {
 		name    string
 		variant locater.Variant
@@ -170,32 +166,73 @@ func BenchmarkLocateWarm(b *testing.B) {
 		{"D-LOCATER", locater.DependentVariant},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			sys, err := locater.New(locater.Config{
-				Building:           ds.Building,
-				Variant:            v.variant,
-				EnableCache:        true,
-				HistoryDays:        14,
-				PromotionsPerRound: 8,
-				MaxTrainingGaps:    100,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := sys.Ingest(ds.Events); err != nil {
-				b.Fatal(err)
-			}
-			sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
-			// Warm up models and the affinity graph.
-			for _, q := range queries[:30] {
+			sys, batch := warmedSystem(b, v.variant)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := batch[i%len(batch)]
 				if _, err := sys.Locate(q.Device, q.Time); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ResetTimer()
+		})
+	}
+}
+
+// warmedSystem builds, ingests, and warms a system over the benchmark
+// workload so the measured region compares steady-state querying.
+func warmedSystem(b *testing.B, variant locater.Variant) (*locater.System, []locater.Query) {
+	b.Helper()
+	sys, batch, err := experiments.WarmedSystem(benchParams, variant)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, batch
+}
+
+// BenchmarkLocateParallel measures concurrent Locate throughput on the
+// sharded engine via b.RunParallel: with GOMAXPROCS > 1 the reported ns/op
+// should drop well below BenchmarkLocateWarm's serial per-query latency,
+// since queries for unrelated devices share no lock. Compare
+//
+//	go test -bench 'LocateWarm|LocateParallel' -cpu 1,2,4,8 .
+//
+// to see the scaling (the acceptance gate for the concurrent engine is
+// ≥ 2× single-worker throughput on a multi-core runner).
+func BenchmarkLocateParallel(b *testing.B) {
+	sys, batch := warmedSystem(b, locater.DependentVariant)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)-1) % len(batch)
+			q := batch[i]
+			if _, err := sys.Locate(q.Device, q.Time); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkLocateBatch measures LocateBatch end to end (one op = the whole
+// batch) at a worker pool matching GOMAXPROCS versus a single worker — the
+// serialized baseline the global-mutex engine was limited to.
+func BenchmarkLocateBatch(b *testing.B) {
+	sys, batch := warmedSystem(b, locater.DependentVariant)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"gomaxprocs", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				q := queries[i%len(queries)]
-				if _, err := sys.Locate(q.Device, q.Time); err != nil {
-					b.Fatal(err)
+				results := sys.LocateBatch(batch, bc.workers)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
 				}
 			}
 		})

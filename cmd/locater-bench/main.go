@@ -1,6 +1,9 @@
 // Command locater-bench regenerates the paper's evaluation tables and
 // figures (Section 6) over simulated workloads and prints them in the same
-// row/series structure the paper reports.
+// row/series structure the paper reports. It also measures the concurrent
+// query engine: -throughput runs the same query workload through
+// System.LocateBatch at increasing worker-pool sizes and reports
+// queries/sec and the multi-core speedup over a single worker.
 //
 // Usage:
 //
@@ -8,26 +11,31 @@
 //	locater-bench -exp table3     # run one experiment
 //	locater-bench -list           # list experiments
 //	locater-bench -per-class 8 -days 70 -queries 500 -seed 7
+//	locater-bench -throughput -workers 8   # parallel LocateBatch scaling
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"locater"
 	"locater/internal/experiments"
 )
 
 func main() {
 	var (
-		expName  = flag.String("exp", "", "experiment to run (default: all); see -list")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		perClass = flag.Int("per-class", 0, "people per predictability class (default 6)")
-		days     = flag.Int("days", 0, "simulated days (default 70)")
-		queries  = flag.Int("queries", 0, "queries per experiment (default 400)")
-		seed     = flag.Int64("seed", 0, "random seed (default 1)")
-		slow     = flag.Bool("faithful", false, "verbatim Algorithm 1 (one promotion per self-training round; slower)")
+		expName    = flag.String("exp", "", "experiment to run (default: all); see -list")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		perClass   = flag.Int("per-class", 0, "people per predictability class (default 6)")
+		days       = flag.Int("days", 0, "simulated days (default 70)")
+		queries    = flag.Int("queries", 0, "queries per experiment (default 400)")
+		seed       = flag.Int64("seed", 0, "random seed (default 1)")
+		slow       = flag.Bool("faithful", false, "verbatim Algorithm 1 (one promotion per self-training round; slower)")
+		throughput = flag.Bool("throughput", false, "measure parallel LocateBatch throughput instead of the paper tables")
+		workers    = flag.Int("workers", 0, "max worker-pool size for -throughput (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,14 @@ func main() {
 		Seed:     *seed,
 		Fast:     !*slow,
 	}.WithDefaults()
+
+	if *throughput {
+		if err := runThroughput(p, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	drivers := experiments.All()
 	if *expName != "" {
@@ -68,4 +84,67 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", d.Name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runThroughput measures the concurrent query engine: the same warmed
+// workload is answered through System.LocateBatch with 1, 2, 4, ...
+// workers, and the run reports queries/sec plus the speedup over a single
+// worker (the serialized baseline).
+func runThroughput(p experiments.Params, maxWorkers int) error {
+	if maxWorkers < 1 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	// Build + ingest + warm through the same helper the root benchmarks
+	// use, so -throughput and `go test -bench` measure one steady state.
+	warmStart := time.Now()
+	sys, batch, err := experiments.WarmedSystem(p, locater.DependentVariant)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d events, %d devices, %d queries (build+warm-up %v)\n",
+		sys.NumEvents(), sys.NumDevices(), len(batch), time.Since(warmStart).Round(time.Millisecond))
+	fmt.Printf("%-8s %12s %12s %9s\n", "workers", "total", "queries/sec", "speedup")
+
+	// Pool sizes: powers of two up to maxWorkers, plus maxWorkers itself.
+	var sizes []int
+	for w := 1; w < maxWorkers; w *= 2 {
+		sizes = append(sizes, w)
+	}
+	sizes = append(sizes, maxWorkers)
+
+	base := 0.0
+	for _, w := range sizes {
+		elapsed, err := timeBatch(sys, batch, w)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		qps := float64(len(batch)) / elapsed.Seconds()
+		if w == 1 {
+			base = qps
+		}
+		fmt.Printf("%-8d %12v %12.0f %8.2fx\n", w, elapsed.Round(time.Millisecond), qps, qps/base)
+	}
+	return nil
+}
+
+// timeBatch runs the batch a few times at the given pool size and returns
+// the fastest wall-clock time (minimum-of-3, the usual noise filter). Any
+// per-query error fails the measurement — a batch that errors must not be
+// reported as served throughput.
+func timeBatch(sys *locater.System, batch []locater.Query, workers int) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		results := sys.LocateBatch(batch, workers)
+		d := time.Since(start)
+		for _, r := range results {
+			if r.Err != nil {
+				return 0, fmt.Errorf("query (%s, %v): %w", r.Query.Device, r.Query.Time, r.Err)
+			}
+		}
+		if rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
 }

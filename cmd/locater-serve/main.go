@@ -6,6 +6,8 @@
 // Endpoints:
 //
 //	GET  /locate?device=MAC&time=2006-01-02T15:04:05Z   → localization result
+//	POST /locate/batch  body: {"queries":[{device,time}...], "workers":N}
+//	                                                    → batch results, in order
 //	POST /ingest   body: JSON array of {device, time, ap}  → ingest events
 //	GET  /stats                                         → system counters
 //	GET  /healthz                                       → liveness

@@ -1,0 +1,3 @@
+module locater
+
+go 1.24

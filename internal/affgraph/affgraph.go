@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locater/internal/event"
@@ -36,8 +37,6 @@ type Graph struct {
 	// edges[a][b] = observations, stored symmetrically (a < b).
 	edges map[event.DeviceID]map[event.DeviceID][]WeightedEdge
 
-	// pairCache memoizes collapsed device affinities per (pair, bucket).
-	pairCache map[pairKey]float64
 	// sigma of the Gaussian kernel used to collapse edge vectors.
 	sigma time.Duration
 	// maxObservations bounds the per-edge vector; oldest entries are
@@ -72,7 +71,6 @@ func New(opts Options) *Graph {
 	}
 	return &Graph{
 		edges:           make(map[event.DeviceID]map[event.DeviceID][]WeightedEdge),
-		pairCache:       make(map[pairKey]float64),
 		sigma:           opts.Sigma,
 		maxObservations: opts.MaxObservationsPerEdge,
 	}
@@ -109,11 +107,6 @@ func (g *Graph) Merge(edges []Edge, tq time.Time) {
 		}
 		m[b] = v
 		g.numUpdates++
-	}
-	// Invalidate the collapsed-weight cache lazily by generation: simplest
-	// correct policy is to clear it when the graph changes.
-	if len(edges) > 0 {
-		g.pairCache = make(map[pairKey]float64)
 	}
 }
 
@@ -247,10 +240,25 @@ type CachedAffinity struct {
 	// Default 1 hour.
 	BucketSize time.Duration
 
-	mu    sync.Mutex
+	// mu guards cache and inflight; lookups take the shared lock so
+	// concurrent queries hit the cache in parallel. Counters are atomics
+	// so the read path never needs the exclusive lock.
+	mu    sync.RWMutex
 	cache map[pairKey]float64
+	// inflight deduplicates concurrent misses for the same key
+	// (singleflight): the fallback computation is the most expensive step
+	// of the fine stage, so only one goroutine runs it while the rest wait
+	// for its result.
+	inflight map[pairKey]*inflightAffinity
 
-	hits, misses int
+	hits, misses atomic.Int64
+}
+
+// inflightAffinity is one in-progress fallback computation. val is written
+// before done is closed, so waiters reading after <-done see it.
+type inflightAffinity struct {
+	done chan struct{}
+	val  float64
 }
 
 // NewCachedAffinity wires a graph in front of a fallback provider.
@@ -260,37 +268,68 @@ func NewCachedAffinity(g *Graph, fallback interface {
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
-	return &CachedAffinity{Graph: g, Fallback: fallback, BucketSize: bucket, cache: make(map[pairKey]float64)}
+	return &CachedAffinity{
+		Graph:      g,
+		Fallback:   fallback,
+		BucketSize: bucket,
+		cache:      make(map[pairKey]float64),
+		inflight:   make(map[pairKey]*inflightAffinity),
+	}
 }
 
 // PairAffinity implements fine.PairAffinityProvider.
 func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float64 {
 	if w := c.Graph.Weight(a, b, ref); w > 0 {
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
+		c.hits.Add(1)
 		return w
 	}
 	x, y := orderPair(a, b)
 	key := pairKey{a: x, b: y, bucket: ref.Unix() / int64(c.BucketSize.Seconds())}
-	c.mu.Lock()
-	if v, ok := c.cache[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	c.mu.RLock()
+	v, ok := c.cache[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
 		return v
 	}
-	c.misses++
-	c.mu.Unlock()
-	v := c.Fallback.PairAffinity(a, b, ref)
+	// Miss: join an in-flight computation for this key if one exists,
+	// otherwise claim it.
 	c.mu.Lock()
-	c.cache[key] = v
+	if v, ok := c.cache[key]; ok { // filled between the lock hand-off
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		c.hits.Add(1)
+		return call.val
+	}
+	call := &inflightAffinity{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
+	c.misses.Add(1)
+	// Publish in a defer so a panicking fallback (recovered by callers
+	// like net/http) can never leave waiters blocked on done forever;
+	// only a successful computation is cached.
+	computed := false
+	defer func() {
+		c.mu.Lock()
+		if computed {
+			c.cache[key] = v
+		}
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		call.val = v
+		close(call.done)
+	}()
+	v = c.Fallback.PairAffinity(a, b, ref)
+	computed = true
 	return v
 }
 
 // Stats reports cache hits and misses.
 func (c *CachedAffinity) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return int(c.hits.Load()), int(c.misses.Load())
 }

@@ -23,6 +23,7 @@ package coarse
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"locater/internal/event"
@@ -90,17 +91,51 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Localizer answers coarse queries against a store and building.
+// numModelShards is the number of independent locks/maps the per-device
+// model cache is partitioned into. 64 keeps lock contention negligible even
+// with hundreds of concurrent queries while wasting little memory on an
+// idle system.
+const numModelShards = 64
+
+// modelShard is one partition of the per-device model cache. The shard
+// mutex is held across lazy training, so two concurrent queries for the
+// same (untrained) device train its model exactly once; queries for
+// devices in other shards proceed unimpeded.
+type modelShard struct {
+	mu     sync.Mutex
+	models map[event.DeviceID]*deviceModel
+}
+
+// Localizer answers coarse queries against a store and building. It is safe
+// for concurrent use: the per-device model cache is sharded by a hash of
+// the device ID, so queries, training, and invalidation for unrelated
+// devices never contend on a common lock.
 type Localizer struct {
 	opts     Options
 	building *space.Building
 	store    *store.Store
 
-	// models caches per-device trained classifiers.
-	models map[event.DeviceID]*deviceModel
-	// population is the building-wide fallback model for devices with no
+	// shards partition the cache of per-device trained classifiers.
+	shards [numModelShards]modelShard
+
+	// popMu guards the building-wide fallback model for devices with no
 	// history of their own (paper footnote 5).
+	popMu      sync.Mutex
 	population *deviceModel
+}
+
+// shardFor hashes a device ID (FNV-1a) onto its model-cache shard.
+func (l *Localizer) shardFor(d event.DeviceID) *modelShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(d); i++ {
+		h ^= uint32(d[i])
+		h *= prime32
+	}
+	return &l.shards[h%numModelShards]
 }
 
 // Result is the coarse-level answer for a query.
@@ -121,22 +156,37 @@ type Result struct {
 
 // New creates a coarse localizer over the given building and store.
 func New(b *space.Building, st *store.Store, opts Options) *Localizer {
-	return &Localizer{
+	l := &Localizer{
 		opts:     opts.withDefaults(),
 		building: b,
 		store:    st,
-		models:   make(map[event.DeviceID]*deviceModel),
 	}
+	for i := range l.shards {
+		l.shards[i].models = make(map[event.DeviceID]*deviceModel)
+	}
+	return l
 }
 
 // InvalidateDevice drops the cached model for a device (e.g. after new
-// history was ingested).
-func (l *Localizer) InvalidateDevice(d event.DeviceID) { delete(l.models, d) }
+// history was ingested). Only the device's shard is locked.
+func (l *Localizer) InvalidateDevice(d event.DeviceID) {
+	sh := l.shardFor(d)
+	sh.mu.Lock()
+	delete(sh.models, d)
+	sh.mu.Unlock()
+}
 
 // InvalidateAll drops every cached model, including the population model.
 func (l *Localizer) InvalidateAll() {
-	l.models = make(map[event.DeviceID]*deviceModel)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.models = make(map[event.DeviceID]*deviceModel)
+		sh.mu.Unlock()
+	}
+	l.popMu.Lock()
 	l.population = nil
+	l.popMu.Unlock()
 }
 
 // Locate answers the coarse query (d, t_q).
@@ -178,12 +228,15 @@ func (l *Localizer) openGap(d event.DeviceID, tq time.Time) (event.Gap, bool) {
 	if !ok {
 		return event.Gap{}, false
 	}
-	start := last.Time.Add(l.store.Delta(d))
+	// Read δ once: a concurrent EstimateDeltas/SetDelta between two reads
+	// would otherwise synthesize a gap from two different deltas.
+	delta := l.store.Delta(d)
+	start := last.Time.Add(delta)
 	if !start.Before(tq) {
 		return event.Gap{}, false
 	}
 	next := last
-	next.Time = tq.Add(l.store.Delta(d))
+	next.Time = tq.Add(delta)
 	return event.Gap{
 		Device:    d,
 		Start:     start,

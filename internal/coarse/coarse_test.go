@@ -1,6 +1,7 @@
 package coarse
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +11,27 @@ import (
 )
 
 var t0 = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC) // Monday midnight
+
+// cachedModel peeks at the sharded cache for a device without training.
+func (l *Localizer) cachedModel(d event.DeviceID) (*deviceModel, bool) {
+	sh := l.shardFor(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.models[d]
+	return m, ok
+}
+
+// numCachedModels counts cached per-device models across all shards.
+func (l *Localizer) numCachedModels() int {
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.models)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // testBuilding builds a 3-AP, 9-room building.
 func testBuilding(t *testing.T) *space.Building {
@@ -250,26 +272,74 @@ func TestModelCaching(t *testing.T) {
 	if _, err := l.Locate("dev", tq); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := l.models["dev"]; !ok {
+	m1, ok := l.cachedModel("dev")
+	if !ok {
 		t.Fatal("model not cached after first query")
 	}
-	m1 := l.models["dev"]
 	if _, err := l.Locate("dev", tq); err != nil {
 		t.Fatal(err)
 	}
-	if l.models["dev"] != m1 {
+	if m2, _ := l.cachedModel("dev"); m2 != m1 {
 		t.Error("model retrained despite cache")
 	}
 	l.InvalidateDevice("dev")
-	if _, ok := l.models["dev"]; ok {
+	if _, ok := l.cachedModel("dev"); ok {
 		t.Error("InvalidateDevice did not evict")
 	}
 	if _, err := l.Locate("dev", tq); err != nil {
 		t.Fatal(err)
 	}
 	l.InvalidateAll()
-	if len(l.models) != 0 {
+	if l.numCachedModels() != 0 {
 		t.Error("InvalidateAll left models")
+	}
+}
+
+// TestConcurrentModelCache drives Locate (lazy shard-locked training)
+// against per-device and global invalidation from many goroutines across
+// many devices — the sharded cache's contention surface (run under -race
+// in CI).
+func TestConcurrentModelCache(t *testing.T) {
+	b := testBuilding(t)
+	st := store.New(0)
+	devices := []event.DeviceID{"dev0", "dev1", "dev2", "dev3", "dev4", "dev5"}
+	for _, d := range devices {
+		seedHistory(t, st, d, 8)
+	}
+	l := newLocalizer(t, b, st)
+
+	tq := t0.AddDate(0, 0, 7).Add(12*time.Hour + 20*time.Minute)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				d := devices[(i+w)%len(devices)]
+				if _, err := l.Locate(d, tq); err != nil {
+					t.Errorf("concurrent Locate(%s): %v", d, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			l.InvalidateDevice(devices[i%len(devices)])
+			if i%10 == 9 {
+				l.InvalidateAll()
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles every device still answers.
+	for _, d := range devices {
+		if _, err := l.Locate(d, tq); err != nil {
+			t.Fatalf("post-race Locate(%s): %v", d, err)
+		}
 	}
 }
 

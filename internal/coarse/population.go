@@ -18,7 +18,11 @@ import (
 // Pooling uses only bootstrap labels (no per-device self-training): the
 // population model captures building-wide rhythm (night gaps are outside,
 // short daytime gaps are inside), not individual habits.
+// populationModel is called with a model-shard lock held; popMu is always
+// acquired after a shard lock (never the reverse), so the order is acyclic.
 func (l *Localizer) populationModel(ref time.Time) *deviceModel {
+	l.popMu.Lock()
+	defer l.popMu.Unlock()
 	if l.population != nil && !l.population.trainedAt.Before(ref) {
 		return l.population
 	}

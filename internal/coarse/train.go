@@ -40,16 +40,23 @@ const (
 	classOutside = 1
 )
 
-// model returns (training on demand) the device's classifiers.
+// model returns (training on demand) the device's classifiers. The device's
+// cache shard stays locked across training so concurrent queries for the
+// same device train exactly once; devices hashed to other shards proceed in
+// parallel. Trained models are immutable, so the returned *deviceModel is
+// safe to use after the shard lock is released.
 func (l *Localizer) model(d event.DeviceID) (*deviceModel, error) {
-	if m, ok := l.models[d]; ok {
+	sh := l.shardFor(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m, ok := sh.models[d]; ok {
 		return m, nil
 	}
 	m, err := l.train(d)
 	if err != nil {
 		return nil, err
 	}
-	l.models[d] = m
+	sh.models[d] = m
 	return m, nil
 }
 

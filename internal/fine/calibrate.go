@@ -86,10 +86,13 @@ func (s *LabelStore) Devices() []event.DeviceID {
 // probability distribution over the candidates. With no labels the prior is
 // returned unchanged (the same map, not a copy).
 func (s *LabelStore) Blend(d event.DeviceID, prior map[space.RoomID]float64) map[space.RoomID]float64 {
+	// The shared lock is held across the whole computation: the inner
+	// visits map is mutated by Add under the write lock, so it must not be
+	// read after RUnlock.
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	visits := s.visits[d]
 	kappa := s.Smoothing
-	s.mu.RUnlock()
 	if len(visits) == 0 {
 		return prior
 	}
@@ -110,7 +113,10 @@ func (s *LabelStore) Blend(d event.DeviceID, prior map[space.RoomID]float64) map
 }
 
 // SetLabelStore attaches a crowd-sourced label store to the localizer; nil
-// detaches. Attached labels sharpen every subsequent query's prior.
+// detaches. Attached labels sharpen every subsequent query's prior. Call it
+// during setup, before queries are served concurrently: the pointer itself
+// is not synchronized (the LabelStore is, so adding labels while queries
+// run is fine).
 func (l *Localizer) SetLabelStore(s *LabelStore) { l.labels = s }
 
 // priorFor computes the (possibly time-dependent, possibly label-sharpened)

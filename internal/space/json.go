@@ -44,6 +44,7 @@ func (b *Building) WriteJSON(w io.Writer) error {
 		}
 		cfg.APs = append(cfg.APs, jsonAP{ID: string(ap.ID), Coverage: cov})
 	}
+	b.prefMu.RLock()
 	for dev, rooms := range b.preferred {
 		rs := make([]string, len(rooms))
 		for i, r := range rooms {
@@ -51,6 +52,7 @@ func (b *Building) WriteJSON(w io.Writer) error {
 		}
 		cfg.Preferred[dev] = rs
 	}
+	b.prefMu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(cfg)

@@ -18,6 +18,7 @@ package space
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // RoomKind classifies a room as public or private (paper Section 2).
@@ -71,8 +72,12 @@ type AccessPoint struct {
 	Coverage []RoomID
 }
 
-// Building is the immutable space metadata LOCATER operates on. Construct it
-// with NewBuilding, which validates and indexes the rooms and access points.
+// Building is the space metadata LOCATER operates on. Construct it with
+// NewBuilding, which validates and indexes the rooms and access points. The
+// structural metadata (rooms, APs, coverage) is immutable after
+// construction; the per-device preferred-room registrations may be updated
+// at run time and are internally synchronized, so a Building is safe for
+// concurrent use.
 type Building struct {
 	name string
 
@@ -91,6 +96,11 @@ type Building struct {
 	// regionsOfRoom[room] = sorted region IDs whose AP covers the room.
 	regionsOfRoom map[RoomID][]RegionID
 
+	// prefMu guards the two preference maps below — the only Building
+	// state that may change at run time (paper Appendix 9.1: preferred
+	// rooms "can be included at run time"). Every other field is immutable
+	// after NewBuilding, so queries read it without locking.
+	prefMu sync.RWMutex
 	// preferred[device] = sorted preferred rooms R^pf(d) for a device.
 	preferred map[string][]RoomID
 	// timePreferred[device] = time-of-day-scoped preference windows that
@@ -273,8 +283,13 @@ func (b *Building) Coverage(ap APID) []RoomID { return b.coverage[ap] }
 func (b *Building) RegionsOfRoom(r RoomID) []RegionID { return b.regionsOfRoom[r] }
 
 // PreferredRooms returns R^pf(device): the sorted preferred rooms registered
-// for the device, or nil when the owner has none.
-func (b *Building) PreferredRooms(device string) []RoomID { return b.preferred[device] }
+// for the device, or nil when the owner has none. The slice is shared;
+// callers must not modify it.
+func (b *Building) PreferredRooms(device string) []RoomID {
+	b.prefMu.RLock()
+	defer b.prefMu.RUnlock()
+	return b.preferred[device]
+}
 
 // SetPreferredRooms registers (or replaces) the preferred rooms for a device
 // at run time. The paper notes this metadata "is not a must for LOCATER and
@@ -295,7 +310,9 @@ func (b *Building) SetPreferredRooms(device string, rooms []RoomID) error {
 		}
 	}
 	sort.Slice(prefs, func(i, j int) bool { return prefs[i] < prefs[j] })
+	b.prefMu.Lock()
 	b.preferred[device] = prefs
+	b.prefMu.Unlock()
 	return nil
 }
 

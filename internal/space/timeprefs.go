@@ -58,16 +58,20 @@ func (b *Building) SetTimePreferredRooms(device string, prefs []TimePreference) 
 		sort.Slice(rooms, func(x, y int) bool { return rooms[x] < rooms[y] })
 		cleaned = append(cleaned, TimePreference{StartMinute: p.StartMinute, EndMinute: p.EndMinute, Rooms: rooms})
 	}
+	b.prefMu.Lock()
 	if b.timePreferred == nil {
 		b.timePreferred = make(map[string][]TimePreference)
 	}
 	b.timePreferred[device] = cleaned
+	b.prefMu.Unlock()
 	return nil
 }
 
 // TimePreferredRooms returns the registered time-scoped preferences for a
-// device (nil when none).
+// device (nil when none). The slice is shared; callers must not modify it.
 func (b *Building) TimePreferredRooms(device string) []TimePreference {
+	b.prefMu.RLock()
+	defer b.prefMu.RUnlock()
 	return b.timePreferred[device]
 }
 
@@ -76,6 +80,8 @@ func (b *Building) TimePreferredRooms(device string) []TimePreference {
 // preferred rooms when no window matches.
 func (b *Building) PreferredRoomsAt(device string, t time.Time) []RoomID {
 	minute := t.Hour()*60 + t.Minute()
+	b.prefMu.RLock()
+	defer b.prefMu.RUnlock()
 	for _, p := range b.timePreferred[device] {
 		if p.contains(minute) {
 			return p.Rooms

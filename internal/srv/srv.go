@@ -8,28 +8,39 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
+	"runtime"
 	"time"
 
 	"locater"
 	"locater/internal/event"
 )
 
-// Server wraps a LOCATER system with HTTP handlers. It serializes ingestion
-// (the underlying store is already concurrency-safe; the mutex keeps
-// model-invalidation and ingest atomic per request).
+// Server wraps a LOCATER system with HTTP handlers. It holds no lock of its
+// own: the system is safe for concurrent use (sharded model cache, shared
+// store read locks), so request handlers run fully in parallel on Go's
+// per-connection serving goroutines.
 type Server struct {
-	mu  sync.Mutex
 	sys *locater.System
 	mux *http.ServeMux
+
+	// batchSem bounds the number of batch requests executing at once, so
+	// the total worker-pool size across concurrent /locate/batch requests
+	// stays bounded (see handleLocateBatch).
+	batchSem chan struct{}
 
 	started time.Time
 }
 
 // New builds the HTTP handler around an assembled system.
 func New(sys *locater.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{
+		sys:      sys,
+		mux:      http.NewServeMux(),
+		batchSem: make(chan struct{}, 4),
+		started:  time.Now(),
+	}
 	s.mux.HandleFunc("/locate", s.handleLocate)
+	s.mux.HandleFunc("/locate/batch", s.handleLocateBatch)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -48,6 +59,34 @@ type LocateResponse struct {
 	Room     string  `json:"room,omitempty"`
 	RoomProb float64 `json:"room_probability,omitempty"`
 	Repaired bool    `json:"repaired"`
+}
+
+// BatchQuery is one query of a POST /locate/batch request.
+type BatchQuery struct {
+	Device string `json:"device"`
+	// Time is RFC 3339 or the paper's "2006-01-02 15:04:05" layout;
+	// empty means "now".
+	Time string `json:"time"`
+}
+
+// BatchLocateRequest is the JSON body of POST /locate/batch.
+type BatchLocateRequest struct {
+	Queries []BatchQuery `json:"queries"`
+	// Workers bounds the server-side worker pool; 0 uses GOMAXPROCS and
+	// larger values are clamped to GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchLocateResult is one answer of a batch response. Error is per-query:
+// one failing query does not fail the batch.
+type BatchLocateResult struct {
+	LocateResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchLocateResponse is the JSON shape of a batch answer, in request order.
+type BatchLocateResponse struct {
+	Results []BatchLocateResult `json:"results"`
 }
 
 // IngestEvent is the JSON shape of one streamed connectivity event.
@@ -85,14 +124,16 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
 	res, err := s.sys.Locate(locater.DeviceID(device), tq)
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, LocateResponse{
+	writeJSON(w, locateResponseOf(device, tq, res))
+}
+
+func locateResponseOf(device string, tq time.Time, res locater.Result) LocateResponse {
+	return LocateResponse{
 		Device:   device,
 		Time:     tq.UTC().Format(time.RFC3339),
 		Outside:  res.Outside,
@@ -100,7 +141,68 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		Room:     string(res.Room),
 		RoomProb: res.RoomProbability,
 		Repaired: res.Repaired,
-	})
+	}
+}
+
+// maxBatchBody bounds a /locate/batch request body (8 MiB ≈ several
+// hundred thousand queries) so one client cannot exhaust server memory.
+const maxBatchBody = 8 << 20
+
+// handleLocateBatch answers many queries in one request via the system's
+// bounded worker pool (POST /locate/batch). Results come back in request
+// order with per-query errors. The requested worker count is advisory —
+// the server clamps it to GOMAXPROCS — and batchSem bounds how many batch
+// requests execute at once, so the total goroutine pool stays bounded
+// (clamp × semaphore) no matter how many clients connect; excess requests
+// queue on the semaphore.
+func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var in BatchLocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	if max := runtime.GOMAXPROCS(0); in.Workers > max {
+		in.Workers = max
+	}
+	if len(in.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "empty queries")
+		return
+	}
+	queries := make([]locater.Query, len(in.Queries))
+	for i, q := range in.Queries {
+		if q.Device == "" {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d: missing device", i))
+			return
+		}
+		tq, err := parseTime(q.Time)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		queries[i] = locater.Query{Device: locater.DeviceID(q.Device), Time: tq}
+	}
+	// The semaphore is taken only around the actual work — after the body
+	// is fully read and validated — so a slow or stalling client cannot
+	// hold a slot while trickling its request in.
+	s.batchSem <- struct{}{}
+	batch := s.sys.LocateBatch(queries, in.Workers)
+	<-s.batchSem
+	resp := BatchLocateResponse{Results: make([]BatchLocateResult, len(batch))}
+	for i, br := range batch {
+		out := BatchLocateResult{
+			LocateResponse: locateResponseOf(string(br.Query.Device), br.Query.Time, br.Result),
+		}
+		if br.Err != nil {
+			out.Error = br.Err.Error()
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -126,10 +228,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			AP:     locater.APID(e.AP),
 		})
 	}
-	s.mu.Lock()
-	err := s.sys.Ingest(events)
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.sys.Ingest(events); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -141,7 +240,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
 	edges, hits, misses := s.sys.CacheStats()
 	resp := StatsResponse{
 		Events:       s.sys.NumEvents(),
@@ -153,7 +251,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
 		Building:     s.sys.Building().Name(),
 	}
-	s.mu.Unlock()
 	writeJSON(w, resp)
 }
 

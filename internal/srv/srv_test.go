@@ -93,6 +93,65 @@ func TestLocateEndpointValidation(t *testing.T) {
 	}
 }
 
+func TestLocateBatchEndpoint(t *testing.T) {
+	s, ds := newTestServer(t)
+	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour).Format(time.RFC3339)
+	req := BatchLocateRequest{
+		Queries: []BatchQuery{
+			{Device: string(ds.People[0].Device), Time: tq},
+			{Device: string(ds.People[1].Device), Time: tq},
+			{Device: string(ds.People[0].Device), Time: tq},
+		},
+		Workers: 2,
+	}
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/locate/batch", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("locate/batch = %d: %s", rec.Code, rec.Body)
+	}
+	var resp BatchLocateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(req.Queries) {
+		t.Fatalf("got %d results for %d queries", len(resp.Results), len(req.Queries))
+	}
+	for i, r := range resp.Results {
+		if r.Device != req.Queries[i].Device {
+			t.Errorf("result %d device = %s, want %s (order not preserved)", i, r.Device, req.Queries[i].Device)
+		}
+		if r.Error != "" {
+			t.Errorf("result %d error: %s", i, r.Error)
+		}
+		if !r.Outside && r.Room == "" {
+			t.Errorf("result %d inside without a room", i)
+		}
+	}
+}
+
+func TestLocateBatchEndpointValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		method string
+		body   string
+		code   int
+	}{
+		{http.MethodGet, "", http.StatusMethodNotAllowed},
+		{http.MethodPost, `not json`, http.StatusBadRequest},
+		{http.MethodPost, `{"queries":[]}`, http.StatusBadRequest},
+		{http.MethodPost, `{"queries":[{"device":"","time":""}]}`, http.StatusBadRequest},
+		{http.MethodPost, `{"queries":[{"device":"d","time":"garbage"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(tc.method, "/locate/batch", bytes.NewReader([]byte(tc.body))))
+		if rec.Code != tc.code {
+			t.Errorf("%s body %q = %d, want %d", tc.method, tc.body, rec.Code, tc.code)
+		}
+	}
+}
+
 func TestIngestEndpoint(t *testing.T) {
 	s, ds := newTestServer(t)
 	ap := ds.Building.AccessPoints()[0]

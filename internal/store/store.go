@@ -25,7 +25,10 @@ import (
 const DefaultDelta = 10 * time.Minute
 
 // Store is an in-memory event repository. It is safe for concurrent use:
-// reads take a shared lock, ingestion takes an exclusive lock.
+// reads take a shared lock in the common case (all logs sorted), so
+// concurrent queries scan the store in parallel; ingestion — and the lazy
+// re-sort a read triggers after out-of-order ingestion — takes an exclusive
+// lock.
 type Store struct {
 	mu sync.RWMutex
 
@@ -37,6 +40,11 @@ type Store struct {
 	defaultDelta time.Duration
 
 	nextID int64
+
+	// unsorted counts device logs knocked out of time order by
+	// out-of-order ingestion, so read paths can test "everything sorted"
+	// in O(1) instead of scanning all logs.
+	unsorted int
 
 	// bounds of all ingested data.
 	minTime time.Time
@@ -79,10 +87,44 @@ func (s *Store) SetDelta(d event.DeviceID, delta time.Duration) error {
 func (s *Store) Delta(d event.DeviceID) time.Duration {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.deltaLocked(d)
+}
+
+// deltaLocked is Delta with a store lock (shared or exclusive) already held.
+func (s *Store) deltaLocked(d event.DeviceID) time.Duration {
 	if dl, ok := s.deltas[d]; ok {
 		return dl
 	}
 	return s.defaultDelta
+}
+
+// withSortedLog invokes fn with the device's sorted event log and validity
+// interval while a store lock is held: a shared lock in the common case
+// (the log is already sorted), an exclusive one only when a lazy sort is
+// needed after out-of-order ingestion. fn must not retain or mutate evs.
+// Reports whether the device exists.
+func (s *Store) withSortedLog(d event.DeviceID, fn func(evs []event.Event, delta time.Duration)) bool {
+	s.mu.RLock()
+	lg, ok := s.logs[d]
+	if ok && lg.sorted {
+		fn(lg.events, s.deltaLocked(d))
+		s.mu.RUnlock()
+		return true
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-fetch: the log may have grown between the lock hand-off.
+	lg, ok = s.logs[d]
+	if !ok {
+		return false
+	}
+	s.ensureSorted(lg)
+	fn(lg.events, s.deltaLocked(d))
+	return true
 }
 
 // EstimateDeltas derives δ(d) for every device from its own log (see
@@ -92,17 +134,17 @@ func (s *Store) EstimateDeltas(quantile float64, minD, maxD time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for dev, lg := range s.logs {
-		lg.ensureSorted()
+		s.ensureSorted(lg)
 		d := event.EstimateDelta(lg.events, quantile, minD, maxD, s.defaultDelta)
 		s.deltas[dev] = d
 	}
 }
 
 // Ingest adds a batch of events. Events with ID == 0 receive fresh sequence
-// numbers. Returns the number of events added.
+// numbers. Returns the number of events added. The whole batch is validated
+// before anything is appended, so a rejected batch leaves the store
+// untouched (all-or-nothing).
 func (s *Store) Ingest(events []event.Event) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, e := range events {
 		if e.Device == "" {
 			return 0, fmt.Errorf("store: event with empty device at %v", e.Time)
@@ -113,6 +155,10 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 		if e.Time.IsZero() {
 			return 0, fmt.Errorf("store: event with zero timestamp for device %s", e.Device)
 		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
 		if e.ID == 0 {
 			e.ID = s.nextID
 		}
@@ -128,6 +174,7 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 		// common case for streaming ingestion.
 		if lg.sorted && len(lg.events) > 0 && e.Before(lg.events[len(lg.events)-1]) {
 			lg.sorted = false
+			s.unsorted++
 		}
 		lg.events = append(lg.events, e)
 		if s.count == 0 || e.Time.Before(s.minTime) {
@@ -147,10 +194,13 @@ func (s *Store) IngestOne(e event.Event) error {
 	return err
 }
 
-func (lg *deviceLog) ensureSorted() {
+// ensureSorted re-sorts a log after out-of-order ingestion and maintains
+// the store's unsorted counter. Callers must hold the exclusive lock.
+func (s *Store) ensureSorted(lg *deviceLog) {
 	if !lg.sorted {
 		event.SortEvents(lg.events)
 		lg.sorted = true
+		s.unsorted--
 	}
 }
 
@@ -193,36 +243,27 @@ func (s *Store) Devices() []event.DeviceID {
 
 // Events returns a copy of a device's full event log in time order.
 func (s *Store) Events(d event.DeviceID) []event.Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lg, ok := s.logs[d]
-	if !ok {
-		return nil
-	}
-	lg.ensureSorted()
-	out := make([]event.Event, len(lg.events))
-	copy(out, lg.events)
+	var out []event.Event
+	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
+		out = make([]event.Event, len(evs))
+		copy(out, evs)
+	})
 	return out
 }
 
 // EventsBetween returns a copy of the device's events with
 // start ≤ t ≤ end, via binary search.
 func (s *Store) EventsBetween(d event.DeviceID, start, end time.Time) []event.Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lg, ok := s.logs[d]
-	if !ok {
-		return nil
-	}
-	lg.ensureSorted()
-	evs := lg.events
-	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
-	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
-	if lo >= hi {
-		return nil
-	}
-	out := make([]event.Event, hi-lo)
-	copy(out, evs[lo:hi])
+	var out []event.Event
+	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
+		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
+		hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
+		if lo >= hi {
+			return
+		}
+		out = make([]event.Event, hi-lo)
+		copy(out, evs[lo:hi])
+	})
 	return out
 }
 
@@ -241,25 +282,48 @@ func (s *Store) TimelineBetween(d event.DeviceID, start, end time.Time) (*event.
 
 // At classifies time t for device d: inside a validity interval, inside a
 // gap, or unknown (before first/after last event). It is the store-level
-// entry point the cleaning engine uses for every query.
+// entry point the cleaning engine uses for every query; it runs directly on
+// the shared sorted log (no per-query copy) under a shared lock.
 func (s *Store) At(d event.DeviceID, t time.Time) (*event.Validity, *event.Gap, error) {
-	tl, err := s.Timeline(d)
-	if err != nil {
-		return nil, nil, err
-	}
-	v, g := tl.At(t)
-	return v, g, nil
+	var v *event.Validity
+	var g *event.Gap
+	var err error
+	s.withSortedLog(d, func(evs []event.Event, delta time.Duration) {
+		if delta <= 0 {
+			err = fmt.Errorf("store: non-positive validity interval %v for device %s", delta, d)
+			return
+		}
+		// Timeline.At only reads the slice and returns freshly-allocated
+		// values, so the view never escapes the lock.
+		tl := event.Timeline{Device: d, Delta: delta, Events: evs}
+		v, g = tl.At(t)
+	})
+	return v, g, err
 }
 
 // ActiveDevices returns the devices that have at least one event with
 // timestamp in [start, end], sorted. The fine-grained algorithm uses this to
 // find candidate neighbor devices that are "online" around the query time.
 func (s *Store) ActiveDevices(start, end time.Time) []event.DeviceID {
+	s.mu.RLock()
+	if s.unsorted == 0 {
+		out := s.activeDevicesLocked(start, end)
+		s.mu.RUnlock()
+		return out
+	}
+	s.mu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, lg := range s.logs {
+		s.ensureSorted(lg)
+	}
+	return s.activeDevicesLocked(start, end)
+}
+
+// activeDevicesLocked scans the (sorted) logs with a store lock held.
+func (s *Store) activeDevicesLocked(start, end time.Time) []event.DeviceID {
 	var out []event.DeviceID
 	for d, lg := range s.logs {
-		lg.ensureSorted()
 		evs := lg.events
 		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
 		if lo < len(evs) && !evs[lo].Time.After(end) {
@@ -272,36 +336,30 @@ func (s *Store) ActiveDevices(start, end time.Time) []event.DeviceID {
 
 // LastEventAtOrBefore returns the device's latest event with Time ≤ t.
 func (s *Store) LastEventAtOrBefore(d event.DeviceID, t time.Time) (event.Event, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lg, ok := s.logs[d]
-	if !ok {
-		return event.Event{}, false
-	}
-	lg.ensureSorted()
-	evs := lg.events
-	idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
-	if idx == 0 {
-		return event.Event{}, false
-	}
-	return evs[idx-1], true
+	var e event.Event
+	var found bool
+	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
+		idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
+		if idx == 0 {
+			return
+		}
+		e, found = evs[idx-1], true
+	})
+	return e, found
 }
 
 // FirstEventAfter returns the device's earliest event with Time > t.
 func (s *Store) FirstEventAfter(d event.DeviceID, t time.Time) (event.Event, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lg, ok := s.logs[d]
-	if !ok {
-		return event.Event{}, false
-	}
-	lg.ensureSorted()
-	evs := lg.events
-	idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
-	if idx == len(evs) {
-		return event.Event{}, false
-	}
-	return evs[idx], true
+	var e event.Event
+	var found bool
+	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
+		idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
+		if idx == len(evs) {
+			return
+		}
+		e, found = evs[idx], true
+	})
+	return e, found
 }
 
 // CurrentAP returns the AP the device is connected to at time t when t falls
@@ -327,7 +385,7 @@ func (s *Store) Clone() *Store {
 		c.deltas[d] = dl
 	}
 	for dev, lg := range s.logs {
-		lg.ensureSorted()
+		s.ensureSorted(lg)
 		cp := make([]event.Event, len(lg.events))
 		copy(cp, lg.events)
 		c.logs[dev] = &deviceLog{events: cp, sorted: true}

@@ -242,6 +242,57 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestConcurrentOutOfOrderReads hammers every read method while another
+// goroutine ingests *out-of-order* events, repeatedly knocking logs out of
+// their sorted state. This exercises withSortedLog's shared-lock fast path
+// racing against its exclusive sort-upgrade path (run under -race in CI).
+func TestConcurrentOutOfOrderReads(t *testing.T) {
+	s := New(0)
+	const devices = 8
+	for d := 0; d < devices; d++ {
+		s.IngestOne(mk(fmt.Sprintf("d%d", d), time.Hour, "x"))
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			// Earlier than the seed event: marks the log unsorted.
+			dev := fmt.Sprintf("d%d", i%devices)
+			s.IngestOne(mk(dev, time.Duration(200-i)*time.Second, "x"))
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dev := event.DeviceID(fmt.Sprintf("d%d", (i+w)%devices))
+				tq := t0.Add(time.Duration(i%90) * time.Minute)
+				if _, _, err := s.At(dev, tq); err != nil {
+					t.Errorf("At: %v", err)
+					return
+				}
+				evs := s.Events(dev)
+				for j := 1; j < len(evs); j++ {
+					if evs[j].Before(evs[j-1]) {
+						t.Errorf("Events(%s) unsorted at %d", dev, j)
+						return
+					}
+				}
+				s.EventsBetween(dev, t0, t0.Add(time.Hour))
+				s.LastEventAtOrBefore(dev, tq)
+				s.FirstEventAfter(dev, tq)
+				s.ActiveDevices(t0, t0.Add(time.Hour))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.NumEvents(); got != devices+200 {
+		t.Errorf("NumEvents = %d, want %d", got, devices+200)
+	}
+}
+
 // Property: EventsBetween equals a naive scan over Events.
 func TestEventsBetweenProperty(t *testing.T) {
 	f := func(seed int64) bool {

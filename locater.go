@@ -26,7 +26,9 @@ package locater
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locater/internal/affgraph"
@@ -173,15 +175,24 @@ type Result struct {
 }
 
 // System is the LOCATER engine: storage + cleaning + caching. It is safe
-// for concurrent use: queries and ingestion serialize on an internal mutex
-// (the coarse stage's model cache is rebuilt lazily and must not race with
-// ingest-triggered invalidation).
+// for concurrent use and scales across cores: there is no system-wide lock.
+// Each component synchronizes independently —
+//
+//   - the store takes a shared lock for reads, an exclusive one for ingest;
+//   - the coarse stage's per-device model cache is sharded by a hash of the
+//     device ID, so training, queries, and ingest-triggered invalidation
+//     for unrelated devices never contend on a common lock;
+//   - the label store and the caching engine (global affinity graph +
+//     affinity cache) use read/write locks of their own;
+//   - the query counter is atomic.
+//
+// Concurrent Locate calls for different devices therefore run in parallel,
+// and Ingest interleaves with queries without stopping the world. The
+// remaining cross-query contention points are the store's shared lock,
+// same-shard model training, and — with EnableCache — the affinity graph's
+// write lock, which every query that produced local edges takes briefly to
+// merge them. See ARCHITECTURE.md for the full concurrency model.
 type System struct {
-	// mu guards the cleaning engines' lazily-built state (coarse models,
-	// label store) and the query counter. The store and affinity graph
-	// have their own finer-grained locks.
-	mu sync.Mutex
-
 	cfg      Config
 	building *space.Building
 	store    *store.Store
@@ -191,7 +202,7 @@ type System struct {
 	cached   *affgraph.CachedAffinity
 	labels   *fine.LabelStore
 
-	queries int
+	queries atomic.Int64
 }
 
 // New validates the configuration and assembles a system.
@@ -227,6 +238,11 @@ func New(cfg Config) (*System, error) {
 		orderer = s.graph
 	}
 	s.fine = fine.New(cfg.Building, st, provider, orderer, fineOpts)
+	// The label store is attached up front (an empty store is a no-op for
+	// the prior) so AddRoomLabel never has to swap the fine stage's
+	// pointer while concurrent queries read it.
+	s.labels = fine.NewLabelStore(0)
+	s.fine.SetLabelStore(s.labels)
 	// Fine localization resolves neighbor regions through the coarse
 	// stage when the neighbor is itself inside a gap.
 	s.fine.SetCoarseResolver(func(d event.DeviceID, tq time.Time) (space.RegionID, bool) {
@@ -240,10 +256,11 @@ func New(cfg Config) (*System, error) {
 }
 
 // Ingest adds a batch of connectivity events. Models trained before the
-// ingest are invalidated for the affected devices.
+// ingest are invalidated for the affected devices. Safe to call while
+// queries are in flight: invalidation follows the store write, so a model
+// trained concurrently from pre-ingest history is dropped and retrained on
+// the next query for that device.
 func (s *System) Ingest(events []Event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, err := s.store.Ingest(events); err != nil {
 		return err
 	}
@@ -255,8 +272,6 @@ func (s *System) Ingest(events []Event) error {
 
 // IngestOne adds one event (streaming ingestion).
 func (s *System) IngestOne(e Event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.store.IngestOne(e); err != nil {
 		return err
 	}
@@ -273,8 +288,6 @@ func (s *System) SetDelta(d DeviceID, delta time.Duration) error {
 // (Appendix 9.1), clamped to [min, max], at the given quantile of same-AP
 // inter-event spacings.
 func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.store.EstimateDeltas(quantile, min, max)
 	s.coarse.InvalidateAll()
 }
@@ -286,12 +299,6 @@ func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) {
 func (s *System) AddRoomLabel(d DeviceID, r RoomID, t time.Time) error {
 	if _, ok := s.building.Room(r); !ok {
 		return fmt.Errorf("locater: label references unknown room %s", r)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.labels == nil {
-		s.labels = fine.NewLabelStore(0)
-		s.fine.SetLabelStore(s.labels)
 	}
 	return s.labels.Add(d, r, t)
 }
@@ -305,11 +312,11 @@ func (s *System) SetTimePreferredRooms(d DeviceID, prefs []TimePreference) error
 
 // Locate answers the query Q = (device, t): the paper's end-to-end flow.
 // The coarse stage classifies the query point (validity hit, or gap repair);
-// if the device is inside, the fine stage disambiguates the room.
+// if the device is inside, the fine stage disambiguates the room. Locate is
+// safe to call from many goroutines; queries for unrelated devices run in
+// parallel (see LocateBatch for a pooled fan-out).
 func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.queries++
+	s.queries.Add(1)
 	cres, err := s.coarse.Locate(d, t)
 	if err != nil {
 		return Result{}, err
@@ -345,8 +352,6 @@ func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
 
 // LocateCoarse runs only the coarse stage (building/region granularity).
 func (s *System) LocateCoarse(d DeviceID, t time.Time) (outside bool, region RegionID, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cres, err := s.coarse.Locate(d, t)
 	if err != nil {
 		return false, "", err
@@ -364,11 +369,7 @@ func (s *System) NumEvents() int { return s.store.NumEvents() }
 func (s *System) NumDevices() int { return s.store.NumDevices() }
 
 // NumQueries returns the number of Locate calls served.
-func (s *System) NumQueries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.queries
-}
+func (s *System) NumQueries() int { return int(s.queries.Load()) }
 
 // CacheStats reports the caching engine's state: edges in the global
 // affinity graph and affinity cache hits/misses. Zeroes when caching is off.
@@ -378,4 +379,61 @@ func (s *System) CacheStats() (edges, hits, misses int) {
 	}
 	h, m := s.cached.Stats()
 	return s.graph.NumEdges(), h, m
+}
+
+// Query is one localization request Q = (device, t) for LocateBatch.
+type Query struct {
+	Device DeviceID
+	Time   time.Time
+}
+
+// BatchResult pairs a batch query with its answer. Err is per-query: one
+// failing query does not abort the rest of the batch.
+type BatchResult struct {
+	Query  Query
+	Result Result
+	Err    error
+}
+
+// LocateBatch answers many queries concurrently on a bounded worker pool
+// and returns the results in input order. workers bounds the number of
+// goroutines; values < 1 default to GOMAXPROCS, and the pool never exceeds
+// len(queries). Workers pull queries from a shared index, so a handful of
+// slow queries (cold models that need training) do not stall the rest of
+// the batch behind a fixed partition.
+//
+// Throughput scales with cores because Locate takes no system-wide lock:
+// queries wait on each other only at the contention points listed in the
+// System documentation (same-shard training, the store's shared lock, and
+// the cache's graph-merge write lock).
+func (s *System) LocateBatch(queries []Query, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q := queries[i]
+				res, err := s.Locate(q.Device, q.Time)
+				out[i] = BatchResult{Query: q, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }

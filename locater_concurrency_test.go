@@ -1,0 +1,242 @@
+// Concurrency tests for the sharded query engine. These are written to be
+// meaningful under the race detector (`go test -race ./...`, run in CI):
+// they drive Locate, LocateBatch, Ingest, EstimateDeltas, AddRoomLabel, and
+// preferred-room registration from many goroutines at once across many
+// devices, which exercises every lock added for the concurrent engine —
+// the coarse model shards, the store's shared read path, the affinity
+// graph, the label store, and the building's preference maps.
+package locater_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"locater"
+	"locater/internal/eval"
+)
+
+// sampleBatch converts sampled evaluation queries to batch queries.
+func sampleBatch(queries []eval.Query) []locater.Query {
+	out := make([]locater.Query, len(queries))
+	for i, q := range queries {
+		out[i] = locater.Query{Device: q.Device, Time: q.Time}
+	}
+	return out
+}
+
+func TestConcurrentLocateIngestEstimate(t *testing.T) {
+	ds := buildDataset(t, 14)
+	sys := newSystem(t, ds, locater.Config{Variant: locater.DependentVariant, EnableCache: true})
+
+	queries, err := eval.SampleQueries(ds, eval.WorkloadOptions{
+		NumQueries: 48, Seed: 11,
+		From: simStart.AddDate(0, 0, 10), To: simStart.AddDate(0, 0, 14),
+		DaytimeOnly: true, InsideBias: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queryWorkers = 4
+	var wg sync.WaitGroup
+
+	// Query workers: every worker walks the whole workload, offset so that
+	// different workers hit different devices (and model shards) at once.
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for i := range queries {
+				q := queries[(i+offset)%len(queries)]
+				if _, err := sys.Locate(q.Device, q.Time); err != nil {
+					t.Errorf("concurrent Locate(%s, %v): %v", q.Device, q.Time, err)
+					return
+				}
+			}
+		}(w * len(queries) / queryWorkers)
+	}
+
+	// Ingest worker: streams new events for every device while queries run,
+	// triggering per-shard model invalidation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := simStart.AddDate(0, 0, 14)
+		for i := 0; i < 20; i++ {
+			var events []locater.Event
+			for _, p := range ds.People {
+				events = append(events, locater.Event{
+					Device: p.Device,
+					Time:   base.Add(time.Duration(i) * time.Minute),
+					AP:     ds.Building.AccessPoints()[i%ds.Building.NumAccessPoints()],
+				})
+			}
+			if err := sys.Ingest(events); err != nil {
+				t.Errorf("concurrent Ingest: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Delta re-estimation: invalidates every model shard plus the
+	// population model while queries are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+		}
+	}()
+
+	// Metadata writers: crowd-sourced labels and preferred-room updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rooms := ds.Building.Rooms()
+		for i := 0; i < 30; i++ {
+			p := ds.People[i%len(ds.People)]
+			if err := sys.AddRoomLabel(p.Device, rooms[i%len(rooms)], simStart.Add(time.Duration(i)*time.Hour)); err != nil {
+				t.Errorf("concurrent AddRoomLabel: %v", err)
+				return
+			}
+			if err := sys.SetTimePreferredRooms(p.Device, []locater.TimePreference{
+				{StartMinute: 11 * 60, EndMinute: 13 * 60, Rooms: []locater.RoomID{rooms[i%len(rooms)]}},
+			}); err != nil {
+				t.Errorf("concurrent SetTimePreferredRooms: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Stats readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			sys.NumQueries()
+			sys.NumEvents()
+			sys.NumDevices()
+			sys.CacheStats()
+		}
+	}()
+
+	wg.Wait()
+
+	want := queryWorkers * len(queries)
+	if got := sys.NumQueries(); got != want {
+		t.Errorf("NumQueries = %d, want %d", got, want)
+	}
+}
+
+// TestLocateBatchMatchesSerial checks that LocateBatch returns, in input
+// order, exactly the answers serial Locate gives on an identically
+// configured system. Caching is off so answers do not depend on the order
+// in which queries warm the affinity graph.
+func TestLocateBatchMatchesSerial(t *testing.T) {
+	ds := buildDataset(t, 14)
+	serial := newSystem(t, ds, locater.Config{})
+	parallel := newSystem(t, ds, locater.Config{})
+
+	queries, err := eval.SampleQueries(ds, eval.WorkloadOptions{
+		NumQueries: 40, Seed: 13,
+		From: simStart.AddDate(0, 0, 10), To: simStart.AddDate(0, 0, 14),
+		DaytimeOnly: true, InsideBias: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := sampleBatch(queries)
+
+	want := make([]locater.Result, len(batch))
+	for i, q := range batch {
+		res, err := serial.Locate(q.Device, q.Time)
+		if err != nil {
+			t.Fatalf("serial Locate(%s, %v): %v", q.Device, q.Time, err)
+		}
+		want[i] = res
+	}
+
+	got := parallel.LocateBatch(batch, 8)
+	if len(got) != len(batch) {
+		t.Fatalf("LocateBatch returned %d results for %d queries", len(got), len(batch))
+	}
+	for i, br := range got {
+		if br.Query != batch[i] {
+			t.Fatalf("result %d carries query %+v, want %+v (order not preserved)", i, br.Query, batch[i])
+		}
+		if br.Err != nil {
+			t.Fatalf("batch query %d failed: %v", i, br.Err)
+		}
+		w := want[i]
+		if br.Result.Outside != w.Outside || br.Result.Region != w.Region || br.Result.Room != w.Room {
+			t.Errorf("result %d = {outside %v region %s room %s}, serial said {outside %v region %s room %s}",
+				i, br.Result.Outside, br.Result.Region, br.Result.Room, w.Outside, w.Region, w.Room)
+		}
+	}
+	if parallel.NumQueries() != len(batch) {
+		t.Errorf("NumQueries = %d, want %d", parallel.NumQueries(), len(batch))
+	}
+}
+
+// TestLocateBatchErrorPropagation checks that a query that fails (its
+// validity event references an AP missing from the building metadata)
+// reports its error in place without failing the rest of the batch.
+func TestLocateBatchErrorPropagation(t *testing.T) {
+	ds := buildDataset(t, 14)
+	sys := newSystem(t, ds, locater.Config{})
+
+	good := ds.People[0].Device
+	goodTime := simStart.AddDate(0, 0, 12).Add(11 * time.Hour)
+
+	// A device whose only event references an AP the building does not
+	// know: a validity-hit query for it must error.
+	bad := locater.DeviceID("bad:device")
+	badTime := simStart.AddDate(0, 0, 12).Add(11 * time.Hour)
+	if err := sys.Ingest([]locater.Event{{Device: bad, Time: badTime, AP: "no-such-ap"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []locater.Query{
+		{Device: good, Time: goodTime},
+		{Device: bad, Time: badTime},
+		{Device: good, Time: goodTime.Add(30 * time.Minute)},
+	}
+	results := sys.LocateBatch(batch, 3)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good queries failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("query against unknown AP did not propagate its error")
+	}
+	for i, br := range results {
+		if br.Query != batch[i] {
+			t.Errorf("result %d out of order", i)
+		}
+	}
+}
+
+// TestLocateBatchWorkerClamp covers the worker-pool edge cases: zero and
+// negative pool sizes default to GOMAXPROCS, oversized pools are clamped,
+// and an empty batch returns an empty result slice.
+func TestLocateBatchWorkerClamp(t *testing.T) {
+	ds := buildDataset(t, 7)
+	sys := newSystem(t, ds, locater.Config{})
+
+	if got := sys.LocateBatch(nil, 4); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+
+	q := locater.Query{Device: ds.People[0].Device, Time: simStart.AddDate(0, 0, 6).Add(11 * time.Hour)}
+	for _, workers := range []int{-1, 0, 1, 100} {
+		results := sys.LocateBatch([]locater.Query{q, q, q}, workers)
+		if len(results) != 3 {
+			t.Fatalf("workers=%d: got %d results, want 3", workers, len(results))
+		}
+		for i, br := range results {
+			if br.Err != nil {
+				t.Fatalf("workers=%d result %d: %v", workers, i, br.Err)
+			}
+		}
+	}
+}
