@@ -12,6 +12,11 @@
 //	locater-bench -list           # list experiments
 //	locater-bench -per-class 8 -days 70 -queries 500 -seed 7
 //	locater-bench -throughput -workers 8   # parallel LocateBatch scaling
+//	locater-bench -persist -persist-events 200000   # durable-store throughput
+//
+// The -throughput and -persist modes also emit machine-readable
+// BENCH_throughput.json / BENCH_persist.json (into -bench-out) so CI can
+// track the performance trajectory across commits.
 package main
 
 import (
@@ -36,6 +41,12 @@ func main() {
 		slow       = flag.Bool("faithful", false, "verbatim Algorithm 1 (one promotion per self-training round; slower)")
 		throughput = flag.Bool("throughput", false, "measure parallel LocateBatch throughput instead of the paper tables")
 		workers    = flag.Int("workers", 0, "max worker-pool size for -throughput (default GOMAXPROCS)")
+
+		persist       = flag.Bool("persist", false, "measure durable event store ingest + recovery throughput")
+		persistEvents = flag.Int("persist-events", 200000, "events for -persist")
+		persistDir    = flag.String("persist-dir", "", "WAL directory for -persist (default: a temp dir, removed afterwards)")
+		persistFsync  = flag.Bool("persist-fsync", true, "fsync (group-commit) mode for -persist")
+		benchOut      = flag.String("bench-out", ".", "directory for BENCH_*.json reports")
 	)
 	flag.Parse()
 
@@ -54,8 +65,16 @@ func main() {
 		Fast:     !*slow,
 	}.WithDefaults()
 
+	if *persist {
+		if err := runPersist(*persistDir, *persistEvents, *workers, *persistFsync, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "persist: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *throughput {
-		if err := runThroughput(p, *workers); err != nil {
+		if err := runThroughput(p, *workers, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
 			os.Exit(1)
 		}
@@ -86,11 +105,28 @@ func main() {
 	}
 }
 
+// throughputReport is the machine-readable result of -throughput, emitted
+// as BENCH_throughput.json for the CI perf-tracking pipeline.
+type throughputReport struct {
+	Name    string          `json:"name"`
+	Events  int             `json:"events"`
+	Devices int             `json:"devices"`
+	Queries int             `json:"queries"`
+	Rows    []throughputRow `json:"rows"`
+}
+
+type throughputRow struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
 // runThroughput measures the concurrent query engine: the same warmed
 // workload is answered through System.LocateBatch with 1, 2, 4, ...
 // workers, and the run reports queries/sec plus the speedup over a single
 // worker (the serialized baseline).
-func runThroughput(p experiments.Params, maxWorkers int) error {
+func runThroughput(p experiments.Params, maxWorkers int, benchOut string) error {
 	if maxWorkers < 1 {
 		maxWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -112,6 +148,12 @@ func runThroughput(p experiments.Params, maxWorkers int) error {
 	}
 	sizes = append(sizes, maxWorkers)
 
+	rep := throughputReport{
+		Name:    "throughput",
+		Events:  sys.NumEvents(),
+		Devices: sys.NumDevices(),
+		Queries: len(batch),
+	}
 	base := 0.0
 	for _, w := range sizes {
 		elapsed, err := timeBatch(sys, batch, w)
@@ -123,8 +165,14 @@ func runThroughput(p experiments.Params, maxWorkers int) error {
 			base = qps
 		}
 		fmt.Printf("%-8d %12v %12.0f %8.2fx\n", w, elapsed.Round(time.Millisecond), qps, qps/base)
+		rep.Rows = append(rep.Rows, throughputRow{
+			Workers:       w,
+			Seconds:       elapsed.Seconds(),
+			QueriesPerSec: qps,
+			Speedup:       qps / base,
+		})
 	}
-	return nil
+	return writeBenchJSON(benchOut, "BENCH_throughput.json", rep)
 }
 
 // timeBatch runs the batch a few times at the given pool size and returns

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+	"locater/internal/wal"
+)
+
+// persistReport is the machine-readable result of -persist, emitted as
+// BENCH_persist.json for the CI perf-tracking pipeline.
+type persistReport struct {
+	Name       string `json:"name"`
+	Events     int    `json:"events"`
+	Devices    int    `json:"devices"`
+	BatchSize  int    `json:"batch_size"`
+	Writers    int    `json:"writers"`
+	Fsync      bool   `json:"fsync"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	// Group-commit ingest: concurrent writers, WAL-before-ack, one fsync
+	// shared per commit round.
+	IngestSeconds      float64 `json:"ingest_seconds"`
+	IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
+
+	// Recovery replay: wal.Open (decode + CRC) plus rebuilding the store.
+	RecoverySeconds      float64 `json:"recovery_seconds"`
+	RecoveryEventsPerSec float64 `json:"recovery_events_per_sec"`
+
+	// Snapshot-based recovery after a checkpoint compacted the log.
+	SnapshotRecoverySeconds      float64 `json:"snapshot_recovery_seconds"`
+	SnapshotRecoveryEventsPerSec float64 `json:"snapshot_recovery_events_per_sec"`
+
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// runPersist measures the durable event store: group-commit ingest
+// throughput (events/sec acknowledged durable) and recovery replay
+// throughput (events/sec from WAL, then from snapshot+tail), and writes
+// BENCH_persist.json.
+func runPersist(dir string, events, writers int, fsync bool, outDir string) error {
+	tmp := dir
+	if tmp == "" {
+		var err error
+		tmp, err = os.MkdirTemp("", "locater-persist-bench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+	}
+	if writers < 1 {
+		writers = runtime.GOMAXPROCS(0)
+	}
+	const batchSize = 512
+	const numDevices = 512
+
+	batches := makeBatches(events, batchSize, numDevices)
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+
+	// Phase 1: concurrent group-commit ingest through the store, exactly
+	// the production write path (validate → assign IDs → WAL append →
+	// apply → shared fsync).
+	st := store.New(0)
+	w, _, err := wal.Open(tmp, wal.Options{Fsync: fsync})
+	if err != nil {
+		return err
+	}
+	st.AttachBackend(w)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	next := make(chan []event.Event, len(batches))
+	for _, b := range batches {
+		next <- b
+	}
+	close(next)
+	start := time.Now()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				if _, err := st.Ingest(b); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ingestSecs := time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	walBytes, err := dirBytes(tmp)
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: recovery replay from the raw log (no snapshot yet).
+	recoverySecs, recovered, err := timeRecovery(tmp)
+	if err != nil {
+		return fmt.Errorf("wal recovery: %w", err)
+	}
+	if recovered != total {
+		return fmt.Errorf("wal recovery lost events: got %d, want %d", recovered, total)
+	}
+
+	// Phase 3: checkpoint, then recovery from snapshot + (empty) tail.
+	w2, rec2, err := wal.Open(tmp, wal.Options{})
+	if err != nil {
+		return err
+	}
+	st2 := store.New(0)
+	if _, err := st2.Ingest(rec2.Events); err != nil {
+		w2.Close()
+		return err
+	}
+	st2.AdvanceNextID(rec2.NextID)
+	state := st2.SnapshotState()
+	if err := w2.WriteSnapshot(rec2.LastLSN, &wal.SnapshotData{
+		NextID: state.NextID,
+		Deltas: state.Deltas,
+		Events: state.Events,
+		Labels: map[event.DeviceID]map[space.RoomID]int{},
+	}); err != nil {
+		w2.Close()
+		return err
+	}
+	if err := w2.Close(); err != nil {
+		return err
+	}
+	snapSecs, snapRecovered, err := timeRecovery(tmp)
+	if err != nil {
+		return fmt.Errorf("snapshot recovery: %w", err)
+	}
+	if snapRecovered != total {
+		return fmt.Errorf("snapshot recovery lost events: got %d, want %d", snapRecovered, total)
+	}
+
+	rep := persistReport{
+		Name:                         "persist",
+		Events:                       total,
+		Devices:                      numDevices,
+		BatchSize:                    batchSize,
+		Writers:                      writers,
+		Fsync:                        fsync,
+		GoMaxProcs:                   runtime.GOMAXPROCS(0),
+		IngestSeconds:                ingestSecs,
+		IngestEventsPerSec:           float64(total) / ingestSecs,
+		RecoverySeconds:              recoverySecs,
+		RecoveryEventsPerSec:         float64(total) / recoverySecs,
+		SnapshotRecoverySeconds:      snapSecs,
+		SnapshotRecoveryEventsPerSec: float64(total) / snapSecs,
+		WALBytes:                     walBytes,
+	}
+
+	fmt.Printf("persist: %d events, %d writers, batch %d, fsync=%v\n", total, writers, batchSize, fsync)
+	fmt.Printf("%-22s %12.0f events/sec (%.2fs)\n", "group-commit ingest", rep.IngestEventsPerSec, ingestSecs)
+	fmt.Printf("%-22s %12.0f events/sec (%.2fs)\n", "wal recovery", rep.RecoveryEventsPerSec, recoverySecs)
+	fmt.Printf("%-22s %12.0f events/sec (%.2fs)\n", "snapshot recovery", rep.SnapshotRecoveryEventsPerSec, snapSecs)
+	fmt.Printf("%-22s %12d bytes\n", "wal size", walBytes)
+
+	return writeBenchJSON(outDir, "BENCH_persist.json", rep)
+}
+
+// makeBatches builds a synthetic in-time-order workload: numDevices devices
+// probing round-robin every few seconds, chunked into ingest batches.
+func makeBatches(events, batchSize, numDevices int) [][]event.Event {
+	t0 := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	devs := make([]event.DeviceID, numDevices)
+	aps := make([]space.APID, numDevices)
+	for i := range devs {
+		devs[i] = event.DeviceID(fmt.Sprintf("d%02x:%02x:%02x", (i>>16)&0xff, (i>>8)&0xff, i&0xff))
+		aps[i] = space.APID(fmt.Sprintf("ap-%d", i%64))
+	}
+	var batches [][]event.Event
+	for i := 0; i < events; i += batchSize {
+		n := batchSize
+		if i+n > events {
+			n = events - i
+		}
+		b := make([]event.Event, n)
+		for j := 0; j < n; j++ {
+			k := i + j
+			b[j] = event.Event{
+				Device: devs[k%numDevices],
+				Time:   t0.Add(time.Duration(k) * 3 * time.Second / time.Duration(numDevices)),
+				AP:     aps[k%numDevices],
+			}
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// timeRecovery rebuilds a store from the directory and reports elapsed
+// seconds plus the number of events recovered.
+func timeRecovery(dir string) (float64, int, error) {
+	start := time.Now()
+	w, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	st := store.New(0)
+	if len(rec.Events) > 0 {
+		if _, err := st.Ingest(rec.Events); err != nil {
+			w.Close()
+			return 0, 0, err
+		}
+	}
+	st.AdvanceNextID(rec.NextID)
+	elapsed := time.Since(start).Seconds()
+	if err := w.Close(); err != nil {
+		return 0, 0, err
+	}
+	return elapsed, st.NumEvents(), nil
+}
+
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// writeBenchJSON emits a machine-readable benchmark report for the CI
+// artifact pipeline.
+func writeBenchJSON(outDir, name string, v any) error {
+	if outDir == "" {
+		outDir = "."
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -7,9 +7,14 @@
 //
 //	locater-gen -scenario dbh -days 14 -seed 1 -out ./data
 //	locater-gen -scenario airport -scale 2 -days 15 -out ./data
+//	locater-gen -scenario dbh -days 14 -out ./data -wal ./data/dbh-wal
 //
 // Scenarios: dbh (the campus-building stand-in), office, university, mall,
 // airport (the paper's four simulated environments).
+//
+// With -wal the connectivity events are additionally emitted straight into
+// a durable event-store directory (segmented write-ahead log), ready for
+// `locater-serve -data-dir` to recover without a CSV ingest pass.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"locater/internal/event"
 	"locater/internal/sim"
+	"locater/internal/wal"
 )
 
 func main() {
@@ -34,6 +40,7 @@ func main() {
 		perClass = flag.Int("per-class", 6, "people per predictability class (dbh only)")
 		outDir   = flag.String("out", ".", "output directory")
 		startStr = flag.String("start", "2026-01-05", "first simulated day (YYYY-MM-DD)")
+		walDir   = flag.String("wal", "", "also emit the events into this durable event-store (WAL) directory")
 	)
 	flag.Parse()
 
@@ -83,9 +90,48 @@ func main() {
 		fatalf("writing truth: %v", err)
 	}
 
+	if *walDir != "" {
+		if err := writeWAL(*walDir, ds); err != nil {
+			fatalf("writing WAL: %v", err)
+		}
+	}
+
 	fmt.Printf("scenario %s: %d people, %d events over %d days\n",
 		*scenario, len(ds.People), len(ds.Events), *days)
 	fmt.Printf("  %s\n  %s\n  %s\n", eventsPath, buildingPath, truthPath)
+	if *walDir != "" {
+		fmt.Printf("  %s (durable event store)\n", *walDir)
+	}
+}
+
+// writeWAL appends the generated events into a durable event-store
+// directory, in batches so the log sees the same group sizes a streaming
+// ingester would produce.
+func writeWAL(dir string, ds *sim.Dataset) error {
+	w, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return err
+	}
+	if len(rec.Events) > 0 {
+		w.Close()
+		return fmt.Errorf("directory %s already holds %d events; refusing to mix datasets", dir, len(rec.Events))
+	}
+	const batch = 4096
+	for i := 0; i < len(ds.Events); i += batch {
+		end := i + batch
+		if end > len(ds.Events) {
+			end = len(ds.Events)
+		}
+		if err := w.AppendEvents(ds.Events[i:end]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 func writeEvents(path string, ds *sim.Dataset) error {

@@ -12,17 +12,29 @@
 //	GET  /stats                                         → system counters
 //	GET  /healthz                                       → liveness
 //
+// With -data-dir the system is durable: every acknowledged ingest is written
+// ahead to a segmented log under the directory before the HTTP response, a
+// background checkpoint compacts the log on -snapshot-interval, and a
+// restart — graceful or a kill — recovers the acknowledged state before
+// listening. -fsync chooses between machine-crash durability (default) and
+// OS-buffered logging.
+//
 // Usage:
 //
 //	locater-serve -events data/dbh-events.csv -building data/dbh-building.json -addr :8080
+//	locater-serve -building data/dbh-building.json -data-dir /var/lib/locater -fsync -snapshot-interval 5m
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"locater"
@@ -33,10 +45,13 @@ import (
 
 func main() {
 	var (
-		eventsPath   = flag.String("events", "", "connectivity CSV to preload (optional)")
+		eventsPath   = flag.String("events", "", "connectivity CSV to preload (optional; skipped when -data-dir already holds events)")
 		buildingPath = flag.String("building", "", "building metadata JSON (required)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		variant      = flag.String("variant", "dependent", "independent | dependent")
+		dataDir      = flag.String("data-dir", "", "directory for the durable event store (WAL + snapshots); empty = in-memory only")
+		fsync        = flag.Bool("fsync", true, "with -data-dir: fsync acknowledged writes (group commit); off = flush to OS only")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "with -data-dir: background checkpoint period (0 = only at shutdown)")
 	)
 	flag.Parse()
 
@@ -58,17 +73,36 @@ func main() {
 	if *variant == "independent" {
 		v = locater.IndependentVariant
 	}
-	sys, err := locater.New(locater.Config{
+	cfg := locater.Config{
 		Building:           building,
 		Variant:            v,
 		EnableCache:        true,
 		PromotionsPerRound: 8,
-	})
-	if err != nil {
-		log.Fatalf("assembling LOCATER: %v", err)
 	}
 
-	if *eventsPath != "" {
+	var sys *locater.System
+	if *dataDir != "" {
+		sys, err = locater.Open(*dataDir, cfg, locater.PersistOptions{
+			Fsync:            *fsync,
+			SnapshotInterval: *snapInterval,
+		})
+		if err != nil {
+			log.Fatalf("opening durable LOCATER: %v", err)
+		}
+		if n := sys.NumEvents(); n > 0 {
+			fmt.Printf("recovered %d events for %d devices from %s\n", n, sys.NumDevices(), *dataDir)
+		}
+	} else {
+		sys, err = locater.New(cfg)
+		if err != nil {
+			log.Fatalf("assembling LOCATER: %v", err)
+		}
+	}
+
+	// Preload the CSV only into an empty store: with -data-dir, a restart
+	// already recovers the events, and re-ingesting the CSV would duplicate
+	// them under fresh IDs.
+	if *eventsPath != "" && sys.NumEvents() == 0 {
 		ef, err := os.Open(*eventsPath)
 		if err != nil {
 			log.Fatalf("opening events: %v", err)
@@ -81,13 +115,40 @@ func main() {
 		if err := sys.Ingest(events); err != nil {
 			log.Fatalf("ingesting: %v", err)
 		}
-		sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
+		if err := sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+			log.Fatalf("estimating deltas: %v", err)
+		}
 		fmt.Printf("preloaded %d events for %d devices\n", sys.NumEvents(), sys.NumDevices())
 	}
 
-	handler := srv.New(sys)
-	fmt.Printf("LOCATER serving %s on %s\n", building.Name(), *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		log.Fatal(err)
+	server := &http.Server{Addr: *addr, Handler: srv.New(sys)}
+
+	// Graceful shutdown: stop accepting requests, drain in-flight ones,
+	// then checkpoint and close the durable store so the next start
+	// recovers from a snapshot instead of replaying the whole log.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("LOCATER serving %s on %s\n", building.Name(), *addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("shutting down…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			log.Printf("draining requests: %v", err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		log.Fatalf("checkpointing event store: %v", err)
 	}
 }

@@ -81,6 +81,36 @@ func (s *LabelStore) Devices() []event.DeviceID {
 	return out
 }
 
+// Snapshot returns a deep copy of the label counts, for checkpointing.
+func (s *LabelStore) Snapshot() map[event.DeviceID]map[space.RoomID]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[event.DeviceID]map[space.RoomID]int, len(s.visits))
+	for d, rooms := range s.visits {
+		m := make(map[space.RoomID]int, len(rooms))
+		for r, n := range rooms {
+			m[r] = n
+		}
+		out[d] = m
+	}
+	return out
+}
+
+// Restore replaces the label counts with a deep copy of m, for recovery.
+// A nil map clears the store.
+func (s *LabelStore) Restore(m map[event.DeviceID]map[space.RoomID]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.visits = make(map[event.DeviceID]map[space.RoomID]int, len(m))
+	for d, rooms := range m {
+		cp := make(map[space.RoomID]int, len(rooms))
+		for r, n := range rooms {
+			cp[r] = n
+		}
+		s.visits[d] = cp
+	}
+}
+
 // Blend sharpens a metadata-derived room-affinity distribution with the
 // device's labels over the candidate rooms. The result remains a
 // probability distribution over the candidates. With no labels the prior is

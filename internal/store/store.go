@@ -24,6 +24,28 @@ import (
 // periodicity of mobile devices.
 const DefaultDelta = 10 * time.Minute
 
+// Backend is the durability hook behind the store: a write-ahead log that
+// records every acknowledged mutation. The append methods are called with
+// the store's exclusive lock held, before the mutation is applied in memory,
+// and must only buffer (no fsync) so the lock stays cheap; an append error
+// aborts the mutation entirely. Commit is called after the lock is released
+// and blocks until everything appended so far is durable, so concurrent
+// writers share one fsync (group commit). A Commit error means the mutation
+// is applied in memory but not acknowledged as durable; callers see it as a
+// failed write.
+//
+// Implementations must be safe for concurrent use. internal/wal provides the
+// production implementation.
+type Backend interface {
+	// AppendEvents logs a batch of events exactly as acknowledged (IDs
+	// already assigned).
+	AppendEvents(evs []event.Event) error
+	// AppendDelta logs a per-device validity interval δ(d).
+	AppendDelta(d event.DeviceID, delta time.Duration) error
+	// Commit makes every record appended so far durable.
+	Commit() error
+}
+
 // Store is an in-memory event repository. It is safe for concurrent use:
 // reads take a shared lock in the common case (all logs sorted), so
 // concurrent queries scan the store in parallel; ingestion — and the lazy
@@ -31,6 +53,10 @@ const DefaultDelta = 10 * time.Minute
 // lock.
 type Store struct {
 	mu sync.RWMutex
+
+	// backend, when attached, receives every acknowledged mutation before
+	// it is applied (write-ahead logging).
+	backend Backend
 
 	logs map[event.DeviceID]*deviceLog
 
@@ -71,14 +97,35 @@ func New(defaultDelta time.Duration) *Store {
 	}
 }
 
+// AttachBackend sets the durability backend; nil detaches. Attach during
+// setup, after any recovered state has been restored (so replayed mutations
+// are not re-logged) and before traffic is served.
+func (s *Store) AttachBackend(b Backend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backend = b
+}
+
 // SetDelta registers a device-specific validity interval δ(d).
 func (s *Store) SetDelta(d event.DeviceID, delta time.Duration) error {
 	if delta <= 0 {
 		return fmt.Errorf("store: non-positive delta %v for device %s", delta, d)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.backend != nil {
+		if err := s.backend.AppendDelta(d, delta); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: logging delta: %w", err)
+		}
+	}
 	s.deltas[d] = delta
+	b := s.backend
+	s.mu.Unlock()
+	if b != nil {
+		if err := b.Commit(); err != nil {
+			return fmt.Errorf("store: committing delta: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -129,21 +176,38 @@ func (s *Store) withSortedLog(d event.DeviceID, fn func(evs []event.Event, delta
 
 // EstimateDeltas derives δ(d) for every device from its own log (see
 // event.EstimateDelta) and registers the results. Devices with too little
-// data keep the default.
-func (s *Store) EstimateDeltas(quantile float64, minD, maxD time.Duration) {
+// data keep the default. With a backend attached the estimated deltas are
+// logged and committed as one group; the returned error reports a logging
+// failure (always nil without a backend).
+func (s *Store) EstimateDeltas(quantile float64, minD, maxD time.Duration) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for dev, lg := range s.logs {
 		s.ensureSorted(lg)
 		d := event.EstimateDelta(lg.events, quantile, minD, maxD, s.defaultDelta)
+		if s.backend != nil {
+			if err := s.backend.AppendDelta(dev, d); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("store: logging delta: %w", err)
+			}
+		}
 		s.deltas[dev] = d
 	}
+	b := s.backend
+	s.mu.Unlock()
+	if b != nil {
+		if err := b.Commit(); err != nil {
+			return fmt.Errorf("store: committing deltas: %w", err)
+		}
+	}
+	return nil
 }
 
 // Ingest adds a batch of events. Events with ID == 0 receive fresh sequence
 // numbers. Returns the number of events added. The whole batch is validated
 // before anything is appended, so a rejected batch leaves the store
-// untouched (all-or-nothing).
+// untouched (all-or-nothing). With a backend attached the batch is logged —
+// exactly as acknowledged, IDs included — before the in-memory apply, and
+// Ingest returns only after the backend reports the batch durable.
 func (s *Store) Ingest(events []event.Event) (int, error) {
 	for _, e := range events {
 		if e.Device == "" {
@@ -157,14 +221,28 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range events {
-		if e.ID == 0 {
-			e.ID = s.nextID
+	// Assign IDs on a copy first: the batch must reach the write-ahead log
+	// exactly as acknowledged, and a failed log append must leave both the
+	// event logs and the nextID counter untouched.
+	batch := make([]event.Event, len(events))
+	copy(batch, events)
+	nid := s.nextID
+	for i := range batch {
+		if batch[i].ID == 0 {
+			batch[i].ID = nid
 		}
-		if e.ID >= s.nextID {
-			s.nextID = e.ID + 1
+		if batch[i].ID >= nid {
+			nid = batch[i].ID + 1
 		}
+	}
+	if s.backend != nil {
+		if err := s.backend.AppendEvents(batch); err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("store: logging batch: %w", err)
+		}
+	}
+	s.nextID = nid
+	for _, e := range batch {
 		lg, ok := s.logs[e.Device]
 		if !ok {
 			lg = &deviceLog{sorted: true}
@@ -185,7 +263,17 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 		}
 		s.count++
 	}
-	return len(events), nil
+	b := s.backend
+	s.mu.Unlock()
+	if b != nil {
+		// The durability wait happens outside the store lock so queries and
+		// further appends proceed while the log syncs; concurrent batches
+		// share one fsync (group commit).
+		if err := b.Commit(); err != nil {
+			return 0, fmt.Errorf("store: committing batch: %w", err)
+		}
+	}
+	return len(batch), nil
 }
 
 // IngestOne adds a single event (streaming ingestion).
@@ -373,8 +461,66 @@ func (s *Store) CurrentAP(d event.DeviceID, t time.Time) (space.APID, bool) {
 	return v.Event.AP, true
 }
 
+// NextID returns the next event ID the store would assign. Recovery and the
+// ID-monotonicity tests use it; it is not a reservation.
+func (s *Store) NextID() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
+
+// AdvanceNextID raises the ID counter to at least n. Recovery calls it with
+// the persisted counter after replaying events, so a recovered store never
+// reissues an event ID — even if the counter had run ahead of the highest
+// stored event ID. Values at or below the current counter are ignored (the
+// counter is monotone).
+func (s *Store) AdvanceNextID(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// SnapshotState is the store's complete durable state, captured for a
+// checkpoint: the ID counter, the per-device validity intervals, and the
+// per-device event logs (each sorted by time). It shares nothing with the
+// live store.
+type SnapshotState struct {
+	NextID int64
+	Deltas map[event.DeviceID]time.Duration
+	Events map[event.DeviceID][]event.Event
+}
+
+// SnapshotState returns a deep copy of the store's durable state. It takes
+// the exclusive lock (out-of-order logs are sorted in place first), so
+// capture cost is one pass over the data; writing the snapshot to disk
+// happens outside any store lock.
+func (s *Store) SnapshotState() SnapshotState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SnapshotState{
+		NextID: s.nextID,
+		Deltas: make(map[event.DeviceID]time.Duration, len(s.deltas)),
+		Events: make(map[event.DeviceID][]event.Event, len(s.logs)),
+	}
+	for d, dl := range s.deltas {
+		st.Deltas[d] = dl
+	}
+	for dev, lg := range s.logs {
+		s.ensureSorted(lg)
+		cp := make([]event.Event, len(lg.events))
+		copy(cp, lg.events)
+		st.Events[dev] = cp
+	}
+	return st
+}
+
 // Clone returns a deep copy of the store. Used by experiments that mutate
-// per-device deltas while sharing the ingested data.
+// per-device deltas while sharing the ingested data. The clone keeps the
+// original's ID counter (so it never reissues an event ID the source store
+// handed out) but has no backend attached: cloned mutations are not written
+// to the source's log.
 func (s *Store) Clone() *Store {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,176 @@
+// Package wal implements LOCATER's durability subsystem: an append-only,
+// segmented, CRC-checksummed write-ahead log with periodic snapshots and
+// crash recovery. The store's in-memory engine stays the source of truth for
+// queries; the WAL records every acknowledged mutation (ingested events,
+// per-device validity intervals δ, crowd-sourced room labels) so a restart —
+// clean or not — rebuilds exactly the acknowledged state.
+//
+// On disk a WAL directory holds numbered segment files (`wal-<firstLSN>.seg`)
+// and snapshot files (`snap-<lsn>.snap`). Every record carries a CRC-32C
+// checksum; every record has an implicit log sequence number (LSN), the
+// position in the global append order. A snapshot captures the full
+// materialized state as of an LSN; recovery loads the newest valid snapshot
+// and replays the segments' records with larger LSNs, truncating a torn
+// final record left by a crash mid-write.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// Record kinds. The kind byte leads every record payload.
+const (
+	recEvent byte = 1 // one acknowledged connectivity event
+	recDelta byte = 2 // a per-device validity interval δ(d)
+	recLabel byte = 3 // a crowd-sourced room label
+)
+
+// record is one decoded WAL record.
+type record struct {
+	kind byte
+
+	ev event.Event // recEvent
+
+	dev   event.DeviceID // recDelta, recLabel
+	delta time.Duration  // recDelta
+	room  space.RoomID   // recLabel
+	at    time.Time      // recLabel
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeEvent appends an event record payload to b.
+func encodeEvent(b []byte, e event.Event) []byte {
+	b = append(b, recEvent)
+	b = binary.AppendVarint(b, e.ID)
+	b = appendString(b, string(e.Device))
+	b = binary.AppendVarint(b, e.Time.UnixNano())
+	b = appendString(b, string(e.AP))
+	return b
+}
+
+// encodeDelta appends a δ record payload to b.
+func encodeDelta(b []byte, d event.DeviceID, delta time.Duration) []byte {
+	b = append(b, recDelta)
+	b = appendString(b, string(d))
+	b = binary.AppendVarint(b, int64(delta))
+	return b
+}
+
+// encodeLabel appends a room-label record payload to b.
+func encodeLabel(b []byte, d event.DeviceID, r space.RoomID, t time.Time) []byte {
+	b = append(b, recLabel)
+	b = appendString(b, string(d))
+	b = appendString(b, string(r))
+	b = binary.AppendVarint(b, t.UnixNano())
+	return b
+}
+
+// decoder is a cursor over an encoded payload with sticky error handling.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated or malformed %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) byte_() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail("string")
+		return ""
+	}
+	v := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+// decodeRecord parses one record payload. Every byte must be consumed; a
+// short or over-long payload is malformed.
+func decodeRecord(payload []byte) (record, error) {
+	d := &decoder{b: payload}
+	var r record
+	r.kind = d.byte_()
+	switch r.kind {
+	case recEvent:
+		r.ev.ID = d.varint()
+		r.ev.Device = event.DeviceID(d.str())
+		r.ev.Time = time.Unix(0, d.varint()).UTC()
+		r.ev.AP = space.APID(d.str())
+	case recDelta:
+		r.dev = event.DeviceID(d.str())
+		r.delta = time.Duration(d.varint())
+	case recLabel:
+		r.dev = event.DeviceID(d.str())
+		r.room = space.RoomID(d.str())
+		r.at = time.Unix(0, d.varint()).UTC()
+	default:
+		if d.err == nil {
+			return record{}, fmt.Errorf("wal: unknown record kind %d", r.kind)
+		}
+	}
+	if d.err != nil {
+		return record{}, d.err
+	}
+	if d.remaining() != 0 {
+		return record{}, fmt.Errorf("wal: %d trailing bytes after record kind %d", d.remaining(), r.kind)
+	}
+	return r, nil
+}

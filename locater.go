@@ -37,6 +37,7 @@ import (
 	"locater/internal/fine"
 	"locater/internal/space"
 	"locater/internal/store"
+	"locater/internal/wal"
 )
 
 // Re-exported identifier types, so callers need not import internal
@@ -202,6 +203,16 @@ type System struct {
 	cached   *affgraph.CachedAffinity
 	labels   *fine.LabelStore
 
+	// Durable-mode state (nil/zero for systems built with New). persistMu
+	// coordinates appenders with Checkpoint: every mutation that reaches
+	// the write-ahead log holds it shared, a checkpoint holds it exclusive
+	// while capturing state, so the captured state and captured log
+	// position always agree. Queries never touch it.
+	wal       *wal.WAL
+	persistMu sync.RWMutex
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+
 	queries atomic.Int64
 }
 
@@ -259,37 +270,52 @@ func New(cfg Config) (*System, error) {
 // ingest are invalidated for the affected devices. Safe to call while
 // queries are in flight: invalidation follows the store write, so a model
 // trained concurrently from pre-ingest history is dropped and retrained on
-// the next query for that device.
+// the next query for that device. On a system built with Open the batch is
+// written ahead to the log and Ingest returns only once it is durable.
 func (s *System) Ingest(events []Event) error {
-	if _, err := s.store.Ingest(events); err != nil {
-		return err
-	}
+	s.persistMu.RLock()
+	_, err := s.store.Ingest(events)
+	s.persistMu.RUnlock()
+	// Invalidate even on error: a durability (Commit-stage) failure has
+	// already applied the batch to the in-memory store, and stale models
+	// must not outlive it. For a rejected batch the invalidation is
+	// harmless — the models just retrain on the next query.
 	for _, e := range events {
 		s.coarse.InvalidateDevice(e.Device)
 	}
-	return nil
+	return err
 }
 
 // IngestOne adds one event (streaming ingestion).
 func (s *System) IngestOne(e Event) error {
-	if err := s.store.IngestOne(e); err != nil {
-		return err
-	}
+	s.persistMu.RLock()
+	err := s.store.IngestOne(e)
+	s.persistMu.RUnlock()
 	s.coarse.InvalidateDevice(e.Device)
-	return nil
+	return err
 }
 
 // SetDelta registers a device-specific validity interval δ(d).
 func (s *System) SetDelta(d DeviceID, delta time.Duration) error {
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
 	return s.store.SetDelta(d, delta)
 }
 
 // EstimateDeltas derives δ(d) for every ingested device from its own log
 // (Appendix 9.1), clamped to [min, max], at the given quantile of same-AP
-// inter-event spacings.
-func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) {
-	s.store.EstimateDeltas(quantile, min, max)
+// inter-event spacings. The returned error is always nil on systems built
+// with New; on a durable system it reports a failure to log the estimated
+// deltas.
+func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) error {
+	s.persistMu.RLock()
+	err := s.store.EstimateDeltas(quantile, min, max)
+	s.persistMu.RUnlock()
+	if err != nil {
+		return err
+	}
 	s.coarse.InvalidateAll()
+	return nil
 }
 
 // AddRoomLabel records a crowd-sourced room-level observation — device d was
@@ -297,10 +323,34 @@ func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) {
 // user report). Labels sharpen the device's room-affinity prior, the
 // extension sketched in the paper's footnote 7.
 func (s *System) AddRoomLabel(d DeviceID, r RoomID, t time.Time) error {
+	// Validate up front — an invalid label must neither reach the
+	// write-ahead log (replay re-applies without validation) nor the
+	// in-memory store.
+	if d == "" {
+		return fmt.Errorf("locater: label with empty device")
+	}
 	if _, ok := s.building.Room(r); !ok {
 		return fmt.Errorf("locater: label references unknown room %s", r)
 	}
-	return s.labels.Add(d, r, t)
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
+	// Same write-ahead order as ingest: log first (a failed append applies
+	// nothing, so a retry cannot double-count), then apply, then wait for
+	// durability.
+	if s.wal != nil {
+		if err := s.wal.AppendLabel(d, r, t); err != nil {
+			return fmt.Errorf("locater: logging label: %w", err)
+		}
+	}
+	if err := s.labels.Add(d, r, t); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.Commit(); err != nil {
+			return fmt.Errorf("locater: committing label: %w", err)
+		}
+	}
+	return nil
 }
 
 // SetTimePreferredRooms registers time-of-day-scoped preferred rooms for a

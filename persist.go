@@ -1,0 +1,166 @@
+package locater
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"locater/internal/store"
+	"locater/internal/wal"
+)
+
+// PersistOptions configures durable operation for Open.
+type PersistOptions struct {
+	// Fsync makes every acknowledged write (Ingest, SetDelta,
+	// AddRoomLabel, …) durable before the call returns: a process or
+	// machine crash loses nothing that was acknowledged. Concurrent writers
+	// share fsyncs (group commit), so batched ingest keeps its throughput.
+	// Without Fsync, writes are flushed to the OS on every commit and to
+	// disk on checkpoints; a machine crash can lose the tail.
+	Fsync bool
+	// SnapshotInterval is how often a background checkpoint runs
+	// (snapshot + log compaction). Zero disables automatic checkpoints;
+	// call Checkpoint explicitly.
+	SnapshotInterval time.Duration
+	// SegmentSize is the write-ahead log's segment rotation threshold in
+	// bytes (default 64 MiB).
+	SegmentSize int64
+	// OnCheckpointError receives errors from the background snapshot loop
+	// (they are retried at the next tick, but a persistent failure — e.g.
+	// a full disk — means the log grows uncompacted). Nil logs them via
+	// the standard logger.
+	OnCheckpointError func(error)
+}
+
+// Open assembles a System like New and attaches a durable event store
+// rooted at dir: an append-only write-ahead log plus periodic snapshots
+// (see internal/wal). If dir holds a previous run's state, Open recovers it
+// — the newest valid snapshot plus the log tail, truncating a torn final
+// record — before serving, so a restarted system answers exactly as the one
+// that was shut down or killed.
+//
+// The caller must Close the returned system to checkpoint and release the
+// log; after Close the directory can be reopened.
+func Open(dir string, cfg Config, popts PersistOptions) (*System, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, rec, err := wal.Open(dir, wal.Options{Fsync: popts.Fsync, SegmentSize: popts.SegmentSize})
+	if err != nil {
+		return nil, fmt.Errorf("locater: opening event store: %w", err)
+	}
+	// Restore the recovered state before attaching the backend, so replayed
+	// mutations are not re-logged.
+	for d, delta := range rec.Deltas {
+		if err := s.store.SetDelta(d, delta); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("locater: restoring deltas: %w", err)
+		}
+	}
+	if len(rec.Events) > 0 {
+		if _, err := s.store.Ingest(rec.Events); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("locater: replaying events: %w", err)
+		}
+	}
+	s.store.AdvanceNextID(rec.NextID)
+	s.labels.Restore(rec.Labels)
+	s.store.AttachBackend(w)
+	s.wal = w
+
+	if popts.SnapshotInterval > 0 {
+		onErr := popts.OnCheckpointError
+		if onErr == nil {
+			onErr = func(err error) { log.Printf("locater: background checkpoint: %v", err) }
+		}
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(popts.SnapshotInterval, onErr)
+	}
+	return s, nil
+}
+
+// snapshotLoop checkpoints on a timer until Close. Errors are reported to
+// onErr and retried at the next tick; Close runs a final checkpoint whose
+// error is surfaced to the caller directly.
+func (s *System) snapshotLoop(interval time.Duration, onErr func(error)) {
+	defer close(s.snapDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Checkpoint(); err != nil {
+				onErr(err)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// Checkpoint writes a snapshot of the full durable state — events,
+// per-device δs, crowd-sourced labels, the event-ID counter — and compacts
+// the write-ahead log (segments fully covered by the snapshot are deleted).
+// Recovery then replays the snapshot plus the short log tail instead of the
+// whole history. A no-op on systems built with New.
+//
+// Checkpoint briefly blocks writers while it captures state (one pass over
+// the data); the snapshot file is written with no system-wide lock held.
+func (s *System) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	// The write lock excludes every appender (Ingest, SetDelta,
+	// AddRoomLabel, EstimateDeltas), so the captured state and the captured
+	// log position agree exactly.
+	s.persistMu.Lock()
+	st := s.store.SnapshotState()
+	labels := s.labels.Snapshot()
+	lsn := s.wal.LastLSN()
+	s.persistMu.Unlock()
+
+	return s.wal.WriteSnapshot(lsn, &wal.SnapshotData{
+		NextID: st.NextID,
+		Deltas: st.Deltas,
+		Events: st.Events,
+		Labels: labels,
+	})
+}
+
+// Close checkpoints and releases the durable event store: the snapshot
+// loop is stopped, a final snapshot is written, and the log is flushed,
+// synced, and closed. A no-op (nil) on systems built with New. The system
+// must not be used after Close.
+func (s *System) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+		s.snapStop = nil
+	}
+	err := s.Checkpoint()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.store.AttachBackend(nil)
+	s.wal = nil
+	return err
+}
+
+// PersistStats reports the durable event store's shape: segment count, last
+// appended log position, and highest position known durable. ok is false
+// for systems built with New.
+func (s *System) PersistStats() (segments int, lastLSN, durableLSN uint64, ok bool) {
+	if s.wal == nil {
+		return 0, 0, 0, false
+	}
+	segments, lastLSN, durableLSN = s.wal.Stats()
+	return segments, lastLSN, durableLSN, true
+}
+
+// Compile-time check: the WAL satisfies the store's durability hook.
+var _ store.Backend = (*wal.WAL)(nil)
