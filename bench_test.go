@@ -21,6 +21,7 @@ package locater_test
 
 import (
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -275,4 +276,86 @@ func BenchmarkScorePrecision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eval.Score(ds.Building, sys, queries)
 	}
+}
+
+// BenchmarkLocateRepeatedQueries measures the result cache's repeated-query
+// speedup: the same warmed workload replayed with the result cache on
+// (default) versus disabled (ResultCacheSize = -1). Repeats within a time
+// bucket skip both cleaning stages on the cached run, so its ns/op should
+// sit orders of magnitude below the uncached run's.
+func BenchmarkLocateRepeatedQueries(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"result-cache", false},
+		{"uncached", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sys, batch, err := experiments.WarmedSystemOpts(benchParams, locater.DependentVariant,
+				func(c *locater.Config) {
+					if bc.disable {
+						c.ResultCacheSize = -1
+					}
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := batch[i%len(batch)]
+				if _, err := sys.Locate(q.Device, q.Time); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if !bc.disable {
+				st := sys.CacheStats().Results
+				if st.Size > st.Capacity {
+					b.Fatalf("result cache size %d exceeds capacity %d", st.Size, st.Capacity)
+				}
+				b.ReportMetric(float64(st.Hits), "result-hits")
+			}
+		})
+	}
+}
+
+// BenchmarkCachesUnderChurn interleaves streaming ingest (ever-new devices,
+// a 24h-style churn) with queries and asserts every cache tier stays within
+// its bound for the whole run — the bounded-memory property the ad-hoc maps
+// lacked. Allocation figures (-benchmem) show the steady state.
+func BenchmarkCachesUnderChurn(b *testing.B) {
+	sys, batch, err := experiments.WarmedSystemOpts(benchParams, locater.IndependentVariant,
+		func(c *locater.Config) {
+			c.AffinityCacheSize = 256
+			c.ResultCacheSize = 256
+			c.ModelCacheSize = 64
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	aps := sys.Building().AccessPoints()
+	base := batch[0].Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := locater.DeviceID("churn-" + strconv.Itoa(i))
+		t := base.Add(time.Duration(i%1440) * time.Minute)
+		if err := sys.IngestOne(locater.Event{Device: dev, Time: t, AP: aps[i%len(aps)]}); err != nil {
+			b.Fatal(err)
+		}
+		q := batch[i%len(batch)]
+		if _, err := sys.Locate(q.Device, q.Time); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cs := sys.CacheStats()
+	for name, tier := range map[string]locater.CacheTierStats{
+		"affinity": cs.Affinity, "coarse": cs.CoarseModels, "results": cs.Results,
+	} {
+		if tier.Size > tier.Capacity {
+			b.Fatalf("%s cache size %d exceeds capacity %d", name, tier.Size, tier.Capacity)
+		}
+	}
+	b.ReportMetric(float64(cs.Affinity.Size+cs.CoarseModels.Size+cs.Results.Size), "resident-entries")
 }

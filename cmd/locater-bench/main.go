@@ -113,6 +113,10 @@ type throughputReport struct {
 	Devices int             `json:"devices"`
 	Queries int             `json:"queries"`
 	Rows    []throughputRow `json:"rows"`
+	// Caches snapshots the caching layer after the measured runs: sizes
+	// must sit at or below capacity (bounded memory), and the hit counters
+	// show how much of the served throughput the caches absorbed.
+	Caches cachesReport `json:"caches"`
 }
 
 type throughputRow struct {
@@ -120,6 +124,43 @@ type throughputRow struct {
 	Seconds       float64 `json:"seconds"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	Speedup       float64 `json:"speedup"`
+}
+
+// cacheTierReport mirrors locater.CacheTierStats in the benchmark JSON.
+type cacheTierReport struct {
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+type cachesReport struct {
+	GraphEdges   int             `json:"graph_edges"`
+	Affinity     cacheTierReport `json:"affinity"`
+	CoarseModels cacheTierReport `json:"coarse_models"`
+	Results      cacheTierReport `json:"results"`
+}
+
+func cacheTierReportOf(t locater.CacheTierStats) cacheTierReport {
+	return cacheTierReport{
+		Size:          t.Size,
+		Capacity:      t.Capacity,
+		Hits:          t.Hits,
+		Misses:        t.Misses,
+		Evictions:     t.Evictions,
+		Invalidations: t.Invalidations,
+	}
+}
+
+func cachesReportOf(cs locater.CacheStats) cachesReport {
+	return cachesReport{
+		GraphEdges:   cs.GraphEdges,
+		Affinity:     cacheTierReportOf(cs.Affinity),
+		CoarseModels: cacheTierReportOf(cs.CoarseModels),
+		Results:      cacheTierReportOf(cs.Results),
+	}
 }
 
 // runThroughput measures the concurrent query engine: the same warmed
@@ -172,6 +213,13 @@ func runThroughput(p experiments.Params, maxWorkers int, benchOut string) error 
 			Speedup:       qps / base,
 		})
 	}
+	cs := sys.CacheStats()
+	rep.Caches = cachesReportOf(cs)
+	fmt.Printf("caches: graph %d edges; affinity %d/%d (%d hits, %d misses); models %d/%d; results %d/%d (%d hits)\n",
+		cs.GraphEdges,
+		cs.Affinity.Size, cs.Affinity.Capacity, cs.Affinity.Hits, cs.Affinity.Misses,
+		cs.CoarseModels.Size, cs.CoarseModels.Capacity,
+		cs.Results.Size, cs.Results.Capacity, cs.Results.Hits)
 	return writeBenchJSON(benchOut, "BENCH_throughput.json", rep)
 }
 

@@ -40,6 +40,13 @@ type persistReport struct {
 	SnapshotRecoveryEventsPerSec float64 `json:"snapshot_recovery_events_per_sec"`
 
 	WALBytes int64 `json:"wal_bytes"`
+
+	// Log-position stats captured after the ingest phase (the same
+	// figures System.PersistStats and /stats report on a live server):
+	// segment count, last appended LSN, and highest LSN known durable.
+	Segments   int    `json:"segments"`
+	LastLSN    uint64 `json:"last_lsn"`
+	DurableLSN uint64 `json:"durable_lsn"`
 }
 
 // runPersist measures the durable event store: group-commit ingest
@@ -104,6 +111,7 @@ func runPersist(dir string, events, writers int, fsync bool, outDir string) erro
 	for err := range errCh {
 		return fmt.Errorf("ingest: %w", err)
 	}
+	segments, lastLSN, durableLSN := w.Stats()
 	if err := w.Close(); err != nil {
 		return err
 	}
@@ -168,6 +176,9 @@ func runPersist(dir string, events, writers int, fsync bool, outDir string) erro
 		SnapshotRecoverySeconds:      snapSecs,
 		SnapshotRecoveryEventsPerSec: float64(total) / snapSecs,
 		WALBytes:                     walBytes,
+		Segments:                     segments,
+		LastLSN:                      lastLSN,
+		DurableLSN:                   durableLSN,
 	}
 
 	fmt.Printf("persist: %d events, %d writers, batch %d, fsync=%v\n", total, writers, batchSize, fsync)

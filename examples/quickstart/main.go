@@ -88,9 +88,9 @@ func main() {
 		fmt.Printf("  %s → %-28s truth: %s\n", q.label, describe(res), describeTruth(truth))
 	}
 
-	edges, hits, misses := sys.CacheStats()
-	fmt.Printf("\ncaching engine: %d affinity-graph edges, %d cache hits, %d misses\n",
-		edges, hits, misses)
+	cs := sys.CacheStats()
+	fmt.Printf("\ncaching engine: %d affinity-graph edges, affinity cache %d hits / %d misses, result cache %d hits / %d misses\n",
+		cs.GraphEdges, cs.Affinity.Hits, cs.Affinity.Misses, cs.Results.Hits, cs.Results.Misses)
 }
 
 func describe(r locater.Result) string {

@@ -75,9 +75,9 @@ func main() {
 		report(sys, ds, lastDay.Add(checkpoints[ci]), ingested)
 	}
 
-	edges, hits, misses := sys.CacheStats()
-	fmt.Printf("\nfinal state: %d events, %d affinity edges, cache %d hits / %d misses\n",
-		sys.NumEvents(), edges, hits, misses)
+	cs := sys.CacheStats()
+	fmt.Printf("\nfinal state: %d events, %d affinity edges, affinity cache %d hits / %d misses (%d invalidations)\n",
+		sys.NumEvents(), cs.GraphEdges, cs.Affinity.Hits, cs.Affinity.Misses, cs.Affinity.Invalidations)
 }
 
 // report sweeps every known device at tq and compares against the oracle.

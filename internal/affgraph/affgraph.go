@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locater/internal/cache"
 	"locater/internal/event"
 )
 
@@ -227,8 +228,11 @@ func (g *Graph) Observations(a, b event.DeviceID) []WeightedEdge {
 
 // CachedAffinity is a fine.PairAffinityProvider that first consults the
 // global graph and falls back to the underlying provider on a miss, caching
-// the fallback's answers in time buckets so repeated queries at nearby times
-// hit the cache.
+// the fallback's answers in a bounded LRU keyed by (pair, time bucket) so
+// repeated queries at nearby times hit the cache. The cache is epoch-based:
+// Invalidate (called after every ingest or δ change) orphans all cached
+// affinities in O(1), so post-write queries recompute from the new history
+// instead of answering from pre-write co-locations forever.
 type CachedAffinity struct {
 	Graph *Graph
 	// Fallback computes affinities when the graph has no edge. Must be
@@ -240,88 +244,150 @@ type CachedAffinity struct {
 	// Default 1 hour.
 	BucketSize time.Duration
 
-	// mu guards cache and inflight; lookups take the shared lock so
-	// concurrent queries hit the cache in parallel. Counters are atomics
-	// so the read path never needs the exclusive lock.
-	mu    sync.RWMutex
-	cache map[pairKey]float64
-	// inflight deduplicates concurrent misses for the same key
-	// (singleflight): the fallback computation is the most expensive step
-	// of the fine stage, so only one goroutine runs it while the rest wait
-	// for its result.
+	// fallbackCache bounds the memoized fallback answers; its shards
+	// synchronize plain lookups, so the common hit path never touches mu.
+	fallbackCache *cache.Cache[pairKey, float64]
+	// mu guards inflight, which deduplicates concurrent misses for the
+	// same key (singleflight): the fallback computation is the most
+	// expensive step of the fine stage, so only one goroutine runs it
+	// while the rest wait for its result.
+	mu       sync.Mutex
 	inflight map[pairKey]*inflightAffinity
 
-	hits, misses atomic.Int64
+	graphHits atomic.Int64
 }
 
-// inflightAffinity is one in-progress fallback computation. val is written
-// before done is closed, so waiters reading after <-done see it.
+// inflightAffinity is one in-progress fallback computation. val and ok are
+// written before done is closed, so waiters reading after <-done see them.
+// ok is false when the leader's fallback panicked: no value was computed,
+// and waiters must retry rather than consume a bogus zero. epoch is the
+// cache epoch the leader captured before computing; a waiter that joined at
+// a later epoch (an invalidating write landed in between) must also retry —
+// its query began after the write, so it may not consume the pre-write
+// value.
 type inflightAffinity struct {
-	done chan struct{}
-	val  float64
+	done  chan struct{}
+	epoch uint64
+	val   float64
+	ok    bool
 }
 
-// NewCachedAffinity wires a graph in front of a fallback provider.
+// DefaultFallbackCacheSize bounds the fallback cache when NewCachedAffinity
+// is given a non-positive capacity: 64Ki (pair, bucket) entries ≈ 3 MB.
+const DefaultFallbackCacheSize = 64 * 1024
+
+// NewCachedAffinity wires a graph in front of a fallback provider with a
+// fallback cache of at most capacity entries (DefaultFallbackCacheSize when
+// capacity ≤ 0).
 func NewCachedAffinity(g *Graph, fallback interface {
 	PairAffinity(a, b event.DeviceID, ref time.Time) float64
-}, bucket time.Duration) *CachedAffinity {
+}, bucket time.Duration, capacity int) *CachedAffinity {
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
+	if capacity <= 0 {
+		capacity = DefaultFallbackCacheSize
+	}
 	return &CachedAffinity{
-		Graph:      g,
-		Fallback:   fallback,
-		BucketSize: bucket,
-		cache:      make(map[pairKey]float64),
-		inflight:   make(map[pairKey]*inflightAffinity),
+		Graph:         g,
+		Fallback:      fallback,
+		BucketSize:    bucket,
+		fallbackCache: cache.New[pairKey, float64](capacity, hashPairKey),
+		inflight:      make(map[pairKey]*inflightAffinity),
 	}
 }
 
+// hashPairKey mixes both device IDs and the time bucket (FNV-1a with a
+// separator byte so ("ab","c") and ("a","bc") shard independently).
+func hashPairKey(k pairKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.a); i++ {
+		h ^= uint64(k.a[i])
+		h *= prime64
+	}
+	h ^= 0xff
+	h *= prime64
+	for i := 0; i < len(k.b); i++ {
+		h ^= uint64(k.b[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(k.bucket >> (8 * i)))
+		h *= prime64
+	}
+	return h
+}
+
 // PairAffinity implements fine.PairAffinityProvider.
+//
+// Accounting: a lookup served by the global graph counts as a hit (tracked
+// separately and folded into Stats), a cached fallback answer counts as a
+// hit, and everything that reaches the fallback — the singleflight leader
+// and every waiter that shares its computation — counts as a miss. Waiters
+// also share the leader's error path: if the leader's fallback panicked,
+// they retry instead of consuming an uncomputed zero.
 func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float64 {
 	if w := c.Graph.Weight(a, b, ref); w > 0 {
-		c.hits.Add(1)
+		c.graphHits.Add(1)
 		return w
 	}
 	x, y := orderPair(a, b)
 	key := pairKey{a: x, b: y, bucket: ref.Unix() / int64(c.BucketSize.Seconds())}
-	c.mu.RLock()
-	v, ok := c.cache[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		return v
-	}
-	// Miss: join an in-flight computation for this key if one exists,
-	// otherwise claim it.
-	c.mu.Lock()
-	if v, ok := c.cache[key]; ok { // filled between the lock hand-off
+	for {
+		if v, ok := c.fallbackCache.Get(key); ok {
+			return v
+		}
+		// Miss (already counted by Get): join an in-flight computation
+		// for this key if one exists, otherwise claim it.
+		c.mu.Lock()
+		if v, ok := c.fallbackCache.Peek(key); ok {
+			// Filled between Get and Lock; Peek keeps the counters
+			// honest (the miss above stands, no phantom second lookup).
+			c.mu.Unlock()
+			return v
+		}
+		if call, ok := c.inflight[key]; ok {
+			// If the epoch moved since the leader captured call.epoch,
+			// the in-flight computation reads pre-write history this
+			// query (which began after the write) must not see.
+			joinEpoch := c.fallbackCache.Epoch()
+			c.mu.Unlock()
+			<-call.done
+			if call.ok && call.epoch == joinEpoch {
+				return call.val
+			}
+			// Leader panicked, or its computation predates a write that
+			// happened before this query joined: retry, possibly
+			// becoming leader (the leader deletes its inflight entry
+			// before closing done, so the retry never re-joins it).
+			continue
+		}
+		call := &inflightAffinity{done: make(chan struct{}), epoch: c.fallbackCache.Epoch()}
+		c.inflight[key] = call
 		c.mu.Unlock()
-		c.hits.Add(1)
-		return v
+		return c.leadFallback(a, b, ref, key, call)
 	}
-	if call, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-call.done
-		c.hits.Add(1)
-		return call.val
-	}
-	call := &inflightAffinity{done: make(chan struct{})}
-	c.inflight[key] = call
-	c.mu.Unlock()
-	c.misses.Add(1)
-	// Publish in a defer so a panicking fallback (recovered by callers
-	// like net/http) can never leave waiters blocked on done forever;
-	// only a successful computation is cached.
+}
+
+// leadFallback runs the fallback as the singleflight leader and publishes
+// the result. The publish happens in a defer so a panicking fallback
+// (recovered by callers like net/http) can never leave waiters blocked on
+// done forever; only a successful computation is cached, and only if no
+// invalidation landed while it ran (call.epoch was captured before).
+func (c *CachedAffinity) leadFallback(a, b event.DeviceID, ref time.Time, key pairKey, call *inflightAffinity) (v float64) {
 	computed := false
 	defer func() {
 		c.mu.Lock()
 		if computed {
-			c.cache[key] = v
+			c.fallbackCache.PutAt(key, v, call.epoch)
 		}
 		delete(c.inflight, key)
 		c.mu.Unlock()
-		call.val = v
+		call.val, call.ok = v, computed
 		close(call.done)
 	}()
 	v = c.Fallback.PairAffinity(a, b, ref)
@@ -329,7 +395,17 @@ func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float6
 	return v
 }
 
-// Stats reports cache hits and misses.
-func (c *CachedAffinity) Stats() (hits, misses int) {
-	return int(c.hits.Load()), int(c.misses.Load())
+// Invalidate orphans every cached fallback affinity (O(1) epoch bump).
+// Called after writes that change affinity inputs: new events or δ changes.
+// The global graph is not cleared — its edges are query-derived knowledge
+// the paper's caching engine intentionally accumulates.
+func (c *CachedAffinity) Invalidate() { c.fallbackCache.Invalidate() }
+
+// Stats reports the affinity tier's counters: the bounded fallback cache's
+// size/capacity/evictions/invalidations, with lookups served straight from
+// the global graph folded into Hits.
+func (c *CachedAffinity) Stats() cache.Stats {
+	st := c.fallbackCache.Stats()
+	st.Hits += c.graphHits.Load()
+	return st
 }

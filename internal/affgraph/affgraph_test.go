@@ -155,7 +155,7 @@ func TestCachedAffinityGraphHit(t *testing.T) {
 	g := New(Options{})
 	g.Merge([]Edge{{From: "a", To: "b", Weight: 0.33}}, t0)
 	fb := &fixedFallback{value: 0.9}
-	c := NewCachedAffinity(g, fb, time.Hour)
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
 
 	if got := c.PairAffinity("a", "b", t0); math.Abs(got-0.33) > 1e-9 {
 		t.Errorf("graph-backed affinity = %v", got)
@@ -163,16 +163,16 @@ func TestCachedAffinityGraphHit(t *testing.T) {
 	if fb.calls != 0 {
 		t.Errorf("fallback called %d times despite graph hit", fb.calls)
 	}
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 0 {
-		t.Errorf("stats = %d/%d", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %d/%d", st.Hits, st.Misses)
 	}
 }
 
 func TestCachedAffinityFallbackAndBucket(t *testing.T) {
 	g := New(Options{})
 	fb := &fixedFallback{value: 0.7}
-	c := NewCachedAffinity(g, fb, time.Hour)
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
 
 	// Miss → fallback; repeat within the same bucket → cached.
 	if got := c.PairAffinity("x", "y", t0); got != 0.7 {
@@ -246,5 +246,203 @@ func TestOrderNeighborsPermutationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// blockingFallback lets a test hold the singleflight leader inside the
+// fallback while waiters pile up.
+type blockingFallback struct {
+	entered chan struct{} // receives one value per fallback entry
+	release chan struct{} // each entry blocks until it can receive here
+	mu      sync.Mutex
+	calls   int
+	doPanic bool
+}
+
+func (f *blockingFallback) PairAffinity(a, b event.DeviceID, _ time.Time) float64 {
+	f.mu.Lock()
+	f.calls++
+	panicNow := f.doPanic
+	f.doPanic = false // only the first computation panics
+	f.mu.Unlock()
+	f.entered <- struct{}{}
+	<-f.release
+	if panicNow {
+		panic("fallback exploded")
+	}
+	return 0.42
+}
+
+// TestCachedAffinityWaitersShareMiss: singleflight waiters must count the
+// miss they experienced, not a hit — the value was not cached when they
+// looked.
+func TestCachedAffinityWaitersShareMiss(t *testing.T) {
+	g := New(Options{})
+	fb := &blockingFallback{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	const waiters = 3
+	var wg sync.WaitGroup
+	results := make([]float64, waiters+1)
+	for i := 0; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.PairAffinity("x", "y", t0)
+		}(i)
+	}
+	<-fb.entered // leader is inside the fallback
+	// Give the waiters a moment to join the in-flight call, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(fb.release)
+	wg.Wait()
+
+	for i, r := range results {
+		if r != 0.42 {
+			t.Errorf("goroutine %d got %v", i, r)
+		}
+	}
+	if fb.calls != 1 {
+		t.Errorf("fallback ran %d times, want 1 (singleflight)", fb.calls)
+	}
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("hits = %d, want 0: nobody found a cached value", st.Hits)
+	}
+	if st.Misses != waiters+1 {
+		t.Errorf("misses = %d, want %d (leader + waiters share the miss)", st.Misses, waiters+1)
+	}
+	// The value is cached now: one more lookup is a hit.
+	if got := c.PairAffinity("x", "y", t0); got != 0.42 {
+		t.Errorf("cached lookup = %v", got)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("hits after cached lookup = %d", st.Hits)
+	}
+}
+
+// TestCachedAffinityLeaderPanicRetries: when the leader's fallback panics,
+// waiters must not consume an uncomputed zero as if it were cached — they
+// retry the computation themselves.
+func TestCachedAffinityLeaderPanicRetries(t *testing.T) {
+	g := New(Options{})
+	fb := &blockingFallback{entered: make(chan struct{}, 8), release: make(chan struct{}), doPanic: true}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	leaderPanicked := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader did not panic")
+			}
+			close(leaderPanicked)
+		}()
+		c.PairAffinity("x", "y", t0)
+	}()
+	<-fb.entered // leader inside the fallback
+
+	var got float64
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		got = c.PairAffinity("x", "y", t0) // joins in-flight call, then retries
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(fb.release) // leader panics; waiter retries and recomputes
+	<-leaderPanicked
+	<-fb.entered // the waiter's own (retry) computation
+	<-waiterDone
+
+	if got != 0.42 {
+		t.Errorf("waiter got %v after leader panic, want recomputed 0.42", got)
+	}
+	if fb.calls != 2 {
+		t.Errorf("fallback ran %d times, want 2 (panicked leader + retrying waiter)", fb.calls)
+	}
+}
+
+// TestCachedAffinityInvalidate: an epoch bump must force the next lookup
+// back to the fallback instead of serving the pre-invalidation answer.
+func TestCachedAffinityInvalidate(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.7}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	c.PairAffinity("x", "y", t0)
+	c.PairAffinity("x", "y", t0)
+	if fb.calls != 1 {
+		t.Fatalf("fallback ran %d times before invalidation", fb.calls)
+	}
+	c.Invalidate()
+	c.PairAffinity("x", "y", t0)
+	if fb.calls != 2 {
+		t.Errorf("fallback ran %d times, want 2 (recompute after Invalidate)", fb.calls)
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d", st.Invalidations)
+	}
+}
+
+// TestCachedAffinityBounded: the fallback cache never exceeds its capacity
+// no matter how many (pair, bucket) keys churn through it.
+func TestCachedAffinityBounded(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	const capacity = 32
+	c := NewCachedAffinity(g, fb, time.Hour, capacity)
+
+	for i := 0; i < 10*capacity; i++ {
+		a := event.DeviceID(fmt.Sprintf("dev-%d", i))
+		c.PairAffinity(a, "hub", t0.Add(time.Duration(i)*2*time.Hour))
+		if st := c.Stats(); st.Size > st.Capacity {
+			t.Fatalf("size %d exceeds capacity %d", st.Size, st.Capacity)
+		}
+	}
+	st := c.Stats()
+	if st.Capacity != capacity {
+		t.Errorf("capacity = %d, want %d", st.Capacity, capacity)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions under churn")
+	}
+}
+
+// TestCachedAffinityWaiterAfterInvalidateRetries: a query that joins an
+// in-flight fallback computation AFTER an invalidating write landed must
+// not consume the pre-write value — it began after the write, so it retries
+// and recomputes from post-write history.
+func TestCachedAffinityWaiterAfterInvalidateRetries(t *testing.T) {
+	g := New(Options{})
+	fb := &blockingFallback{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.PairAffinity("x", "y", t0) // leader, computing under the old epoch
+	}()
+	<-fb.entered
+
+	// The write: invalidate while the leader is still inside the fallback.
+	c.Invalidate()
+
+	// A post-write query joins the in-flight call.
+	var got float64
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		got = c.PairAffinity("x", "y", t0)
+	}()
+	time.Sleep(20 * time.Millisecond) // let it join the inflight table
+	close(fb.release)                 // leader finishes with the stale value
+	<-leaderDone
+	<-fb.entered // the waiter's own post-invalidate recomputation
+	<-waiterDone
+
+	if got != 0.42 {
+		t.Errorf("post-invalidate waiter got %v", got)
+	}
+	if fb.calls != 2 {
+		t.Errorf("fallback ran %d times, want 2 (stale leader + post-write recompute)", fb.calls)
 	}
 }

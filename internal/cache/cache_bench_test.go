@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkChurn inserts a stream of mostly-new keys (a 24h-style churn
+// workload: every time bucket mints fresh keys) through a small cache and
+// reports the resident size, demonstrating that memory stays bounded at
+// capacity while the old unbounded-map design would have grown linearly
+// with b.N.
+func BenchmarkChurn(b *testing.B) {
+	const capacity = 1024
+	c := New[string, int](capacity, StringHash[string])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put("churn-"+strconv.Itoa(i), i)
+		if i%8 == 0 {
+			c.Get("churn-" + strconv.Itoa(i-capacity/2))
+		}
+	}
+	if n := c.Len(); n > capacity {
+		b.Fatalf("Len = %d > capacity %d", n, capacity)
+	}
+	b.ReportMetric(float64(c.Len()), "resident-entries")
+}
+
+// BenchmarkGetHit measures the steady-state hit path.
+func BenchmarkGetHit(b *testing.B) {
+	c := New[string, int](1024, StringHash[string])
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = "k" + strconv.Itoa(i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkGetHitParallel measures shard-striped contention across cores.
+func BenchmarkGetHitParallel(b *testing.B) {
+	c := NewSharded[string, int](4096, runtime.GOMAXPROCS(0)*4, StringHash[string])
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = "k" + strconv.Itoa(i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"locater/internal/cache"
 	"locater/internal/event"
 	"locater/internal/ml"
 	"locater/internal/space"
@@ -75,6 +76,10 @@ type Options struct {
 	// MaxTrainingGaps caps the number of gaps used for training (most
 	// recent kept). 0 means no cap.
 	MaxTrainingGaps int
+	// ModelCacheCapacity bounds the number of cached per-device models;
+	// past it the least recently used model is evicted (and simply
+	// retrained on that device's next query). Default 4096.
+	ModelCacheCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -88,54 +93,36 @@ func (o Options) withDefaults() Options {
 	if o.MaxPromotionsPerRound <= 0 {
 		o.MaxPromotionsPerRound = 1
 	}
+	if o.ModelCacheCapacity <= 0 {
+		o.ModelCacheCapacity = 4096
+	}
 	return o
 }
 
-// numModelShards is the number of independent locks/maps the per-device
-// model cache is partitioned into. 64 keeps lock contention negligible even
-// with hundreds of concurrent queries while wasting little memory on an
-// idle system.
+// numModelShards is the number of lock-striped partitions of the per-device
+// model cache. 64 keeps lock contention negligible even with hundreds of
+// concurrent queries while wasting little memory on an idle system.
 const numModelShards = 64
 
-// modelShard is one partition of the per-device model cache. The shard
-// mutex is held across lazy training, so two concurrent queries for the
-// same (untrained) device train its model exactly once; queries for
-// devices in other shards proceed unimpeded.
-type modelShard struct {
-	mu     sync.Mutex
-	models map[event.DeviceID]*deviceModel
-}
-
 // Localizer answers coarse queries against a store and building. It is safe
-// for concurrent use: the per-device model cache is sharded by a hash of
-// the device ID, so queries, training, and invalidation for unrelated
-// devices never contend on a common lock.
+// for concurrent use: the per-device model cache (a bounded, sharded LRU)
+// is partitioned by a hash of the device ID, so queries, training, and
+// invalidation for unrelated devices never contend on a common lock. The
+// cache's shard lock is held across lazy training, so two concurrent
+// queries for the same untrained device train its model exactly once.
 type Localizer struct {
 	opts     Options
 	building *space.Building
 	store    *store.Store
 
-	// shards partition the cache of per-device trained classifiers.
-	shards [numModelShards]modelShard
+	// models caches per-device trained classifiers, bounded at
+	// Options.ModelCacheCapacity (LRU eviction past that).
+	models *cache.Cache[event.DeviceID, *deviceModel]
 
 	// popMu guards the building-wide fallback model for devices with no
 	// history of their own (paper footnote 5).
 	popMu      sync.Mutex
 	population *deviceModel
-}
-
-// shardFor hashes a device ID (FNV-1a) onto its model-cache shard.
-func (l *Localizer) shardFor(d event.DeviceID) *modelShard {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(d); i++ {
-		h ^= uint32(d[i])
-		h *= prime32
-	}
-	return &l.shards[h%numModelShards]
 }
 
 // Result is the coarse-level answer for a query.
@@ -156,37 +143,34 @@ type Result struct {
 
 // New creates a coarse localizer over the given building and store.
 func New(b *space.Building, st *store.Store, opts Options) *Localizer {
-	l := &Localizer{
-		opts:     opts.withDefaults(),
+	opts = opts.withDefaults()
+	return &Localizer{
+		opts:     opts,
 		building: b,
 		store:    st,
+		models: cache.NewSharded[event.DeviceID, *deviceModel](
+			opts.ModelCacheCapacity, numModelShards, cache.StringHash[event.DeviceID]),
 	}
-	for i := range l.shards {
-		l.shards[i].models = make(map[event.DeviceID]*deviceModel)
-	}
-	return l
 }
 
 // InvalidateDevice drops the cached model for a device (e.g. after new
-// history was ingested). Only the device's shard is locked.
+// history was ingested). Only the device's cache shard is locked.
 func (l *Localizer) InvalidateDevice(d event.DeviceID) {
-	sh := l.shardFor(d)
-	sh.mu.Lock()
-	delete(sh.models, d)
-	sh.mu.Unlock()
+	l.models.Delete(d)
 }
 
-// InvalidateAll drops every cached model, including the population model.
+// InvalidateAll drops every cached model (an O(1) epoch bump), including
+// the population model.
 func (l *Localizer) InvalidateAll() {
-	for i := range l.shards {
-		sh := &l.shards[i]
-		sh.mu.Lock()
-		sh.models = make(map[event.DeviceID]*deviceModel)
-		sh.mu.Unlock()
-	}
+	l.models.Invalidate()
 	l.popMu.Lock()
 	l.population = nil
 	l.popMu.Unlock()
+}
+
+// ModelCacheStats reports the model cache's size, capacity, and counters.
+func (l *Localizer) ModelCacheStats() cache.Stats {
+	return l.models.Stats()
 }
 
 // Locate answers the coarse query (d, t_q).

@@ -1,6 +1,7 @@
 package coarse
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -12,25 +13,10 @@ import (
 
 var t0 = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC) // Monday midnight
 
-// cachedModel peeks at the sharded cache for a device without training.
+// cachedModel peeks at the model cache for a device without training.
+// Entries orphaned by InvalidateAll (epoch bump) report as absent.
 func (l *Localizer) cachedModel(d event.DeviceID) (*deviceModel, bool) {
-	sh := l.shardFor(d)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	m, ok := sh.models[d]
-	return m, ok
-}
-
-// numCachedModels counts cached per-device models across all shards.
-func (l *Localizer) numCachedModels() int {
-	n := 0
-	for i := range l.shards {
-		sh := &l.shards[i]
-		sh.mu.Lock()
-		n += len(sh.models)
-		sh.mu.Unlock()
-	}
-	return n
+	return l.models.Peek(d)
 }
 
 // testBuilding builds a 3-AP, 9-room building.
@@ -290,8 +276,8 @@ func TestModelCaching(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.InvalidateAll()
-	if l.numCachedModels() != 0 {
-		t.Error("InvalidateAll left models")
+	if _, ok := l.cachedModel("dev"); ok {
+		t.Error("InvalidateAll left a servable model")
 	}
 }
 
@@ -458,5 +444,45 @@ func TestOpenGapRealtimeQueries(t *testing.T) {
 	}
 	if !res.Outside {
 		t.Fatalf("6-hour open gap should be outside: %+v", res)
+	}
+}
+
+// TestModelCacheBounded: training more devices than the cache capacity must
+// evict old models instead of growing without bound, and evicted devices
+// stay answerable (they just retrain).
+func TestModelCacheBounded(t *testing.T) {
+	b := testBuilding(t)
+	st := store.New(0)
+	devices := make([]event.DeviceID, 8)
+	for i := range devices {
+		devices[i] = event.DeviceID(fmt.Sprintf("dev%d", i))
+		seedHistory(t, st, devices[i], 8)
+	}
+	const capacity = 3
+	l := New(b, st, Options{
+		HistoryDays:           30,
+		MaxPromotionsPerRound: 8,
+		ModelCacheCapacity:    capacity,
+	})
+
+	tq := t0.AddDate(0, 0, 7).Add(12*time.Hour + 20*time.Minute)
+	for _, d := range devices {
+		if _, err := l.Locate(d, tq); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.ModelCacheStats(); st.Size > st.Capacity {
+			t.Fatalf("model cache size %d exceeds capacity %d", st.Size, st.Capacity)
+		}
+	}
+	stats := l.ModelCacheStats()
+	if stats.Capacity != capacity {
+		t.Errorf("capacity = %d, want %d", stats.Capacity, capacity)
+	}
+	if stats.Evictions == 0 {
+		t.Error("no evictions after training past capacity")
+	}
+	// An evicted device still answers (retrained on demand).
+	if _, err := l.Locate(devices[0], tq); err != nil {
+		t.Fatalf("evicted device no longer answerable: %v", err)
 	}
 }

@@ -40,24 +40,16 @@ const (
 	classOutside = 1
 )
 
-// model returns (training on demand) the device's classifiers. The device's
-// cache shard stays locked across training so concurrent queries for the
-// same device train exactly once; devices hashed to other shards proceed in
-// parallel. Trained models are immutable, so the returned *deviceModel is
-// safe to use after the shard lock is released.
+// model returns (training on demand) the device's classifiers. The model
+// cache's shard lock stays held across training (cache.GetOrCompute) so
+// concurrent queries for the same device train exactly once; devices hashed
+// to other shards proceed in parallel. Trained models are immutable, so the
+// returned *deviceModel is safe to use after the shard lock is released —
+// even after the entry is later evicted or invalidated.
 func (l *Localizer) model(d event.DeviceID) (*deviceModel, error) {
-	sh := l.shardFor(d)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if m, ok := sh.models[d]; ok {
-		return m, nil
-	}
-	m, err := l.train(d)
-	if err != nil {
-		return nil, err
-	}
-	sh.models[d] = m
-	return m, nil
+	return l.models.GetOrCompute(d, func() (*deviceModel, error) {
+		return l.train(d)
+	})
 }
 
 // train builds the per-device model: extract gaps from the history window,

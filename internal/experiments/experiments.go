@@ -225,6 +225,13 @@ func SampleDefaultQueries(ds *sim.Dataset, p Params, devices []locater.DeviceID)
 // parallel benchmarks and locater-bench -throughput so both measure the
 // same steady state.
 func WarmedSystem(p Params, variant locater.Variant) (*locater.System, []locater.Query, error) {
+	return WarmedSystemOpts(p, variant, nil)
+}
+
+// WarmedSystemOpts is WarmedSystem with a config hook: mutate (when non-nil)
+// adjusts the default configuration before the system is assembled — e.g.
+// disabling the result cache to benchmark the uncached query path.
+func WarmedSystemOpts(p Params, variant locater.Variant, mutate func(*locater.Config)) (*locater.System, []locater.Query, error) {
 	p = p.WithDefaults()
 	ds, err := BuildDBH(p)
 	if err != nil {
@@ -234,14 +241,18 @@ func WarmedSystem(p Params, variant locater.Variant) (*locater.System, []locater
 	if err != nil {
 		return nil, nil, err
 	}
-	sys, err := locater.New(locater.Config{
+	cfg := locater.Config{
 		Building:           ds.Building,
 		Variant:            variant,
 		EnableCache:        true,
 		HistoryDays:        14,
 		PromotionsPerRound: 8,
 		MaxTrainingGaps:    100,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := locater.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -224,7 +224,14 @@ func ConditionalOverRooms(aff map[space.RoomID]float64, rooms []space.RoomID) ma
 
 // PairAffinityProvider supplies pairwise device affinities α({a, b}). The
 // fine localizer computes them from the store by default; the caching engine
-// substitutes a cached provider.
+// substitutes a cached provider (affgraph.CachedAffinity).
+//
+// Contract for caching implementations: affinities derive from mutable
+// history — connectivity events and per-device δs — so a provider that
+// memoizes answers must expose an invalidation hook and the system must
+// call it after every write that changes those inputs (Ingest, SetDelta,
+// EstimateDeltas). The provider must also be safe for concurrent use: the
+// fine stage calls PairAffinity from every in-flight query.
 type PairAffinityProvider interface {
 	// PairAffinity returns α({a, b}) over history ending at ref.
 	PairAffinity(a, b event.DeviceID, ref time.Time) float64

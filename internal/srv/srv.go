@@ -7,6 +7,7 @@ package srv
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"time"
@@ -93,20 +94,54 @@ type BatchLocateResponse struct {
 type IngestEvent struct {
 	Device string `json:"device"`
 	// Time is RFC 3339 or the paper's "2006-01-02 15:04:05" layout.
+	// Required: an event without a timestamp is rejected with 400 rather
+	// than silently stamped with the server's clock.
 	Time string `json:"time"`
 	AP   string `json:"ap"`
 }
 
-// StatsResponse reports system counters.
+// CacheTierResponse is the JSON shape of one cache tier's counters.
+type CacheTierResponse struct {
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// CachesResponse is the JSON shape of the caching layer's stats: the global
+// affinity graph plus the three bounded tiers.
+type CachesResponse struct {
+	Enabled      bool              `json:"enabled"`
+	GraphEdges   int               `json:"graph_edges"`
+	Affinity     CacheTierResponse `json:"affinity"`
+	CoarseModels CacheTierResponse `json:"coarse_models"`
+	Results      CacheTierResponse `json:"results"`
+}
+
+// PersistResponse is the JSON shape of the durable event store's stats,
+// present only on servers backed by a WAL directory.
+type PersistResponse struct {
+	Segments   int    `json:"segments"`
+	LastLSN    uint64 `json:"last_lsn"`
+	DurableLSN uint64 `json:"durable_lsn"`
+}
+
+// StatsResponse reports system counters. The legacy flat cache_edges /
+// cache_hits / cache_misses fields mirror the affinity tier (pre-cache-layer
+// clients read them); caches carries the full per-tier picture.
 type StatsResponse struct {
-	Events       int    `json:"events"`
-	Devices      int    `json:"devices"`
-	Queries      int    `json:"queries"`
-	CacheEdges   int    `json:"cache_edges"`
-	CacheHits    int    `json:"cache_hits"`
-	CacheMisses  int    `json:"cache_misses"`
-	UptimeSecond int64  `json:"uptime_seconds"`
-	Building     string `json:"building"`
+	Events       int              `json:"events"`
+	Devices      int              `json:"devices"`
+	Queries      int              `json:"queries"`
+	CacheEdges   int              `json:"cache_edges"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	Caches       CachesResponse   `json:"caches"`
+	Persist      *PersistResponse `json:"persist,omitempty"`
+	UptimeSecond int64            `json:"uptime_seconds"`
+	Building     string           `json:"building"`
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
@@ -119,7 +154,7 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing device parameter")
 		return
 	}
-	tq, err := parseTime(r.URL.Query().Get("time"))
+	tq, err := parseTimeOrNow(r.URL.Query().Get("time"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -179,7 +214,7 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d: missing device", i))
 			return
 		}
-		tq, err := parseTime(q.Time)
+		tq, err := parseTimeOrNow(q.Time)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 			return
@@ -240,18 +275,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	edges, hits, misses := s.sys.CacheStats()
+	cs := s.sys.CacheStats()
 	resp := StatsResponse{
-		Events:       s.sys.NumEvents(),
-		Devices:      s.sys.NumDevices(),
-		Queries:      s.sys.NumQueries(),
-		CacheEdges:   edges,
-		CacheHits:    hits,
-		CacheMisses:  misses,
+		Events:      s.sys.NumEvents(),
+		Devices:     s.sys.NumDevices(),
+		Queries:     s.sys.NumQueries(),
+		CacheEdges:  cs.GraphEdges,
+		CacheHits:   cs.Affinity.Hits,
+		CacheMisses: cs.Affinity.Misses,
+		Caches: CachesResponse{
+			Enabled:      cs.Enabled,
+			GraphEdges:   cs.GraphEdges,
+			Affinity:     cacheTierResponseOf(cs.Affinity),
+			CoarseModels: cacheTierResponseOf(cs.CoarseModels),
+			Results:      cacheTierResponseOf(cs.Results),
+		},
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
 		Building:     s.sys.Building().Name(),
 	}
+	if segments, lastLSN, durableLSN, ok := s.sys.PersistStats(); ok {
+		resp.Persist = &PersistResponse{Segments: segments, LastLSN: lastLSN, DurableLSN: durableLSN}
+	}
 	writeJSON(w, resp)
+}
+
+func cacheTierResponseOf(t locater.CacheTierStats) CacheTierResponse {
+	return CacheTierResponse{
+		Size:          t.Size,
+		Capacity:      t.Capacity,
+		Hits:          t.Hits,
+		Misses:        t.Misses,
+		Evictions:     t.Evictions,
+		Invalidations: t.Invalidations,
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -259,10 +315,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// parseTime accepts RFC 3339 or the CSV layout; empty means "now".
+// parseTime accepts RFC 3339 or the CSV layout. Empty is an error: recorded
+// data (ingest events) must carry its real timestamp — silently stamping
+// "now" would fabricate history. Query parameters, where "now" is the
+// natural default, go through parseTimeOrNow instead.
 func parseTime(v string) (time.Time, error) {
 	if v == "" {
-		return time.Now(), nil
+		return time.Time{}, fmt.Errorf("missing time")
 	}
 	if t, err := time.Parse(time.RFC3339, v); err == nil {
 		return t, nil
@@ -273,11 +332,31 @@ func parseTime(v string) (time.Time, error) {
 	return time.Time{}, fmt.Errorf("unparseable time %q (want RFC3339 or %q)", v, event.TimeLayout)
 }
 
+// parseTimeOrNow is parseTime with the query-side default: an empty value
+// means "now" (the real-time localization question "where is d?").
+func parseTimeOrNow(v string) (time.Time, error) {
+	if v == "" {
+		return time.Now(), nil
+	}
+	return parseTime(v)
+}
+
+// writeJSON marshals v fully before touching the ResponseWriter, so the
+// response is always either one complete JSON body or a clean JSON error —
+// never a partially written body with error text appended (the pre-fix
+// behavior: http.Error after a failed streaming Encode corrupted the
+// already-started body). A write error means the client is gone; it is
+// logged, not answered.
 func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("encoding response: %v", err))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		log.Printf("srv: writing response: %v", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -227,9 +228,140 @@ func TestParseTime(t *testing.T) {
 	if _, err := parseTime("bogus"); err == nil {
 		t.Error("garbage accepted")
 	}
-	// Empty = now.
-	got, err := parseTime("")
+	// Empty is an error for recorded data (ingest must not fabricate
+	// timestamps) …
+	if _, err := parseTime(""); err == nil {
+		t.Error("parseTime accepted an empty time")
+	}
+	// … but defaults to "now" for query parameters.
+	got, err := parseTimeOrNow("")
 	if err != nil || time.Since(got) > time.Minute {
-		t.Errorf("empty time = %v, %v", got, err)
+		t.Errorf("parseTimeOrNow(\"\") = %v, %v", got, err)
+	}
+}
+
+// TestIngestMissingTimeRejected: an ingest event without a timestamp must
+// get a 400, not a silently fabricated server-side "now" (the pre-fix
+// behavior, which planted phantom history at the ingest instant).
+func TestIngestMissingTimeRejected(t *testing.T) {
+	s, ds := newTestServer(t)
+	before := mustStats(t, s).Events
+	ap := ds.Building.AccessPoints()[0]
+	body, _ := json.Marshal([]IngestEvent{
+		{Device: "new-device", Time: "", AP: string(ap)},
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("ingest with missing time = %d, want 400", rec.Code)
+	}
+	var errResp map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, rec.Body)
+	}
+	if errResp["error"] == "" {
+		t.Error("error body missing the error field")
+	}
+	if after := mustStats(t, s).Events; after != before {
+		t.Errorf("rejected batch changed event count: %d → %d", before, after)
+	}
+}
+
+func mustStats(t *testing.T, s *Server) StatsResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestWriteJSONUnencodableValue: an unmarshalable value must yield one clean
+// JSON error response — not a partial body with plain-text error appended.
+func TestWriteJSONUnencodableValue(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]float64{"bad": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var errResp map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil {
+		t.Fatalf("body is not a single valid JSON document: %v (%s)", err, rec.Body)
+	}
+	if errResp["error"] == "" {
+		t.Error("error field empty")
+	}
+}
+
+// TestWriteJSONBrokenWriter: a failing writer (client gone mid-response)
+// must not trigger a second write/WriteHeader attempt.
+type brokenWriter struct {
+	header http.Header
+	wrote  int
+	codes  []int
+}
+
+func (b *brokenWriter) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+func (b *brokenWriter) WriteHeader(code int) { b.codes = append(b.codes, code) }
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	b.wrote++
+	return 0, fmt.Errorf("connection reset")
+}
+
+func TestWriteJSONBrokenWriter(t *testing.T) {
+	w := &brokenWriter{}
+	writeJSON(w, map[string]int{"ok": 1})
+	if w.wrote != 1 {
+		t.Errorf("writes = %d, want exactly 1 (no error-path second write)", w.wrote)
+	}
+	if len(w.codes) != 0 {
+		t.Errorf("WriteHeader calls = %v, want none (status already implied 200)", w.codes)
+	}
+}
+
+// TestStatsCacheTiers: /stats must report the per-tier cache figures, and a
+// repeated query must show up as a result-cache hit.
+func TestStatsCacheTiers(t *testing.T) {
+	s, ds := newTestServer(t)
+	url := fmt.Sprintf("/locate?device=%s&time=%s",
+		ds.People[0].Device, simStart.AddDate(0, 0, 5).Add(11*time.Hour).Format(time.RFC3339))
+	s.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, url, nil))
+	s.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, url, nil))
+
+	resp := mustStats(t, s)
+	if !resp.Caches.Enabled {
+		t.Fatal("caches.enabled = false on an EnableCache server")
+	}
+	c := resp.Caches
+	if c.Results.Hits == 0 {
+		t.Errorf("repeated query produced no result-cache hit: %+v", c.Results)
+	}
+	if c.CoarseModels.Capacity == 0 || c.Affinity.Capacity == 0 || c.Results.Capacity == 0 {
+		t.Errorf("cache tiers report no capacity: %+v", c)
+	}
+	if c.Results.Size > c.Results.Capacity || c.Affinity.Size > c.Affinity.Capacity ||
+		c.CoarseModels.Size > c.CoarseModels.Capacity {
+		t.Errorf("a cache tier exceeds its capacity: %+v", c)
+	}
+	// Legacy flat fields mirror the affinity tier.
+	if resp.CacheHits != c.Affinity.Hits || resp.CacheMisses != c.Affinity.Misses {
+		t.Errorf("legacy fields diverge from affinity tier: %+v vs %+v", resp, c.Affinity)
+	}
+	// No WAL on this server: persist block absent.
+	if resp.Persist != nil {
+		t.Errorf("persist block present on a memory-only server: %+v", resp.Persist)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"locater/internal/affgraph"
+	"locater/internal/cache"
 	"locater/internal/coarse"
 	"locater/internal/event"
 	"locater/internal/fine"
@@ -116,11 +117,31 @@ type Config struct {
 	// MaxNeighbors caps Algorithm 2's neighbor set (0 = unlimited).
 	MaxNeighbors int
 
-	// EnableCache turns on the caching engine (global affinity graph).
+	// EnableCache turns on the caching engine: the global affinity graph,
+	// the bounded pairwise-affinity fallback cache, and the query result
+	// cache. All three are invalidation-correct — every write (Ingest,
+	// SetDelta, EstimateDeltas, AddRoomLabel, …) is visible to the very
+	// next query.
 	EnableCache bool
 	// CacheSigma is the Gaussian kernel width for collapsing timestamped
 	// affinity observations. Default 1 hour.
 	CacheSigma time.Duration
+	// AffinityCacheSize bounds the pairwise-affinity fallback cache in
+	// entries (one per device pair per time bucket). Default 65536.
+	AffinityCacheSize int
+	// ResultCacheSize bounds the query result cache in entries (one per
+	// device per ResultCacheBucket). Default 16384; -1 disables result
+	// caching while keeping the affinity graph.
+	ResultCacheSize int
+	// ResultCacheBucket quantizes query times for the result cache: two
+	// queries for the same device whose times fall in the same bucket
+	// share one cached answer (unless a write intervened). Default 1
+	// minute — below the paper's 10-minute default δ, so bucketing cannot
+	// blur a validity-interval boundary by more than a minute.
+	ResultCacheBucket time.Duration
+	// ModelCacheSize bounds the coarse stage's per-device model cache.
+	// Default 4096. Effective with or without EnableCache.
+	ModelCacheSize int
 }
 
 func (c Config) coarseOptions() coarse.Options {
@@ -142,6 +163,7 @@ func (c Config) coarseOptions() coarse.Options {
 		HistoryDays:           c.HistoryDays,
 		MaxPromotionsPerRound: c.PromotionsPerRound,
 		MaxTrainingGaps:       c.MaxTrainingGaps,
+		ModelCacheCapacity:    c.ModelCacheSize,
 	}
 }
 
@@ -153,6 +175,28 @@ func (c Config) fineOptions() fine.Options {
 		HistoryWindow:     c.HistoryWindow,
 		MaxNeighbors:      c.MaxNeighbors,
 	}
+}
+
+// defaultResultCacheSize bounds the query result cache when
+// Config.ResultCacheSize is zero.
+const defaultResultCacheSize = 16384
+
+// resultKey identifies one memoized Locate answer: a device plus the query
+// time quantized to Config.ResultCacheBucket.
+type resultKey struct {
+	device DeviceID
+	bucket int64
+}
+
+// hashResultKey mixes the device ID and the time bucket (FNV-1a).
+func hashResultKey(k resultKey) uint64 {
+	const prime64 = 1099511628211
+	h := cache.StringHash(k.device)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(k.bucket >> (8 * i)))
+		h *= prime64
+	}
+	return h
 }
 
 // Result is a localization answer at all granularities.
@@ -203,6 +247,13 @@ type System struct {
 	cached   *affgraph.CachedAffinity
 	labels   *fine.LabelStore
 
+	// results memoizes whole Locate answers by (device, bucketed time);
+	// nil when caching is off. Every write path bumps its epoch (see
+	// invalidateQueryCaches), so a cached answer can never outlive the
+	// history it was computed from.
+	results      *cache.Cache[resultKey, Result]
+	resultBucket time.Duration
+
 	// Durable-mode state (nil/zero for systems built with New). persistMu
 	// coordinates appenders with Checkpoint: every mutation that reaches
 	// the write-ahead log holds it shared, a checkpoint holds it exclusive
@@ -244,9 +295,20 @@ func New(cfg Config) (*System, error) {
 			window = 8 * 7 * 24 * time.Hour
 		}
 		base := fine.NewStoreAffinity(st, window)
-		s.cached = affgraph.NewCachedAffinity(s.graph, base, time.Hour)
+		s.cached = affgraph.NewCachedAffinity(s.graph, base, time.Hour, cfg.AffinityCacheSize)
 		provider = s.cached
 		orderer = s.graph
+		if cfg.ResultCacheSize >= 0 {
+			size := cfg.ResultCacheSize
+			if size == 0 {
+				size = defaultResultCacheSize
+			}
+			s.resultBucket = cfg.ResultCacheBucket
+			if s.resultBucket <= 0 {
+				s.resultBucket = time.Minute
+			}
+			s.results = cache.New[resultKey, Result](size, hashResultKey)
+		}
 	}
 	s.fine = fine.New(cfg.Building, st, provider, orderer, fineOpts)
 	// The label store is attached up front (an empty store is a no-op for
@@ -266,40 +328,78 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Ingest adds a batch of connectivity events. Models trained before the
-// ingest are invalidated for the affected devices. Safe to call while
-// queries are in flight: invalidation follows the store write, so a model
-// trained concurrently from pre-ingest history is dropped and retrained on
-// the next query for that device. On a system built with Open the batch is
-// written ahead to the log and Ingest returns only once it is durable.
+// invalidateQueryCaches epoch-bumps the caches whose entries derive from
+// mutable history: cached pairwise affinities and memoized query results.
+// Called after every write path, so a post-write query always recomputes
+// from post-write state — the cached layers can never answer from stale
+// history (the pre-fix bug: ingest only invalidated coarse models, and
+// cached affinities kept answering from pre-ingest co-locations forever).
+// The affinity graph itself is not cleared: its edges are query-derived
+// knowledge the paper's caching engine accumulates on purpose.
+func (s *System) invalidateQueryCaches() {
+	if s.cached != nil {
+		s.cached.Invalidate()
+	}
+	s.invalidateResultCache()
+}
+
+// invalidateResultCache epoch-bumps only the memoized query results: for
+// writes that change answers without touching affinity inputs (labels,
+// preferred rooms), dropping the expensive pairwise-affinity cache too
+// would force needless store scans.
+func (s *System) invalidateResultCache() {
+	if s.results != nil {
+		s.results.Invalidate()
+	}
+}
+
+// Ingest adds a batch of connectivity events. Caches filled before the
+// ingest are invalidated: per-device coarse models for the affected
+// devices, plus (epoch bump) the pairwise-affinity and query-result caches.
+// Safe to call while queries are in flight: invalidation follows the store
+// write, so a model or cache entry computed concurrently from pre-ingest
+// history is dropped and recomputed on the next query. On a system built
+// with Open the batch is written ahead to the log and Ingest returns only
+// once it is durable.
 func (s *System) Ingest(events []Event) error {
 	s.persistMu.RLock()
 	_, err := s.store.Ingest(events)
 	s.persistMu.RUnlock()
 	// Invalidate even on error: a durability (Commit-stage) failure has
-	// already applied the batch to the in-memory store, and stale models
+	// already applied the batch to the in-memory store, and stale caches
 	// must not outlive it. For a rejected batch the invalidation is
-	// harmless — the models just retrain on the next query.
+	// harmless — the caches just refill on the next query.
 	for _, e := range events {
 		s.coarse.InvalidateDevice(e.Device)
 	}
+	s.invalidateQueryCaches()
 	return err
 }
 
-// IngestOne adds one event (streaming ingestion).
+// IngestOne adds one event (streaming ingestion). Invalidation matches
+// Ingest: the device's coarse model plus the affinity and result caches.
 func (s *System) IngestOne(e Event) error {
 	s.persistMu.RLock()
 	err := s.store.IngestOne(e)
 	s.persistMu.RUnlock()
 	s.coarse.InvalidateDevice(e.Device)
+	s.invalidateQueryCaches()
 	return err
 }
 
-// SetDelta registers a device-specific validity interval δ(d).
+// SetDelta registers a device-specific validity interval δ(d). The device's
+// coarse model is invalidated (its gap structure just changed), as are the
+// affinity and result caches (δ feeds validity-overlap affinity counting).
 func (s *System) SetDelta(d DeviceID, delta time.Duration) error {
 	s.persistMu.RLock()
-	defer s.persistMu.RUnlock()
-	return s.store.SetDelta(d, delta)
+	err := s.store.SetDelta(d, delta)
+	s.persistMu.RUnlock()
+	// Invalidate even on error, as in Ingest: a durability (Commit-stage)
+	// failure has already applied the new δ to the in-memory store, and
+	// caches built under the old δ must not outlive it.
+	s.coarse.InvalidateDevice(d)
+	s.invalidateQueryCaches()
+	return err
 }
 
 // EstimateDeltas derives δ(d) for every ingested device from its own log
@@ -311,11 +411,13 @@ func (s *System) EstimateDeltas(quantile float64, min, max time.Duration) error 
 	s.persistMu.RLock()
 	err := s.store.EstimateDeltas(quantile, min, max)
 	s.persistMu.RUnlock()
-	if err != nil {
-		return err
-	}
+	// Invalidate even on error, as in Ingest and SetDelta: a logging or
+	// durability failure can leave some (or all) of the estimated δs
+	// applied to the in-memory store, and caches built under the old δs
+	// must not outlive them.
 	s.coarse.InvalidateAll()
-	return nil
+	s.invalidateQueryCaches()
+	return err
 }
 
 // AddRoomLabel records a crowd-sourced room-level observation — device d was
@@ -345,6 +447,9 @@ func (s *System) AddRoomLabel(d DeviceID, r RoomID, t time.Time) error {
 	if err := s.labels.Add(d, r, t); err != nil {
 		return err
 	}
+	// Labels sharpen the fine stage's room prior, so memoized results are
+	// stale the moment the label lands; affinities are unaffected.
+	s.invalidateResultCache()
 	if s.wal != nil {
 		if err := s.wal.Commit(); err != nil {
 			return fmt.Errorf("locater: committing label: %w", err)
@@ -357,7 +462,13 @@ func (s *System) AddRoomLabel(d DeviceID, r RoomID, t time.Time) error {
 // device (e.g. the break room over lunch, the office otherwise). See
 // space.TimePreference.
 func (s *System) SetTimePreferredRooms(d DeviceID, prefs []TimePreference) error {
-	return s.building.SetTimePreferredRooms(string(d), prefs)
+	if err := s.building.SetTimePreferredRooms(string(d), prefs); err != nil {
+		return err
+	}
+	// Preferred rooms shift the fine stage's room prior: memoized results
+	// must not survive the change; affinities are unaffected.
+	s.invalidateResultCache()
+	return nil
 }
 
 // Locate answers the query Q = (device, t): the paper's end-to-end flow.
@@ -365,8 +476,33 @@ func (s *System) SetTimePreferredRooms(d DeviceID, prefs []TimePreference) error
 // if the device is inside, the fine stage disambiguates the room. Locate is
 // safe to call from many goroutines; queries for unrelated devices run in
 // parallel (see LocateBatch for a pooled fan-out).
+//
+// With EnableCache, whole answers are memoized by (device, time bucket):
+// a repeat query skips both stages entirely. The memo is epoch-based —
+// every write path invalidates it — so a query issued right after an Ingest
+// is recomputed from the post-ingest history, never served stale.
 func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
 	s.queries.Add(1)
+	if s.results == nil {
+		return s.locate(d, t)
+	}
+	key := resultKey{device: d, bucket: t.UnixNano() / int64(s.resultBucket)}
+	if res, ok := s.results.Get(key); ok {
+		return res, nil
+	}
+	// Capture the epoch before computing: if a write lands while the
+	// stages run, PutAt skips the insert, so the stale answer is returned
+	// to this caller (it raced the write) but never cached for later ones.
+	epoch := s.results.Epoch()
+	res, err := s.locate(d, t)
+	if err == nil {
+		s.results.PutAt(key, res, epoch)
+	}
+	return res, err
+}
+
+// locate runs the two cleaning stages uncached.
+func (s *System) locate(d DeviceID, t time.Time) (Result, error) {
 	cres, err := s.coarse.Locate(d, t)
 	if err != nil {
 		return Result{}, err
@@ -421,14 +557,62 @@ func (s *System) NumDevices() int { return s.store.NumDevices() }
 // NumQueries returns the number of Locate calls served.
 func (s *System) NumQueries() int { return int(s.queries.Load()) }
 
-// CacheStats reports the caching engine's state: edges in the global
-// affinity graph and affinity cache hits/misses. Zeroes when caching is off.
-func (s *System) CacheStats() (edges, hits, misses int) {
-	if s.graph == nil {
-		return 0, 0, 0
+// CacheTierStats reports one cache tier's bound and counters.
+type CacheTierStats struct {
+	// Size is the current number of resident entries; never exceeds
+	// Capacity.
+	Size, Capacity int
+	// Hits and Misses count lookups.
+	Hits, Misses int64
+	// Evictions counts LRU removals at capacity; Invalidations counts
+	// write-triggered invalidation events (epoch bumps and per-key drops).
+	Evictions, Invalidations int64
+}
+
+func tierStats(st cache.Stats) CacheTierStats {
+	return CacheTierStats{
+		Size:          st.Size,
+		Capacity:      st.Capacity,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
 	}
-	h, m := s.cached.Stats()
-	return s.graph.NumEdges(), h, m
+}
+
+// CacheStats reports every cache tier's state: the global affinity graph's
+// edge count, the pairwise-affinity fallback cache, the coarse per-device
+// model cache, and the query result cache. CoarseModels is live even when
+// EnableCache is off (the coarse stage always caches trained models);
+// Affinity and Results are zero then, and Enabled reports false.
+type CacheStats struct {
+	// Enabled reports whether the caching engine (Config.EnableCache) is on.
+	Enabled bool
+	// GraphEdges is the number of distinct edges in the global affinity
+	// graph (bounded per edge, not evicted: graph knowledge accumulates).
+	GraphEdges int
+	// Affinity is the pairwise-affinity fallback cache (graph-served
+	// lookups count toward its Hits).
+	Affinity CacheTierStats
+	// CoarseModels is the coarse stage's per-device trained-model cache.
+	CoarseModels CacheTierStats
+	// Results is the whole-query result cache.
+	Results CacheTierStats
+}
+
+// CacheStats reports the caching layer's per-tier sizes, bounds, and
+// hit/miss/eviction/invalidation counters.
+func (s *System) CacheStats() CacheStats {
+	cs := CacheStats{CoarseModels: tierStats(s.coarse.ModelCacheStats())}
+	if s.graph != nil {
+		cs.Enabled = true
+		cs.GraphEdges = s.graph.NumEdges()
+		cs.Affinity = tierStats(s.cached.Stats())
+	}
+	if s.results != nil {
+		cs.Results = tierStats(s.results.Stats())
+	}
+	return cs
 }
 
 // Query is one localization request Q = (device, t) for LocateBatch.

@@ -1,6 +1,7 @@
 package locater_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -156,8 +157,13 @@ func TestLocateCoarse(t *testing.T) {
 func TestCacheStats(t *testing.T) {
 	ds := buildDataset(t, 7)
 	noCache := newSystem(t, ds, locater.Config{})
-	if e, h, m := noCache.CacheStats(); e != 0 || h != 0 || m != 0 {
-		t.Errorf("no-cache stats = %d %d %d", e, h, m)
+	cs := noCache.CacheStats()
+	if cs.Enabled || cs.GraphEdges != 0 || cs.Affinity != (locater.CacheTierStats{}) || cs.Results != (locater.CacheTierStats{}) {
+		t.Errorf("no-cache stats = %+v", cs)
+	}
+	// The coarse model cache exists regardless of EnableCache.
+	if cs.CoarseModels.Capacity == 0 {
+		t.Error("coarse model cache reports no capacity")
 	}
 	cached := newSystem(t, ds, locater.Config{EnableCache: true, Variant: locater.DependentVariant})
 	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour)
@@ -166,9 +172,159 @@ func TestCacheStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, hits, misses := cached.CacheStats()
-	if hits+misses == 0 {
-		t.Error("cache never consulted during inside queries")
+	cs = cached.CacheStats()
+	if !cs.Enabled {
+		t.Error("Enabled = false with EnableCache")
+	}
+	if cs.Affinity.Hits+cs.Affinity.Misses == 0 {
+		t.Error("affinity cache never consulted during inside queries")
+	}
+	if cs.Results.Misses == 0 {
+		t.Error("result cache never consulted")
+	}
+	for name, tier := range map[string]locater.CacheTierStats{
+		"affinity": cs.Affinity, "coarse": cs.CoarseModels, "results": cs.Results,
+	} {
+		if tier.Size > tier.Capacity {
+			t.Errorf("%s cache size %d exceeds capacity %d", name, tier.Size, tier.Capacity)
+		}
+	}
+}
+
+// TestResultCacheRepeatedQuery: with EnableCache a repeated (device, time)
+// query is served from the result cache — and returns the identical answer.
+func TestResultCacheRepeatedQuery(t *testing.T) {
+	ds := buildDataset(t, 7)
+	sys := newSystem(t, ds, locater.Config{EnableCache: true})
+	dev := ds.People[0].Device
+	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour)
+
+	first, err := sys.Locate(dev, tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sys.Locate(dev, tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Errorf("cached answer differs: %+v vs %+v", again, first)
+	}
+	if hits := sys.CacheStats().Results.Hits; hits == 0 {
+		t.Error("repeat query did not hit the result cache")
+	}
+}
+
+// TestLocateAfterIngestNotStale is the stale-affinity regression test: with
+// every cache enabled, events ingested after a warm-up query must be
+// reflected by the very next query — the cached result and cached pairwise
+// affinities may not outlive the write.
+//
+// Construction: device "probe" has history only on apA. A query inside its
+// silent stretch warms every cache (coarse model, affinities, result).
+// Then a dense burst of post-warm-up events on apB, covering the original
+// query time, is ingested: the same (device, time) query must now see a
+// validity hit on apB's region — any other answer means some cache kept
+// serving pre-ingest state.
+func TestLocateAfterIngestNotStale(t *testing.T) {
+	ds := buildDataset(t, 7)
+	sys := newSystem(t, ds, locater.Config{
+		EnableCache: true,
+		Variant:     locater.DependentVariant,
+	})
+	b := ds.Building
+	aps := b.AccessPoints()
+	if len(aps) < 2 {
+		t.Fatal("need two APs")
+	}
+	apA, apB := aps[0], aps[1]
+	dev := locater.DeviceID("probe-dev")
+	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour)
+
+	// History on apA with a gap around tq (events end an hour before).
+	var hist []locater.Event
+	for d := 0; d < 5; d++ {
+		base := simStart.AddDate(0, 0, d)
+		for m := 0; m < 120; m += 10 {
+			hist = append(hist, locater.Event{Device: dev, Time: base.Add(9*time.Hour + time.Duration(m)*time.Minute), AP: apA})
+		}
+	}
+	if err := sys.Ingest(hist); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm every cache with the pre-ingest answer.
+	warm, err := sys.Locate(dev, tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The write: the device shows up on apB right around tq.
+	var burst []locater.Event
+	for m := -30; m <= 30; m += 5 {
+		burst = append(burst, locater.Event{Device: dev, Time: tq.Add(time.Duration(m) * time.Minute), AP: apB})
+	}
+	if err := sys.Ingest(burst); err != nil {
+		t.Fatal(err)
+	}
+
+	// The very next query must see the new events: tq is now inside a
+	// validity interval on apB, a non-repaired inside answer.
+	got, err := sys.Locate(dev, tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionB, ok := b.RegionOf(apB)
+	if !ok {
+		t.Fatal("apB has no region")
+	}
+	if got.Outside || got.Region != regionB || got.Repaired {
+		t.Errorf("post-ingest answer %+v does not reflect the ingested burst (want region %s validity hit; pre-ingest answer was %+v)",
+			got, regionB, warm)
+	}
+}
+
+// TestCachesBoundedUnderChurn replays a 24h churn workload — streaming
+// ingest of ever-new devices interleaved with queries — and asserts every
+// cache tier stays within its configured bound (the pre-fix affinity cache
+// grew one entry per device pair per time bucket, forever).
+func TestCachesBoundedUnderChurn(t *testing.T) {
+	ds := buildDataset(t, 7)
+	sys := newSystem(t, ds, locater.Config{
+		EnableCache:       true,
+		AffinityCacheSize: 64,
+		ResultCacheSize:   64,
+		ModelCacheSize:    32,
+	})
+	aps := ds.Building.AccessPoints()
+	day := simStart.AddDate(0, 0, 7)
+	for hour := 0; hour < 24; hour++ {
+		base := day.Add(time.Duration(hour) * time.Hour)
+		dev := locater.DeviceID(fmt.Sprintf("churn-%d", hour))
+		for m := 0; m < 60; m += 10 {
+			if err := sys.IngestOne(locater.Event{Device: dev, Time: base.Add(time.Duration(m) * time.Minute), AP: aps[hour%len(aps)]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Queries for the churning device and a stable one.
+		if _, err := sys.Locate(dev, base.Add(35*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Locate(ds.People[0].Device, base.Add(40*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		cs := sys.CacheStats()
+		for name, tier := range map[string]locater.CacheTierStats{
+			"affinity": cs.Affinity, "coarse": cs.CoarseModels, "results": cs.Results,
+		} {
+			if tier.Size > tier.Capacity {
+				t.Fatalf("hour %d: %s cache size %d exceeds capacity %d", hour, name, tier.Size, tier.Capacity)
+			}
+		}
+	}
+	cs := sys.CacheStats()
+	if cs.Affinity.Invalidations == 0 || cs.Results.Invalidations == 0 {
+		t.Errorf("churn produced no invalidations: %+v", cs)
 	}
 }
 
