@@ -13,10 +13,12 @@
 //	locater-bench -per-class 8 -days 70 -queries 500 -seed 7
 //	locater-bench -throughput -workers 8   # parallel LocateBatch scaling
 //	locater-bench -persist -persist-events 200000   # durable-store throughput
+//	locater-bench -neighbors               # occupancy-index neighbor discovery
 //
-// The -throughput and -persist modes also emit machine-readable
-// BENCH_throughput.json / BENCH_persist.json (into -bench-out) so CI can
-// track the performance trajectory across commits.
+// The -throughput, -persist, and -neighbors modes also emit
+// machine-readable BENCH_throughput.json / BENCH_persist.json /
+// BENCH_neighbors.json (into -bench-out) so CI can track the performance
+// trajectory across commits.
 package main
 
 import (
@@ -42,6 +44,8 @@ func main() {
 		throughput = flag.Bool("throughput", false, "measure parallel LocateBatch throughput instead of the paper tables")
 		workers    = flag.Int("workers", 0, "max worker-pool size for -throughput (default GOMAXPROCS)")
 
+		neighbors = flag.Bool("neighbors", false, "measure occupancy-index neighbor discovery vs the full-scan baseline")
+
 		persist       = flag.Bool("persist", false, "measure durable event store ingest + recovery throughput")
 		persistEvents = flag.Int("persist-events", 200000, "events for -persist")
 		persistDir    = flag.String("persist-dir", "", "WAL directory for -persist (default: a temp dir, removed afterwards)")
@@ -64,6 +68,14 @@ func main() {
 		Seed:     *seed,
 		Fast:     !*slow,
 	}.WithDefaults()
+
+	if *neighbors {
+		if err := runNeighbors(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "neighbors: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *persist {
 		if err := runPersist(*persistDir, *persistEvents, *workers, *persistFsync, *benchOut); err != nil {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+	"locater/internal/store"
+)
+
+// neighborsReport is the machine-readable result of -neighbors, emitted as
+// BENCH_neighbors.json for the CI perf-tracking pipeline: neighbor-discovery
+// (ActiveDevices / ActiveDevicesAt) latency served by the temporal
+// occupancy index versus the full-scan baseline, at a fixed active set
+// while the total device count scales.
+type neighborsReport struct {
+	Name string `json:"name"`
+	// ActiveDevices is the fixed number of devices active in the query
+	// window at every row.
+	ActiveDevices int            `json:"active_devices"`
+	BucketSeconds float64        `json:"bucket_seconds"`
+	Rows          []neighborsRow `json:"rows"`
+}
+
+type neighborsRow struct {
+	Devices int `json:"devices"`
+	Events  int `json:"events"`
+	// IndexedNs / ScanNs: ns per ActiveDevices lookup with the occupancy
+	// index on and off; Speedup = ScanNs / IndexedNs.
+	IndexedNs float64 `json:"indexed_ns"`
+	ScanNs    float64 `json:"scan_ns"`
+	Speedup   float64 `json:"speedup"`
+	// ScopedIndexedNs / ScopedScanNs: the region-scoped ActiveDevicesAt
+	// variant fine-grained neighbor discovery issues (4 of 16 APs).
+	ScopedIndexedNs float64 `json:"scoped_indexed_ns"`
+	ScopedScanNs    float64 `json:"scoped_scan_ns"`
+	ScopedSpeedup   float64 `json:"scoped_speedup"`
+	// IndexBuckets / IndexEntries report the index's resident size.
+	IndexBuckets int `json:"index_buckets"`
+	IndexEntries int `json:"index_entries"`
+}
+
+// seedNeighborStore builds a store with n devices: every device has a day
+// of history a month before the query window, and a fixed set of `active`
+// devices has one event inside it.
+func seedNeighborStore(n, active int, indexed bool) (*store.Store, time.Time, time.Time, int, error) {
+	base := time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+	winStart := base.Add(30 * 24 * time.Hour)
+	s := store.New(0)
+	if !indexed {
+		s.ConfigureOccupancy(0, false)
+	}
+	evs := make([]event.Event, 0, n+active)
+	for i := 0; i < n; i++ {
+		evs = append(evs, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%06d", i)),
+			AP:     space.APID(fmt.Sprintf("ap%02d", i%16)),
+			Time:   base.Add(time.Duration(i%1440) * time.Minute),
+		})
+	}
+	for i := 0; i < active; i++ {
+		evs = append(evs, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%06d", i*(n/active))),
+			AP:     space.APID(fmt.Sprintf("ap%02d", i%16)),
+			Time:   winStart.Add(time.Duration(i%30) * time.Minute),
+		})
+	}
+	if _, err := s.Ingest(evs); err != nil {
+		return nil, time.Time{}, time.Time{}, 0, err
+	}
+	return s, winStart.Add(-5 * time.Minute), winStart.Add(35 * time.Minute), len(evs), nil
+}
+
+// measureNs times fn until it has consumed ~40ms (at least 10 iterations)
+// and returns ns per call — minimum-of-3 rounds, the usual noise filter.
+func measureNs(fn func()) float64 {
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < 40*time.Millisecond || iters < 10 {
+			fn()
+			iters++
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if round == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// runNeighbors measures neighbor discovery across store sizes with a fixed
+// active fraction, verifies the index and scan paths agree, and writes
+// BENCH_neighbors.json.
+func runNeighbors(outDir string) error {
+	const active = 64
+	scopeAPs := []space.APID{"ap00", "ap01", "ap02", "ap03"}
+	rep := neighborsReport{
+		Name:          "neighbors",
+		ActiveDevices: active,
+		BucketSeconds: store.DefaultOccupancyBucket.Seconds(),
+	}
+	fmt.Printf("%-9s %12s %12s %9s %14s %14s %9s\n",
+		"devices", "indexed", "scan", "speedup", "scoped-indexed", "scoped-scan", "speedup")
+	for _, n := range []int{1000, 10000, 50000} {
+		indexed, start, end, events, err := seedNeighborStore(n, active, true)
+		if err != nil {
+			return err
+		}
+		scan, _, _, _, err := seedNeighborStore(n, active, false)
+		if err != nil {
+			return err
+		}
+		// Correctness gate: a divergent result must fail the benchmark, not
+		// be reported as a speedup.
+		if got, want := indexed.ActiveDevices(start, end), scan.ActiveDevices(start, end); !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("devices=%d: index result diverges from scan (%d vs %d devices)", n, len(got), len(want))
+		}
+		if got, want := indexed.ActiveDevicesAt(scopeAPs, start, end), scan.ActiveDevicesAt(scopeAPs, start, end); !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("devices=%d: scoped index result diverges from scan", n)
+		}
+
+		row := neighborsRow{Devices: n, Events: events}
+		row.IndexedNs = measureNs(func() { indexed.ActiveDevices(start, end) })
+		row.ScanNs = measureNs(func() { scan.ActiveDevices(start, end) })
+		row.ScopedIndexedNs = measureNs(func() { indexed.ActiveDevicesAt(scopeAPs, start, end) })
+		row.ScopedScanNs = measureNs(func() { scan.ActiveDevicesAt(scopeAPs, start, end) })
+		row.Speedup = row.ScanNs / row.IndexedNs
+		row.ScopedSpeedup = row.ScopedScanNs / row.ScopedIndexedNs
+		st := indexed.OccupancyStats()
+		row.IndexBuckets, row.IndexEntries = st.Buckets, st.Entries
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-9d %10.0fns %10.0fns %8.1fx %12.0fns %12.0fns %8.1fx\n",
+			n, row.IndexedNs, row.ScanNs, row.Speedup,
+			row.ScopedIndexedNs, row.ScopedScanNs, row.ScopedSpeedup)
+	}
+	return writeBenchJSON(outDir, "BENCH_neighbors.json", rep)
+}

@@ -34,11 +34,8 @@ func (l *Localizer) populationModel(ref time.Time) *deviceModel {
 	}
 
 	var labeled, rLabeled []labeledGap
-	devices := l.store.Devices()
 	const maxDevices = 64 // bound population training cost
-	if len(devices) > maxDevices {
-		devices = devices[:maxDevices]
-	}
+	devices := samplePopulation(l.store.Devices(), maxDevices)
 	for _, dev := range devices {
 		hist := l.historyEvents(dev, ref)
 		if len(hist) < 2 {
@@ -92,4 +89,26 @@ func (l *Localizer) populationModel(ref time.Time) *deviceModel {
 	}
 	l.population = m
 	return m
+}
+
+// samplePopulation bounds the population-training pool to at most max
+// devices with a deterministic, even stride across the full sorted device
+// list. Taking a prefix instead (the pre-fix behavior) trained the
+// building-wide model on the 64 lexicographically-smallest MAC addresses —
+// a biased sample when ID prefixes correlate with vendor, cohort, or
+// arrival order. The stride keeps the pool representative of the whole
+// population while staying reproducible across rebuilds.
+func samplePopulation(devices []event.DeviceID, max int) []event.DeviceID {
+	if max <= 0 || len(devices) <= max {
+		return devices
+	}
+	stride := float64(len(devices)) / float64(max)
+	out := make([]event.DeviceID, 0, max)
+	for i := 0; i < max; i++ {
+		// Midpoint sampling: index floor((i+0.5)·stride) — strictly
+		// increasing because stride > 1, and spanning the first through
+		// the last stride-window of the list.
+		out = append(out, devices[int((float64(i)+0.5)*stride)])
+	}
+	return out
 }

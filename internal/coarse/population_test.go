@@ -1,6 +1,7 @@
 package coarse
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -63,6 +64,53 @@ func TestPopulationModelCachedAndInvalidated(t *testing.T) {
 	l.InvalidateAll()
 	if l.population != nil {
 		t.Error("InvalidateAll kept the population model")
+	}
+}
+
+// TestSamplePopulationRepresentative is the sampling-bias regression test:
+// the bounded population pool must span the whole sorted device list with a
+// deterministic stride, not the lexicographically-smallest prefix.
+func TestSamplePopulationRepresentative(t *testing.T) {
+	devices := make([]event.DeviceID, 256)
+	for i := range devices {
+		devices[i] = event.DeviceID(fmt.Sprintf("d%04d", i))
+	}
+
+	got := samplePopulation(devices, 64)
+	if len(got) != 64 {
+		t.Fatalf("sample size = %d, want 64", len(got))
+	}
+	// Deterministic: same input, same sample.
+	again := samplePopulation(devices, 64)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("sampling not deterministic at %d: %s vs %s", i, got[i], again[i])
+		}
+	}
+	// Distinct and in order (a stride over a sorted list).
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("sample not strictly increasing at %d: %s, %s", i, got[i-1], got[i])
+		}
+	}
+	// Representative: every quartile of the full list contributes. The
+	// pre-fix prefix sample drew all 64 devices from the first quartile.
+	quartiles := make([]int, 4)
+	for _, d := range got {
+		var idx int
+		fmt.Sscanf(string(d), "d%d", &idx)
+		quartiles[idx*4/len(devices)]++
+	}
+	for q, n := range quartiles {
+		if n < 8 {
+			t.Errorf("quartile %d contributed only %d of 64 samples — biased pool %v", q, n, quartiles)
+		}
+	}
+
+	// Short lists pass through untouched.
+	small := devices[:10]
+	if got := samplePopulation(small, 64); len(got) != 10 {
+		t.Errorf("small list resampled: %d", len(got))
 	}
 }
 

@@ -79,6 +79,14 @@ type NeighborOrderer interface {
 	OrderNeighbors(d event.DeviceID, neighbors []event.DeviceID, tq time.Time) []event.DeviceID
 }
 
+// NeighborSource discovers candidate neighbor devices for Algorithm 2: the
+// devices with at least one event in [start, end] at one of the given APs
+// (nil aps = any AP). store.Store implements it — backed by its temporal
+// occupancy index — and is the default; tests may stub it.
+type NeighborSource interface {
+	ActiveDevicesAt(aps []space.APID, start, end time.Time) []event.DeviceID
+}
+
 // Localizer answers room-level queries.
 type Localizer struct {
 	opts     Options
@@ -86,6 +94,11 @@ type Localizer struct {
 	store    *store.Store
 	affinity PairAffinityProvider
 	orderer  NeighborOrderer
+
+	// neighbors discovers candidate neighbor devices; defaults to the store
+	// (whose occupancy index answers region-scoped lookups in time
+	// proportional to the devices actually active in the window).
+	neighbors NeighborSource
 
 	// coarseRegion resolves a neighbor device's region at tq; injected by
 	// the system so fine can reason about devices in gaps too. May be nil:
@@ -132,11 +145,20 @@ func New(b *space.Building, st *store.Store, affinity PairAffinityProvider, orde
 		affinity = NewStoreAffinity(st, opts.HistoryWindow)
 	}
 	return &Localizer{
-		opts:     opts,
-		building: b,
-		store:    st,
-		affinity: affinity,
-		orderer:  orderer,
+		opts:      opts,
+		building:  b,
+		store:     st,
+		affinity:  affinity,
+		orderer:   orderer,
+		neighbors: st,
+	}
+}
+
+// SetNeighborSource replaces the candidate-neighbor discovery backend (the
+// store by default). Call during setup, before queries are served.
+func (l *Localizer) SetNeighborSource(src NeighborSource) {
+	if src != nil {
+		l.neighbors = src
 	}
 }
 
@@ -180,8 +202,17 @@ func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Re
 	prior := l.priorFor(d, g, tq)
 
 	neighbors := l.neighborSet(d, g, tq, prior)
+	total := len(neighbors)
 	if l.orderer != nil {
 		neighbors = l.reorder(d, neighbors, tq)
+	}
+	// MaxNeighbors truncates only after the affinity reorder, so the cap
+	// keeps the highest-affinity candidates. (The pre-fix code broke out of
+	// the discovery loop in sorted-ID order, handing the orderer an
+	// arbitrary ID-prefix in which the top-affinity neighbors might not
+	// even appear.)
+	if max := l.opts.MaxNeighbors; max > 0 && len(neighbors) > max {
+		neighbors = neighbors[:max]
 	}
 
 	var res Result
@@ -191,7 +222,9 @@ func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Re
 	default:
 		res = l.locateIndependent(candidates, prior, neighbors)
 	}
-	res.TotalNeighbors = len(neighbors)
+	// TotalNeighbors reports the full neighbor set D_n found, before any
+	// MaxNeighbors truncation.
+	res.TotalNeighbors = total
 
 	// Local affinity graph edges: w = Σ_r α({d_a, d_b}, r, t_q) / |R(g_x)|.
 	for i := 0; i < res.ProcessedNeighbors && i < len(neighbors); i++ {
@@ -239,12 +272,20 @@ func (l *Localizer) reorder(d event.DeviceID, neighbors []neighborInfo, tq time.
 // neighborSet finds D_n(d): devices online at tq whose region's candidate
 // rooms overlap the queried device's candidates and whose pairwise group
 // affinity is positive for some room (paper Section 4.2).
+//
+// Discovery is region-scoped: only devices with an event at an AP whose
+// region overlaps g (Building.OverlappingAPs) are considered, so the
+// candidate scan is proportional to the query region's neighborhood, not
+// the whole campus. A device whose in-window events all lie in
+// non-overlapping regions could previously enter the set only via the
+// coarse resolver predicting it back into an overlapping region during a
+// gap; scoped discovery treats such a device as not being a neighbor.
 func (l *Localizer) neighborSet(d event.DeviceID, g space.RegionID, tq time.Time, prior map[space.RoomID]float64) []neighborInfo {
 	window := l.opts.NeighborWindow
 	if d2 := l.store.Delta(d); d2 > window {
 		window = d2
 	}
-	active := l.store.ActiveDevices(tq.Add(-window), tq.Add(window))
+	active := l.neighbors.ActiveDevicesAt(l.building.OverlappingAPs(g), tq.Add(-window), tq.Add(window))
 	candidates := l.building.CandidateRooms(g)
 
 	var out []neighborInfo
@@ -276,10 +317,9 @@ func (l *Localizer) neighborSet(d event.DeviceID, g space.RegionID, tq time.Time
 		if !positive {
 			continue
 		}
+		// No MaxNeighbors break here: the full filtered set is returned so
+		// the cap can be applied after the affinity reorder in Locate.
 		out = append(out, n)
-		if l.opts.MaxNeighbors > 0 && len(out) >= l.opts.MaxNeighbors {
-			break
-		}
 	}
 	return out
 }

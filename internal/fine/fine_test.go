@@ -170,8 +170,13 @@ func TestMaxNeighborsCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TotalNeighbors != 2 {
-		t.Errorf("neighbor cap violated: %d", res.TotalNeighbors)
+	// TotalNeighbors reports the full discovered set; the cap bounds only
+	// how many neighbors Algorithm 2 may process.
+	if res.TotalNeighbors != 4 {
+		t.Errorf("TotalNeighbors = %d, want full pre-truncation count 4", res.TotalNeighbors)
+	}
+	if res.ProcessedNeighbors > 2 {
+		t.Errorf("neighbor cap violated: processed %d > 2", res.ProcessedNeighbors)
 	}
 }
 

@@ -95,6 +95,10 @@ type Building struct {
 	coverage map[APID][]RoomID
 	// regionsOfRoom[room] = sorted region IDs whose AP covers the room.
 	regionsOfRoom map[RoomID][]RegionID
+	// overlapAPs[g] = sorted APs whose region shares at least one room with
+	// g (including g's own AP): the neighborhood fine-grained neighbor
+	// discovery scans.
+	overlapAPs map[RegionID][]APID
 
 	// prefMu guards the two preference maps below — the only Building
 	// state that may change at run time (paper Appendix 9.1: preferred
@@ -195,6 +199,29 @@ func NewBuilding(cfg Config) (*Building, error) {
 	for rid := range b.regionsOfRoom {
 		rs := b.regionsOfRoom[rid]
 		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	}
+
+	// Precompute each region's overlap neighborhood: the APs whose coverage
+	// shares a room with the region's, via the regionsOfRoom inverted map
+	// (near-linear in total coverage, not pairwise region intersections).
+	// Built once over the immutable structural metadata (rooms can belong
+	// to several regions), read lock-free at query time.
+	b.overlapAPs = make(map[RegionID][]APID, len(b.apIDs))
+	for _, apx := range b.apIDs {
+		gx := b.regionOf[apx]
+		seen := make(map[APID]bool)
+		var over []APID
+		for _, rid := range b.coverage[apx] {
+			for _, gy := range b.regionsOfRoom[rid] {
+				apy := b.apOf[gy]
+				if !seen[apy] {
+					seen[apy] = true
+					over = append(over, apy)
+				}
+			}
+		}
+		sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+		b.overlapAPs[gx] = over
 	}
 
 	for dev, rooms := range cfg.PreferredRooms {
@@ -349,6 +376,16 @@ func (b *Building) IntersectCandidates(regions []RegionID) []RoomID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// OverlappingAPs returns R^ap(g): the sorted access points whose region
+// shares at least one room with region g, g's own AP included. This is the
+// neighborhood fine-grained neighbor discovery restricts its candidate scan
+// to — a device can only be a neighbor (Algorithm 2's overlap condition) if
+// it was seen at one of these APs. Unknown regions return nil. The slice is
+// shared; callers must not modify it.
+func (b *Building) OverlappingAPs(g RegionID) []APID {
+	return b.overlapAPs[g]
 }
 
 // OverlappingRegions reports whether two regions share at least one room.

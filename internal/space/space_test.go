@@ -211,6 +211,42 @@ func TestOverlappingRegions(t *testing.T) {
 	}
 }
 
+func TestOverlappingAPs(t *testing.T) {
+	b := fixture(t)
+	// In the fixture every AP's coverage touches every other's, so each
+	// region's neighborhood is all three APs, sorted, self included.
+	for _, ap := range []APID{"wap2", "wap3", "wap4"} {
+		g, _ := b.RegionOf(ap)
+		got := b.OverlappingAPs(g)
+		if !reflect.DeepEqual(got, []APID{"wap2", "wap3", "wap4"}) {
+			t.Errorf("OverlappingAPs(%s) = %v", g, got)
+		}
+	}
+	if got := b.OverlappingAPs("ghost"); got != nil {
+		t.Errorf("OverlappingAPs(ghost) = %v, want nil", got)
+	}
+
+	// Disjoint coverages stay out of each other's neighborhoods.
+	iso, err := NewBuilding(Config{
+		Rooms: []Room{{ID: "a"}, {ID: "b"}, {ID: "c"}},
+		AccessPoints: []AccessPoint{
+			{ID: "apA", Coverage: []RoomID{"a", "b"}},
+			{ID: "apC", Coverage: []RoomID{"c"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA, _ := iso.RegionOf("apA")
+	gC, _ := iso.RegionOf("apC")
+	if got := iso.OverlappingAPs(gA); !reflect.DeepEqual(got, []APID{"apA"}) {
+		t.Errorf("OverlappingAPs(%s) = %v, want [apA]", gA, got)
+	}
+	if got := iso.OverlappingAPs(gC); !reflect.DeepEqual(got, []APID{"apC"}) {
+		t.Errorf("OverlappingAPs(%s) = %v, want [apC]", gC, got)
+	}
+}
+
 func TestPreferredRooms(t *testing.T) {
 	b := fixture(t)
 	if got := b.PreferredRooms("7fbh"); !reflect.DeepEqual(got, []RoomID{"2061"}) {

@@ -110,14 +110,26 @@ type CacheTierResponse struct {
 	Invalidations int64 `json:"invalidations"`
 }
 
+// OccupancyResponse is the JSON shape of the store's temporal
+// occupancy-index stats (neighbor discovery).
+type OccupancyResponse struct {
+	Enabled       bool    `json:"enabled"`
+	BucketSeconds float64 `json:"bucket_seconds"`
+	Buckets       int     `json:"buckets"`
+	Entries       int     `json:"entries"`
+	Lookups       int64   `json:"lookups"`
+	FallbackScans int64   `json:"fallback_scans"`
+}
+
 // CachesResponse is the JSON shape of the caching layer's stats: the global
-// affinity graph plus the three bounded tiers.
+// affinity graph, the three bounded tiers, and the store's occupancy index.
 type CachesResponse struct {
 	Enabled      bool              `json:"enabled"`
 	GraphEdges   int               `json:"graph_edges"`
 	Affinity     CacheTierResponse `json:"affinity"`
 	CoarseModels CacheTierResponse `json:"coarse_models"`
 	Results      CacheTierResponse `json:"results"`
+	Occupancy    OccupancyResponse `json:"occupancy"`
 }
 
 // PersistResponse is the JSON shape of the durable event store's stats,
@@ -289,6 +301,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Affinity:     cacheTierResponseOf(cs.Affinity),
 			CoarseModels: cacheTierResponseOf(cs.CoarseModels),
 			Results:      cacheTierResponseOf(cs.Results),
+			Occupancy: OccupancyResponse{
+				Enabled:       cs.Occupancy.Enabled,
+				BucketSeconds: cs.Occupancy.Bucket.Seconds(),
+				Buckets:       cs.Occupancy.Buckets,
+				Entries:       cs.Occupancy.Entries,
+				Lookups:       cs.Occupancy.Lookups,
+				FallbackScans: cs.Occupancy.FallbackScans,
+			},
 		},
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
 		Building:     s.sys.Building().Name(),

@@ -364,4 +364,17 @@ func TestStatsCacheTiers(t *testing.T) {
 	if resp.Persist != nil {
 		t.Errorf("persist block present on a memory-only server: %+v", resp.Persist)
 	}
+	// The occupancy index is on by default and serves neighbor discovery.
+	if !c.Occupancy.Enabled || c.Occupancy.BucketSeconds <= 0 {
+		t.Errorf("occupancy block missing or disabled: %+v", c.Occupancy)
+	}
+	if c.Occupancy.Entries == 0 || c.Occupancy.Buckets == 0 {
+		t.Errorf("occupancy index empty on an ingested server: %+v", c.Occupancy)
+	}
+	if c.Occupancy.Lookups == 0 {
+		t.Errorf("served queries produced no occupancy lookups: %+v", c.Occupancy)
+	}
+	if c.Occupancy.FallbackScans != 0 {
+		t.Errorf("index-enabled server fell back to full scans: %+v", c.Occupancy)
+	}
 }

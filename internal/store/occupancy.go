@@ -1,0 +1,284 @@
+package store
+
+import (
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// DefaultOccupancyBucket is the default width of the temporal occupancy
+// index's time buckets. Ten minutes matches the default validity interval δ,
+// so a typical neighbor window (±1 hour) touches about a dozen buckets.
+const DefaultOccupancyBucket = 10 * time.Minute
+
+// occupancyIndex is a time-bucketed inverted index over the event logs:
+// bucket → AP → set of devices with at least one event at that AP inside
+// the bucket. It serves ActiveDevices / ActiveDevicesAt in time proportional
+// to the devices actually active in the window instead of a scan over every
+// device log in the store.
+//
+// The index is derived state: it is maintained incrementally on the ingest
+// path (under the store's exclusive lock), rebuilt from the logs when
+// reconfigured or cloned, and reconstructed naturally during WAL replay and
+// snapshot restore because both go through Ingest. It is never persisted.
+//
+// Membership is insensitive to event order, so out-of-order ingestion needs
+// no special handling here; only the per-device verification of boundary
+// buckets (see activeFromIndexLocked) needs sorted logs.
+type occupancyIndex struct {
+	width   time.Duration
+	buckets map[int64]map[space.APID]map[event.DeviceID]struct{}
+	// entries counts distinct (bucket, AP, device) triples — the index's
+	// resident size.
+	entries int
+}
+
+func newOccupancyIndex(width time.Duration) *occupancyIndex {
+	if width <= 0 {
+		width = DefaultOccupancyBucket
+	}
+	return &occupancyIndex{
+		width:   width,
+		buckets: make(map[int64]map[space.APID]map[event.DeviceID]struct{}),
+	}
+}
+
+// bucketOf maps a timestamp to its bucket ordinal (floor division, so
+// pre-epoch times bucket consistently too).
+func (ix *occupancyIndex) bucketOf(t time.Time) int64 {
+	n := t.UnixNano()
+	w := int64(ix.width)
+	b := n / w
+	if n < 0 && n%w != 0 {
+		b--
+	}
+	return b
+}
+
+// add records one event. Called with the store's exclusive lock held.
+func (ix *occupancyIndex) add(e event.Event) {
+	b := ix.bucketOf(e.Time)
+	apm, ok := ix.buckets[b]
+	if !ok {
+		apm = make(map[space.APID]map[event.DeviceID]struct{})
+		ix.buckets[b] = apm
+	}
+	devs, ok := apm[e.AP]
+	if !ok {
+		devs = make(map[event.DeviceID]struct{})
+		apm[e.AP] = devs
+	}
+	if _, ok := devs[e.Device]; !ok {
+		devs[e.Device] = struct{}{}
+		ix.entries++
+	}
+}
+
+// OccupancyStats reports the temporal occupancy index's shape and traffic.
+type OccupancyStats struct {
+	// Enabled reports whether the index is maintained; when false every
+	// ActiveDevices lookup falls back to a scan over all device logs.
+	Enabled bool
+	// Bucket is the configured bucket width.
+	Bucket time.Duration
+	// Buckets is the number of non-empty time buckets; Entries counts
+	// distinct (bucket, AP, device) triples.
+	Buckets, Entries int
+	// Lookups counts index-served ActiveDevices / ActiveDevicesAt calls;
+	// FallbackScans counts calls answered by the full-scan path because the
+	// index is disabled.
+	Lookups, FallbackScans int64
+}
+
+// OccupancyStats returns the occupancy index's current size and counters.
+func (s *Store) OccupancyStats() OccupancyStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := OccupancyStats{
+		Lookups:       s.occLookups.Load(),
+		FallbackScans: s.occFallbacks.Load(),
+	}
+	if s.occ != nil {
+		st.Enabled = true
+		st.Bucket = s.occ.width
+		st.Buckets = len(s.occ.buckets)
+		st.Entries = s.occ.entries
+	}
+	return st
+}
+
+// ConfigureOccupancy reconfigures the temporal occupancy index: a new bucket
+// width (non-positive selects DefaultOccupancyBucket) or disabling it
+// entirely (enabled=false), in which case ActiveDevices falls back to
+// scanning every device log. The index is rebuilt from the logs in one pass,
+// so ConfigureOccupancy may be called at any point, not only on an empty
+// store.
+func (s *Store) ConfigureOccupancy(width time.Duration, enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !enabled {
+		s.occ = nil
+		return
+	}
+	ix := newOccupancyIndex(width)
+	for _, lg := range s.logs {
+		for _, e := range lg.events {
+			ix.add(e)
+		}
+	}
+	s.occ = ix
+}
+
+// ActiveDevices returns the devices that have at least one event with
+// timestamp in [start, end], sorted. The fine-grained algorithm uses this to
+// find candidate neighbor devices that are "online" around the query time.
+func (s *Store) ActiveDevices(start, end time.Time) []event.DeviceID {
+	return s.ActiveDevicesAt(nil, start, end)
+}
+
+// ActiveDevicesAt is the region-scoped variant of ActiveDevices: it returns
+// the devices with at least one event in [start, end] at one of the given
+// APs, sorted. aps == nil means "any AP" (exactly ActiveDevices); an empty
+// non-nil slice matches nothing. Fine-grained neighbor discovery passes the
+// APs whose region overlaps the query region, so only devices seen in that
+// neighborhood are considered instead of filtering the whole campus after
+// the fact.
+func (s *Store) ActiveDevicesAt(aps []space.APID, start, end time.Time) []event.DeviceID {
+	s.mu.RLock()
+	if len(s.dirty) == 0 {
+		out := s.activeDevicesLocked(aps, start, end)
+		s.mu.RUnlock()
+		return out
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Only logs knocked out of order get re-sorted: one out-of-order ingest
+	// must not stall a neighbor lookup behind a pass over every log in the
+	// store. (Deleting from the map inside the range is safe in Go;
+	// ensureSorted removes each log it sorts.)
+	for lg := range s.dirty {
+		s.ensureSorted(lg)
+	}
+	return s.activeDevicesLocked(aps, start, end)
+}
+
+// activeDevicesLocked answers an active-devices lookup with a store lock
+// held and all logs sorted: from the occupancy index when enabled, else by
+// scanning every device log.
+func (s *Store) activeDevicesLocked(aps []space.APID, start, end time.Time) []event.DeviceID {
+	if s.occ != nil {
+		s.occLookups.Add(1)
+		return s.activeFromIndexLocked(aps, start, end)
+	}
+	s.occFallbacks.Add(1)
+	var out []event.DeviceID
+	for d, lg := range s.logs {
+		if deviceActiveInWindow(lg.events, aps, start, end) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// activeFromIndexLocked serves a lookup from the occupancy index. Devices
+// found in an interior bucket (fully inside [start, end]) are confirmed
+// outright; devices found only in the two boundary buckets — which may hold
+// events just outside the window — are verified against their sorted log,
+// so the result is exactly the brute-force scan's.
+func (s *Store) activeFromIndexLocked(aps []space.APID, start, end time.Time) []event.DeviceID {
+	if end.Before(start) {
+		return nil
+	}
+	ix := s.occ
+	bs, be := ix.bucketOf(start), ix.bucketOf(end)
+
+	confirmed := make(map[event.DeviceID]struct{})
+	candidates := make(map[event.DeviceID]struct{})
+	collect := func(b int64) {
+		apm, ok := ix.buckets[b]
+		if !ok {
+			return
+		}
+		boundary := b == bs || b == be
+		addAll := func(devs map[event.DeviceID]struct{}) {
+			for d := range devs {
+				if boundary {
+					candidates[d] = struct{}{}
+				} else {
+					confirmed[d] = struct{}{}
+				}
+			}
+		}
+		if aps == nil {
+			for _, devs := range apm {
+				addAll(devs)
+			}
+			return
+		}
+		for _, ap := range aps {
+			if devs, ok := apm[ap]; ok {
+				addAll(devs)
+			}
+		}
+	}
+	// A window much wider than the ingested history would walk mostly-empty
+	// bucket ordinals; iterating the populated buckets is cheaper then.
+	if span := be - bs + 1; span < 0 || span > int64(len(ix.buckets)) {
+		for b := range ix.buckets {
+			if b >= bs && b <= be {
+				collect(b)
+			}
+		}
+	} else {
+		for b := bs; b <= be; b++ {
+			collect(b)
+		}
+	}
+
+	for d := range candidates {
+		if _, ok := confirmed[d]; ok {
+			continue
+		}
+		lg, ok := s.logs[d]
+		if !ok {
+			continue
+		}
+		if deviceActiveInWindow(lg.events, aps, start, end) {
+			confirmed[d] = struct{}{}
+		}
+	}
+	if len(confirmed) == 0 {
+		return nil
+	}
+	out := make([]event.DeviceID, 0, len(confirmed))
+	for d := range confirmed {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// deviceActiveInWindow reports whether a sorted event log has an event in
+// [start, end], at one of the given APs when aps is non-nil.
+func deviceActiveInWindow(evs []event.Event, aps []space.APID, start, end time.Time) bool {
+	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
+	if lo >= hi {
+		return false
+	}
+	if aps == nil {
+		return true
+	}
+	for _, e := range evs[lo:hi] {
+		for _, ap := range aps {
+			if e.AP == ap {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// refActive is the test's own brute-force oracle, computed straight from an
+// event slice with no store machinery: the sorted devices with at least one
+// event in [start, end], optionally restricted to a set of APs (nil = any).
+func refActive(evs []event.Event, aps []space.APID, start, end time.Time) []event.DeviceID {
+	apOK := func(ap space.APID) bool {
+		if aps == nil {
+			return true
+		}
+		for _, a := range aps {
+			if a == ap {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[event.DeviceID]bool)
+	for _, e := range evs {
+		if !e.Time.Before(start) && !e.Time.After(end) && apOK(e.AP) {
+			seen[e.Device] = true
+		}
+	}
+	var out []event.DeviceID
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// randomWorkload builds a reproducible batch of events across devices and
+// APs with deliberately shuffled timestamps (out-of-order ingestion).
+func randomWorkload(rng *rand.Rand, devices, aps, n int) []event.Event {
+	evs := make([]event.Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%03d", rng.Intn(devices))),
+			AP:     space.APID(fmt.Sprintf("ap%02d", rng.Intn(aps))),
+			// Timestamps over ~3 days at second granularity, drawn in random
+			// order so most logs are knocked out of time order.
+			Time: t0.Add(time.Duration(rng.Intn(3*24*3600)) * time.Second),
+		})
+	}
+	return evs
+}
+
+// TestActiveDevicesIndexScanEquivalenceProperty is the occupancy index's
+// correctness contract: across random workloads (with out-of-order
+// ingestion), random windows, and random AP scopes, the index-served result
+// is byte-identical to the brute-force oracle and to an index-disabled
+// store's full-scan answer — including after Clone and after an index
+// rebuild via ConfigureOccupancy.
+func TestActiveDevicesIndexScanEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := randomWorkload(rng, 40, 6, 600)
+
+		indexed := New(0)
+		scan := New(0)
+		scan.ConfigureOccupancy(0, false)
+		// Ingest in small batches so sortedness flips repeatedly.
+		for i := 0; i < len(evs); i += 37 {
+			end := i + 37
+			if end > len(evs) {
+				end = len(evs)
+			}
+			for _, s := range []*Store{indexed, scan} {
+				if _, err := s.Ingest(evs[i:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if st := indexed.OccupancyStats(); !st.Enabled || st.Entries == 0 {
+			t.Fatalf("seed %d: index not populated: %+v", seed, st)
+		}
+		if st := scan.OccupancyStats(); st.Enabled {
+			t.Fatalf("seed %d: disabled store reports an enabled index", seed)
+		}
+
+		clone := indexed.Clone()
+		rebuilt := indexed.Clone()
+		rebuilt.ConfigureOccupancy(3*time.Minute, true) // rebuild at another width
+
+		apSets := [][]space.APID{
+			nil,
+			{},
+			{"ap00"},
+			{"ap01", "ap03", "ap05"},
+			{"ap02", "nope"},
+		}
+		for q := 0; q < 60; q++ {
+			start := t0.Add(time.Duration(rng.Intn(3*24*3600)-3600) * time.Second)
+			end := start.Add(time.Duration(rng.Intn(4*3600)-60) * time.Second)
+			aps := apSets[rng.Intn(len(apSets))]
+			want := refActive(evs, aps, start, end)
+			for name, s := range map[string]*Store{
+				"indexed": indexed, "scan": scan, "clone": clone, "rebuilt": rebuilt,
+			} {
+				got := s.ActiveDevicesAt(aps, start, end)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d query %d (%s, aps=%v, [%v,%v]): got %v, want %v",
+						seed, q, name, aps, start, end, got, want)
+				}
+			}
+			if aps == nil {
+				if got := indexed.ActiveDevices(start, end); !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d query %d: ActiveDevices diverged from oracle", seed, q)
+				}
+			}
+		}
+	}
+}
+
+// TestActiveDevicesInteriorAndBoundaryBuckets pins the verification split:
+// a device whose only event sits in a boundary bucket but outside the
+// window must be excluded, while interior-bucket devices are included
+// without touching their logs.
+func TestActiveDevicesInteriorAndBoundaryBuckets(t *testing.T) {
+	s := New(0)
+	s.ConfigureOccupancy(10*time.Minute, true)
+	mustIngest := func(d event.DeviceID, at time.Time) {
+		t.Helper()
+		if err := s.IngestOne(event.Event{Device: d, AP: "ap", Time: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := t0.Add(2 * time.Minute) // mid-bucket
+	end := start.Add(25 * time.Minute)
+	mustIngest("in-boundary", start.Add(time.Minute))      // boundary bucket, inside window
+	mustIngest("out-boundary", start.Add(-1*time.Minute))  // same bucket, before start
+	mustIngest("interior", start.Add(12*time.Minute))      // fully-interior bucket
+	mustIngest("out-far", start.Add(-2*time.Hour))         // different bucket entirely
+	mustIngest("end-boundary-out", end.Add(2*time.Minute)) // end bucket, after end
+
+	got := s.ActiveDevices(start, end)
+	want := []event.DeviceID{"in-boundary", "interior"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ActiveDevices = %v, want %v", got, want)
+	}
+}
+
+// TestActiveDevicesSortsOnlyDirtyLogs is the sort-scope regression test:
+// one out-of-order ingest among many devices must trigger exactly one lazy
+// re-sort on the slow path, not a pass over every log.
+func TestActiveDevicesSortsOnlyDirtyLogs(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 100; i++ {
+		d := event.DeviceID(fmt.Sprintf("d%03d", i))
+		for j := 0; j < 5; j++ {
+			if err := s.IngestOne(event.Event{Device: d, AP: "ap", Time: t0.Add(time.Duration(j) * time.Minute)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Knock exactly one log out of order.
+	if err := s.IngestOne(event.Event{Device: "d042", AP: "ap", Time: t0.Add(-time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.dirty); n != 1 {
+		t.Fatalf("dirty logs = %d, want 1", n)
+	}
+	before := s.resorts
+	got := s.ActiveDevices(t0, t0.Add(10*time.Minute))
+	if len(got) != 100 {
+		t.Fatalf("ActiveDevices returned %d devices, want 100", len(got))
+	}
+	if n := s.resorts - before; n != 1 {
+		t.Errorf("slow path performed %d re-sorts, want exactly 1 (the dirty log)", n)
+	}
+	if len(s.dirty) != 0 {
+		t.Errorf("dirty set not drained: %d", len(s.dirty))
+	}
+	// The dirtied log must now serve the pre-seed event in time order.
+	evs := s.Events("d042")
+	if len(evs) != 6 || !evs[0].Time.Equal(t0.Add(-time.Hour)) {
+		t.Errorf("re-sorted log wrong: %v", evs)
+	}
+}
+
+// TestOccupancyStatsCounters checks the index's observability surface:
+// lookups, fallback scans, bucket/entry sizes, and the enabled flag across
+// ConfigureOccupancy transitions.
+func TestOccupancyStatsCounters(t *testing.T) {
+	s := New(0)
+	if st := s.OccupancyStats(); !st.Enabled || st.Bucket != DefaultOccupancyBucket {
+		t.Fatalf("default index state: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.IngestOne(event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%d", i)),
+			AP:     space.APID(fmt.Sprintf("ap%d", i%2)),
+			Time:   t0.Add(time.Duration(i) * time.Hour),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.OccupancyStats()
+	if st.Buckets != 4 || st.Entries != 4 {
+		t.Errorf("index size = %d buckets / %d entries, want 4/4", st.Buckets, st.Entries)
+	}
+	s.ActiveDevices(t0, t0.Add(time.Hour))
+	s.ActiveDevicesAt([]space.APID{"ap0"}, t0, t0.Add(time.Hour))
+	st = s.OccupancyStats()
+	if st.Lookups != 2 || st.FallbackScans != 0 {
+		t.Errorf("lookups/fallbacks = %d/%d, want 2/0", st.Lookups, st.FallbackScans)
+	}
+
+	s.ConfigureOccupancy(0, false)
+	s.ActiveDevices(t0, t0.Add(time.Hour))
+	st = s.OccupancyStats()
+	if st.Enabled || st.Buckets != 0 || st.Entries != 0 {
+		t.Errorf("disabled index still reports size: %+v", st)
+	}
+	if st.FallbackScans != 1 {
+		t.Errorf("fallback scans = %d, want 1", st.FallbackScans)
+	}
+
+	// Re-enabling rebuilds from the logs.
+	s.ConfigureOccupancy(30*time.Minute, true)
+	st = s.OccupancyStats()
+	if !st.Enabled || st.Bucket != 30*time.Minute || st.Entries != 4 {
+		t.Errorf("rebuilt index state: %+v", st)
+	}
+}
+
+// TestActiveDevicesDuplicateEventsOneEntry: re-ingesting the same
+// (device, AP, bucket) combination must not grow the index.
+func TestActiveDevicesDuplicateEventsOneEntry(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		if err := s.IngestOne(event.Event{Device: "d", AP: "ap", Time: t0.Add(time.Duration(i) * time.Second)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.OccupancyStats(); st.Entries != 1 || st.Buckets != 1 {
+		t.Errorf("10 same-bucket events produced %d entries / %d buckets, want 1/1", st.Entries, st.Buckets)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locater/internal/event"
@@ -67,10 +68,22 @@ type Store struct {
 
 	nextID int64
 
-	// unsorted counts device logs knocked out of time order by
-	// out-of-order ingestion, so read paths can test "everything sorted"
-	// in O(1) instead of scanning all logs.
-	unsorted int
+	// dirty holds the device logs knocked out of time order by out-of-order
+	// ingestion: read paths test "everything sorted" in O(1) via len(dirty),
+	// and the lazy re-sort touches exactly these logs instead of iterating
+	// every log in the store.
+	dirty map[*deviceLog]struct{}
+	// resorts counts actual lazy re-sorts (one per dirtied log), so tests
+	// can assert the re-sort scope.
+	resorts int64
+
+	// occ is the temporal occupancy index serving ActiveDevices /
+	// ActiveDevicesAt; nil when disabled (see ConfigureOccupancy).
+	occ *occupancyIndex
+	// occLookups / occFallbacks count index-served lookups and full-scan
+	// fallbacks. Atomic: bumped under the shared lock.
+	occLookups   atomic.Int64
+	occFallbacks atomic.Int64
 
 	// bounds of all ingested data.
 	minTime time.Time
@@ -94,6 +107,8 @@ func New(defaultDelta time.Duration) *Store {
 		deltas:       make(map[event.DeviceID]time.Duration),
 		defaultDelta: defaultDelta,
 		nextID:       1,
+		dirty:        make(map[*deviceLog]struct{}),
+		occ:          newOccupancyIndex(DefaultOccupancyBucket),
 	}
 }
 
@@ -252,9 +267,12 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 		// common case for streaming ingestion.
 		if lg.sorted && len(lg.events) > 0 && e.Before(lg.events[len(lg.events)-1]) {
 			lg.sorted = false
-			s.unsorted++
+			s.dirty[lg] = struct{}{}
 		}
 		lg.events = append(lg.events, e)
+		if s.occ != nil {
+			s.occ.add(e)
+		}
 		if s.count == 0 || e.Time.Before(s.minTime) {
 			s.minTime = e.Time
 		}
@@ -283,12 +301,13 @@ func (s *Store) IngestOne(e event.Event) error {
 }
 
 // ensureSorted re-sorts a log after out-of-order ingestion and maintains
-// the store's unsorted counter. Callers must hold the exclusive lock.
+// the store's dirty-log set. Callers must hold the exclusive lock.
 func (s *Store) ensureSorted(lg *deviceLog) {
 	if !lg.sorted {
 		event.SortEvents(lg.events)
 		lg.sorted = true
-		s.unsorted--
+		delete(s.dirty, lg)
+		s.resorts++
 	}
 }
 
@@ -387,39 +406,6 @@ func (s *Store) At(d event.DeviceID, t time.Time) (*event.Validity, *event.Gap, 
 		v, g = tl.At(t)
 	})
 	return v, g, err
-}
-
-// ActiveDevices returns the devices that have at least one event with
-// timestamp in [start, end], sorted. The fine-grained algorithm uses this to
-// find candidate neighbor devices that are "online" around the query time.
-func (s *Store) ActiveDevices(start, end time.Time) []event.DeviceID {
-	s.mu.RLock()
-	if s.unsorted == 0 {
-		out := s.activeDevicesLocked(start, end)
-		s.mu.RUnlock()
-		return out
-	}
-	s.mu.RUnlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, lg := range s.logs {
-		s.ensureSorted(lg)
-	}
-	return s.activeDevicesLocked(start, end)
-}
-
-// activeDevicesLocked scans the (sorted) logs with a store lock held.
-func (s *Store) activeDevicesLocked(start, end time.Time) []event.DeviceID {
-	var out []event.DeviceID
-	for d, lg := range s.logs {
-		evs := lg.events
-		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
-		if lo < len(evs) && !evs[lo].Time.After(end) {
-			out = append(out, d)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // LastEventAtOrBefore returns the device's latest event with Time ≤ t.
@@ -527,6 +513,14 @@ func (s *Store) Clone() *Store {
 	c := New(s.defaultDelta)
 	c.nextID = s.nextID
 	c.minTime, c.maxTime, c.count = s.minTime, s.maxTime, s.count
+	// The occupancy index is derived state: the clone keeps the source's
+	// configuration (width, or disabled) and rebuilds its own index while
+	// the logs are copied.
+	if s.occ == nil {
+		c.occ = nil
+	} else {
+		c.occ = newOccupancyIndex(s.occ.width)
+	}
 	for d, dl := range s.deltas {
 		c.deltas[d] = dl
 	}
@@ -535,6 +529,11 @@ func (s *Store) Clone() *Store {
 		cp := make([]event.Event, len(lg.events))
 		copy(cp, lg.events)
 		c.logs[dev] = &deviceLog{events: cp, sorted: true}
+		if c.occ != nil {
+			for _, e := range cp {
+				c.occ.add(e)
+			}
+		}
 	}
 	return c
 }

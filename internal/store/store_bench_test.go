@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"locater/internal/event"
+	"locater/internal/space"
 )
 
 // seedBench fills a store with n events across k devices.
@@ -66,11 +67,78 @@ func BenchmarkAt(b *testing.B) {
 	}
 }
 
+// seedActiveWindow builds a store with n devices whose history is spread
+// over a day, plus a fixed-size active set with one extra event inside the
+// benchmark's query window — so the number of active devices stays constant
+// while the total device count scales.
+func seedActiveWindow(b *testing.B, n, active int, indexed bool) (*Store, time.Time, time.Time) {
+	b.Helper()
+	s := New(0)
+	if !indexed {
+		s.ConfigureOccupancy(0, false)
+	}
+	winStart := t0.Add(30 * 24 * time.Hour)
+	evs := make([]event.Event, 0, n+active)
+	for i := 0; i < n; i++ {
+		evs = append(evs, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%06d", i)),
+			AP:     space.APID(fmt.Sprintf("ap%02d", i%16)),
+			Time:   t0.Add(time.Duration(i%1440) * time.Minute),
+		})
+	}
+	for i := 0; i < active; i++ {
+		evs = append(evs, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("d%06d", i*(n/active))),
+			AP:     space.APID(fmt.Sprintf("ap%02d", i%16)),
+			Time:   winStart.Add(time.Duration(i%30) * time.Minute),
+		})
+	}
+	if _, err := s.Ingest(evs); err != nil {
+		b.Fatal(err)
+	}
+	return s, winStart.Add(-5 * time.Minute), winStart.Add(35 * time.Minute)
+}
+
+// BenchmarkActiveDevices contrasts the occupancy index with the full-scan
+// baseline across total device counts at a fixed active set (64 devices):
+// the indexed cost should stay near-constant while the scan grows linearly.
 func BenchmarkActiveDevices(b *testing.B) {
-	s := seedBench(b, 100000, 200)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		start := t0.Add(time.Duration(i%1000) * time.Hour)
-		s.ActiveDevices(start, start.Add(time.Hour))
+	for _, n := range []int{1000, 10000, 50000} {
+		for _, mode := range []struct {
+			name    string
+			indexed bool
+		}{{"indexed", true}, {"scan", false}} {
+			b.Run(fmt.Sprintf("devices=%d/%s", n, mode.name), func(b *testing.B) {
+				s, start, end := seedActiveWindow(b, n, 64, mode.indexed)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := s.ActiveDevices(start, end); len(got) != 64 {
+						b.Fatalf("active = %d, want 64", len(got))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkActiveDevicesAt measures the region-scoped lookup the
+// fine-grained neighbor discovery issues: only 4 of 16 APs are in scope.
+func BenchmarkActiveDevicesAt(b *testing.B) {
+	aps := []space.APID{"ap00", "ap01", "ap02", "ap03"}
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []struct {
+			name    string
+			indexed bool
+		}{{"indexed", true}, {"scan", false}} {
+			b.Run(fmt.Sprintf("devices=%d/%s", n, mode.name), func(b *testing.B) {
+				s, start, end := seedActiveWindow(b, n, 64, mode.indexed)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := s.ActiveDevicesAt(aps, start, end); len(got) == 0 {
+						b.Fatal("no active devices in scope")
+					}
+				}
+			})
+		}
 	}
 }

@@ -142,6 +142,18 @@ type Config struct {
 	// ModelCacheSize bounds the coarse stage's per-device model cache.
 	// Default 4096. Effective with or without EnableCache.
 	ModelCacheSize int
+
+	// OccupancyBucket is the bucket width of the store's temporal occupancy
+	// index, which serves fine-grained neighbor discovery in time
+	// proportional to the devices actually active around the query instead
+	// of a scan over every device log. Default 10 minutes. Effective with
+	// or without EnableCache.
+	OccupancyBucket time.Duration
+	// DisableOccupancyIndex turns the occupancy index off; neighbor
+	// discovery falls back to the full-scan path. The index is derived
+	// state (rebuilt from the logs, never persisted), so the knob only
+	// trades lookup cost against index memory.
+	DisableOccupancyIndex bool
 }
 
 func (c Config) coarseOptions() coarse.Options {
@@ -278,6 +290,9 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	st := store.New(cfg.DefaultDelta)
+	if cfg.DisableOccupancyIndex || cfg.OccupancyBucket > 0 {
+		st.ConfigureOccupancy(cfg.OccupancyBucket, !cfg.DisableOccupancyIndex)
+	}
 	s := &System{
 		cfg:      cfg,
 		building: cfg.Building,
@@ -580,11 +595,29 @@ func tierStats(st cache.Stats) CacheTierStats {
 	}
 }
 
+// OccupancyIndexStats reports the store's temporal occupancy index: its
+// configured bucket width, resident size, and lookup traffic.
+type OccupancyIndexStats struct {
+	// Enabled reports whether the index is maintained
+	// (!Config.DisableOccupancyIndex).
+	Enabled bool
+	// Bucket is the configured bucket width (Config.OccupancyBucket).
+	Bucket time.Duration
+	// Buckets is the number of non-empty time buckets; Entries counts
+	// distinct (bucket, AP, device) index entries.
+	Buckets, Entries int
+	// Lookups counts index-served neighbor-discovery lookups;
+	// FallbackScans counts lookups answered by the full-scan path because
+	// the index is disabled.
+	Lookups, FallbackScans int64
+}
+
 // CacheStats reports every cache tier's state: the global affinity graph's
 // edge count, the pairwise-affinity fallback cache, the coarse per-device
-// model cache, and the query result cache. CoarseModels is live even when
-// EnableCache is off (the coarse stage always caches trained models);
-// Affinity and Results are zero then, and Enabled reports false.
+// model cache, and the query result cache, plus the store's occupancy
+// index. CoarseModels and Occupancy are live even when EnableCache is off
+// (the coarse stage always caches trained models, and the index is a store
+// feature); Affinity and Results are zero then, and Enabled reports false.
 type CacheStats struct {
 	// Enabled reports whether the caching engine (Config.EnableCache) is on.
 	Enabled bool
@@ -598,12 +631,24 @@ type CacheStats struct {
 	CoarseModels CacheTierStats
 	// Results is the whole-query result cache.
 	Results CacheTierStats
+	// Occupancy is the store's temporal occupancy index (neighbor
+	// discovery).
+	Occupancy OccupancyIndexStats
 }
 
 // CacheStats reports the caching layer's per-tier sizes, bounds, and
 // hit/miss/eviction/invalidation counters.
 func (s *System) CacheStats() CacheStats {
 	cs := CacheStats{CoarseModels: tierStats(s.coarse.ModelCacheStats())}
+	occ := s.store.OccupancyStats()
+	cs.Occupancy = OccupancyIndexStats{
+		Enabled:       occ.Enabled,
+		Bucket:        occ.Bucket,
+		Buckets:       occ.Buckets,
+		Entries:       occ.Entries,
+		Lookups:       occ.Lookups,
+		FallbackScans: occ.FallbackScans,
+	}
 	if s.graph != nil {
 		cs.Enabled = true
 		cs.GraphEdges = s.graph.NumEdges()
