@@ -46,6 +46,8 @@ func main() {
 
 		neighbors = flag.Bool("neighbors", false, "measure occupancy-index neighbor discovery vs the full-scan baseline")
 
+		query = flag.Bool("query", false, "measure the fine-stage query kernel (cold/warm latency + allocs at 10/50/200 neighbors, I-FINE and D-FINE) against the pre-refactor reference, with a posterior-correctness gate")
+
 		persist       = flag.Bool("persist", false, "measure durable event store ingest + recovery throughput")
 		persistEvents = flag.Int("persist-events", 200000, "events for -persist")
 		persistDir    = flag.String("persist-dir", "", "WAL directory for -persist (default: a temp dir, removed afterwards)")
@@ -68,6 +70,14 @@ func main() {
 		Seed:     *seed,
 		Fast:     !*slow,
 	}.WithDefaults()
+
+	if *query {
+		if err := runQuery(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *neighbors {
 		if err := runNeighbors(*benchOut); err != nil {

@@ -11,6 +11,7 @@
 //	POST /ingest   body: JSON array of {device, time, ap}  → ingest events
 //	GET  /stats                                         → system counters
 //	GET  /healthz                                       → liveness
+//	GET  /debug/pprof/                                  → Go profiler (-pprof only)
 //
 // With -data-dir the system is durable: every acknowledged ingest is written
 // ahead to a segmented log under the directory before the HTTP response, a
@@ -52,6 +53,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for the durable event store (WAL + snapshots); empty = in-memory only")
 		fsync        = flag.Bool("fsync", true, "with -data-dir: fsync acknowledged writes (group commit); off = flush to OS only")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "with -data-dir: background checkpoint period (0 = only at shutdown)")
+		pprofFlag    = flag.Bool("pprof", false, "expose Go's runtime profiler under /debug/pprof/ (off by default; profiling data reveals internals)")
 	)
 	flag.Parse()
 
@@ -121,7 +123,12 @@ func main() {
 		fmt.Printf("preloaded %d events for %d devices\n", sys.NumEvents(), sys.NumDevices())
 	}
 
-	server := &http.Server{Addr: *addr, Handler: srv.New(sys)}
+	handler := srv.New(sys)
+	if *pprofFlag {
+		handler.EnablePprof()
+		fmt.Printf("pprof enabled at %s/debug/pprof/\n", *addr)
+	}
+	server := &http.Server{Addr: *addr, Handler: handler}
 
 	// Graceful shutdown: stop accepting requests, drain in-flight ones,
 	// then checkpoint and close the durable store so the next start

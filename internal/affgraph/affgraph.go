@@ -158,6 +158,25 @@ func (g *Graph) weightLocked(a, b event.DeviceID, tq time.Time) float64 {
 	return num / den
 }
 
+// WeightsBatch collapses the edge vectors (d, cands[i]) at tq into
+// out[:len(cands)] under a single shared lock — the batched form of Weight
+// the fine stage's affinity sweep uses so a query with N neighbors takes the
+// graph lock once, not N times. out is caller-owned scratch and is grown as
+// needed.
+func (g *Graph) WeightsBatch(d event.DeviceID, cands []event.DeviceID, tq time.Time, out []float64) []float64 {
+	if cap(out) < len(cands) {
+		out = make([]float64, len(cands))
+	}
+	out = out[:len(cands)]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for i, n := range cands {
+		a, b := orderPair(d, n)
+		out[i] = g.weightLocked(a, b, tq)
+	}
+	return out
+}
+
 // OrderNeighbors sorts the neighbor candidates by decreasing collapsed edge
 // weight w.r.t. the queried device, breaking ties by device ID. Devices
 // with no edge sort after devices with edges (weight 0), preserving their
@@ -393,6 +412,150 @@ func (c *CachedAffinity) leadFallback(a, b event.DeviceID, ref time.Time, key pa
 	v = c.Fallback.PairAffinity(a, b, ref)
 	computed = true
 	return v
+}
+
+// BatchPairAffinity answers α({d, c}) for every candidate c in one pass —
+// the fine stage's batched sweep entry point (fine.BatchPairAffinityProvider).
+// The graph is consulted once for all pairs under a single shared lock;
+// cached fallback answers fill in next; the remaining misses are computed in
+// ONE batched fallback sweep (when the fallback implements the batch
+// interface) instead of a per-pair copy each, which is where a cold query
+// with N neighbors used to pay 2N history copies.
+//
+// Accounting and invalidation semantics match PairAffinity exactly: graph
+// answers count as hits, everything that reaches the fallback counts as a
+// miss, concurrent misses for the same key share one computation
+// (singleflight), and a computation that predates an epoch bump is returned
+// to its own caller but never cached.
+func (c *CachedAffinity) BatchPairAffinity(d event.DeviceID, cands []event.DeviceID, ref time.Time, out []float64) []float64 {
+	out = c.Graph.WeightsBatch(d, cands, ref, out)
+	bucket := ref.Unix() / int64(c.BucketSize.Seconds())
+
+	// Resolve graph hits and cached fallback answers; collect the misses.
+	var missIdx []int
+	var missKeys []pairKey
+	for i, cand := range cands {
+		if out[i] > 0 {
+			c.graphHits.Add(1)
+			continue
+		}
+		x, y := orderPair(d, cand)
+		key := pairKey{a: x, b: y, bucket: bucket}
+		if v, ok := c.fallbackCache.Get(key); ok {
+			out[i] = v
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missKeys = append(missKeys, key)
+	}
+	if len(missIdx) == 0 {
+		return out
+	}
+
+	// Claim or join an in-flight computation per missing key. Keys this call
+	// claims are computed below in one batched fallback sweep; keys another
+	// goroutine is already computing are joined after our own sweep
+	// publishes (so their waiters are never blocked on us).
+	c.mu.Lock()
+	var leadIdx []int // positions into missIdx/missKeys this call leads
+	var leadCalls []*inflightAffinity
+	// Every key this call leads completes at the same moment (one batched
+	// sweep publishes them together), so they share a single done channel.
+	var leadDone chan struct{}
+	type joined struct {
+		pos   int // index into cands/out
+		call  *inflightAffinity
+		epoch uint64
+	}
+	var joins []joined
+	for mi, key := range missKeys {
+		if v, ok := c.fallbackCache.Peek(key); ok {
+			out[missIdx[mi]] = v
+			continue
+		}
+		if call, ok := c.inflight[key]; ok {
+			joins = append(joins, joined{pos: missIdx[mi], call: call, epoch: c.fallbackCache.Epoch()})
+			continue
+		}
+		if leadDone == nil {
+			leadDone = make(chan struct{})
+		}
+		call := &inflightAffinity{done: leadDone, epoch: c.fallbackCache.Epoch()}
+		c.inflight[key] = call
+		leadIdx = append(leadIdx, mi)
+		leadCalls = append(leadCalls, call)
+	}
+	c.mu.Unlock()
+
+	if len(leadIdx) > 0 {
+		leadDevs := make([]event.DeviceID, len(leadIdx))
+		leadKeys := make([]pairKey, len(leadIdx))
+		for k, mi := range leadIdx {
+			leadDevs[k] = cands[missIdx[mi]]
+			leadKeys[k] = missKeys[mi]
+		}
+		vals := c.leadBatchFallback(d, leadDevs, ref, leadKeys, leadCalls, leadDone)
+		for k, mi := range leadIdx {
+			out[missIdx[mi]] = vals[k]
+		}
+	}
+	for _, j := range joins {
+		<-j.call.done
+		if j.call.ok && j.call.epoch == j.epoch {
+			out[j.pos] = j.call.val
+			continue
+		}
+		// The foreign leader panicked or its computation predates a write
+		// observed before this query joined: re-resolve through the full
+		// single-pair path (which retries until it leads or reads a fresh
+		// value).
+		out[j.pos] = c.PairAffinity(d, cands[j.pos], ref)
+	}
+	return out
+}
+
+// leadBatchFallback computes the claimed keys' affinities in one batched
+// fallback sweep and publishes them. Publication happens in a defer, so a
+// panicking fallback can never leave waiters blocked; as in leadFallback,
+// only successful computations are cached, and only at the epoch captured
+// when the key was claimed. done is the completion channel every claimed
+// key's inflight entry shares — closed exactly once, after all values are
+// written.
+func (c *CachedAffinity) leadBatchFallback(d event.DeviceID, devs []event.DeviceID, ref time.Time, keys []pairKey, calls []*inflightAffinity, done chan struct{}) (vals []float64) {
+	computed := false
+	defer func() {
+		c.mu.Lock()
+		for i, key := range keys {
+			if computed {
+				c.fallbackCache.PutAt(key, vals[i], calls[i].epoch)
+			}
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+		for i, call := range calls {
+			if computed {
+				call.val = vals[i]
+			}
+			call.ok = computed
+		}
+		close(done)
+	}()
+	if bf, ok := c.Fallback.(batchFallback); ok {
+		vals = bf.BatchPairAffinity(d, devs, ref, make([]float64, 0, len(devs)))
+	} else {
+		vals = make([]float64, len(devs))
+		for i, dev := range devs {
+			vals[i] = c.Fallback.PairAffinity(d, dev, ref)
+		}
+	}
+	computed = true
+	return vals
+}
+
+// batchFallback mirrors fine.BatchPairAffinityProvider without importing the
+// package (avoiding an import cycle, like Edge does for fine.LocalEdge).
+type batchFallback interface {
+	BatchPairAffinity(d event.DeviceID, cands []event.DeviceID, ref time.Time, out []float64) []float64
 }
 
 // Invalidate orphans every cached fallback affinity (O(1) epoch bump).

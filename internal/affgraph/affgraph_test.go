@@ -446,3 +446,123 @@ func TestCachedAffinityWaiterAfterInvalidateRetries(t *testing.T) {
 		t.Errorf("fallback ran %d times, want 2 (stale leader + post-write recompute)", fb.calls)
 	}
 }
+
+// batchCountingFallback implements both the per-pair and batch interfaces,
+// counting how often each is consulted.
+type batchCountingFallback struct {
+	mu         sync.Mutex
+	pairCalls  int
+	batchCalls int
+	batchPairs int
+}
+
+func (f *batchCountingFallback) val(a, b event.DeviceID) float64 {
+	return float64(len(a)+len(b)) / 100
+}
+
+func (f *batchCountingFallback) PairAffinity(a, b event.DeviceID, _ time.Time) float64 {
+	f.mu.Lock()
+	f.pairCalls++
+	f.mu.Unlock()
+	return f.val(a, b)
+}
+
+func (f *batchCountingFallback) BatchPairAffinity(d event.DeviceID, cands []event.DeviceID, _ time.Time, out []float64) []float64 {
+	f.mu.Lock()
+	f.batchCalls++
+	f.batchPairs += len(cands)
+	f.mu.Unlock()
+	if cap(out) < len(cands) {
+		out = make([]float64, len(cands))
+	}
+	out = out[:len(cands)]
+	for i, c := range cands {
+		out[i] = f.val(d, c)
+	}
+	return out
+}
+
+// TestBatchPairAffinityMatchesSingle: the batch path must return exactly the
+// per-pair answers, route all misses through ONE batched fallback sweep, and
+// serve repeats from the cache without touching the fallback again.
+func TestBatchPairAffinityMatchesSingle(t *testing.T) {
+	g := New(Options{})
+	fb := &batchCountingFallback{}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+	ref := time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+	cands := []event.DeviceID{"bb", "ccc", "dddd", "eeeee"}
+
+	got := c.BatchPairAffinity("a", cands, ref, nil)
+	if fb.batchCalls != 1 || fb.batchPairs != len(cands) {
+		t.Fatalf("fallback sweeps = %d (%d pairs), want 1 (%d)", fb.batchCalls, fb.batchPairs, len(cands))
+	}
+	for i, cand := range cands {
+		if want := fb.val("a", cand); got[i] != want {
+			t.Errorf("batch[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	// Repeat: all cached, no new fallback traffic, same answers through the
+	// single-pair entry point too.
+	again := c.BatchPairAffinity("a", cands, ref, nil)
+	for i := range cands {
+		if again[i] != got[i] {
+			t.Errorf("cached batch[%d] = %v, want %v", i, again[i], got[i])
+		}
+		if v := c.PairAffinity("a", cands[i], ref); v != got[i] {
+			t.Errorf("single[%d] = %v, want %v", i, v, got[i])
+		}
+	}
+	if fb.batchCalls != 1 || fb.pairCalls != 0 {
+		t.Errorf("fallback after repeats: %d sweeps, %d pair calls", fb.batchCalls, fb.pairCalls)
+	}
+
+	// Graph edges pre-empt the fallback, exactly like the single path.
+	g.Merge([]Edge{{From: "a", To: "bb", Weight: 0.75}}, ref)
+	c.Invalidate()
+	got = c.BatchPairAffinity("a", cands, ref, got)
+	if got[0] != 0.75 {
+		t.Errorf("graph-served batch[0] = %v, want 0.75", got[0])
+	}
+	if fb.batchCalls != 2 || fb.batchPairs != len(cands)+len(cands)-1 {
+		t.Errorf("post-invalidate sweeps = %d (%d pairs)", fb.batchCalls, fb.batchPairs)
+	}
+}
+
+// TestBatchPairAffinityConcurrent: concurrent batch sweeps over overlapping
+// candidate sets must agree with the fallback values (singleflight keeps
+// shared keys consistent) — run with -race this also proves the shared-done
+// publication is sound.
+func TestBatchPairAffinityConcurrent(t *testing.T) {
+	g := New(Options{})
+	fb := &batchCountingFallback{}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+	ref := time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+	var cands []event.DeviceID
+	for i := 0; i < 32; i++ {
+		cands = append(cands, event.DeviceID(fmt.Sprintf("n%02d", i)))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []float64
+			for rep := 0; rep < 20; rep++ {
+				sub := cands[(w+rep)%16 : (w+rep)%16+16]
+				out = c.BatchPairAffinity("a", sub, ref, out)
+				for i, cand := range sub {
+					if want := fb.val("a", cand); out[i] != want {
+						errs <- fmt.Sprintf("worker %d: %s = %v, want %v", w, cand, out[i], want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

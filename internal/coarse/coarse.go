@@ -287,23 +287,23 @@ func (l *Localizer) bootstrapRegion(d event.DeviceID, g event.Gap) space.RegionI
 
 // mostVisitedRegionInWindow counts the device's historical events whose
 // time-of-day falls inside the gap's time-of-day window and returns the
-// modal region. Ties break lexicographically for determinism.
+// modal region. Ties break lexicographically for determinism. The history
+// window is visited in place (store.ScanEvents) — counting retains nothing,
+// so this per-query path makes no log copy.
 func (l *Localizer) mostVisitedRegionInWindow(d event.DeviceID, g event.Gap) (space.RegionID, bool) {
-	hist := l.historyEvents(d, g.Start)
-	if len(hist) == 0 {
-		return "", false
-	}
 	startSec := secondOfDay(g.Start)
 	endSec := secondOfDay(g.End)
 	counts := make(map[space.RegionID]int)
-	for _, e := range hist {
-		s := secondOfDay(e.Time)
-		if inDayWindow(s, startSec, endSec) {
-			if region, ok := l.building.RegionOf(e.AP); ok {
-				counts[region]++
+	l.scanHistory(d, g.Start, func(evs []event.Event) {
+		for _, e := range evs {
+			s := secondOfDay(e.Time)
+			if inDayWindow(s, startSec, endSec) {
+				if region, ok := l.building.RegionOf(e.AP); ok {
+					counts[region]++
+				}
 			}
 		}
-	}
+	})
 	if len(counts) == 0 {
 		return "", false
 	}
@@ -334,9 +334,18 @@ func inDayWindow(s, start, end int) bool {
 	return s >= start || s <= end
 }
 
-// historyEvents returns the device's events in the N-day window ending at
-// ref (exclusive of events after ref).
+// historyEvents returns a copy of the device's events in the N-day window
+// ending at ref (exclusive of events after ref). Training paths that retain
+// the slice (timeline construction, featurization) use it; per-query paths
+// that only count use scanHistory.
 func (l *Localizer) historyEvents(d event.DeviceID, ref time.Time) []event.Event {
 	start := ref.AddDate(0, 0, -l.opts.HistoryDays)
 	return l.store.EventsBetween(d, start, ref)
+}
+
+// scanHistory visits the same window as historyEvents zero-copy, under the
+// store's shared lock. fn must not retain the slice.
+func (l *Localizer) scanHistory(d event.DeviceID, ref time.Time, fn func(evs []event.Event)) {
+	start := ref.AddDate(0, 0, -l.opts.HistoryDays)
+	l.store.ScanEvents(d, start, ref, func(evs []event.Event, _ time.Duration) { fn(evs) })
 }

@@ -78,18 +78,20 @@ func (l *Localizer) regionIndex(g space.RegionID) int {
 
 // connectionDensity computes ω: the average number of the device's logged
 // connectivity events per history day within the gap's time-of-day window.
+// The history is visited zero-copy (counting retains nothing).
 func (l *Localizer) connectionDensity(d event.DeviceID, g event.Gap) float64 {
-	hist := l.historyEvents(d, g.Start)
-	if len(hist) == 0 {
-		return 0
-	}
 	startSec := secondOfDay(g.Start)
 	endSec := secondOfDay(g.End)
 	count := 0
-	for _, e := range hist {
-		if inDayWindow(secondOfDay(e.Time), startSec, endSec) {
-			count++
+	l.scanHistory(d, g.Start, func(evs []event.Event) {
+		for _, e := range evs {
+			if inDayWindow(secondOfDay(e.Time), startSec, endSec) {
+				count++
+			}
 		}
+	})
+	if count == 0 {
+		return 0
 	}
 	days := l.opts.HistoryDays
 	if days == 0 {

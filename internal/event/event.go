@@ -226,6 +226,29 @@ func (tl *Timeline) At(t time.Time) (*Validity, *Gap) {
 	return nil, nil
 }
 
+// APAt returns the AP of the event whose validity interval contains t, if
+// any. It answers the same question as At(t) restricted to the validity case
+// but allocates nothing — this is the per-neighbor "online" test the fine
+// stage issues for every candidate device of every query.
+func (tl *Timeline) APAt(t time.Time) (space.APID, bool) {
+	n := len(tl.Events)
+	if n == 0 {
+		return "", false
+	}
+	idx := sort.Search(n, func(i int) bool { return tl.Events[i].Time.After(t) })
+	if idx > 0 {
+		if v := tl.validityAt(idx - 1); v.Contains(t) {
+			return v.Event.AP, true
+		}
+	}
+	if idx < n {
+		if v := tl.validityAt(idx); v.Contains(t) {
+			return v.Event.AP, true
+		}
+	}
+	return "", false
+}
+
 // validityAt computes the truncated validity of the i-th event only.
 func (tl *Timeline) validityAt(i int) Validity {
 	e := tl.Events[i]

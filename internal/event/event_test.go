@@ -334,3 +334,33 @@ func TestValidityInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAPAtMatchesAt: the zero-alloc APAt must agree with At's validity case
+// at every probe instant, including interval boundaries and gaps.
+func TestAPAtMatchesAt(t *testing.T) {
+	base := time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+	tl, err := NewTimeline("d", 10*time.Minute, []Event{
+		{Device: "d", Time: base, AP: "ap1"},
+		{Device: "d", Time: base.Add(5 * time.Minute), AP: "ap2"},
+		{Device: "d", Time: base.Add(2 * time.Hour), AP: "ap3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := -30; m <= 200; m++ {
+		probe := base.Add(time.Duration(m) * time.Minute)
+		v, _ := tl.At(probe)
+		ap, ok := tl.APAt(probe)
+		if (v != nil) != ok {
+			t.Fatalf("t=%v: At validity=%v, APAt ok=%v", probe, v != nil, ok)
+		}
+		if v != nil && v.Event.AP != ap {
+			t.Errorf("t=%v: AP %s vs %s", probe, v.Event.AP, ap)
+		}
+	}
+	// Empty timeline.
+	empty := Timeline{Device: "d", Delta: time.Minute}
+	if _, ok := empty.APAt(base); ok {
+		t.Error("APAt on empty timeline")
+	}
+}

@@ -21,7 +21,7 @@ package fine
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 	"time"
 
 	"locater/internal/event"
@@ -153,6 +153,109 @@ func DeviceAffinity(st *store.Store, a, b event.DeviceID, start, end time.Time) 
 	return float64(inter) / float64(total)
 }
 
+// affinitySweep is the pooled scratch of one batched affinity sweep: the
+// single copy of the queried device's history window plus the decoded
+// nanosecond timestamp arrays of both sides (the neighbors' windows
+// themselves are visited zero-copy under the store's shared lock).
+type affinitySweep struct {
+	dEvs   []event.Event
+	dTimes []int64
+	cTimes []int64
+}
+
+var affinitySweepPool = sync.Pool{New: func() any { return new(affinitySweep) }}
+
+// BatchDeviceAffinity computes α({d, c}) for every candidate device c in one
+// sweep over the history window [start, end]. The queried device's window is
+// materialized once (into a pooled buffer) instead of once per pair, its
+// timestamps decoded to nanoseconds once instead of being re-compared as
+// time.Time per pair, and each candidate's window is visited in place via
+// store.ScanEvents — so a query with N neighbors costs one copy plus N
+// zero-copy scans where the per-pair DeviceAffinity path costs 2N copies.
+// Results are written into out[:len(cands)] (grown as needed) and are
+// identical to calling DeviceAffinity per pair.
+func BatchDeviceAffinity(st *store.Store, d event.DeviceID, cands []event.DeviceID, start, end time.Time, out []float64) []float64 {
+	out = growFloats(out, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	sw := affinitySweepPool.Get().(*affinitySweep)
+	defer func() {
+		sw.dEvs = sw.dEvs[:0]
+		affinitySweepPool.Put(sw)
+	}()
+	var dDelta time.Duration
+	st.ScanEvents(d, start, end, func(evs []event.Event, delta time.Duration) {
+		sw.dEvs = append(sw.dEvs[:0], evs...)
+		dDelta = delta
+	})
+	sw.dTimes = eventNanos(sw.dEvs, sw.dTimes)
+	for i, c := range cands {
+		aff := 0.0
+		st.ScanEvents(c, start, end, func(evs []event.Event, delta time.Duration) {
+			total := len(sw.dEvs) + len(evs)
+			if total == 0 {
+				return
+			}
+			sw.cTimes = eventNanos(evs, sw.cTimes)
+			inter := countIntersectingNanos(sw.dEvs, sw.dTimes, evs, sw.cTimes, dDelta) +
+				countIntersectingNanos(evs, sw.cTimes, sw.dEvs, sw.dTimes, delta)
+			aff = float64(inter) / float64(total)
+		})
+		out[i] = aff
+	}
+	return out
+}
+
+// eventNanos decodes the events' timestamps into a reused []int64.
+func eventNanos(evs []event.Event, buf []int64) []int64 {
+	if cap(buf) < len(evs) {
+		buf = make([]int64, len(evs))
+	}
+	buf = buf[:len(evs)]
+	for i := range evs {
+		buf[i] = evs[i].Time.UnixNano()
+	}
+	return buf
+}
+
+// countIntersectingNanos is countIntersecting over pre-decoded nanosecond
+// timestamps (xt, yt parallel to xs, ys): the same two-pointer sweep with
+// integer comparisons instead of time.Time arithmetic per step. Counts are
+// identical for timestamps within int64-nanosecond range (years 1678–2262).
+func countIntersectingNanos(xs []event.Event, xt []int64, ys []event.Event, yt []int64, delta time.Duration) int {
+	d := int64(delta)
+	count := 0
+	j := 0
+	for i := range xs {
+		lo := xt[i] - d
+		hi := xt[i] + d
+		for j < len(yt) && yt[j] < lo {
+			j++
+		}
+		for k := j; k < len(yt) && yt[k] <= hi; k++ {
+			if ys[k].AP == xs[i].AP {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// growFloats returns a zeroed slice of length n, reusing out's backing array
+// when it is large enough.
+func growFloats(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
 // countIntersecting counts events in xs that have a same-AP event of ys
 // within delta. Both inputs are sorted by time. Two-pointer sweep: O(n+m)
 // amortized per event window.
@@ -237,6 +340,20 @@ type PairAffinityProvider interface {
 	PairAffinity(a, b event.DeviceID, ref time.Time) float64
 }
 
+// BatchPairAffinityProvider is the batched companion of
+// PairAffinityProvider: one call answers α({d, c}) for every candidate c,
+// letting the provider fetch the shared device d's history once and sweep
+// the candidates in a single pass. Results must equal len(cands) per-pair
+// PairAffinity calls; out is a caller-owned scratch slice the provider may
+// reuse (the returned slice has length len(cands)).
+//
+// The fine localizer probes for this interface on its provider and falls
+// back to a per-pair loop when absent, so scripted test providers need not
+// implement it.
+type BatchPairAffinityProvider interface {
+	BatchPairAffinity(d event.DeviceID, cands []event.DeviceID, ref time.Time, out []float64) []float64
+}
+
 // storeAffinity computes pairwise affinities directly from the store over a
 // fixed-length history window.
 type storeAffinity struct {
@@ -254,12 +371,9 @@ func (s *storeAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float64
 	return DeviceAffinity(s.st, a, b, ref.Add(-s.window), ref)
 }
 
-// sortedRooms returns map keys in deterministic order.
-func sortedRooms(m map[space.RoomID]float64) []space.RoomID {
-	out := make([]space.RoomID, 0, len(m))
-	for r := range m {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// BatchPairAffinity implements BatchPairAffinityProvider via the batched
+// sweep kernel: device d's window is copied once, candidates are scanned in
+// place.
+func (s *storeAffinity) BatchPairAffinity(d event.DeviceID, cands []event.DeviceID, ref time.Time, out []float64) []float64 {
+	return BatchDeviceAffinity(s.st, d, cands, ref.Add(-s.window), ref, out)
 }

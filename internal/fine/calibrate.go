@@ -142,6 +142,30 @@ func (s *LabelStore) Blend(d event.DeviceID, prior map[space.RoomID]float64) map
 	return out
 }
 
+// BlendDense is the allocation-free form of Blend used by the query kernel:
+// vals is the device's metadata prior over rooms (parallel slices) and is
+// sharpened in place. Values are identical to Blend's.
+func (s *LabelStore) BlendDense(d event.DeviceID, rooms []space.RoomID, vals []float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	visits := s.visits[d]
+	if len(visits) == 0 {
+		return
+	}
+	n := 0
+	for _, r := range rooms {
+		n += visits[r]
+	}
+	if n == 0 {
+		return
+	}
+	lambda := float64(n) / (float64(n) + s.Smoothing)
+	for i, r := range rooms {
+		emp := float64(visits[r]) / float64(n)
+		vals[i] = lambda*emp + (1-lambda)*vals[i]
+	}
+}
+
 // SetLabelStore attaches a crowd-sourced label store to the localizer; nil
 // detaches. Attached labels sharpen every subsequent query's prior. Call it
 // during setup, before queries are served concurrently: the pointer itself

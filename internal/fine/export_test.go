@@ -1,0 +1,46 @@
+package fine
+
+import (
+	"time"
+
+	"locater/internal/event"
+)
+
+// clusterNeighbors runs the incremental D-FINE clusterer (union-find +
+// batched intra-neighbor affinity sweep) over a scripted neighbor set and
+// returns the final partition in deterministic order. Tests only: the
+// production path folds neighbors in one at a time via dfineAddNeighbor.
+func (l *Localizer) clusterNeighbors(active []neighborInfo, tq time.Time) [][]neighborInfo {
+	var df dfineState
+	df.reset(len(active))
+	var devs []event.DeviceID
+	var affs []float64
+	for idx := range active {
+		devs = devs[:0]
+		for i := 0; i < idx; i++ {
+			devs = append(devs, active[i].dev)
+		}
+		affs = l.batchAffinity(active[idx].dev, devs, tq, affs)
+		for i := 0; i < idx; i++ {
+			if affs[i] > 0 {
+				df.union(i, idx)
+			}
+		}
+	}
+	// Roots discovered in ascending member order, so cluster order is by
+	// minimum member index — the production ordering.
+	byRoot := make(map[int][]neighborInfo)
+	var roots []int
+	for i := range active {
+		r := df.find(i)
+		if _, seen := byRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], active[i])
+	}
+	out := make([][]neighborInfo, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

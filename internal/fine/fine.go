@@ -3,7 +3,6 @@ package fine
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"locater/internal/event"
@@ -74,7 +73,9 @@ func (o Options) withDefaults() Options {
 
 // NeighborOrderer optionally reorders the neighbor set before Algorithm 2
 // processes it. The caching engine's global affinity graph implements this
-// to process high-affinity devices first (paper Section 5).
+// to process high-affinity devices first (paper Section 5). The neighbors
+// slice is query-scoped scratch: implementations must not retain it past the
+// call (returning a fresh slice, as the affinity graph does, is fine).
 type NeighborOrderer interface {
 	OrderNeighbors(d event.DeviceID, neighbors []event.DeviceID, tq time.Time) []event.DeviceID
 }
@@ -88,12 +89,25 @@ type NeighborSource interface {
 }
 
 // Localizer answers room-level queries.
+//
+// The query kernel is built for allocation discipline: all per-query state
+// lives in a pooled scratch (dense room-indexed slices, a float arena for
+// per-neighbor support vectors), pairwise affinities against the queried
+// device are computed in one batched history sweep instead of per-pair
+// copies, I-FINE posteriors are maintained by running log-odds accumulators,
+// and D-FINE keeps one union-find across iterations with every
+// intra-neighbor affinity computed exactly once. Posteriors are equivalent
+// to the pre-optimization kernel preserved in reference.go (bitwise for
+// I-FINE; within cluster-summation reordering, ≪1e-12, for D-FINE).
 type Localizer struct {
 	opts     Options
 	building *space.Building
 	store    *store.Store
 	affinity PairAffinityProvider
-	orderer  NeighborOrderer
+	// batch is affinity's batched entry point, when it implements one
+	// (resolved once at construction; nil otherwise).
+	batch   BatchPairAffinityProvider
+	orderer NeighborOrderer
 
 	// neighbors discovers candidate neighbor devices; defaults to the store
 	// (whose occupancy index answers region-scoped lookups in time
@@ -144,7 +158,7 @@ func New(b *space.Building, st *store.Store, affinity PairAffinityProvider, orde
 	if affinity == nil {
 		affinity = NewStoreAffinity(st, opts.HistoryWindow)
 	}
-	return &Localizer{
+	l := &Localizer{
 		opts:      opts,
 		building:  b,
 		store:     st,
@@ -152,6 +166,8 @@ func New(b *space.Building, st *store.Store, affinity PairAffinityProvider, orde
 		orderer:   orderer,
 		neighbors: st,
 	}
+	l.batch, _ = affinity.(BatchPairAffinityProvider)
+	return l
 }
 
 // SetNeighborSource replaces the candidate-neighbor discovery backend (the
@@ -169,22 +185,25 @@ func (l *Localizer) SetCoarseResolver(f func(d event.DeviceID, tq time.Time) (sp
 }
 
 // neighborInfo captures everything Algorithm 2 needs about one neighbor.
+// The room distributions are dense slices indexed by the room's position in
+// the query's sorted candidate set, backed by the query scratch arena — they
+// are valid only for the query's lifetime.
 type neighborInfo struct {
 	dev event.DeviceID
 	// region the neighbor is located in at tq.
 	region space.RegionID
 	// pairAffinity = α({d_i, d_k}): the device affinity of the pair.
 	pairAffinity float64
-	// support[r] = α({d_i, d_k}, r, t_q): the pairwise group affinity
-	// (Eq. 1) for each candidate room of the queried device; zero outside
-	// the pair's intersecting rooms R_is.
-	support map[space.RoomID]float64
-	// condI[r] = P(@(d_i, r) | @(d_i, R_is)): the queried device's
+	// support[ri] = α({d_i, d_k}, r, t_q): the pairwise group affinity
+	// (Eq. 1) for candidate room index ri; zero outside the pair's
+	// intersecting rooms R_is.
+	support []float64
+	// condI[ri] = P(@(d_i, r) | @(d_i, R_is)): the queried device's
 	// conditional room probability within the pair's intersecting rooms
 	// (zero outside R_is). Used by the Theorem 1/2 bounds.
-	condI map[space.RoomID]float64
-	// condK[r] is the analogous conditional for the neighbor device.
-	condK map[space.RoomID]float64
+	condI []float64
+	// condK[ri] is the analogous conditional for the neighbor device.
+	condK []float64
 	// sameRoomProb = α_pair · Σ_{r ∈ R_is} cond_i(r)·cond_k(r): the
 	// probability that the pair is co-located in the same room — the total
 	// group-affinity mass. It weights how much this neighbor's evidence
@@ -195,16 +214,27 @@ type neighborInfo struct {
 // Locate disambiguates the room for device d known to be in region g at
 // time tq (the coarse stage's output).
 func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Result, error) {
+	// The candidate set and the queried device's prior are computed exactly
+	// once here and threaded through the whole query via the scratch (the
+	// pre-fix kernel re-derived the candidates in neighborSet and the prior
+	// conditional in every pairSupport call).
 	candidates := l.building.CandidateRooms(g)
 	if len(candidates) == 0 {
 		return Result{}, fmt.Errorf("fine: region %s has no candidate rooms", g)
 	}
-	prior := l.priorFor(d, g, tq)
+	qc := acquireQueryCtx(candidates)
+	defer qc.release()
+	priorMap := l.priorFor(d, g, tq)
+	for i, r := range candidates {
+		p := priorMap[r]
+		qc.prior[i] = p
+		qc.lp[i] = logit(p)
+	}
 
-	neighbors := l.neighborSet(d, g, tq, prior)
+	neighbors := l.neighborSet(qc, d, g, tq)
 	total := len(neighbors)
 	if l.orderer != nil {
-		neighbors = l.reorder(d, neighbors, tq)
+		neighbors = l.reorder(qc, d, neighbors, tq)
 	}
 	// MaxNeighbors truncates only after the affinity reorder, so the cap
 	// keeps the highest-affinity candidates. (The pre-fix code broke out of
@@ -218,9 +248,9 @@ func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Re
 	var res Result
 	switch l.opts.Variant {
 	case Dependent:
-		res = l.locateDependent(d, candidates, prior, neighbors, tq)
+		res = l.locateDependent(qc, neighbors, tq)
 	default:
-		res = l.locateIndependent(candidates, prior, neighbors)
+		res = l.locateIndependent(qc, neighbors)
 	}
 	// TotalNeighbors reports the full neighbor set D_n found, before any
 	// MaxNeighbors truncation.
@@ -228,10 +258,10 @@ func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Re
 
 	// Local affinity graph edges: w = Σ_r α({d_a, d_b}, r, t_q) / |R(g_x)|.
 	for i := 0; i < res.ProcessedNeighbors && i < len(neighbors); i++ {
-		n := neighbors[i]
+		n := &neighbors[i]
 		sum := 0.0
-		for _, r := range candidates {
-			sum += n.support[r]
+		for _, s := range n.support {
+			sum += s
 		}
 		res.LocalGraph = append(res.LocalGraph, LocalEdge{
 			From:   d,
@@ -244,28 +274,32 @@ func (l *Localizer) Locate(d event.DeviceID, g space.RegionID, tq time.Time) (Re
 
 // reorder applies the NeighborOrderer (global affinity graph) to the
 // neighbor set, preserving entries the orderer does not know about.
-func (l *Localizer) reorder(d event.DeviceID, neighbors []neighborInfo, tq time.Time) []neighborInfo {
-	devs := make([]event.DeviceID, len(neighbors))
-	for i, n := range neighbors {
-		devs[i] = n.dev
+func (l *Localizer) reorder(qc *queryCtx, d event.DeviceID, neighbors []neighborInfo, tq time.Time) []neighborInfo {
+	qc.devs = qc.devs[:0]
+	for i := range neighbors {
+		qc.devs = append(qc.devs, neighbors[i].dev)
 	}
-	ordered := l.orderer.OrderNeighbors(d, devs, tq)
-	byDev := make(map[event.DeviceID]neighborInfo, len(neighbors))
-	for _, n := range neighbors {
-		byDev[n.dev] = n
+	ordered := l.orderer.OrderNeighbors(d, qc.devs, tq)
+	if qc.byDev == nil {
+		qc.byDev = make(map[event.DeviceID]int, len(neighbors))
 	}
-	out := make([]neighborInfo, 0, len(neighbors))
+	for i := range neighbors {
+		qc.byDev[neighbors[i].dev] = i
+	}
+	out := qc.ordered[:0]
 	for _, dev := range ordered {
-		if n, ok := byDev[dev]; ok {
-			out = append(out, n)
-			delete(byDev, dev)
+		if i, ok := qc.byDev[dev]; ok {
+			out = append(out, neighbors[i])
+			delete(qc.byDev, dev)
 		}
 	}
-	for _, n := range neighbors {
-		if _, left := byDev[n.dev]; left {
-			out = append(out, n)
+	for i := range neighbors {
+		if _, left := qc.byDev[neighbors[i].dev]; left {
+			out = append(out, neighbors[i])
+			delete(qc.byDev, neighbors[i].dev)
 		}
 	}
+	qc.ordered = out
 	return out
 }
 
@@ -276,19 +310,19 @@ func (l *Localizer) reorder(d event.DeviceID, neighbors []neighborInfo, tq time.
 // Discovery is region-scoped: only devices with an event at an AP whose
 // region overlaps g (Building.OverlappingAPs) are considered, so the
 // candidate scan is proportional to the query region's neighborhood, not
-// the whole campus. A device whose in-window events all lie in
-// non-overlapping regions could previously enter the set only via the
-// coarse resolver predicting it back into an overlapping region during a
-// gap; scoped discovery treats such a device as not being a neighbor.
-func (l *Localizer) neighborSet(d event.DeviceID, g space.RegionID, tq time.Time, prior map[space.RoomID]float64) []neighborInfo {
+// the whole campus. The pairwise device affinities of every candidate that
+// passes the region/online filters are then computed in ONE batched history
+// sweep — the queried device's log is fetched once per query, not twice per
+// pair (see BatchDeviceAffinity).
+func (l *Localizer) neighborSet(qc *queryCtx, d event.DeviceID, g space.RegionID, tq time.Time) []neighborInfo {
 	window := l.opts.NeighborWindow
 	if d2 := l.store.Delta(d); d2 > window {
 		window = d2
 	}
 	active := l.neighbors.ActiveDevicesAt(l.building.OverlappingAPs(g), tq.Add(-window), tq.Add(window))
-	candidates := l.building.CandidateRooms(g)
 
-	var out []neighborInfo
+	// Pass 1: the cheap structural filters — online, overlapping region.
+	qc.cands = qc.cands[:0]
 	for _, dk := range active {
 		if dk == d {
 			continue
@@ -301,25 +335,45 @@ func (l *Localizer) neighborSet(d event.DeviceID, g space.RegionID, tq time.Time
 		if !l.building.OverlappingRegions(g, region) {
 			continue
 		}
-		// (ii) positive group affinity for some candidate room.
-		pa := l.affinity.PairAffinity(d, dk, tq)
+		qc.cands = append(qc.cands, pendingNeighbor{dev: dk, region: region})
+	}
+
+	// Pass 2: one batched affinity sweep over every surviving candidate.
+	qc.devs = qc.devs[:0]
+	for i := range qc.cands {
+		qc.devs = append(qc.devs, qc.cands[i].dev)
+	}
+	qc.affs = l.batchAffinity(d, qc.devs, tq, qc.affs)
+
+	// Pass 3: (ii) positive group affinity for some candidate room.
+	out := qc.neighbors[:0]
+	for i := range qc.cands {
+		pa := qc.affs[i]
 		if pa <= l.opts.MinPairAffinity || pa <= 0 {
 			continue
 		}
-		n := l.pairSupport(d, dk, g, region, prior, candidates, pa, tq)
-		positive := false
-		for _, s := range n.support {
-			if s > 0 {
-				positive = true
-				break
-			}
-		}
+		n, positive := l.pairSupport(qc, qc.cands[i].dev, qc.cands[i].region, pa, tq)
 		if !positive {
 			continue
 		}
 		// No MaxNeighbors break here: the full filtered set is returned so
 		// the cap can be applied after the affinity reorder in Locate.
 		out = append(out, n)
+	}
+	qc.neighbors = out
+	return out
+}
+
+// batchAffinity computes α({d, c}) for every candidate in one call through
+// the provider's batched entry point, falling back to a per-pair loop for
+// providers (like scripted test doubles) that only implement PairAffinity.
+func (l *Localizer) batchAffinity(d event.DeviceID, devs []event.DeviceID, tq time.Time, out []float64) []float64 {
+	if l.batch != nil {
+		return l.batch.BatchPairAffinity(d, devs, tq, out)
+	}
+	out = growFloats(out, len(devs))
+	for i, dk := range devs {
+		out[i] = l.affinity.PairAffinity(d, dk, tq)
 	}
 	return out
 }
@@ -341,44 +395,130 @@ func (l *Localizer) deviceRegionAt(d event.DeviceID, tq time.Time) (space.Region
 
 // pairSupport computes, for every candidate room r of the queried device,
 // the pairwise group affinity s_k(r) = α({d_i, d_k}, r, t_q) (Eq. 1) along
-// with both devices' conditionals over the pair's intersecting rooms R_is.
-func (l *Localizer) pairSupport(d, dk event.DeviceID, gd, gk space.RegionID, prior map[space.RoomID]float64, candidates []space.RoomID, pairAffinity float64, tq time.Time) neighborInfo {
-	n := neighborInfo{
-		dev:          dk,
-		region:       gk,
-		pairAffinity: pairAffinity,
-		support:      make(map[space.RoomID]float64, len(candidates)),
-		condI:        make(map[space.RoomID]float64, len(candidates)),
-		condK:        make(map[space.RoomID]float64, len(candidates)),
+// with both devices' conditionals over the pair's intersecting rooms R_is,
+// into arena-backed dense slices. The (R_is, queried-device conditional)
+// part depends only on the neighbor's region and is computed once per region
+// per query (regionCtxFor). Reports whether any room's support is positive.
+func (l *Localizer) pairSupport(qc *queryCtx, dk event.DeviceID, gk space.RegionID, pairAffinity float64, tq time.Time) (neighborInfo, bool) {
+	n := neighborInfo{dev: dk, region: gk, pairAffinity: pairAffinity}
+	rc := qc.regionCtxFor(l, gk)
+	if len(rc.risIdx) == 0 {
+		return n, false
 	}
-	ris := l.building.IntersectCandidates([]space.RegionID{gd, gk})
-	if len(ris) == 0 {
-		return n
-	}
-	condD := ConditionalOverRooms(prior, ris)
-	priorK := l.priorFor(dk, gk, tq)
-	condK := ConditionalOverRooms(priorK, ris)
-	inRis := make(map[space.RoomID]bool, len(ris))
-	for _, r := range ris {
-		inRis[r] = true
-	}
+	nc := len(qc.candidates)
+	buf := qc.arena.alloc(3 * nc)
+	n.support = buf[:nc:nc]
+	n.condI = buf[nc : 2*nc : 2*nc]
+	n.condK = buf[2*nc : 3*nc : 3*nc]
+
+	l.neighborCondInto(qc, rc, dk, gk, tq, n.condK)
 	mass := 0.0
-	for _, r := range ris {
-		mass += condD[r] * condK[r]
+	for _, ri := range rc.risIdx {
+		mass += rc.condD[ri] * n.condK[ri]
 	}
 	n.sameRoomProb = pairAffinity * mass
 	if n.sameRoomProb > 1 {
 		n.sameRoomProb = 1
 	}
-	for _, r := range candidates {
-		if !inRis[r] {
-			continue
+	positive := false
+	for _, ri := range rc.risIdx {
+		cd := rc.condD[ri]
+		n.condI[ri] = cd
+		s := groupAffinity2(pairAffinity, cd, n.condK[ri])
+		n.support[ri] = s
+		if s > 0 {
+			positive = true
 		}
-		n.condI[r] = condD[r]
-		n.condK[r] = condK[r]
-		n.support[r] = GroupAffinity(pairAffinity, []float64{condD[r], condK[r]})
 	}
-	return n
+	return n, positive
+}
+
+// groupAffinity2 is GroupAffinity specialized to a pair (the only group size
+// Eq. 1 is evaluated for on the per-neighbor path), with the same
+// multiplication order so results are bitwise identical.
+func groupAffinity2(deviceAffinity, c1, c2 float64) float64 {
+	if deviceAffinity <= 0 || c1 <= 0 || c2 <= 0 {
+		return 0
+	}
+	return deviceAffinity * c1 * c2
+}
+
+// neighborCondInto computes the neighbor's conditional room distribution
+// P(@(d_k, r) | @(d_k, R_is)) into ck (dense over the query's candidates, at
+// the R_is positions), without materializing the neighbor's prior as a map:
+// the metadata prior over R(g_k) is classified in place (roomPriorInto),
+// label-sharpened densely, and normalized over R_is.
+func (l *Localizer) neighborCondInto(qc *queryCtx, rc *regionCtx, dk event.DeviceID, gk space.RegionID, tq time.Time, ck []float64) {
+	gkRooms := l.building.CandidateRooms(gk)
+	qc.gkVals = growFloats(qc.gkVals, len(gkRooms))
+	vals := qc.gkVals
+	l.roomPriorInto(dk, gkRooms, tq, vals)
+	if l.labels != nil {
+		l.labels.BlendDense(dk, gkRooms, vals)
+	}
+	total := 0.0
+	for _, gj := range rc.risGkIdx {
+		total += vals[gj]
+	}
+	if total <= 0 {
+		u := 1.0 / float64(len(rc.risIdx))
+		for _, ri := range rc.risIdx {
+			ck[ri] = u
+		}
+		return
+	}
+	for k, ri := range rc.risIdx {
+		ck[ri] = vals[rc.risGkIdx[k]] / total
+	}
+}
+
+// roomPriorInto is the dense, allocation-free form of RoomAffinitiesAt: it
+// writes the metadata room-affinity distribution for dev over rooms into
+// vals (parallel to rooms). Values are identical to the map form — the same
+// class weights, the same renormalization expression.
+func (l *Localizer) roomPriorInto(dev event.DeviceID, rooms []space.RoomID, tq time.Time, vals []float64) {
+	w := l.opts.Weights
+	b := l.building
+	prefs := b.PreferredRoomsAt(string(dev), tq)
+	nPref, nPub, nPriv := 0, 0, 0
+	for _, r := range rooms {
+		switch {
+		case roomInSorted(prefs, r):
+			nPref++
+		case b.IsPublic(r):
+			nPub++
+		default:
+			nPriv++
+		}
+	}
+	mass := 0.0
+	if nPref > 0 {
+		mass += w.Preferred
+	}
+	if nPub > 0 {
+		mass += w.Public
+	}
+	if nPriv > 0 {
+		mass += w.Private
+	}
+	if mass == 0 {
+		// Unreachable with valid weights, but keep a uniform fallback.
+		u := 1.0 / float64(len(rooms))
+		for i := range vals {
+			vals[i] = u
+		}
+		return
+	}
+	for i, r := range rooms {
+		switch {
+		case roomInSorted(prefs, r):
+			vals[i] = w.Preferred / mass / float64(nPref)
+		case b.IsPublic(r):
+			vals[i] = w.Public / mass / float64(nPub)
+		default:
+			vals[i] = w.Private / mass / float64(nPriv)
+		}
+	}
 }
 
 // --- posterior combination ------------------------------------------------
@@ -400,6 +540,12 @@ func (l *Localizer) pairSupport(d, dk event.DeviceID, gd, gk space.RegionID, pri
 // the group affinities), otherwise the neighbor is uninformative and the
 // prior stands. Eq. 3's group-affinity supports appear unchanged; the prior
 // term only prevents the hard-zero collapse. Recorded in DESIGN.md.
+//
+// The additive structure is what makes the optimized kernel incremental:
+// the per-room accumulator acc[ri] holds logit(prior) + Σ_k evidence terms,
+// each neighbor adds its term once, and the posterior is sigmoid(acc[ri]).
+// Because the reference recomputes exactly the same left-to-right sum every
+// iteration, the running accumulator is bitwise identical to it.
 
 const probEps = 1e-9
 
@@ -435,11 +581,6 @@ func combinePosterior(prior float64, blended []float64) float64 {
 	return sigmoid(acc)
 }
 
-// blendedSupport is P(r | obs_k) for a processed neighbor.
-func blendedSupport(n neighborInfo, r space.RoomID, prior float64) float64 {
-	return n.support[r] + (1-n.sameRoomProb)*prior
-}
-
 // hypoSupport is P(r | neighbor known to be in room w) for the
 // possible-world bounds: if the neighbor is hypothesized in room r
 // (inRoom), its own conditional becomes 1 so the co-location term is
@@ -461,39 +602,48 @@ func hypoSupport(inRoom bool, pairAffinity, condI, prior float64) float64 {
 
 // --- Independent variant (I-FINE) --------------------------------------
 
-func (l *Localizer) locateIndependent(candidates []space.RoomID, prior map[space.RoomID]float64, neighbors []neighborInfo) Result {
-	blended := make(map[space.RoomID][]float64, len(candidates))
-	posterior := make(map[space.RoomID]float64, len(candidates))
-	for _, r := range candidates {
-		posterior[r] = prior[r]
+// locateIndependent runs Algorithm 2's independent combination with running
+// per-room log-odds accumulators: each neighbor contributes its evidence
+// term once (O(|rooms|) per neighbor, O(n·|rooms|) per query) instead of the
+// reference's full re-summation at every step (O(n²·|rooms|) logit
+// evaluations). The accumulator holds exactly the left-to-right partial sums
+// the reference recomputes, so posteriors are bitwise identical.
+func (l *Localizer) locateIndependent(qc *queryCtx, neighbors []neighborInfo) Result {
+	nc := len(qc.candidates)
+	for i := 0; i < nc; i++ {
+		qc.post[i] = qc.prior[i]
+		qc.acc[i] = qc.lp[i]
 	}
 
 	processed := 0
 	stopped := false
-	for idx, n := range neighbors {
-		for _, r := range candidates {
-			blended[r] = append(blended[r], blendedSupport(n, r, prior[r]))
+	for idx := range neighbors {
+		n := &neighbors[idx]
+		oneMinus := 1 - n.sameRoomProb
+		for ri := 0; ri < nc; ri++ {
+			b := n.support[ri] + oneMinus*qc.prior[ri]
+			qc.acc[ri] += logit(b) - qc.lp[ri]
 		}
 		processed = idx + 1
-		for _, r := range candidates {
-			posterior[r] = combinePosterior(prior[r], blended[r])
-		}
 		if !l.opts.UseStopConditions {
+			// Nothing reads the posterior mid-loop without stop checks;
+			// it is materialized from the accumulator once, after the loop.
 			continue
 		}
-		if l.checkStop(candidates, prior, posterior, blended, neighbors[processed:]) {
+		for ri := 0; ri < nc; ri++ {
+			qc.post[ri] = sigmoid(qc.acc[ri])
+		}
+		if l.checkStop(qc, neighbors[processed:]) {
 			stopped = processed < len(neighbors)
 			break
 		}
 	}
-	best := argmaxRoom(posterior, candidates)
-	return Result{
-		Room:               best,
-		Probability:        posterior[best],
-		Posterior:          posterior,
-		ProcessedNeighbors: processed,
-		StoppedEarly:       stopped,
+	if processed > 0 && !l.opts.UseStopConditions {
+		for ri := 0; ri < nc; ri++ {
+			qc.post[ri] = sigmoid(qc.acc[ri])
+		}
 	}
+	return qc.result(processed, stopped)
 }
 
 // checkStop evaluates the loose stop conditions on the top-2 rooms:
@@ -504,31 +654,35 @@ func (l *Localizer) locateIndependent(candidates []space.RoomID, prior map[space
 // where expP = P (Theorem 3), maxP assumes every unprocessed neighbor is in
 // the room (Theorem 1), and minP assumes they are all in the best other room
 // (Theorem 2).
-func (l *Localizer) checkStop(candidates []space.RoomID, prior, posterior map[space.RoomID]float64, blended map[space.RoomID][]float64, unprocessed []neighborInfo) bool {
-	if len(candidates) < 2 {
+func (l *Localizer) checkStop(qc *queryCtx, unprocessed []neighborInfo) bool {
+	if len(qc.candidates) < 2 {
 		return true
 	}
-	ra, rb := top2Rooms(posterior, candidates)
+	ra, rb := top2Dense(qc.post)
 	if len(unprocessed) == 0 {
-		return posterior[ra] > posterior[rb]
+		return qc.post[ra] > qc.post[rb]
 	}
-	minA := l.boundPosterior(ra, prior, blended, unprocessed, false)
-	maxB := l.boundPosterior(rb, prior, blended, unprocessed, true)
-	expA := posterior[ra] // Theorem 3
-	expB := posterior[rb]
-	return minA > expB || expA > maxB
+	minA := qc.boundPosterior(ra, unprocessed, false)
+	maxB := qc.boundPosterior(rb, unprocessed, true)
+	// expA/expB are the current posteriors (Theorem 3).
+	return minA > qc.post[rb] || qc.post[ra] > maxB
 }
 
 // boundPosterior computes maxP (assumeIn=true: every unprocessed neighbor
-// hypothesized in room r, Theorem 1) or minP (assumeIn=false: every
-// unprocessed neighbor hypothesized in the rival room, Theorem 2).
-func (l *Localizer) boundPosterior(r space.RoomID, prior map[space.RoomID]float64, blended map[space.RoomID][]float64, unprocessed []neighborInfo, assumeIn bool) float64 {
-	supports := make([]float64, 0, len(blended[r])+len(unprocessed))
-	supports = append(supports, blended[r]...)
-	for _, n := range unprocessed {
-		supports = append(supports, hypoSupport(assumeIn, n.pairAffinity, n.condI[r], prior[r]))
+// hypothesized in the room, Theorem 1) or minP (assumeIn=false: every
+// unprocessed neighbor hypothesized in the rival room, Theorem 2), starting
+// from the processed-evidence accumulator instead of rebuilding the support
+// slice the reference re-materializes on every check.
+func (qc *queryCtx) boundPosterior(ri int, unprocessed []neighborInfo, assumeIn bool) float64 {
+	acc := qc.acc[ri]
+	lp := qc.lp[ri]
+	prior := qc.prior[ri]
+	for i := range unprocessed {
+		n := &unprocessed[i]
+		h := hypoSupport(assumeIn, n.pairAffinity, n.condI[ri], prior)
+		acc += logit(h) - lp
 	}
-	return combinePosterior(prior[r], supports)
+	return sigmoid(acc)
 }
 
 // --- Dependent variant (D-FINE) -----------------------------------------
@@ -543,185 +697,136 @@ func (l *Localizer) boundPosterior(r space.RoomID, prior map[space.RoomID]float6
 // affinity with the queried device) replaces the per-neighbor group affinity
 // in the evidence combination. Processing stops early when every cluster's
 // affinity is zero for all rooms (the paper's D-FINE termination).
-func (l *Localizer) locateDependent(d event.DeviceID, candidates []space.RoomID, prior map[space.RoomID]float64, neighbors []neighborInfo, tq time.Time) Result {
-	posterior := make(map[space.RoomID]float64, len(candidates))
-	for _, r := range candidates {
-		posterior[r] = prior[r]
+//
+// Clustering is incremental: one union-find persists across iterations, the
+// new neighbor's intra-set affinities are computed in a single batched sweep
+// (each pair exactly once per query — O(n²) affinity lookups total, versus
+// the reference's from-scratch O(n²)-per-step re-clustering, O(n³) lookups),
+// and only the cluster the new neighbor joins or merges is re-scored.
+func (l *Localizer) locateDependent(qc *queryCtx, neighbors []neighborInfo, tq time.Time) Result {
+	nc := len(qc.candidates)
+	for i := 0; i < nc; i++ {
+		qc.post[i] = qc.prior[i]
 	}
+	df := &qc.dfine
+	df.reset(len(neighbors))
 
 	processed := 0
 	stopped := false
 	for idx := range neighbors {
 		processed = idx + 1
-		active := neighbors[:processed]
-		groups := l.clusterNeighbors(active, tq)
+		l.dfineAddNeighbor(qc, neighbors, idx, tq)
+
+		if !l.opts.UseStopConditions {
+			continue
+		}
 		anyPositive := false
-		// Cluster-wide group affinities per room, plus each cluster's
-		// total co-location mass (for the mixture blend).
-		gas := make([]map[space.RoomID]float64, len(groups))
-		zs := make([]float64, len(groups))
-		for gi, grp := range groups {
-			gas[gi] = make(map[space.RoomID]float64, len(candidates))
-			for _, r := range candidates {
-				_, ga := l.clusterAffinity(grp, r, prior[r])
-				gas[gi][r] = ga
-				zs[gi] += ga
-				if ga > 0 {
-					anyPositive = true
-				}
-			}
-			if zs[gi] > 1 {
-				zs[gi] = 1
+		for _, cl := range df.clusters {
+			if cl != nil && cl.positive {
+				anyPositive = true
+				break
 			}
 		}
-		for _, r := range candidates {
-			blended := make([]float64, len(groups))
-			for gi := range groups {
-				blended[gi] = gas[gi][r] + (1-zs[gi])*prior[r]
-			}
-			posterior[r] = combinePosterior(prior[r], blended)
-		}
-		if l.opts.UseStopConditions && !anyPositive {
+		if !anyPositive {
 			stopped = processed < len(neighbors)
 			break
 		}
 	}
-	best := argmaxRoom(posterior, candidates)
-	return Result{
-		Room:               best,
-		Probability:        posterior[best],
-		Posterior:          posterior,
-		ProcessedNeighbors: processed,
-		StoppedEarly:       stopped,
-	}
-}
-
-// clusterNeighbors partitions processed neighbors into affinity clusters:
-// neighbors with nonzero pairwise device affinity share a cluster
-// (union-find). Cluster order is deterministic.
-func (l *Localizer) clusterNeighbors(active []neighborInfo, tq time.Time) [][]neighborInfo {
-	n := len(active)
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if l.affinity.PairAffinity(active[i].dev, active[j].dev, tq) > 0 {
-				ri, rj := find(i), find(j)
-				if ri != rj {
-					parent[ri] = rj
-				}
+	// The posterior is a pure function of the final cluster state — nothing
+	// reads it mid-loop — so the cluster fold runs once, after the loop,
+	// instead of per iteration (the reference's per-step re-fold is where
+	// its O(n·clusters·rooms) posterior cost came from).
+	if processed > 0 {
+		order := df.clusterOrder()
+		for ri := 0; ri < nc; ri++ {
+			blended := qc.blended[:0]
+			prior := qc.prior[ri]
+			for _, root := range order {
+				cl := df.clusters[root]
+				blended = append(blended, cl.ga[ri]+(1-cl.z)*prior)
 			}
+			qc.blended = blended
+			qc.post[ri] = combinePosterior(prior, blended)
 		}
 	}
-	byRoot := make(map[int][]neighborInfo)
-	var roots []int
-	for i, ninfo := range active {
-		r := find(i)
-		if _, seen := byRoot[r]; !seen {
-			roots = append(roots, r)
-		}
-		byRoot[r] = append(byRoot[r], ninfo)
-	}
-	sort.Ints(roots)
-	out := make([][]neighborInfo, 0, len(roots))
-	for _, r := range roots {
-		out = append(out, byRoot[r])
-	}
-	return out
+	return qc.result(processed, stopped)
 }
 
-// clusterAffinity returns (A_l, α({D̄_nl, d_i}, r)): the cluster device
-// affinity and the cluster-wide group affinity for room r.
-func (l *Localizer) clusterAffinity(grp []neighborInfo, r space.RoomID, prior float64) (deviceAff, groupAff float64) {
-	if len(grp) == 0 {
-		return 0, 0
+// dfineAddNeighbor folds neighbor idx into the incremental cluster state:
+// one batched affinity sweep against the already-processed neighbors (the
+// query-lifetime memo — each intra-neighbor pair is computed exactly once),
+// union-find edge insertion, and a re-score of the single affected cluster.
+func (l *Localizer) dfineAddNeighbor(qc *queryCtx, neighbors []neighborInfo, idx int, tq time.Time) {
+	df := &qc.dfine
+	qc.devs = qc.devs[:0]
+	for i := 0; i < idx; i++ {
+		qc.devs = append(qc.devs, neighbors[i].dev)
 	}
+	qc.affs = l.batchAffinity(neighbors[idx].dev, qc.devs, tq, qc.affs)
+	for i := 0; i < idx; i++ {
+		if qc.affs[i] > 0 {
+			df.union(i, idx)
+		}
+	}
+
+	// Rebuild the (possibly merged) cluster containing idx: members in
+	// ascending processing order, matching the reference's member order so
+	// the cluster-wide conditional product multiplies in the same sequence.
+	root := df.find(idx)
+	cl := df.newCluster()
+	for i := 0; i <= idx; i++ {
+		if df.find(i) == root {
+			cl.members = append(cl.members, i)
+		}
+	}
+	nc := len(qc.candidates)
+	cl.ga = qc.arena.alloc(nc)
+	cl.z = 0
+	cl.positive = false
+	for ri := 0; ri < nc; ri++ {
+		ga := clusterGroupAffinity(neighbors, cl.members, ri)
+		cl.ga[ri] = ga
+		cl.z += ga
+		if ga > 0 {
+			cl.positive = true
+		}
+	}
+	if cl.z > 1 {
+		cl.z = 1
+	}
+	df.clusters[root] = cl
+}
+
+// clusterGroupAffinity returns α({D̄_nl, d_i}, r): the cluster-wide group
+// affinity for candidate room index ri (the dense form of the reference's
+// clusterAffinity, same accumulation order).
+func clusterGroupAffinity(neighbors []neighborInfo, members []int, ri int) float64 {
 	minPair := math.Inf(1)
 	condProduct := 1.0
 	condI := 0.0
-	for _, n := range grp {
+	for _, mi := range members {
+		n := &neighbors[mi]
 		if n.pairAffinity < minPair {
 			minPair = n.pairAffinity
 		}
-		ck, ok := n.condK[r]
-		if !ok || ck <= 0 {
-			return minAff(minPair), 0
+		ck := n.condK[ri]
+		if ck <= 0 {
+			return 0
 		}
 		condProduct *= ck
 		// cond_i over the pair's R_is: use the largest available — the
 		// queried device's conditional should reflect the tightest
 		// intersecting set in the cluster.
-		if ci := n.condI[r]; ci > condI {
+		if ci := n.condI[ri]; ci > condI {
 			condI = ci
 		}
 	}
 	if condI <= 0 {
-		return minAff(minPair), 0
+		return 0
 	}
 	ga := minPair * condI * condProduct
 	if ga > 1 {
 		ga = 1
 	}
-	return minAff(minPair), ga
-}
-
-func minAff(v float64) float64 {
-	if math.IsInf(v, 1) {
-		return 0
-	}
-	return v
-}
-
-// --- shared helpers -------------------------------------------------------
-
-func argmaxRoom(m map[space.RoomID]float64, rooms []space.RoomID) space.RoomID {
-	if len(rooms) == 0 {
-		return ""
-	}
-	best := rooms[0]
-	for _, r := range rooms[1:] {
-		if m[r] > m[best] {
-			best = r
-		}
-	}
-	return best
-}
-
-// top2Rooms returns the two rooms with the highest posterior (deterministic
-// tie-break by room ID, since candidates are sorted).
-func top2Rooms(m map[space.RoomID]float64, rooms []space.RoomID) (space.RoomID, space.RoomID) {
-	ra, rb := rooms[0], rooms[0]
-	first := true
-	for _, r := range rooms {
-		if first {
-			ra = r
-			first = false
-			continue
-		}
-		if m[r] > m[ra] {
-			rb = ra
-			ra = r
-		} else if rb == ra || m[r] > m[rb] {
-			rb = r
-		}
-	}
-	if rb == ra && len(rooms) > 1 {
-		for _, r := range rooms {
-			if r != ra {
-				rb = r
-				break
-			}
-		}
-	}
-	return ra, rb
+	return ga
 }

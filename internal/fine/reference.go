@@ -1,0 +1,420 @@
+package fine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// This file preserves the pre-optimization fine-stage kernel verbatim as an
+// executable oracle. The optimized kernel in fine.go (batched affinity
+// sweeps, incremental posteriors, dense room indexing, incremental D-FINE
+// clustering) must produce posteriors that match this implementation to
+// 1e-12; the equivalence property suite and `locater-bench -query`'s
+// correctness gate both diff against it. It is deliberately naive: per-pair
+// history copies, map-keyed room distributions, full per-iteration
+// re-summation, and from-scratch clustering at every step.
+
+// refNeighborInfo is the map-based neighborInfo of the reference kernel.
+type refNeighborInfo struct {
+	dev          event.DeviceID
+	region       space.RegionID
+	pairAffinity float64
+	support      map[space.RoomID]float64
+	condI        map[space.RoomID]float64
+	condK        map[space.RoomID]float64
+	sameRoomProb float64
+}
+
+// ReferenceLocate answers the same query as Locate through the pre-refactor
+// reference kernel. It is exported for the equivalence tests and the
+// `locater-bench -query` correctness gate only; production callers use
+// Locate.
+func (l *Localizer) ReferenceLocate(d event.DeviceID, g space.RegionID, tq time.Time) (Result, error) {
+	candidates := l.building.CandidateRooms(g)
+	if len(candidates) == 0 {
+		return Result{}, fmt.Errorf("fine: region %s has no candidate rooms", g)
+	}
+	prior := l.priorFor(d, g, tq)
+
+	neighbors := l.refNeighborSet(d, g, tq, prior)
+	total := len(neighbors)
+	if l.orderer != nil {
+		neighbors = l.refReorder(d, neighbors, tq)
+	}
+	if max := l.opts.MaxNeighbors; max > 0 && len(neighbors) > max {
+		neighbors = neighbors[:max]
+	}
+
+	var res Result
+	switch l.opts.Variant {
+	case Dependent:
+		res = l.refLocateDependent(candidates, prior, neighbors, tq)
+	default:
+		res = l.refLocateIndependent(candidates, prior, neighbors)
+	}
+	res.TotalNeighbors = total
+
+	for i := 0; i < res.ProcessedNeighbors && i < len(neighbors); i++ {
+		n := neighbors[i]
+		sum := 0.0
+		for _, r := range candidates {
+			sum += n.support[r]
+		}
+		res.LocalGraph = append(res.LocalGraph, LocalEdge{
+			From:   d,
+			To:     n.dev,
+			Weight: sum / float64(len(candidates)),
+		})
+	}
+	return res, nil
+}
+
+// refNeighborSet consults the affinity provider once per candidate — with a
+// store-backed provider that means two full history-window copies per pair
+// (DeviceAffinity via EventsBetween), the cost the batched sweep removes.
+func (l *Localizer) refNeighborSet(d event.DeviceID, g space.RegionID, tq time.Time, prior map[space.RoomID]float64) []refNeighborInfo {
+	window := l.opts.NeighborWindow
+	if d2 := l.store.Delta(d); d2 > window {
+		window = d2
+	}
+	active := l.neighbors.ActiveDevicesAt(l.building.OverlappingAPs(g), tq.Add(-window), tq.Add(window))
+	candidates := l.building.CandidateRooms(g)
+
+	var out []refNeighborInfo
+	for _, dk := range active {
+		if dk == d {
+			continue
+		}
+		region, online := l.deviceRegionAt(dk, tq)
+		if !online {
+			continue
+		}
+		if !l.building.OverlappingRegions(g, region) {
+			continue
+		}
+		pa := l.affinity.PairAffinity(d, dk, tq)
+		if pa <= l.opts.MinPairAffinity || pa <= 0 {
+			continue
+		}
+		n := l.refPairSupport(dk, g, region, prior, candidates, pa, tq)
+		positive := false
+		for _, s := range n.support {
+			if s > 0 {
+				positive = true
+				break
+			}
+		}
+		if !positive {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (l *Localizer) refReorder(d event.DeviceID, neighbors []refNeighborInfo, tq time.Time) []refNeighborInfo {
+	devs := make([]event.DeviceID, len(neighbors))
+	for i, n := range neighbors {
+		devs[i] = n.dev
+	}
+	ordered := l.orderer.OrderNeighbors(d, devs, tq)
+	byDev := make(map[event.DeviceID]refNeighborInfo, len(neighbors))
+	for _, n := range neighbors {
+		byDev[n.dev] = n
+	}
+	out := make([]refNeighborInfo, 0, len(neighbors))
+	for _, dev := range ordered {
+		if n, ok := byDev[dev]; ok {
+			out = append(out, n)
+			delete(byDev, dev)
+		}
+	}
+	for _, n := range neighbors {
+		if _, left := byDev[n.dev]; left {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (l *Localizer) refPairSupport(dk event.DeviceID, gd, gk space.RegionID, prior map[space.RoomID]float64, candidates []space.RoomID, pairAffinity float64, tq time.Time) refNeighborInfo {
+	n := refNeighborInfo{
+		dev:          dk,
+		region:       gk,
+		pairAffinity: pairAffinity,
+		support:      make(map[space.RoomID]float64, len(candidates)),
+		condI:        make(map[space.RoomID]float64, len(candidates)),
+		condK:        make(map[space.RoomID]float64, len(candidates)),
+	}
+	ris := l.building.IntersectCandidates([]space.RegionID{gd, gk})
+	if len(ris) == 0 {
+		return n
+	}
+	condD := ConditionalOverRooms(prior, ris)
+	priorK := l.priorFor(dk, gk, tq)
+	condK := ConditionalOverRooms(priorK, ris)
+	inRis := make(map[space.RoomID]bool, len(ris))
+	for _, r := range ris {
+		inRis[r] = true
+	}
+	mass := 0.0
+	for _, r := range ris {
+		mass += condD[r] * condK[r]
+	}
+	n.sameRoomProb = pairAffinity * mass
+	if n.sameRoomProb > 1 {
+		n.sameRoomProb = 1
+	}
+	for _, r := range candidates {
+		if !inRis[r] {
+			continue
+		}
+		n.condI[r] = condD[r]
+		n.condK[r] = condK[r]
+		n.support[r] = GroupAffinity(pairAffinity, []float64{condD[r], condK[r]})
+	}
+	return n
+}
+
+func refBlendedSupport(n refNeighborInfo, r space.RoomID, prior float64) float64 {
+	return n.support[r] + (1-n.sameRoomProb)*prior
+}
+
+func (l *Localizer) refLocateIndependent(candidates []space.RoomID, prior map[space.RoomID]float64, neighbors []refNeighborInfo) Result {
+	blended := make(map[space.RoomID][]float64, len(candidates))
+	posterior := make(map[space.RoomID]float64, len(candidates))
+	for _, r := range candidates {
+		posterior[r] = prior[r]
+	}
+
+	processed := 0
+	stopped := false
+	for idx, n := range neighbors {
+		for _, r := range candidates {
+			blended[r] = append(blended[r], refBlendedSupport(n, r, prior[r]))
+		}
+		processed = idx + 1
+		for _, r := range candidates {
+			posterior[r] = combinePosterior(prior[r], blended[r])
+		}
+		if !l.opts.UseStopConditions {
+			continue
+		}
+		if l.refCheckStop(candidates, prior, posterior, blended, neighbors[processed:]) {
+			stopped = processed < len(neighbors)
+			break
+		}
+	}
+	best := argmaxRoom(posterior, candidates)
+	return Result{
+		Room:               best,
+		Probability:        posterior[best],
+		Posterior:          posterior,
+		ProcessedNeighbors: processed,
+		StoppedEarly:       stopped,
+	}
+}
+
+func (l *Localizer) refCheckStop(candidates []space.RoomID, prior, posterior map[space.RoomID]float64, blended map[space.RoomID][]float64, unprocessed []refNeighborInfo) bool {
+	if len(candidates) < 2 {
+		return true
+	}
+	ra, rb := top2Rooms(posterior, candidates)
+	if len(unprocessed) == 0 {
+		return posterior[ra] > posterior[rb]
+	}
+	minA := l.refBoundPosterior(ra, prior, blended, unprocessed, false)
+	maxB := l.refBoundPosterior(rb, prior, blended, unprocessed, true)
+	expA := posterior[ra]
+	expB := posterior[rb]
+	return minA > expB || expA > maxB
+}
+
+func (l *Localizer) refBoundPosterior(r space.RoomID, prior map[space.RoomID]float64, blended map[space.RoomID][]float64, unprocessed []refNeighborInfo, assumeIn bool) float64 {
+	supports := make([]float64, 0, len(blended[r])+len(unprocessed))
+	supports = append(supports, blended[r]...)
+	for _, n := range unprocessed {
+		supports = append(supports, hypoSupport(assumeIn, n.pairAffinity, n.condI[r], prior[r]))
+	}
+	return combinePosterior(prior[r], supports)
+}
+
+func (l *Localizer) refLocateDependent(candidates []space.RoomID, prior map[space.RoomID]float64, neighbors []refNeighborInfo, tq time.Time) Result {
+	posterior := make(map[space.RoomID]float64, len(candidates))
+	for _, r := range candidates {
+		posterior[r] = prior[r]
+	}
+
+	processed := 0
+	stopped := false
+	for idx := range neighbors {
+		processed = idx + 1
+		active := neighbors[:processed]
+		groups := l.refClusterNeighbors(active, tq)
+		anyPositive := false
+		gas := make([]map[space.RoomID]float64, len(groups))
+		zs := make([]float64, len(groups))
+		for gi, grp := range groups {
+			gas[gi] = make(map[space.RoomID]float64, len(candidates))
+			for _, r := range candidates {
+				_, ga := refClusterAffinity(grp, r)
+				gas[gi][r] = ga
+				zs[gi] += ga
+				if ga > 0 {
+					anyPositive = true
+				}
+			}
+			if zs[gi] > 1 {
+				zs[gi] = 1
+			}
+		}
+		for _, r := range candidates {
+			blended := make([]float64, len(groups))
+			for gi := range groups {
+				blended[gi] = gas[gi][r] + (1-zs[gi])*prior[r]
+			}
+			posterior[r] = combinePosterior(prior[r], blended)
+		}
+		if l.opts.UseStopConditions && !anyPositive {
+			stopped = processed < len(neighbors)
+			break
+		}
+	}
+	best := argmaxRoom(posterior, candidates)
+	return Result{
+		Room:               best,
+		Probability:        posterior[best],
+		Posterior:          posterior,
+		ProcessedNeighbors: processed,
+		StoppedEarly:       stopped,
+	}
+}
+
+// refClusterNeighbors re-clusters the whole active set from scratch with a
+// fresh union-find and an affinity lookup per pair — the O(n²)-per-step
+// (O(n³) per query) shape the incremental clusterer replaces.
+func (l *Localizer) refClusterNeighbors(active []refNeighborInfo, tq time.Time) [][]refNeighborInfo {
+	n := len(active)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l.affinity.PairAffinity(active[i].dev, active[j].dev, tq) > 0 {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]refNeighborInfo)
+	var roots []int
+	for i, ninfo := range active {
+		r := find(i)
+		if _, seen := byRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], ninfo)
+	}
+	sort.Ints(roots)
+	out := make([][]refNeighborInfo, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+func refClusterAffinity(grp []refNeighborInfo, r space.RoomID) (deviceAff, groupAff float64) {
+	if len(grp) == 0 {
+		return 0, 0
+	}
+	minPair := math.Inf(1)
+	condProduct := 1.0
+	condI := 0.0
+	for _, n := range grp {
+		if n.pairAffinity < minPair {
+			minPair = n.pairAffinity
+		}
+		ck, ok := n.condK[r]
+		if !ok || ck <= 0 {
+			return minAff(minPair), 0
+		}
+		condProduct *= ck
+		if ci := n.condI[r]; ci > condI {
+			condI = ci
+		}
+	}
+	if condI <= 0 {
+		return minAff(minPair), 0
+	}
+	ga := minPair * condI * condProduct
+	if ga > 1 {
+		ga = 1
+	}
+	return minAff(minPair), ga
+}
+
+func minAff(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+// argmaxRoom / top2Rooms are the map-keyed argmax helpers the
+// reference posterior combination uses (the optimized kernel works on dense
+// indexed slices).
+func argmaxRoom(m map[space.RoomID]float64, rooms []space.RoomID) space.RoomID {
+	if len(rooms) == 0 {
+		return ""
+	}
+	best := rooms[0]
+	for _, r := range rooms[1:] {
+		if m[r] > m[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+func top2Rooms(m map[space.RoomID]float64, rooms []space.RoomID) (space.RoomID, space.RoomID) {
+	ra, rb := rooms[0], rooms[0]
+	first := true
+	for _, r := range rooms {
+		if first {
+			ra = r
+			first = false
+			continue
+		}
+		if m[r] > m[ra] {
+			rb = ra
+			ra = r
+		} else if rb == ra || m[r] > m[rb] {
+			rb = r
+		}
+	}
+	if rb == ra && len(rooms) > 1 {
+		for _, r := range rooms {
+			if r != ra {
+				rb = r
+				break
+			}
+		}
+	}
+	return ra, rb
+}

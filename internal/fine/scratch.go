@@ -1,0 +1,359 @@
+package fine
+
+import (
+	"sort"
+	"sync"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// This file holds the query-scoped scratch state of the optimized kernel:
+// dense room-indexed slices recycled through a sync.Pool, a float arena for
+// per-neighbor support vectors, and the per-region pair context cache.
+// Nothing allocated here may outlive the query — Locate copies everything it
+// returns (Posterior map, LocalGraph) out of the scratch before releasing it.
+
+// floatArena hands out zeroed []float64 scratch slices backed by one large
+// block. When the block runs out a bigger one is allocated; slices handed
+// out earlier keep referencing the old block (still reachable, so still
+// valid) while new requests come from the new one. reset reuses the current
+// block for the next query.
+type floatArena struct {
+	cur []float64
+	off int
+}
+
+func (a *floatArena) alloc(n int) []float64 {
+	if a.off+n > len(a.cur) {
+		size := 2 * len(a.cur)
+		if size < n {
+			size = n
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		a.cur = make([]float64, size)
+		a.off = 0
+	}
+	out := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+func (a *floatArena) reset() { a.off = 0 }
+
+// regionCtx caches, per neighbor region g_k encountered during one query,
+// everything pairSupport needs that depends only on (g_d, g_k, prior): the
+// intersecting rooms R_is and the queried device's conditional over them.
+// The pre-fix kernel re-derived all of it for every neighbor even though
+// neighbors overwhelmingly share a handful of regions.
+type regionCtx struct {
+	// risIdx are the positions (in qc.candidates, ascending) of
+	// R(g_d) ∩ R(g_k); risGkIdx are the same rooms' positions in R(g_k).
+	risIdx   []int
+	risGkIdx []int
+	// condD[ri] = P(@(d_i, r) | @(d_i, R_is)) for ri ∈ risIdx; nil when the
+	// regions share no rooms.
+	condD []float64
+}
+
+// pendingNeighbor is a discovery candidate that passed the region/online
+// filters and awaits its affinity from the batched sweep.
+type pendingNeighbor struct {
+	dev    event.DeviceID
+	region space.RegionID
+}
+
+// clusterInfo is one D-FINE affinity cluster's cached state: its members (in
+// ascending processing order), the cluster-wide group affinity per candidate
+// room, the total co-location mass z (clamped at 1), and whether any room's
+// affinity is positive (the termination test).
+type clusterInfo struct {
+	members  []int
+	ga       []float64
+	z        float64
+	positive bool
+}
+
+// dfineState is the incremental D-FINE clusterer: one union-find maintained
+// across Algorithm 2's iterations, with per-root cluster caches. Only the
+// cluster the new neighbor joins (or merges) is recomputed; the from-scratch
+// reference re-clusters and re-scores everything at every step.
+type dfineState struct {
+	parent []int
+	// clusters[root] is the cached cluster whose union-find root is root;
+	// nil at non-root indices.
+	clusters []*clusterInfo
+	// order is scratch for the deterministic cluster ordering (roots sorted
+	// by minimum member index).
+	order []int
+	// free recycles clusterInfo structs across iterations and queries.
+	free []*clusterInfo
+}
+
+func (df *dfineState) reset(n int) {
+	if cap(df.parent) < n {
+		df.parent = make([]int, n)
+		df.clusters = make([]*clusterInfo, n)
+	}
+	df.parent = df.parent[:n]
+	df.clusters = df.clusters[:n]
+	for i := 0; i < n; i++ {
+		df.parent[i] = i
+		if c := df.clusters[i]; c != nil {
+			df.free = append(df.free, c)
+		}
+		df.clusters[i] = nil
+	}
+	df.order = df.order[:0]
+}
+
+func (df *dfineState) find(x int) int {
+	for df.parent[x] != x {
+		df.parent[x] = df.parent[df.parent[x]]
+		x = df.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of i and j, dropping both roots' cached clusters
+// (the caller rebuilds the merged one). Reports whether a merge happened.
+func (df *dfineState) union(i, j int) bool {
+	ri, rj := df.find(i), df.find(j)
+	if ri == rj {
+		return false
+	}
+	df.parent[ri] = rj
+	df.releaseCluster(ri)
+	df.releaseCluster(rj)
+	return true
+}
+
+func (df *dfineState) releaseCluster(root int) {
+	if c := df.clusters[root]; c != nil {
+		df.free = append(df.free, c)
+		df.clusters[root] = nil
+	}
+}
+
+func (df *dfineState) newCluster() *clusterInfo {
+	if n := len(df.free); n > 0 {
+		c := df.free[n-1]
+		df.free = df.free[:n-1]
+		c.members = c.members[:0]
+		c.ga = nil
+		c.z = 0
+		c.positive = false
+		return c
+	}
+	return &clusterInfo{}
+}
+
+// clusterOrder returns the live roots sorted by their cluster's minimum
+// member index — the deterministic order the posterior combination folds
+// clusters in.
+func (df *dfineState) clusterOrder() []int {
+	df.order = df.order[:0]
+	for root, c := range df.clusters {
+		if c != nil {
+			df.order = append(df.order, root)
+		}
+	}
+	sort.Slice(df.order, func(i, j int) bool {
+		return df.clusters[df.order[i]].members[0] < df.clusters[df.order[j]].members[0]
+	})
+	return df.order
+}
+
+// queryCtx is the per-query scratch of the optimized kernel. All room
+// distributions are dense slices indexed by the room's position in the
+// sorted candidate set (the "room index"); the maps the pre-fix kernel
+// allocated per neighbor are gone.
+type queryCtx struct {
+	// candidates is R(g_d), shared with the building (not owned).
+	candidates []space.RoomID
+	// prior / lp are the queried device's room prior and its logit, computed
+	// once per query; acc accumulates per-room evidence log-odds (I-FINE);
+	// post is the current posterior.
+	prior, lp, acc, post []float64
+
+	arena floatArena
+
+	// regions caches pair contexts by neighbor region; regionPool recycles
+	// the structs across queries.
+	regions    map[space.RegionID]*regionCtx
+	regionPool []*regionCtx
+	nextRegion int
+
+	// neighbors / ordered are the kernel's neighbor lists; cands the
+	// filtered discovery candidates; devs / affs the batched-affinity
+	// arguments; gkVals / blended per-room scratch.
+	neighbors []neighborInfo
+	ordered   []neighborInfo
+	cands     []pendingNeighbor
+	devs      []event.DeviceID
+	affs      []float64
+	gkVals    []float64
+	blended   []float64
+	byDev     map[event.DeviceID]int
+
+	dfine dfineState
+}
+
+// scratchPool recycles queryCtx values across queries and goroutines:
+// steady-state queries allocate only what escapes (the Result's posterior
+// map and local-graph edges).
+var scratchPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+func acquireQueryCtx(candidates []space.RoomID) *queryCtx {
+	qc := scratchPool.Get().(*queryCtx)
+	nc := len(candidates)
+	qc.candidates = candidates
+	qc.prior = growFloats(qc.prior, nc)
+	qc.lp = growFloats(qc.lp, nc)
+	qc.acc = growFloats(qc.acc, nc)
+	qc.post = growFloats(qc.post, nc)
+	if qc.regions == nil {
+		qc.regions = make(map[space.RegionID]*regionCtx, 8)
+	}
+	return qc
+}
+
+// release returns the scratch to the pool. The caller must not touch qc — or
+// anything arena-backed, like the neighborInfo slices — afterwards.
+func (qc *queryCtx) release() {
+	qc.candidates = nil
+	for k := range qc.regions {
+		delete(qc.regions, k)
+	}
+	qc.nextRegion = 0
+	qc.neighbors = qc.neighbors[:0]
+	qc.ordered = qc.ordered[:0]
+	qc.cands = qc.cands[:0]
+	qc.devs = qc.devs[:0]
+	qc.arena.reset()
+	scratchPool.Put(qc)
+}
+
+// regionCtxFor returns the cached pair context for neighbor region gk,
+// computing it on first sight: the candidate-room intersection (two-pointer
+// over the sorted room lists) and the queried device's conditional over it.
+func (qc *queryCtx) regionCtxFor(l *Localizer, gk space.RegionID) *regionCtx {
+	if rc, ok := qc.regions[gk]; ok {
+		return rc
+	}
+	var rc *regionCtx
+	if qc.nextRegion < len(qc.regionPool) {
+		rc = qc.regionPool[qc.nextRegion]
+		rc.risIdx = rc.risIdx[:0]
+		rc.risGkIdx = rc.risGkIdx[:0]
+		rc.condD = nil
+	} else {
+		rc = &regionCtx{}
+		qc.regionPool = append(qc.regionPool, rc)
+	}
+	qc.nextRegion++
+
+	gkRooms := l.building.CandidateRooms(gk)
+	i, j := 0, 0
+	for i < len(qc.candidates) && j < len(gkRooms) {
+		switch {
+		case qc.candidates[i] == gkRooms[j]:
+			rc.risIdx = append(rc.risIdx, i)
+			rc.risGkIdx = append(rc.risGkIdx, j)
+			i++
+			j++
+		case qc.candidates[i] < gkRooms[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if len(rc.risIdx) > 0 {
+		rc.condD = qc.arena.alloc(len(qc.candidates))
+		total := 0.0
+		for _, ri := range rc.risIdx {
+			total += qc.prior[ri]
+		}
+		if total <= 0 {
+			u := 1.0 / float64(len(rc.risIdx))
+			for _, ri := range rc.risIdx {
+				rc.condD[ri] = u
+			}
+		} else {
+			for _, ri := range rc.risIdx {
+				rc.condD[ri] = qc.prior[ri] / total
+			}
+		}
+	}
+	qc.regions[gk] = rc
+	return rc
+}
+
+// result copies the dense posterior out into the public Result shape.
+func (qc *queryCtx) result(processed int, stopped bool) Result {
+	posterior := make(map[space.RoomID]float64, len(qc.candidates))
+	for i, r := range qc.candidates {
+		posterior[r] = qc.post[i]
+	}
+	best := argmaxDense(qc.post)
+	return Result{
+		Room:               qc.candidates[best],
+		Probability:        qc.post[best],
+		Posterior:          posterior,
+		ProcessedNeighbors: processed,
+		StoppedEarly:       stopped,
+	}
+}
+
+// argmaxDense mirrors argmaxRoom on the dense posterior: first index wins
+// ties (candidates are sorted, so this is the same deterministic tie-break).
+func argmaxDense(post []float64) int {
+	best := 0
+	for i := 1; i < len(post); i++ {
+		if post[i] > post[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// top2Dense mirrors top2Rooms on the dense posterior.
+func top2Dense(post []float64) (int, int) {
+	ra, rb := 0, 0
+	first := true
+	for i := range post {
+		if first {
+			ra = i
+			first = false
+			continue
+		}
+		if post[i] > post[ra] {
+			rb = ra
+			ra = i
+		} else if rb == ra || post[i] > post[rb] {
+			rb = i
+		}
+	}
+	if rb == ra && len(post) > 1 {
+		for i := range post {
+			if i != ra {
+				rb = i
+				break
+			}
+		}
+	}
+	return ra, rb
+}
+
+// roomInSorted reports membership via binary search over a sorted room list
+// (the preferred-rooms set), replacing the per-neighbor map the reference
+// prior construction builds.
+func roomInSorted(rooms []space.RoomID, r space.RoomID) bool {
+	i := sort.Search(len(rooms), func(i int) bool { return rooms[i] >= r })
+	return i < len(rooms) && rooms[i] == r
+}

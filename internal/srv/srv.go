@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
@@ -50,6 +51,18 @@ func New(sys *locater.System) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// EnablePprof mounts Go's runtime profiler under /debug/pprof/ (CPU and
+// heap profiles, goroutine/mutex/block dumps, execution traces). Off by
+// default — the endpoints expose internals and can be heavy — and gated
+// behind locater-serve's -pprof flag. Call during setup, before serving.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // LocateResponse is the JSON shape of a localization answer.
 type LocateResponse struct {
@@ -140,20 +153,44 @@ type PersistResponse struct {
 	DurableLSN uint64 `json:"durable_lsn"`
 }
 
+// LatencyResponse is the JSON shape of one latency population's summary.
+// Quantiles are upper estimates from a power-of-two histogram (within 2×);
+// mean and max are exact.
+type LatencyResponse struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+// QueryStatsResponse is the JSON shape of the query engine's service-level
+// stats: cold (computed) vs cached (result-cache hit) latency, plus the
+// distribution of neighbors Algorithm 2 processed on cold queries.
+type QueryStatsResponse struct {
+	Cold               LatencyResponse `json:"cold"`
+	Cached             LatencyResponse `json:"cached"`
+	NeighborsProcessed struct {
+		P50 int `json:"p50"`
+		P99 int `json:"p99"`
+	} `json:"neighbors_processed"`
+}
+
 // StatsResponse reports system counters. The legacy flat cache_edges /
 // cache_hits / cache_misses fields mirror the affinity tier (pre-cache-layer
 // clients read them); caches carries the full per-tier picture.
 type StatsResponse struct {
-	Events       int              `json:"events"`
-	Devices      int              `json:"devices"`
-	Queries      int              `json:"queries"`
-	CacheEdges   int              `json:"cache_edges"`
-	CacheHits    int64            `json:"cache_hits"`
-	CacheMisses  int64            `json:"cache_misses"`
-	Caches       CachesResponse   `json:"caches"`
-	Persist      *PersistResponse `json:"persist,omitempty"`
-	UptimeSecond int64            `json:"uptime_seconds"`
-	Building     string           `json:"building"`
+	Events       int                `json:"events"`
+	Devices      int                `json:"devices"`
+	Queries      int                `json:"queries"`
+	CacheEdges   int                `json:"cache_edges"`
+	CacheHits    int64              `json:"cache_hits"`
+	CacheMisses  int64              `json:"cache_misses"`
+	Caches       CachesResponse     `json:"caches"`
+	QueryStats   QueryStatsResponse `json:"query_stats"`
+	Persist      *PersistResponse   `json:"persist,omitempty"`
+	UptimeSecond int64              `json:"uptime_seconds"`
+	Building     string             `json:"building"`
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
@@ -310,6 +347,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				FallbackScans: cs.Occupancy.FallbackScans,
 			},
 		},
+		QueryStats:   queryStatsResponseOf(s.sys.QueryStats()),
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
 		Building:     s.sys.Building().Name(),
 	}
@@ -317,6 +355,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Persist = &PersistResponse{Segments: segments, LastLSN: lastLSN, DurableLSN: durableLSN}
 	}
 	writeJSON(w, resp)
+}
+
+func latencyResponseOf(l locater.LatencyStats) LatencyResponse {
+	return LatencyResponse{
+		Count:      l.Count,
+		MeanMicros: l.MeanMicros,
+		P50Micros:  l.P50Micros,
+		P99Micros:  l.P99Micros,
+		MaxMicros:  l.MaxMicros,
+	}
+}
+
+func queryStatsResponseOf(qs locater.QueryStats) QueryStatsResponse {
+	out := QueryStatsResponse{
+		Cold:   latencyResponseOf(qs.Cold),
+		Cached: latencyResponseOf(qs.Cached),
+	}
+	out.NeighborsProcessed.P50 = qs.NeighborsProcessedP50
+	out.NeighborsProcessed.P99 = qs.NeighborsProcessedP99
+	return out
 }
 
 func cacheTierResponseOf(t locater.CacheTierStats) CacheTierResponse {

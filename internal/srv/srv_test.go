@@ -378,3 +378,64 @@ func TestStatsCacheTiers(t *testing.T) {
 		t.Errorf("index-enabled server fell back to full scans: %+v", c.Occupancy)
 	}
 }
+
+// TestStatsQueryStats: after a cold query and a repeat (cached) query, the
+// query_stats block must report both populations with sane quantiles.
+func TestStatsQueryStats(t *testing.T) {
+	s, ds := newTestServer(t)
+	dev := ds.People[0].Device
+	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour)
+	url := fmt.Sprintf("/locate?device=%s&time=%s", dev, tq.Format(time.RFC3339))
+	for i := 0; i < 3; i++ { // 1 cold + 2 result-cache hits
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("locate %d = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	qs := resp.QueryStats
+	if qs.Cold.Count != 1 {
+		t.Errorf("cold count = %d, want 1", qs.Cold.Count)
+	}
+	if qs.Cached.Count != 2 {
+		t.Errorf("cached count = %d, want 2", qs.Cached.Count)
+	}
+	if qs.Cold.P99Micros < qs.Cold.P50Micros {
+		t.Errorf("cold p99 %v < p50 %v", qs.Cold.P99Micros, qs.Cold.P50Micros)
+	}
+	if qs.Cold.MaxMicros <= 0 || qs.Cold.MeanMicros <= 0 {
+		t.Errorf("cold mean/max not positive: %+v", qs.Cold)
+	}
+	if qs.NeighborsProcessed.P99 < qs.NeighborsProcessed.P50 {
+		t.Errorf("neighbors p99 %d < p50 %d", qs.NeighborsProcessed.P99, qs.NeighborsProcessed.P50)
+	}
+}
+
+// TestPprofGated: /debug/pprof/ must 404 by default and serve the profiler
+// index once EnablePprof is called.
+func TestPprofGated(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof without flag = %d, want 404", rec.Code)
+	}
+	s.EnablePprof()
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof after enable = %d, want 200", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("profile")) {
+		t.Error("pprof index body missing profile links")
+	}
+}

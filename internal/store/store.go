@@ -358,18 +358,40 @@ func (s *Store) Events(d event.DeviceID) []event.Event {
 	return out
 }
 
+// ScanEvents invokes fn once with the device's events with start ≤ t ≤ end
+// (a zero-copy sub-slice of the sorted log, located by binary search) and
+// the device's validity interval δ, while a store lock is held — a shared
+// lock in the common case, so concurrent scans proceed in parallel. fn must
+// not retain or mutate evs: the slice aliases the store's own log and is
+// invalid the moment ScanEvents returns. Reports whether the device exists;
+// fn is invoked (possibly with an empty slice) exactly when it does.
+//
+// This is the allocation-free read path the per-query kernels use: the fine
+// stage's batched affinity sweep and the coarse stage's history statistics
+// visit millions of events per second through it without per-call copies.
+// Callers that need to keep the events use EventsBetween instead.
+func (s *Store) ScanEvents(d event.DeviceID, start, end time.Time, fn func(evs []event.Event, delta time.Duration)) bool {
+	return s.withSortedLog(d, func(evs []event.Event, delta time.Duration) {
+		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
+		hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
+		if lo >= hi {
+			fn(nil, delta)
+			return
+		}
+		fn(evs[lo:hi], delta)
+	})
+}
+
 // EventsBetween returns a copy of the device's events with
 // start ≤ t ≤ end, via binary search.
 func (s *Store) EventsBetween(d event.DeviceID, start, end time.Time) []event.Event {
 	var out []event.Event
-	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
-		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
-		hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
-		if lo >= hi {
+	s.ScanEvents(d, start, end, func(evs []event.Event, _ time.Duration) {
+		if len(evs) == 0 {
 			return
 		}
-		out = make([]event.Event, hi-lo)
-		copy(out, evs[lo:hi])
+		out = make([]event.Event, len(evs))
+		copy(out, evs)
 	})
 	return out
 }
@@ -381,10 +403,29 @@ func (s *Store) Timeline(d event.DeviceID) (*event.Timeline, error) {
 	return event.NewTimeline(d, s.Delta(d), evs)
 }
 
-// TimelineBetween builds a timeline restricted to [start, end].
+// TimelineBetween builds a timeline restricted to [start, end]. The window
+// is copied once inside the ScanEvents visitor — the events are already
+// sorted and belong to one device, so the NewTimeline re-sort (and the
+// second copy the pre-ScanEvents path paid) is skipped.
 func (s *Store) TimelineBetween(d event.DeviceID, start, end time.Time) (*event.Timeline, error) {
-	evs := s.EventsBetween(d, start, end)
-	return event.NewTimeline(d, s.Delta(d), evs)
+	var tl *event.Timeline
+	var err error
+	found := s.ScanEvents(d, start, end, func(evs []event.Event, delta time.Duration) {
+		if delta <= 0 {
+			err = fmt.Errorf("event: non-positive validity interval %v for device %s", delta, d)
+			return
+		}
+		cp := make([]event.Event, len(evs))
+		copy(cp, evs)
+		tl = &event.Timeline{Device: d, Delta: delta, Events: cp}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return event.NewTimeline(d, s.Delta(d), nil)
+	}
+	return tl, nil
 }
 
 // At classifies time t for device d: inside a validity interval, inside a
@@ -438,13 +479,20 @@ func (s *Store) FirstEventAfter(d event.DeviceID, t time.Time) (event.Event, boo
 
 // CurrentAP returns the AP the device is connected to at time t when t falls
 // inside a validity interval; ok is false otherwise. This is the "online"
-// test for neighbor devices at query time.
+// test for neighbor devices at query time; it runs allocation-free on the
+// shared sorted log (Timeline.APAt) because the fine stage issues it once
+// per candidate neighbor of every query.
 func (s *Store) CurrentAP(d event.DeviceID, t time.Time) (space.APID, bool) {
-	v, _, err := s.At(d, t)
-	if err != nil || v == nil {
-		return "", false
-	}
-	return v.Event.AP, true
+	var ap space.APID
+	var ok bool
+	s.withSortedLog(d, func(evs []event.Event, delta time.Duration) {
+		if delta <= 0 {
+			return
+		}
+		tl := event.Timeline{Device: d, Delta: delta, Events: evs}
+		ap, ok = tl.APAt(t)
+	})
+	return ap, ok
 }
 
 // NextID returns the next event ID the store would assign. Recovery and the

@@ -363,3 +363,92 @@ func TestActiveDevicesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScanEvents: the zero-copy visitor must see exactly the EventsBetween
+// window (sorted, even after out-of-order ingest), receive the device's δ,
+// be invoked with an empty slice for an empty window, and not be invoked at
+// all for unknown devices.
+func TestScanEvents(t *testing.T) {
+	s := New(0)
+	base := time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+	// Ingest out of order so the scan has to trigger the lazy re-sort.
+	s.Ingest([]event.Event{
+		{Device: "d", Time: base.Add(30 * time.Minute), AP: "ap2"},
+		{Device: "d", Time: base, AP: "ap1"},
+		{Device: "d", Time: base.Add(10 * time.Minute), AP: "ap1"},
+	})
+	s.SetDelta("d", 7*time.Minute)
+
+	start, end := base, base.Add(15*time.Minute)
+	var got []event.Event
+	var gotDelta time.Duration
+	calls := 0
+	found := s.ScanEvents("d", start, end, func(evs []event.Event, delta time.Duration) {
+		calls++
+		got = append(got, evs...) // copy out: the slice must not be retained
+		gotDelta = delta
+	})
+	if !found || calls != 1 {
+		t.Fatalf("found=%v calls=%d", found, calls)
+	}
+	if gotDelta != 7*time.Minute {
+		t.Errorf("delta = %v", gotDelta)
+	}
+	want := s.EventsBetween("d", start, end)
+	if len(got) != 2 || len(want) != 2 || got[0].AP != want[0].AP || !got[1].Time.Equal(want[1].Time) {
+		t.Errorf("scan window = %v, EventsBetween = %v", got, want)
+	}
+	if got[0].Time.After(got[1].Time) {
+		t.Error("scan saw unsorted events")
+	}
+
+	// Empty window: fn runs with an empty slice.
+	calls = 0
+	empty := true
+	found = s.ScanEvents("d", base.Add(2*time.Hour), base.Add(3*time.Hour), func(evs []event.Event, _ time.Duration) {
+		calls++
+		empty = len(evs) == 0
+	})
+	if !found || calls != 1 || !empty {
+		t.Errorf("empty window: found=%v calls=%d empty=%v", found, calls, empty)
+	}
+
+	// Unknown device: fn not invoked, found=false.
+	if s.ScanEvents("ghost", start, end, func([]event.Event, time.Duration) { t.Error("fn called for ghost") }) {
+		t.Error("ScanEvents(ghost) = true")
+	}
+}
+
+// TestTimelineBetweenMatchesEventsBetween: the single-copy TimelineBetween
+// must carry exactly the window EventsBetween reports.
+func TestTimelineBetweenMatchesEventsBetween(t *testing.T) {
+	s := New(0)
+	base := time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+	var evs []event.Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, event.Event{Device: "d", Time: base.Add(time.Duration(9-i) * time.Minute), AP: "ap"})
+	}
+	s.Ingest(evs)
+	start, end := base.Add(2*time.Minute), base.Add(6*time.Minute)
+	tl, err := s.TimelineBetween("d", start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.EventsBetween("d", start, end)
+	if len(tl.Events) != len(want) {
+		t.Fatalf("timeline %d events, want %d", len(tl.Events), len(want))
+	}
+	for i := range want {
+		if !tl.Events[i].Time.Equal(want[i].Time) {
+			t.Errorf("event %d: %v vs %v", i, tl.Events[i].Time, want[i].Time)
+		}
+	}
+	if tl.Delta != s.Delta("d") {
+		t.Errorf("delta = %v", tl.Delta)
+	}
+	// Unknown device: empty timeline, no error (NewTimeline semantics).
+	tl, err = s.TimelineBetween("ghost", start, end)
+	if err != nil || len(tl.Events) != 0 {
+		t.Errorf("ghost timeline: %v, %v", tl.Events, err)
+	}
+}

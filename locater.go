@@ -277,6 +277,9 @@ type System struct {
 	snapDone  chan struct{}
 
 	queries atomic.Int64
+	// metrics records cold/cached latency histograms and the
+	// neighbors-processed distribution (see QueryStats).
+	metrics queryMetrics
 }
 
 // New validates the configuration and assembles a system.
@@ -498,11 +501,18 @@ func (s *System) SetTimePreferredRooms(d DeviceID, prefs []TimePreference) error
 // is recomputed from the post-ingest history, never served stale.
 func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
 	s.queries.Add(1)
+	start := time.Now()
 	if s.results == nil {
-		return s.locate(d, t)
+		res, err := s.locate(d, t)
+		if err == nil {
+			s.metrics.cold.observe(time.Since(start))
+			s.metrics.neighbors.observe(res.ProcessedNeighbors)
+		}
+		return res, err
 	}
 	key := resultKey{device: d, bucket: t.UnixNano() / int64(s.resultBucket)}
 	if res, ok := s.results.Get(key); ok {
+		s.metrics.cached.observe(time.Since(start))
 		return res, nil
 	}
 	// Capture the epoch before computing: if a write lands while the
@@ -512,6 +522,8 @@ func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
 	res, err := s.locate(d, t)
 	if err == nil {
 		s.results.PutAt(key, res, epoch)
+		s.metrics.cold.observe(time.Since(start))
+		s.metrics.neighbors.observe(res.ProcessedNeighbors)
 	}
 	return res, err
 }
