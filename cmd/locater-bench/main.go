@@ -22,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +45,7 @@ func main() {
 		slow       = flag.Bool("faithful", false, "verbatim Algorithm 1 (one promotion per self-training round; slower)")
 		throughput = flag.Bool("throughput", false, "measure parallel LocateBatch throughput instead of the paper tables")
 		workers    = flag.Int("workers", 0, "max worker-pool size for -throughput (default GOMAXPROCS)")
+		deadline   = flag.Duration("deadline", 0, "per-batch deadline for -throughput; shed queries are reported separately (0 = unbounded)")
 
 		neighbors = flag.Bool("neighbors", false, "measure occupancy-index neighbor discovery vs the full-scan baseline")
 
@@ -96,7 +99,7 @@ func main() {
 	}
 
 	if *throughput {
-		if err := runThroughput(p, *workers, *benchOut); err != nil {
+		if err := runThroughput(p, *workers, *deadline, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
 			os.Exit(1)
 		}
@@ -142,10 +145,15 @@ type throughputReport struct {
 }
 
 type throughputRow struct {
-	Workers       int     `json:"workers"`
-	Seconds       float64 `json:"seconds"`
-	QueriesPerSec float64 `json:"queries_per_sec"`
-	Speedup       float64 `json:"speedup"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// QueriesPerSec counts successfully answered queries only: queries the
+	// engine shed on deadline are accounted in DeadlineExceeded, not
+	// folded into served throughput (and hard failures abort the run).
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	OK               int     `json:"ok"`
+	DeadlineExceeded int     `json:"deadline_exceeded"`
 }
 
 // cacheTierReport mirrors locater.CacheTierStats in the benchmark JSON.
@@ -188,8 +196,10 @@ func cachesReportOf(cs locater.CacheStats) cachesReport {
 // runThroughput measures the concurrent query engine: the same warmed
 // workload is answered through System.LocateBatch with 1, 2, 4, ...
 // workers, and the run reports queries/sec plus the speedup over a single
-// worker (the serialized baseline).
-func runThroughput(p experiments.Params, maxWorkers int, benchOut string) error {
+// worker (the serialized baseline). A non-zero deadline bounds every batch
+// through LocateBatchContext; queries the engine sheds on deadline are
+// reported in their own column instead of failing the measurement.
+func runThroughput(p experiments.Params, maxWorkers int, deadline time.Duration, benchOut string) error {
 	if maxWorkers < 1 {
 		maxWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -202,7 +212,10 @@ func runThroughput(p experiments.Params, maxWorkers int, benchOut string) error 
 	}
 	fmt.Printf("workload: %d events, %d devices, %d queries (build+warm-up %v)\n",
 		sys.NumEvents(), sys.NumDevices(), len(batch), time.Since(warmStart).Round(time.Millisecond))
-	fmt.Printf("%-8s %12s %12s %9s\n", "workers", "total", "queries/sec", "speedup")
+	if deadline > 0 {
+		fmt.Printf("per-batch deadline: %v\n", deadline)
+	}
+	fmt.Printf("%-8s %12s %12s %9s %9s %9s\n", "workers", "total", "queries/sec", "speedup", "ok", "deadline")
 
 	// Pool sizes: powers of two up to maxWorkers, plus maxWorkers itself.
 	var sizes []int
@@ -219,20 +232,23 @@ func runThroughput(p experiments.Params, maxWorkers int, benchOut string) error 
 	}
 	base := 0.0
 	for _, w := range sizes {
-		elapsed, err := timeBatch(sys, batch, w)
+		elapsed, ok, deadlined, err := timeBatch(sys, batch, w, deadline)
 		if err != nil {
 			return fmt.Errorf("workers=%d: %w", w, err)
 		}
-		qps := float64(len(batch)) / elapsed.Seconds()
+		qps := float64(ok) / elapsed.Seconds()
 		if w == 1 {
 			base = qps
 		}
-		fmt.Printf("%-8d %12v %12.0f %8.2fx\n", w, elapsed.Round(time.Millisecond), qps, qps/base)
+		fmt.Printf("%-8d %12v %12.0f %8.2fx %9d %9d\n",
+			w, elapsed.Round(time.Millisecond), qps, qps/base, ok, deadlined)
 		rep.Rows = append(rep.Rows, throughputRow{
-			Workers:       w,
-			Seconds:       elapsed.Seconds(),
-			QueriesPerSec: qps,
-			Speedup:       qps / base,
+			Workers:          w,
+			Seconds:          elapsed.Seconds(),
+			QueriesPerSec:    qps,
+			Speedup:          qps / base,
+			OK:               ok,
+			DeadlineExceeded: deadlined,
 		})
 	}
 	cs := sys.CacheStats()
@@ -246,23 +262,36 @@ func runThroughput(p experiments.Params, maxWorkers int, benchOut string) error 
 }
 
 // timeBatch runs the batch a few times at the given pool size and returns
-// the fastest wall-clock time (minimum-of-3, the usual noise filter). Any
-// per-query error fails the measurement — a batch that errors must not be
-// reported as served throughput.
-func timeBatch(sys *locater.System, batch []locater.Query, workers int) (time.Duration, error) {
-	best := time.Duration(0)
+// the fastest wall-clock time (minimum-of-3, the usual noise filter) with
+// its ok/deadline-exceeded split. Deadline shed is an expected outcome of a
+// bounded run and is reported, not conflated with errors; any other
+// per-query error still fails the measurement — a batch that errors must
+// not be reported as served throughput.
+func timeBatch(sys *locater.System, batch []locater.Query, workers int, deadline time.Duration) (best time.Duration, ok, deadlined int, err error) {
 	for rep := 0; rep < 3; rep++ {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+		}
 		start := time.Now()
-		results := sys.LocateBatch(batch, workers)
+		results := sys.LocateBatchContext(ctx, batch, workers)
 		d := time.Since(start)
+		cancel()
+		repOK, repDeadlined := 0, 0
 		for _, r := range results {
-			if r.Err != nil {
-				return 0, fmt.Errorf("query (%s, %v): %w", r.Query.Device, r.Query.Time, r.Err)
+			switch {
+			case r.Err == nil:
+				repOK++
+			case errors.Is(r.Err, locater.ErrDeadlineExceeded):
+				repDeadlined++
+			default:
+				return 0, 0, 0, fmt.Errorf("query (%s, %v): %w", r.Query.Device, r.Query.Time, r.Err)
 			}
 		}
 		if rep == 0 || d < best {
-			best = d
+			best, ok, deadlined = d, repOK, repDeadlined
 		}
 	}
-	return best, nil
+	return best, ok, deadlined, nil
 }

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"locater/internal/sim"
+	"locater/internal/srv"
+)
+
+// driver abstracts where the load lands: an in-process srv.Server (the
+// hermetic CI mode — no sockets, no ports) or a remote locater-serve over
+// HTTP. Both speak the same request/response surface, so one dispatcher and
+// one classifier serve both.
+type driver interface {
+	// do executes one request and returns the HTTP status plus the
+	// response body (error bodies only — OK bodies are drained, not kept).
+	do(method, path string, body []byte) (int, []byte, error)
+	stats() (*srv.StatsResponse, error)
+}
+
+// inprocDriver drives a srv.Server directly through ServeHTTP.
+type inprocDriver struct{ s *srv.Server }
+
+func (d inprocDriver) do(method, path string, body []byte) (int, []byte, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	rec := httptest.NewRecorder()
+	d.s.ServeHTTP(rec, httptest.NewRequest(method, path, rdr))
+	if rec.Code >= 200 && rec.Code < 300 {
+		return rec.Code, nil, nil
+	}
+	return rec.Code, rec.Body.Bytes(), nil
+}
+
+func (d inprocDriver) stats() (*srv.StatsResponse, error) {
+	rec := httptest.NewRecorder()
+	d.s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("stats = %d", rec.Code)
+	}
+	var st srv.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// remoteDriver drives a live locater-serve at base (e.g. http://host:8080).
+type remoteDriver struct {
+	base   string
+	client *http.Client
+}
+
+func newRemoteDriver(base string, hardDeadline time.Duration) *remoteDriver {
+	return &remoteDriver{
+		base: strings.TrimRight(base, "/"),
+		// The client timeout backstops the server's own deadline handling:
+		// a request the server never answers is cut at 2× the hard
+		// deadline and classified as an error.
+		client: &http.Client{Timeout: 2 * hardDeadline},
+	}
+}
+
+func (d *remoteDriver) do(method, path string, body []byte) (int, []byte, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, d.base+path, rdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, err
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode, b, nil
+}
+
+func (d *remoteDriver) stats() (*srv.StatsResponse, error) {
+	resp, err := d.client.Get(d.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats = %d", resp.StatusCode)
+	}
+	var st srv.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// buildRequest renders one scheduled op as an HTTP request. Every request
+// carries deadline_ms — the harness never issues unbounded work.
+func buildRequest(op sim.Op, deadline time.Duration) (method, path string, body []byte, err error) {
+	dl := fmt.Sprintf("deadline_ms=%d", deadline.Milliseconds())
+	switch op.Kind {
+	case sim.OpLocate:
+		return http.MethodGet, fmt.Sprintf("/locate?device=%s&time=%s&%s",
+			url.QueryEscape(string(op.Query.Device)),
+			url.QueryEscape(op.Query.Time.UTC().Format(time.RFC3339)), dl), nil, nil
+	case sim.OpBatch:
+		req := srv.BatchLocateRequest{
+			Queries:        make([]srv.BatchQuery, len(op.Batch)),
+			DeadlineMillis: int(deadline.Milliseconds()),
+		}
+		for i, q := range op.Batch {
+			req.Queries[i] = srv.BatchQuery{
+				Device: string(q.Device),
+				Time:   q.Time.UTC().Format(time.RFC3339),
+			}
+		}
+		b, err := json.Marshal(req)
+		return http.MethodPost, "/locate/batch", b, err
+	case sim.OpIngest:
+		rows := make([]srv.IngestEvent, len(op.Events))
+		for i, e := range op.Events {
+			rows[i] = srv.IngestEvent{
+				Device: string(e.Device),
+				Time:   e.Time.UTC().Format(time.RFC3339Nano),
+				AP:     string(e.AP),
+			}
+		}
+		b, err := json.Marshal(rows)
+		return http.MethodPost, "/ingest?" + dl, b, err
+	}
+	return "", "", nil, fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// Outcome kinds for the error taxonomy.
+const (
+	outOK            = "ok"
+	outRejected      = "rejected"
+	outDeadline      = "deadline_exceeded"
+	outError         = "error"
+	outClientDropped = "client_dropped"
+)
+
+// outcome classifies one completed request.
+type outcome struct {
+	kind    string
+	code    string // rejection taxonomy subcode for 429s
+	latency time.Duration
+}
+
+// classify maps a response to the taxonomy. Transport errors (remote mode
+// only) arrive as err != nil with status 0.
+func classify(status int, body []byte, err error, latency time.Duration) outcome {
+	switch {
+	case err != nil:
+		return outcome{kind: outError, code: "transport", latency: latency}
+	case status >= 200 && status < 300:
+		return outcome{kind: outOK, latency: latency}
+	case status == http.StatusTooManyRequests:
+		return outcome{kind: outRejected, code: bodyCode(body), latency: latency}
+	case status == http.StatusGatewayTimeout:
+		return outcome{kind: outDeadline, latency: latency}
+	default:
+		return outcome{kind: outError, code: fmt.Sprintf("http_%d", status), latency: latency}
+	}
+}
+
+func bodyCode(body []byte) string {
+	var m struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &m) == nil && m.Code != "" {
+		return m.Code
+	}
+	return "unknown"
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"locater/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFlags pins the exact spec behind testdata/office_schedule.golden.
+// It runs through the same buildScenario/workloadSpec pipeline as the
+// binary, so a change that breaks schedule determinism (or silently changes
+// schedule semantics) fails here before it reaches CI's fixed-seed SLO run.
+func goldenFlags() *flags {
+	return &flags{
+		scenario: "office", days: 2, scale: 1, perClass: 4, seed: 11,
+		ops: 120, readFrac: 0.8, batchFrac: 0.2, batchSize: 4,
+		ingestChunk: 32, arrival: "bursty", burstFactor: 4, burstFrac: 0.2,
+		diurnal: true, dirtyFrac: 0.25,
+	}
+}
+
+func renderSchedule(t *testing.T) []byte {
+	t.Helper()
+	f := goldenFlags()
+	sc, err := buildScenario(f.scenario, f.scale, f.perClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	ds, err := sim.Generate(sc.Config(start, f.days, f.seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.BuildWorkload(ds, f.workloadSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteCanonical(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScheduleGolden: identical seed + spec must produce a byte-identical
+// schedule, across runs and across machines. Regenerate with -update after
+// an intentional schedule change.
+func TestScheduleGolden(t *testing.T) {
+	got := renderSchedule(t)
+	path := filepath.Join("testdata", "office_schedule.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/locater-loadgen -update` after intentional changes)", err)
+	}
+	if !bytes.Equal(got, want) {
+		gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := range gotLines {
+			if i >= len(wantLines) || !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("schedule diverges from golden at line %d:\n got: %s\nwant: %s",
+					i+1, gotLines[i], lineAt(wantLines, i))
+			}
+		}
+		t.Fatalf("schedule shorter than golden: %d vs %d lines", len(gotLines), len(wantLines))
+	}
+
+	// And regeneration inside one process is stable too.
+	if again := renderSchedule(t); !bytes.Equal(got, again) {
+		t.Fatal("same seed+spec produced different schedules within one process")
+	}
+}
+
+func lineAt(lines [][]byte, i int) []byte {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return []byte("<missing>")
+}

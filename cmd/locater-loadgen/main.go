@@ -1,0 +1,373 @@
+// Command locater-loadgen is the scenario-driven load generator and SLO
+// harness: it turns a simulated building scenario into a deterministic
+// request schedule (reads, batches, live ingest replay with optional dirty
+// traces), drives it against a LOCATER server — in-process by default
+// (hermetic, no sockets), or a remote locater-serve via -target — and
+// reports sustained QPS, exact p50/p99/p999 latencies, goodput under
+// overload, the rejection taxonomy, and per-tier cache-hit trajectories as
+// BENCH_slo.json.
+//
+// The run is phased: a closed-loop calibration measures the sustainable
+// rate S, then an open-loop plateau phase offers plateau-frac×S and an
+// overload phase offers overload×S. With -compare the whole sequence runs
+// twice — admission control on, then off — so the report shows graceful
+// degradation against the collapse it replaces.
+//
+// Usage:
+//
+//	locater-loadgen -scenario office -days 3 -ops 2000 -seed 7
+//	locater-loadgen -compare -goodput-floor 0.7 -require-bounded
+//	locater-loadgen -target http://localhost:8080 -rate 500 -phase-duration 30s
+//	locater-loadgen -arrival bursty -diurnal -dirty-frac 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"locater"
+	"locater/internal/sim"
+	"locater/internal/srv"
+)
+
+type flags struct {
+	// Scenario and schedule.
+	scenario    string
+	days        int
+	scale       int
+	perClass    int
+	seed        int64
+	ops         int
+	readFrac    float64
+	batchFrac   float64
+	batchSize   int
+	ingestChunk int
+	arrival     string
+	burstFactor float64
+	burstFrac   float64
+	diurnal     bool
+	dirtyFrac   float64
+
+	// Target and phases.
+	target        string
+	variant       string
+	concurrency   int
+	rate          float64
+	calibrateDur  time.Duration
+	plateauFrac   float64
+	overload      float64
+	phaseDur      time.Duration
+	deadline      time.Duration
+	hardDeadline  time.Duration
+	maxInflight   int
+	statsInterval time.Duration
+
+	// Admission arms and gates.
+	compare       bool
+	admission     bool
+	goodputFloor  float64
+	requireBound  bool
+	benchOut      string
+	maxConcurrent int
+	maxQueue      int
+}
+
+func parseFlags() *flags {
+	f := &flags{}
+	flag.StringVar(&f.scenario, "scenario", "office", "building scenario: dbh | office | university | mall | airport")
+	flag.IntVar(&f.days, "days", 3, "simulated days (last day replays live)")
+	flag.IntVar(&f.scale, "scale", 1, "scenario scale factor (non-dbh scenarios)")
+	flag.IntVar(&f.perClass, "per-class", 4, "people per predictability class (dbh scenario)")
+	flag.Int64Var(&f.seed, "seed", 1, "seed for dataset and schedule generation")
+	flag.IntVar(&f.ops, "ops", 2000, "scheduled operations per generated workload")
+	flag.Float64Var(&f.readFrac, "read-frac", 0.9, "fraction of ops that are reads")
+	flag.Float64Var(&f.batchFrac, "batch-frac", 0.1, "fraction of reads issued as LocateBatch")
+	flag.IntVar(&f.batchSize, "batch-size", 16, "queries per batch op")
+	flag.IntVar(&f.ingestChunk, "ingest-chunk", 64, "max events per ingest op")
+	flag.StringVar(&f.arrival, "arrival", "poisson", "arrival process: poisson | uniform | bursty")
+	flag.Float64Var(&f.burstFactor, "burst-factor", 4, "bursty: burst-state rate multiplier")
+	flag.Float64Var(&f.burstFrac, "burst-frac", 0.2, "bursty: fraction of arrivals in burst state")
+	flag.BoolVar(&f.diurnal, "diurnal", false, "modulate arrivals with the scenario's hourly occupancy wave")
+	flag.Float64Var(&f.dirtyFrac, "dirty-frac", 0.1, "fraction of ingest chunks carrying injected dirt")
+
+	flag.StringVar(&f.target, "target", "", "remote locater-serve base URL; empty = in-process server (hermetic)")
+	flag.StringVar(&f.variant, "variant", "dependent", "independent | dependent (in-process server)")
+	flag.IntVar(&f.concurrency, "concurrency", 0, "closed-loop calibration workers (default GOMAXPROCS)")
+	flag.Float64Var(&f.rate, "rate", 0, "fixed sustainable rate S in ops/s; 0 = calibrate")
+	flag.DurationVar(&f.calibrateDur, "calibrate-duration", 3*time.Second, "closed-loop calibration length")
+	flag.Float64Var(&f.plateauFrac, "plateau-frac", 0.7, "plateau phase rate as a fraction of S")
+	flag.Float64Var(&f.overload, "overload", 2, "overload phase rate as a multiple of S")
+	flag.DurationVar(&f.phaseDur, "phase-duration", 8*time.Second, "open-loop phase length")
+	flag.DurationVar(&f.deadline, "deadline", 500*time.Millisecond, "per-request deadline_ms sent with every op")
+	flag.DurationVar(&f.hardDeadline, "hard-deadline", 0, "SLO hard deadline for goodput (default 2×deadline)")
+	flag.IntVar(&f.maxInflight, "max-inflight", 512, "open-loop client concurrency cap (overflow = client_dropped)")
+	flag.DurationVar(&f.statsInterval, "stats-interval", time.Second, "/stats trajectory sampling period (0 = off)")
+
+	flag.BoolVar(&f.compare, "compare", false, "run both arms: admission on, then off (in-process only)")
+	flag.BoolVar(&f.admission, "admission", true, "admission control for the single-arm run")
+	flag.Float64Var(&f.goodputFloor, "goodput-floor", 0, "fail unless overload goodput ≥ floor × plateau goodput (admission arm; 0 = no gate)")
+	flag.BoolVar(&f.requireBound, "require-bounded", false, "fail if any OK response exceeded the hard deadline (admission arm)")
+	flag.StringVar(&f.benchOut, "bench-out", ".", "directory for BENCH_slo.json")
+	flag.IntVar(&f.maxConcurrent, "max-concurrent", 0, "in-process server: executing /locate slots (default 2×GOMAXPROCS)")
+	flag.IntVar(&f.maxQueue, "max-queue", 0, "in-process server: waiting /locate slots (default 8×GOMAXPROCS)")
+	flag.Parse()
+
+	if f.concurrency <= 0 {
+		f.concurrency = runtime.GOMAXPROCS(0)
+	}
+	if f.hardDeadline <= 0 {
+		f.hardDeadline = 2 * f.deadline
+	}
+	return f
+}
+
+// buildScenario resolves a scenario name. Factored out (with buildWorkload)
+// so the golden-file determinism test exercises the exact pipeline the
+// binary runs.
+func buildScenario(name string, scale, perClass int) (sim.Scenario, error) {
+	switch name {
+	case "dbh":
+		return sim.DBH(perClass)
+	case "office":
+		return sim.Office(scale)
+	case "university":
+		return sim.University(scale)
+	case "mall":
+		return sim.Mall(scale)
+	case "airport":
+		return sim.Airport(scale)
+	}
+	return sim.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+}
+
+func (f *flags) workloadSpec() sim.WorkloadSpec {
+	return sim.WorkloadSpec{
+		Ops:           f.ops,
+		Seed:          f.seed,
+		ReadFraction:  f.readFrac,
+		BatchFraction: f.batchFrac,
+		BatchSize:     f.batchSize,
+		IngestChunk:   f.ingestChunk,
+		Arrival:       f.arrival,
+		BurstFactor:   f.burstFactor,
+		BurstFraction: f.burstFrac,
+		Diurnal:       f.diurnal,
+		DirtyFraction: f.dirtyFrac,
+	}
+}
+
+// buildWorkload generates the dataset and its deterministic schedule.
+func buildWorkload(f *flags) (*sim.Dataset, *sim.Workload, error) {
+	sc, err := buildScenario(f.scenario, f.scale, f.perClass)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	ds, err := sim.Generate(sc.Config(start, f.days, f.seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := sim.BuildWorkload(ds, f.workloadSpec())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, w, nil
+}
+
+// newInprocServer assembles a fresh in-process server over the workload's
+// history split. Each arm gets its own system so the comparison starts from
+// identical state.
+func newInprocServer(ds *sim.Dataset, w *sim.Workload, f *flags, admission bool) (*srv.Server, error) {
+	v := locater.DependentVariant
+	if f.variant == "independent" {
+		v = locater.IndependentVariant
+	}
+	sys, err := locater.New(locater.Config{
+		Building:           ds.Building,
+		Variant:            v,
+		EnableCache:        true,
+		HistoryDays:        14,
+		PromotionsPerRound: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Ingest(w.History); err != nil {
+		return nil, err
+	}
+	if err := sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+		return nil, err
+	}
+	return srv.NewWithOptions(sys, srv.Options{Admission: srv.AdmissionOptions{
+		Disabled:    !admission,
+		Locate:      srv.QueueConfig{MaxConcurrent: f.maxConcurrent, MaxQueue: f.maxQueue},
+		MaxDeadline: f.hardDeadline,
+	}}), nil
+}
+
+// modeReport is one arm (admission on or off) of the comparison.
+type modeReport struct {
+	Admission      bool          `json:"admission"`
+	SustainableQPS float64       `json:"sustainable_qps"`
+	Phases         []phaseResult `json:"phases"`
+	// GoodputRetention = overload goodput ÷ plateau goodput: ≥ 1 means the
+	// server kept serving its plateau capacity while overloaded.
+	GoodputRetention float64 `json:"goodput_retention"`
+}
+
+// sloReport is BENCH_slo.json.
+type sloReport struct {
+	Name           string  `json:"name"`
+	Scenario       string  `json:"scenario"`
+	Days           int     `json:"days"`
+	Seed           int64   `json:"seed"`
+	Ops            int     `json:"ops"`
+	Arrival        string  `json:"arrival"`
+	Diurnal        bool    `json:"diurnal"`
+	DirtyFraction  float64 `json:"dirty_fraction"`
+	DeadlineMillis int64   `json:"deadline_ms"`
+	HardMillis     int64   `json:"hard_deadline_ms"`
+	HistoryEvents  int     `json:"history_events"`
+	ReplayEvents   int     `json:"replay_events"`
+
+	Modes []modeReport `json:"modes"`
+}
+
+// runMode executes calibrate → plateau → overload against one driver.
+func runMode(d driver, w *sim.Workload, f *flags, admission bool) modeReport {
+	cur := &opCursor{ops: w.Ops}
+	rep := modeReport{Admission: admission}
+
+	rep.SustainableQPS = f.rate
+	if rep.SustainableQPS <= 0 {
+		fmt.Printf("  calibrating (%d workers, %v)...\n", f.concurrency, f.calibrateDur)
+		rep.SustainableQPS = calibrate(d, cur, f.concurrency, f.calibrateDur, f.deadline)
+	}
+	fmt.Printf("  sustainable rate S ≈ %.0f ops/s\n", rep.SustainableQPS)
+
+	phases := []struct {
+		name string
+		rate float64
+	}{
+		{"plateau", f.plateauFrac * rep.SustainableQPS},
+		{"overload", f.overload * rep.SustainableQPS},
+	}
+	for _, ph := range phases {
+		fmt.Printf("  phase %-9s offering %.0f ops/s for %v...\n", ph.name, ph.rate, f.phaseDur)
+		res := runOpenLoop(d, cur, ph.name, ph.rate, f.phaseDur,
+			f.deadline, f.hardDeadline, f.maxInflight, f.statsInterval)
+		fmt.Printf("    ok %d  rejected %d  deadline %d  errors %d  dropped %d  goodput %.0f/s  p99 %.1fms\n",
+			res.OK, res.Rejected.total(), res.DeadlineExceeded, res.Errors,
+			res.ClientDropped, res.GoodputQPS, res.Latency.P99)
+		rep.Phases = append(rep.Phases, res)
+	}
+	if len(rep.Phases) == 2 && rep.Phases[0].GoodputQPS > 0 {
+		rep.GoodputRetention = rep.Phases[1].GoodputQPS / rep.Phases[0].GoodputQPS
+	}
+	fmt.Printf("  goodput retention under %.1fx overload: %.2f\n", f.overload, rep.GoodputRetention)
+	return rep
+}
+
+func main() {
+	f := parseFlags()
+
+	rep := sloReport{
+		Name:           "slo",
+		Scenario:       f.scenario,
+		Days:           f.days,
+		Seed:           f.seed,
+		Ops:            f.ops,
+		Arrival:        f.arrival,
+		Diurnal:        f.diurnal,
+		DirtyFraction:  f.dirtyFrac,
+		DeadlineMillis: f.deadline.Milliseconds(),
+		HardMillis:     f.hardDeadline.Milliseconds(),
+	}
+
+	if f.target != "" {
+		// Remote target: one arm, labeled by -admission (the server's
+		// actual configuration is its own business).
+		if f.compare {
+			fmt.Fprintln(os.Stderr, "-compare needs in-process servers; drop -target or -compare")
+			os.Exit(2)
+		}
+		_, w, err := buildWorkload(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(1)
+		}
+		rep.HistoryEvents, rep.ReplayEvents = len(w.History), countReplay(w)
+		fmt.Printf("arm: remote %s\n", f.target)
+		rep.Modes = append(rep.Modes, runMode(newRemoteDriver(f.target, f.hardDeadline), w, f, f.admission))
+	} else {
+		ds, w, err := buildWorkload(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(1)
+		}
+		rep.HistoryEvents, rep.ReplayEvents = len(w.History), countReplay(w)
+		fmt.Printf("workload: %s ×%d, %d days, %d history events, %d scheduled ops (seed %d)\n",
+			f.scenario, f.scale, f.days, len(w.History), len(w.Ops), f.seed)
+
+		arms := []bool{f.admission}
+		if f.compare {
+			arms = []bool{true, false}
+		}
+		for _, admission := range arms {
+			fmt.Printf("arm: in-process, admission=%t\n", admission)
+			server, err := newInprocServer(ds, w, f, admission)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "server: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Modes = append(rep.Modes, runMode(inprocDriver{server}, w, f, admission))
+		}
+	}
+
+	if err := writeBenchJSON(f.benchOut, "BENCH_slo.json", rep); err != nil {
+		fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
+		os.Exit(1)
+	}
+
+	if failed := gate(rep, f); failed {
+		os.Exit(1)
+	}
+}
+
+// gate enforces the SLO floors on the admission arm; returns true on
+// failure.
+func gate(rep sloReport, f *flags) bool {
+	failed := false
+	for _, m := range rep.Modes {
+		if !m.Admission {
+			continue
+		}
+		if f.goodputFloor > 0 && m.GoodputRetention < f.goodputFloor {
+			fmt.Fprintf(os.Stderr, "GATE: goodput retention %.2f < floor %.2f\n",
+				m.GoodputRetention, f.goodputFloor)
+			failed = true
+		}
+		if f.requireBound {
+			for _, ph := range m.Phases {
+				if ph.HardDeadlineViolations > 0 {
+					fmt.Fprintf(os.Stderr,
+						"GATE: %d OK responses exceeded the hard deadline (%v) in phase %s without a 429/504\n",
+						ph.HardDeadlineViolations, f.hardDeadline, ph.Name)
+					failed = true
+				}
+			}
+		}
+	}
+	return failed
+}
+
+func countReplay(w *sim.Workload) int {
+	n := 0
+	for _, op := range w.Ops {
+		n += len(op.Events)
+	}
+	return n
+}

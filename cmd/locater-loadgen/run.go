@@ -1,0 +1,295 @@
+package main
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locater/internal/sim"
+	"locater/internal/srv"
+)
+
+// opCursor hands out schedule operations round-robin, remembering the
+// unit-rate gap to the previous op so the dispatcher can pace arrivals at
+// any target rate. Shared across calibration and phases so ingest replay
+// progresses through the window instead of restarting.
+type opCursor struct {
+	mu  sync.Mutex
+	ops []sim.Op
+	idx int
+}
+
+// next returns the next op and the unit-rate inter-arrival gap before it.
+func (c *opCursor) next() (sim.Op, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op := c.ops[c.idx]
+	var gap time.Duration
+	if c.idx == 0 {
+		if n := len(c.ops); n > 1 {
+			// Wrap boundary: use the schedule's mean gap (1s by unit-rate
+			// normalization) rather than a zero or a full-span gap.
+			gap = time.Duration(int64(c.ops[n-1].At) / int64(n))
+		} else {
+			gap = time.Second
+		}
+	} else {
+		gap = op.At - c.ops[c.idx-1].At
+	}
+	c.idx = (c.idx + 1) % len(c.ops)
+	return op, gap
+}
+
+// rejectionCounts is the 429 taxonomy breakdown of one phase.
+type rejectionCounts struct {
+	QueueFull          int64 `json:"queue_full"`
+	Shed               int64 `json:"shed"`
+	DeadlineInfeasible int64 `json:"deadline_infeasible"`
+	DeadlineQueue      int64 `json:"deadline_queue"`
+	Other              int64 `json:"other"`
+}
+
+func (r *rejectionCounts) add(code string) {
+	switch code {
+	case "queue_full":
+		r.QueueFull++
+	case "shed":
+		r.Shed++
+	case "deadline_infeasible":
+		r.DeadlineInfeasible++
+	case "deadline_queue":
+		r.DeadlineQueue++
+	default:
+		r.Other++
+	}
+}
+
+func (r rejectionCounts) total() int64 {
+	return r.QueueFull + r.Shed + r.DeadlineInfeasible + r.DeadlineQueue + r.Other
+}
+
+// latencySummary reports exact (sorted-sample) percentiles over the OK
+// population, in milliseconds.
+type latencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+func summarize(lat []time.Duration) latencySummary {
+	if len(lat) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) float64 {
+		i := int(q*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	return latencySummary{
+		P50:  pick(0.50),
+		P99:  pick(0.99),
+		P999: pick(0.999),
+		Max:  float64(lat[len(lat)-1]) / float64(time.Millisecond),
+	}
+}
+
+// trajPoint is one /stats sample during a phase: the per-tier cache-hit
+// counters and the admission aggregate, timestamped from phase start.
+type trajPoint struct {
+	AtMillis     int64 `json:"at_ms"`
+	ResultHits   int64 `json:"result_cache_hits"`
+	AffinityHits int64 `json:"affinity_cache_hits"`
+	ModelHits    int64 `json:"coarse_model_hits"`
+	Admitted     int64 `json:"admitted"`
+	Rejected     int64 `json:"rejected"`
+	Queued       int64 `json:"queued"`
+	InFlight     int64 `json:"in_flight"`
+}
+
+func trajPointOf(st *srv.StatsResponse, at time.Duration) trajPoint {
+	p := trajPoint{
+		AtMillis:     at.Milliseconds(),
+		ResultHits:   st.Caches.Results.Hits,
+		AffinityHits: st.Caches.Affinity.Hits,
+		ModelHits:    st.Caches.CoarseModels.Hits,
+	}
+	for _, q := range []srv.AdmissionQueueResponse{
+		st.Admission.Locate, st.Admission.Batch, st.Admission.Ingest,
+	} {
+		p.Admitted += q.Admitted
+		p.Rejected += q.RejectedQueueFull + q.RejectedDeadline + q.RejectedShed + q.TimedOutInQueue
+		p.Queued += int64(q.Queued)
+		p.InFlight += int64(q.InFlight)
+	}
+	return p
+}
+
+// phaseResult is one load phase's outcome: the offered/served accounting,
+// the error taxonomy, goodput, and the OK-latency percentiles.
+type phaseResult struct {
+	Name      string  `json:"name"`
+	TargetQPS float64 `json:"target_qps"`
+	Seconds   float64 `json:"seconds"`
+
+	// Offered = Sent + ClientDropped. ClientDropped counts arrivals the
+	// open-loop dispatcher could not launch because max-inflight was
+	// reached — kept on the books so coordinated omission cannot hide
+	// server slowness as a lower offered rate.
+	Offered       int64 `json:"offered"`
+	Sent          int64 `json:"sent"`
+	ClientDropped int64 `json:"client_dropped"`
+
+	OK               int64           `json:"ok"`
+	Rejected         rejectionCounts `json:"rejected"`
+	DeadlineExceeded int64           `json:"deadline_exceeded"`
+	Errors           int64           `json:"errors"`
+
+	// GoodputQPS counts OK responses inside the hard deadline per second;
+	// HardDeadlineViolations are OK responses that arrived later (never
+	// rejected, never 504ed — the failure mode admission control exists to
+	// prevent).
+	GoodputQPS             float64 `json:"goodput_qps"`
+	HardDeadlineViolations int64   `json:"hard_deadline_violations"`
+
+	Latency    latencySummary `json:"latency"`
+	Trajectory []trajPoint    `json:"trajectory,omitempty"`
+}
+
+// runOpenLoop offers ops at rate/s for dur, regardless of completion pace
+// (open loop: arrivals do not wait for responses). At most maxInflight
+// requests run at once; arrivals beyond that are counted client_dropped and
+// NOT retried — in an overload experiment, dropping at the client is itself
+// a datum.
+func runOpenLoop(d driver, cur *opCursor, name string, rate float64, dur,
+	deadline, hard time.Duration, maxInflight int, statsEvery time.Duration) phaseResult {
+
+	res := phaseResult{Name: name, TargetQPS: rate}
+	var (
+		mu       sync.Mutex
+		lat      []time.Duration
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+	)
+
+	start := time.Now()
+	stopSampler := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	if statsEvery > 0 {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSampler:
+					return
+				case <-tick.C:
+					if st, err := d.stats(); err == nil {
+						p := trajPointOf(st, time.Since(start))
+						mu.Lock()
+						res.Trajectory = append(res.Trajectory, p)
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	due := start
+	for {
+		op, gap := cur.next()
+		due = due.Add(time.Duration(float64(gap) / rate))
+		if due.Sub(start) > dur {
+			break
+		}
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		res.Offered++
+		if inflight.Load() >= int64(maxInflight) {
+			res.ClientDropped++
+			continue
+		}
+		res.Sent++
+		inflight.Add(1)
+		wg.Add(1)
+		go func(op sim.Op) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			out := doOp(d, op, deadline)
+			mu.Lock()
+			defer mu.Unlock()
+			switch out.kind {
+			case outOK:
+				if out.latency > hard {
+					res.HardDeadlineViolations++
+				} else {
+					res.OK++
+					lat = append(lat, out.latency)
+				}
+			case outRejected:
+				res.Rejected.add(out.code)
+			case outDeadline:
+				res.DeadlineExceeded++
+			default:
+				res.Errors++
+			}
+		}(op)
+	}
+	wg.Wait()
+	close(stopSampler)
+	samplerWG.Wait()
+
+	res.Seconds = time.Since(start).Seconds()
+	res.GoodputQPS = float64(res.OK) / res.Seconds
+	res.Latency = summarize(lat)
+	return res
+}
+
+// calibrate measures the sustainable rate with a closed loop: workers
+// requests in flight, each issuing the next op as soon as the previous one
+// answers. The OK completion rate is the server's demonstrated capacity at
+// bounded concurrency.
+func calibrate(d driver, cur *opCursor, workers int, dur, deadline time.Duration) float64 {
+	var ok atomic.Int64
+	deadlineT := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadlineT) {
+				op, _ := cur.next()
+				if out := doOp(d, op, deadline); out.kind == outOK {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rate := float64(ok.Load()) / dur.Seconds()
+	if rate < 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// doOp executes one scheduled op and classifies the outcome.
+func doOp(d driver, op sim.Op, deadline time.Duration) outcome {
+	method, path, body, err := buildRequest(op, deadline)
+	if err != nil {
+		return outcome{kind: outError, code: "build"}
+	}
+	start := time.Now()
+	status, respBody, err := d.do(method, path, body)
+	return classify(status, respBody, err, time.Since(start))
+}

@@ -54,6 +54,13 @@ func main() {
 		fsync        = flag.Bool("fsync", true, "with -data-dir: fsync acknowledged writes (group commit); off = flush to OS only")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "with -data-dir: background checkpoint period (0 = only at shutdown)")
 		pprofFlag    = flag.Bool("pprof", false, "expose Go's runtime profiler under /debug/pprof/ (off by default; profiling data reveals internals)")
+
+		admission       = flag.Bool("admission", true, "admission control: bounded per-endpoint queues, deadline-aware 429s, batch shedding")
+		maxConcurrent   = flag.Int("max-concurrent", 0, "executing /locate slots (default 2×GOMAXPROCS)")
+		maxQueue        = flag.Int("max-queue", 0, "waiting /locate slots before 429 (default 8×GOMAXPROCS)")
+		defaultDeadline = flag.Duration("default-deadline", 0, "deadline applied to requests without deadline_ms (default 5s)")
+		maxDeadline     = flag.Duration("max-deadline", 0, "clamp on client-requested deadlines (default 30s)")
+		shedBatchAt     = flag.Float64("shed-batch-at", 0, "queue occupancy above which /locate/batch is shed (default 0.5)")
 	)
 	flag.Parse()
 
@@ -123,7 +130,13 @@ func main() {
 		fmt.Printf("preloaded %d events for %d devices\n", sys.NumEvents(), sys.NumDevices())
 	}
 
-	handler := srv.New(sys)
+	handler := srv.NewWithOptions(sys, srv.Options{Admission: srv.AdmissionOptions{
+		Disabled:        !*admission,
+		Locate:          srv.QueueConfig{MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue},
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		ShedBatchAt:     *shedBatchAt,
+	}})
 	if *pprofFlag {
 		handler.EnablePprof()
 		fmt.Printf("pprof enabled at %s/debug/pprof/\n", *addr)

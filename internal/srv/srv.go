@@ -5,12 +5,15 @@
 package srv
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
 
 	"locater"
@@ -25,21 +28,45 @@ type Server struct {
 	sys *locater.System
 	mux *http.ServeMux
 
-	// batchSem bounds the number of batch requests executing at once, so
-	// the total worker-pool size across concurrent /locate/batch requests
-	// stays bounded (see handleLocateBatch).
+	// batchSem bounds the number of batch requests executing at once when
+	// admission control is disabled (the pre-admission behavior); with
+	// admission enabled the batch admitQueue plays that role.
 	batchSem chan struct{}
+
+	// admission is the filled configuration; the queues are nil when
+	// admission is disabled.
+	admission                AdmissionOptions
+	locateQ, batchQ, ingestQ *admitQueue
 
 	started time.Time
 }
 
-// New builds the HTTP handler around an assembled system.
-func New(sys *locater.System) *Server {
+// Options configures optional server behavior.
+type Options struct {
+	// Admission configures overload degradation (bounded queues,
+	// deadline-aware rejection, batch shedding). The zero value enables it
+	// with defaults; set Admission.Disabled for the unbounded behavior.
+	Admission AdmissionOptions
+}
+
+// New builds the HTTP handler around an assembled system with default
+// options (admission control enabled).
+func New(sys *locater.System) *Server { return NewWithOptions(sys, Options{}) }
+
+// NewWithOptions builds the HTTP handler with explicit options.
+func NewWithOptions(sys *locater.System, opts Options) *Server {
 	s := &Server{
-		sys:      sys,
-		mux:      http.NewServeMux(),
-		batchSem: make(chan struct{}, 4),
-		started:  time.Now(),
+		sys:       sys,
+		mux:       http.NewServeMux(),
+		batchSem:  make(chan struct{}, 4),
+		admission: opts.Admission,
+		started:   time.Now(),
+	}
+	if !opts.Admission.Disabled {
+		s.admission = defaultAdmission(opts.Admission)
+		s.locateQ = newAdmitQueue(s.admission.Locate)
+		s.batchQ = newAdmitQueue(s.admission.Batch)
+		s.ingestQ = newAdmitQueue(s.admission.Ingest)
 	}
 	s.mux.HandleFunc("/locate", s.handleLocate)
 	s.mux.HandleFunc("/locate/batch", s.handleLocateBatch)
@@ -89,6 +116,10 @@ type BatchLocateRequest struct {
 	// Workers bounds the server-side worker pool; 0 uses GOMAXPROCS and
 	// larger values are clamped to GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// DeadlineMillis is the whole-batch deadline in milliseconds; the
+	// deadline_ms query parameter, when present, wins. 0 means the
+	// server default.
+	DeadlineMillis int `json:"deadline_ms,omitempty"`
 }
 
 // BatchLocateResult is one answer of a batch response. Error is per-query:
@@ -174,6 +205,9 @@ type QueryStatsResponse struct {
 		P50 int `json:"p50"`
 		P99 int `json:"p99"`
 	} `json:"neighbors_processed"`
+	// DeadlineExceeded counts queries that failed with the engine's
+	// deadline error (context expired at a pipeline stage boundary).
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
 }
 
 // StatsResponse reports system counters. The legacy flat cache_edges /
@@ -188,9 +222,79 @@ type StatsResponse struct {
 	CacheMisses  int64              `json:"cache_misses"`
 	Caches       CachesResponse     `json:"caches"`
 	QueryStats   QueryStatsResponse `json:"query_stats"`
+	Admission    AdmissionResponse  `json:"admission"`
 	Persist      *PersistResponse   `json:"persist,omitempty"`
 	UptimeSecond int64              `json:"uptime_seconds"`
 	Building     string             `json:"building"`
+}
+
+// parseDeadline reads the per-request deadline_ms query parameter. Zero
+// means "no client deadline" (the admission default, if any, applies).
+func parseDeadline(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("deadline_ms")
+	if v == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad deadline_ms %q (want a positive integer)", v)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// requestContext derives the request's working context: the client deadline
+// (deadline_ms) clamped to MaxDeadline, or the admission DefaultDeadline
+// when the client set none. With admission disabled and no client deadline,
+// the request runs unbounded (the pre-admission behavior).
+func (s *Server) requestContext(r *http.Request, deadline time.Duration) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.locateQ != nil {
+		if deadline <= 0 {
+			deadline = s.admission.DefaultDeadline
+		}
+		if deadline > s.admission.MaxDeadline {
+			deadline = s.admission.MaxDeadline
+		}
+	}
+	if deadline <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, deadline)
+}
+
+// admitted runs the admission gate for one request class. It returns a
+// finish func to defer (records service time and frees the slot; a no-op
+// when admission is off) and reports whether the request may proceed; on
+// false the 429 has already been written.
+func (s *Server) admitted(w http.ResponseWriter, ctx context.Context, q *admitQueue, shedAbove, peerOccupancy float64) (func(), bool) {
+	if q == nil {
+		return func() {}, true
+	}
+	release, rej := q.admit(ctx, shedAbove, peerOccupancy)
+	if rej != nil {
+		writeAdmitError(w, rej)
+		return nil, false
+	}
+	start := time.Now()
+	return func() { release(time.Since(start)) }, true
+}
+
+// finishQuery maps a query error to its response: ErrDeadlineExceeded is a
+// distinct 504 with code deadline_exceeded (counted on the class's queue),
+// anything else is a 500.
+func (s *Server) finishQuery(w http.ResponseWriter, q *admitQueue, err error) {
+	if errors.Is(err, locater.ErrDeadlineExceeded) {
+		if q != nil {
+			q.execDeadline.Add(1)
+		}
+		writeAdmitError(w, &admitError{
+			status: http.StatusGatewayTimeout,
+			code:   codeDeadlineExceeded,
+			msg:    "deadline exceeded during query execution",
+		})
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err.Error())
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
@@ -208,9 +312,21 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.sys.Locate(locater.DeviceID(device), tq)
+	deadline, err := parseDeadline(r)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, deadline)
+	defer cancel()
+	finish, ok := s.admitted(w, ctx, s.locateQ, -1, 0)
+	if !ok {
+		return
+	}
+	defer finish()
+	res, err := s.sys.LocateContext(ctx, locater.DeviceID(device), tq)
+	if err != nil {
+		s.finishQuery(w, s.locateQ, err)
 		return
 	}
 	writeJSON(w, locateResponseOf(device, tq, res))
@@ -270,21 +386,53 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = locater.Query{Device: locater.DeviceID(q.Device), Time: tq}
 	}
-	// The semaphore is taken only around the actual work — after the body
-	// is fully read and validated — so a slow or stalling client cannot
-	// hold a slot while trickling its request in.
-	s.batchSem <- struct{}{}
-	batch := s.sys.LocateBatch(queries, in.Workers)
-	<-s.batchSem
+	deadline, err := parseDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if deadline <= 0 && in.DeadlineMillis > 0 {
+		deadline = time.Duration(in.DeadlineMillis) * time.Millisecond
+	}
+	ctx, cancel := s.requestContext(r, deadline)
+	defer cancel()
+	// Admission (or, with admission off, the legacy semaphore) is taken
+	// only around the actual work — after the body is fully read and
+	// validated — so a slow or stalling client cannot hold a slot while
+	// trickling its request in. Batch requests shed first: they are
+	// rejected once either the batch queue or the locate queue crosses
+	// ShedBatchAt, so single-query traffic keeps flowing under overload.
+	if s.batchQ != nil {
+		peer := s.locateQ.occupancy()
+		finish, ok := s.admitted(w, ctx, s.batchQ, s.admission.ShedBatchAt, peer)
+		if !ok {
+			return
+		}
+		defer finish()
+	} else {
+		s.batchSem <- struct{}{}
+		defer func() { <-s.batchSem }()
+	}
+	batch := s.sys.LocateBatchContext(ctx, queries, in.Workers)
 	resp := BatchLocateResponse{Results: make([]BatchLocateResult, len(batch))}
+	deadlined := 0
 	for i, br := range batch {
 		out := BatchLocateResult{
 			LocateResponse: locateResponseOf(string(br.Query.Device), br.Query.Time, br.Result),
 		}
 		if br.Err != nil {
 			out.Error = br.Err.Error()
+			if errors.Is(br.Err, locater.ErrDeadlineExceeded) {
+				deadlined++
+			}
 		}
 		resp.Results[i] = out
+	}
+	// A batch whose every query died on the deadline is one whole-request
+	// 504; partial completions return 200 with per-query errors as before.
+	if deadlined == len(batch) && len(batch) > 0 {
+		s.finishQuery(w, s.batchQ, locater.ErrDeadlineExceeded)
+		return
 	}
 	writeJSON(w, resp)
 }
@@ -312,6 +460,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			AP:     locater.APID(e.AP),
 		})
 	}
+	deadline, err := parseDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, deadline)
+	defer cancel()
+	finish, ok := s.admitted(w, ctx, s.ingestQ, -1, 0)
+	if !ok {
+		return
+	}
+	defer finish()
 	if err := s.sys.Ingest(events); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -351,6 +511,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
 		Building:     s.sys.Building().Name(),
 	}
+	if s.locateQ != nil {
+		resp.Admission = AdmissionResponse{
+			Enabled: true,
+			Locate:  admissionQueueResponseOf(s.locateQ),
+			Batch:   admissionQueueResponseOf(s.batchQ),
+			Ingest:  admissionQueueResponseOf(s.ingestQ),
+		}
+	}
 	if segments, lastLSN, durableLSN, ok := s.sys.PersistStats(); ok {
 		resp.Persist = &PersistResponse{Segments: segments, LastLSN: lastLSN, DurableLSN: durableLSN}
 	}
@@ -374,6 +542,7 @@ func queryStatsResponseOf(qs locater.QueryStats) QueryStatsResponse {
 	}
 	out.NeighborsProcessed.P50 = qs.NeighborsProcessedP50
 	out.NeighborsProcessed.P99 = qs.NeighborsProcessedP99
+	out.DeadlineExceeded = qs.DeadlineExceeded
 	return out
 }
 
@@ -442,4 +611,16 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// writeAdmitError renders a rejection: the taxonomy code rides in the body
+// (clients and load harnesses classify on it) and retryable rejections carry
+// a Retry-After hint in whole seconds.
+func writeAdmitError(w http.ResponseWriter, rej *admitError) {
+	w.Header().Set("Content-Type", "application/json")
+	if rej.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(rej.retryAfter/time.Second)))
+	}
+	w.WriteHeader(rej.status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": rej.msg, "code": rej.code})
 }

@@ -25,6 +25,8 @@
 package locater
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -78,6 +80,12 @@ const (
 // DefaultWeights returns the paper's best weight combination C2 =
 // {0.6, 0.3, 0.1} (Table 2).
 func DefaultWeights() Weights { return fine.DefaultWeights() }
+
+// ErrDeadlineExceeded reports that a query's context deadline expired before
+// the answer was computed. It is distinct from every other query error so
+// callers (the HTTP layer, the batch driver, load harnesses) can classify
+// timed-out work separately from genuine failures.
+var ErrDeadlineExceeded = errors.New("locater: query deadline exceeded")
 
 // Config configures a LOCATER system. The zero value of every optional
 // field selects the paper's defaults.
@@ -142,6 +150,13 @@ type Config struct {
 	// ModelCacheSize bounds the coarse stage's per-device model cache.
 	// Default 4096. Effective with or without EnableCache.
 	ModelCacheSize int
+
+	// DefaultQueryDeadline bounds every Locate/LocateBatch call whose
+	// context carries no deadline of its own. Zero (the default) leaves
+	// such calls unbounded. Calls that exceed the deadline fail with
+	// ErrDeadlineExceeded, checked at the stage boundaries of the query
+	// pipeline.
+	DefaultQueryDeadline time.Duration
 
 	// OccupancyBucket is the bucket width of the store's temporal occupancy
 	// index, which serves fine-grained neighbor discovery in time
@@ -500,10 +515,32 @@ func (s *System) SetTimePreferredRooms(d DeviceID, prefs []TimePreference) error
 // every write path invalidates it — so a query issued right after an Ingest
 // is recomputed from the post-ingest history, never served stale.
 func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
+	return s.LocateContext(context.Background(), d, t)
+}
+
+// LocateContext is Locate under a context: when the context's deadline
+// expires (or it is canceled) before the answer is computed, the query fails
+// with ErrDeadlineExceeded (respectively the context's error) instead of
+// running to completion. The deadline is checked at the stage boundaries of
+// the pipeline — on entry, and between the coarse and fine stages — so an
+// expired query stops before its most expensive work, not after.
+// Config.DefaultQueryDeadline, when set, bounds calls whose context carries
+// no deadline of its own.
+func (s *System) LocateContext(ctx context.Context, d DeviceID, t time.Time) (Result, error) {
+	if dl := s.cfg.DefaultQueryDeadline; dl > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, dl)
+			defer cancel()
+		}
+	}
 	s.queries.Add(1)
 	start := time.Now()
+	if err := s.ctxErr(ctx); err != nil {
+		return Result{}, err
+	}
 	if s.results == nil {
-		res, err := s.locate(d, t)
+		res, err := s.locate(ctx, d, t)
 		if err == nil {
 			s.metrics.cold.observe(time.Since(start))
 			s.metrics.neighbors.observe(res.ProcessedNeighbors)
@@ -519,7 +556,7 @@ func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
 	// stages run, PutAt skips the insert, so the stale answer is returned
 	// to this caller (it raced the write) but never cached for later ones.
 	epoch := s.results.Epoch()
-	res, err := s.locate(d, t)
+	res, err := s.locate(ctx, d, t)
 	if err == nil {
 		s.results.PutAt(key, res, epoch)
 		s.metrics.cold.observe(time.Since(start))
@@ -528,8 +565,23 @@ func (s *System) Locate(d DeviceID, t time.Time) (Result, error) {
 	return res, err
 }
 
+// ctxErr maps a context's state to the query-level error: nil while live,
+// ErrDeadlineExceeded (counted in QueryStats) on an expired deadline, and
+// the context's own error on cancelation.
+func (s *System) ctxErr(ctx context.Context) error {
+	switch err := ctx.Err(); err {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		s.metrics.deadlineExceeded.Add(1)
+		return ErrDeadlineExceeded
+	default:
+		return err
+	}
+}
+
 // locate runs the two cleaning stages uncached.
-func (s *System) locate(d DeviceID, t time.Time) (Result, error) {
+func (s *System) locate(ctx context.Context, d DeviceID, t time.Time) (Result, error) {
 	cres, err := s.coarse.Locate(d, t)
 	if err != nil {
 		return Result{}, err
@@ -540,6 +592,11 @@ func (s *System) locate(d DeviceID, t time.Time) (Result, error) {
 			CoarseConfidence: cres.Confidence,
 			Repaired:         cres.Gap != nil,
 		}, nil
+	}
+	// The fine stage (neighbor discovery + Algorithm 2) dominates query
+	// cost; don't start it for a query whose deadline already expired.
+	if err := s.ctxErr(ctx); err != nil {
+		return Result{}, err
 	}
 	fres, err := s.fine.Locate(d, cres.Region, t)
 	if err != nil {
@@ -698,6 +755,15 @@ type BatchResult struct {
 // System documentation (same-shard training, the store's shared lock, and
 // the cache's graph-merge write lock).
 func (s *System) LocateBatch(queries []Query, workers int) []BatchResult {
+	return s.LocateBatchContext(context.Background(), queries, workers)
+}
+
+// LocateBatchContext is LocateBatch under a context: once the context's
+// deadline expires, queries not yet started fail fast with
+// ErrDeadlineExceeded instead of executing — the batch drains immediately
+// rather than grinding through dead work. Queries already in flight finish
+// at their next stage boundary (see LocateContext).
+func (s *System) LocateBatchContext(ctx context.Context, queries []Query, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -720,7 +786,11 @@ func (s *System) LocateBatch(queries []Query, workers int) []BatchResult {
 					return
 				}
 				q := queries[i]
-				res, err := s.Locate(q.Device, q.Time)
+				if err := s.ctxErr(ctx); err != nil {
+					out[i] = BatchResult{Query: q, Err: err}
+					continue
+				}
+				res, err := s.LocateContext(ctx, q.Device, q.Time)
 				out[i] = BatchResult{Query: q, Result: res, Err: err}
 			}
 		}()

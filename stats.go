@@ -131,13 +131,18 @@ type QueryStats struct {
 	// ProcessedNeighbors across cold queries.
 	NeighborsProcessedP50 int
 	NeighborsProcessedP99 int
+	// DeadlineExceeded counts queries that failed with ErrDeadlineExceeded:
+	// their context deadline expired before (or between) the pipeline
+	// stages. Neither latency population includes them.
+	DeadlineExceeded int64
 }
 
 // queryMetrics is the System's recorder.
 type queryMetrics struct {
-	cold      latencyHist
-	cached    latencyHist
-	neighbors countHist
+	cold             latencyHist
+	cached           latencyHist
+	neighbors        countHist
+	deadlineExceeded atomic.Int64
 }
 
 func (m *queryMetrics) snapshot() QueryStats {
@@ -146,6 +151,7 @@ func (m *queryMetrics) snapshot() QueryStats {
 		Cached:                m.cached.snapshot(),
 		NeighborsProcessedP50: m.neighbors.quantile(0.50),
 		NeighborsProcessedP99: m.neighbors.quantile(0.99),
+		DeadlineExceeded:      m.deadlineExceeded.Load(),
 	}
 }
 
