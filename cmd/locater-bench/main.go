@@ -51,6 +51,8 @@ func main() {
 
 		query = flag.Bool("query", false, "measure the fine-stage query kernel (cold/warm latency + allocs at 10/50/200 neighbors, I-FINE and D-FINE) against the pre-refactor reference, with a posterior-correctness gate")
 
+		shard = flag.Bool("shard", false, "measure the sharded cluster: 1/2/4-shard ingest + query ladder with a 1-shard-vs-System identity gate")
+
 		persist       = flag.Bool("persist", false, "measure durable event store ingest + recovery throughput")
 		persistEvents = flag.Int("persist-events", 200000, "events for -persist")
 		persistDir    = flag.String("persist-dir", "", "WAL directory for -persist (default: a temp dir, removed afterwards)")
@@ -77,6 +79,14 @@ func main() {
 	if *query {
 		if err := runQuery(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *shard {
+		if err := runShard(p, *workers, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "shard: %v\n", err)
 			os.Exit(1)
 		}
 		return

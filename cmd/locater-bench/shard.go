@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"locater"
+	"locater/internal/cluster"
+	"locater/internal/experiments"
+	"locater/internal/sim"
+)
+
+// shardReport is the machine-readable result of -shard, emitted as
+// BENCH_shard.json for the CI perf-tracking pipeline.
+type shardReport struct {
+	Name    string     `json:"name"`
+	Events  int        `json:"events"`
+	Devices int        `json:"devices"`
+	Queries int        `json:"queries"`
+	Workers int        `json:"workers"`
+	Rows    []shardRow `json:"rows"`
+}
+
+type shardRow struct {
+	Shards             int     `json:"shards"`
+	IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
+	// IngestSpeedup is the ingest rate relative to the 1-shard cluster —
+	// the multi-core payoff of per-shard store locks (≈1.0 on a 1-core
+	// runner, where the parallel shards time-slice one CPU).
+	IngestSpeedup float64 `json:"ingest_speedup"`
+	QueryQPS      float64 `json:"query_qps"`
+	QuerySpeedup  float64 `json:"query_speedup"`
+	// IdenticalToSystem reports whether every query answered by this
+	// cluster matched a bare System byte-for-byte. Required true for
+	// shards=1 (the correctness gate); informational for more shards,
+	// where device-hash routing makes neighbor evidence shard-local.
+	IdenticalToSystem bool `json:"identical_to_system"`
+	// Agreement is the fraction of queries whose answers matched the bare
+	// System (1.0 when IdenticalToSystem).
+	Agreement float64 `json:"agreement"`
+}
+
+// shardChunk is the ingest batch size of the ladder: large enough to
+// amortize per-call overhead, small enough that the router's partition pass
+// interleaves with shard-parallel ingest.
+const shardChunk = 4096
+
+// runShard measures the sharded cluster against a bare System: an ingest
+// ladder (events/sec at 1, 2, 4 shards — per-shard store locks are the
+// multi-core unlock) and a query ladder over the same sampled workload,
+// with a correctness gate: a 1-shard cluster must answer every query
+// byte-identically to the bare System, or the run fails. Multi-shard
+// agreement is reported but not gated — device-hash sharding keeps each
+// device's neighbor evidence shard-local, a documented approximation.
+func runShard(p experiments.Params, workers int, benchOut string) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ds, err := experiments.BuildDBH(p)
+	if err != nil {
+		return err
+	}
+	queries := sampleShardQueries(ds, p.Queries, p.Seed)
+	cfg := locater.Config{
+		Building:           ds.Building,
+		Variant:            locater.DependentVariant,
+		EnableCache:        true,
+		HistoryDays:        14,
+		PromotionsPerRound: 8,
+	}
+
+	// The reference answers: a bare System over the same events and
+	// queries.
+	base, err := locater.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := ingestChunks(base, ds.Events); err != nil {
+		return err
+	}
+	if err := base.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+		return err
+	}
+	// The reference (and every correctness batch below) is serialized:
+	// concurrent workers interleave the fine stage's incremental
+	// affinity-graph updates nondeterministically, and the byte-identity
+	// contract is defined over the deterministic serial execution.
+	want := base.LocateBatch(queries, 1)
+
+	fmt.Printf("workload: %d events, %d devices, %d queries, %d workers\n",
+		base.NumEvents(), base.NumDevices(), len(queries), workers)
+	fmt.Printf("%-8s %14s %9s %12s %9s %10s %10s\n",
+		"shards", "ingest ev/s", "speedup", "queries/sec", "speedup", "identical", "agreement")
+
+	rep := shardReport{
+		Name:    "shard",
+		Events:  base.NumEvents(),
+		Devices: base.NumDevices(),
+		Queries: len(queries),
+		Workers: workers,
+	}
+	var baseIngest, baseQPS float64
+	for _, n := range []int{1, 2, 4} {
+		c, err := cluster.New(cfg, cluster.Options{Shards: n})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := ingestChunks(c, ds.Events); err != nil {
+			return err
+		}
+		ingestRate := float64(len(ds.Events)) / time.Since(start).Seconds()
+		if err := c.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+			return err
+		}
+		// Correctness first (cold, serial, deterministic), then throughput
+		// over the warmed cluster with the full worker budget — matching
+		// -throughput, which also measures the warmed steady state.
+		got := c.LocateBatch(queries, 1)
+		start = time.Now()
+		c.LocateBatch(queries, workers)
+		qps := float64(len(queries)) / time.Since(start).Seconds()
+
+		match := 0
+		for i := range got {
+			if sameAnswer(got[i], want[i]) {
+				match++
+			}
+		}
+		agreement := float64(match) / float64(len(queries))
+		if n == 1 {
+			baseIngest, baseQPS = ingestRate, qps
+		}
+		row := shardRow{
+			Shards:             n,
+			IngestEventsPerSec: ingestRate,
+			IngestSpeedup:      ingestRate / baseIngest,
+			QueryQPS:           qps,
+			QuerySpeedup:       qps / baseQPS,
+			IdenticalToSystem:  match == len(queries),
+			Agreement:          agreement,
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-8d %14.0f %8.2fx %12.0f %8.2fx %10t %9.1f%%\n",
+			n, ingestRate, row.IngestSpeedup, qps, row.QuerySpeedup,
+			row.IdenticalToSystem, 100*agreement)
+		if n == 1 && !row.IdenticalToSystem {
+			return fmt.Errorf("correctness gate: 1-shard cluster answered %d/%d queries differently from a bare System",
+				len(queries)-match, len(queries))
+		}
+	}
+	return writeBenchJSON(benchOut, "BENCH_shard.json", rep)
+}
+
+// ingestChunks feeds events in fixed-size batches, the shape a live
+// deployment's ingest stream has (and the shape that lets the router fan
+// each batch across shards).
+func ingestChunks(sys locater.Locater, events []locater.Event) error {
+	for off := 0; off < len(events); off += shardChunk {
+		end := off + shardChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := sys.Ingest(events[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleShardQueries draws a deterministic query workload over the
+// dataset's last week: device uniform over the population, time uniform in
+// the window.
+func sampleShardQueries(ds *sim.Dataset, n int, seed int64) []locater.Query {
+	from, to := experiments.QueryWindow(ds)
+	rng := rand.New(rand.NewSource(seed))
+	window := to.Sub(from)
+	queries := make([]locater.Query, n)
+	for i := range queries {
+		p := ds.People[rng.Intn(len(ds.People))]
+		queries[i] = locater.Query{
+			Device: p.Device,
+			Time:   from.Add(time.Duration(rng.Int63n(int64(window)))),
+		}
+	}
+	return queries
+}
+
+// sameAnswer reports whether two batch slots carry the same answer: equal
+// Results and equivalent errors (both nil, or the same message).
+func sameAnswer(a, b locater.BatchResult) bool {
+	if (a.Err == nil) != (b.Err == nil) {
+		return false
+	}
+	if a.Err != nil {
+		return a.Err.Error() == b.Err.Error()
+	}
+	return a.Result == b.Result
+}

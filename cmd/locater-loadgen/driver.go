@@ -8,9 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"strings"
 	"time"
 
+	"locater/internal/client"
 	"locater/internal/sim"
 	"locater/internal/srv"
 )
@@ -44,7 +44,7 @@ func (d inprocDriver) do(method, path string, body []byte) (int, []byte, error) 
 
 func (d inprocDriver) stats() (*srv.StatsResponse, error) {
 	rec := httptest.NewRecorder()
-	d.s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	d.s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
 	if rec.Code != http.StatusOK {
 		return nil, fmt.Errorf("stats = %d", rec.Code)
 	}
@@ -55,61 +55,24 @@ func (d inprocDriver) stats() (*srv.StatsResponse, error) {
 	return &st, nil
 }
 
-// remoteDriver drives a live locater-serve at base (e.g. http://host:8080).
-type remoteDriver struct {
-	base   string
-	client *http.Client
-}
+// remoteDriver drives a live locater-serve at base (e.g. http://host:8080)
+// through the shared /v1 API client.
+type remoteDriver struct{ c *client.Client }
 
 func newRemoteDriver(base string, hardDeadline time.Duration) *remoteDriver {
-	return &remoteDriver{
-		base: strings.TrimRight(base, "/"),
-		// The client timeout backstops the server's own deadline handling:
-		// a request the server never answers is cut at 2× the hard
-		// deadline and classified as an error.
-		client: &http.Client{Timeout: 2 * hardDeadline},
-	}
+	// The client timeout backstops the server's own deadline handling: a
+	// request the server never answers is cut at 2× the hard deadline and
+	// classified as an error.
+	return &remoteDriver{c: client.New(base,
+		client.WithHTTPClient(&http.Client{Timeout: 2 * hardDeadline}))}
 }
 
 func (d *remoteDriver) do(method, path string, body []byte) (int, []byte, error) {
-	var rdr io.Reader
-	if body != nil {
-		rdr = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, d.base+path, rdr)
-	if err != nil {
-		return 0, nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		_, err := io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil, err
-	}
-	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return resp.StatusCode, b, nil
+	return d.c.Do(method, path, body)
 }
 
 func (d *remoteDriver) stats() (*srv.StatsResponse, error) {
-	resp, err := d.client.Get(d.base + "/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("stats = %d", resp.StatusCode)
-	}
-	var st srv.StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, err
-	}
-	return &st, nil
+	return d.c.Stats()
 }
 
 // buildRequest renders one scheduled op as an HTTP request. Every request
@@ -118,7 +81,7 @@ func buildRequest(op sim.Op, deadline time.Duration) (method, path string, body 
 	dl := fmt.Sprintf("deadline_ms=%d", deadline.Milliseconds())
 	switch op.Kind {
 	case sim.OpLocate:
-		return http.MethodGet, fmt.Sprintf("/locate?device=%s&time=%s&%s",
+		return http.MethodGet, fmt.Sprintf("/v1/locate?device=%s&time=%s&%s",
 			url.QueryEscape(string(op.Query.Device)),
 			url.QueryEscape(op.Query.Time.UTC().Format(time.RFC3339)), dl), nil, nil
 	case sim.OpBatch:
@@ -133,7 +96,7 @@ func buildRequest(op sim.Op, deadline time.Duration) (method, path string, body 
 			}
 		}
 		b, err := json.Marshal(req)
-		return http.MethodPost, "/locate/batch", b, err
+		return http.MethodPost, "/v1/locate/batch", b, err
 	case sim.OpIngest:
 		rows := make([]srv.IngestEvent, len(op.Events))
 		for i, e := range op.Events {
@@ -144,7 +107,7 @@ func buildRequest(op sim.Op, deadline time.Duration) (method, path string, body 
 			}
 		}
 		b, err := json.Marshal(rows)
-		return http.MethodPost, "/ingest?" + dl, b, err
+		return http.MethodPost, "/v1/ingest?" + dl, b, err
 	}
 	return "", "", nil, fmt.Errorf("unknown op kind %v", op.Kind)
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"locater"
+	"locater/internal/cluster"
 	"locater/internal/sim"
 	"locater/internal/srv"
 )
@@ -54,6 +55,7 @@ type flags struct {
 	// Target and phases.
 	target        string
 	variant       string
+	shards        int
 	concurrency   int
 	rate          float64
 	calibrateDur  time.Duration
@@ -95,6 +97,7 @@ func parseFlags() *flags {
 
 	flag.StringVar(&f.target, "target", "", "remote locater-serve base URL; empty = in-process server (hermetic)")
 	flag.StringVar(&f.variant, "variant", "dependent", "independent | dependent (in-process server)")
+	flag.IntVar(&f.shards, "shards", 1, "in-process server: device-sharded cluster size (1 = single system)")
 	flag.IntVar(&f.concurrency, "concurrency", 0, "closed-loop calibration workers (default GOMAXPROCS)")
 	flag.Float64Var(&f.rate, "rate", 0, "fixed sustainable rate S in ops/s; 0 = calibrate")
 	flag.DurationVar(&f.calibrateDur, "calibrate-duration", 3*time.Second, "closed-loop calibration length")
@@ -178,20 +181,28 @@ func buildWorkload(f *flags) (*sim.Dataset, *sim.Workload, error) {
 }
 
 // newInprocServer assembles a fresh in-process server over the workload's
-// history split. Each arm gets its own system so the comparison starts from
+// history split — a bare system, or a device-sharded cluster with -shards
+// N > 1. Each arm gets its own engine so the comparison starts from
 // identical state.
 func newInprocServer(ds *sim.Dataset, w *sim.Workload, f *flags, admission bool) (*srv.Server, error) {
 	v := locater.DependentVariant
 	if f.variant == "independent" {
 		v = locater.IndependentVariant
 	}
-	sys, err := locater.New(locater.Config{
+	cfg := locater.Config{
 		Building:           ds.Building,
 		Variant:            v,
 		EnableCache:        true,
 		HistoryDays:        14,
 		PromotionsPerRound: 8,
-	})
+	}
+	var sys locater.Locater
+	var err error
+	if f.shards > 1 {
+		sys, err = cluster.New(cfg, cluster.Options{Shards: f.shards})
+	} else {
+		sys, err = locater.New(cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
-// Command locater-query answers semantic localization queries over a CSV
-// connectivity dataset and JSON building metadata (as produced by
-// locater-gen or exported from a real deployment).
+// Command locater-query answers semantic localization queries, either by
+// loading a CSV connectivity dataset and JSON building metadata locally (as
+// produced by locater-gen or exported from a real deployment), or — with
+// -target — by asking a running locater-serve over its /v1 HTTP API.
 //
 // Usage:
 //
@@ -10,6 +11,10 @@
 //	# sweep a whole day at 30-minute steps:
 //	locater-query -events ... -building ... -device d00:00:01 \
 //	    -day 2026-01-12 -step 30m
+//
+//	# ask a running server instead of loading data locally:
+//	locater-query -target http://localhost:8080 -device d00:00:01 \
+//	    -time "2026-01-12 11:30:00"
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"locater"
+	"locater/internal/client"
 	"locater/internal/event"
 	"locater/internal/space"
 )
@@ -33,15 +39,28 @@ func main() {
 		stepStr      = flag.Duration("step", 30*time.Minute, "sweep step for -day")
 		variant      = flag.String("variant", "dependent", "independent | dependent")
 		cache        = flag.Bool("cache", true, "enable the caching engine")
+		target       = flag.String("target", "", "base URL of a running locater-serve (e.g. http://localhost:8080); queries go over the /v1 API instead of loading data locally")
 	)
 	flag.Parse()
 
-	if *eventsPath == "" || *buildingPath == "" || *device == "" {
+	if *device == "" || (*target == "" && (*eventsPath == "" || *buildingPath == "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *timeStr == "" && *dayStr == "" {
 		fatalf("one of -time or -day is required")
+	}
+
+	if *target != "" {
+		c := client.New(*target)
+		st, err := c.Stats()
+		if err != nil {
+			fatalf("reaching %s: %v", *target, err)
+		}
+		fmt.Printf("connected to %s: %d events for %d devices (%s)\n",
+			*target, st.Events, st.Devices, st.Building)
+		run(c, *device, *timeStr, *dayStr, *stepStr)
+		return
 	}
 
 	bf, err := os.Open(*buildingPath)
@@ -86,26 +105,31 @@ func main() {
 	sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute)
 	fmt.Printf("loaded %d events for %d devices (%s)\n",
 		sys.NumEvents(), sys.NumDevices(), building.Name())
+	run(sys, *device, *timeStr, *dayStr, *stepStr)
+}
 
-	if *timeStr != "" {
-		tq, err := time.Parse(event.TimeLayout, *timeStr)
+// run answers the requested query or day sweep against any Locater — a
+// locally assembled system or a remote /v1 client.
+func run(sys locater.Locater, device, timeStr, dayStr string, step time.Duration) {
+	if timeStr != "" {
+		tq, err := time.Parse(event.TimeLayout, timeStr)
 		if err != nil {
 			fatalf("bad -time: %v", err)
 		}
-		answer(sys, locater.DeviceID(*device), tq)
+		answer(sys, locater.DeviceID(device), tq)
 		return
 	}
 
-	day, err := time.Parse("2006-01-02", *dayStr)
+	day, err := time.Parse("2006-01-02", dayStr)
 	if err != nil {
 		fatalf("bad -day: %v", err)
 	}
-	for tq := day.Add(7 * time.Hour); tq.Before(day.Add(21 * time.Hour)); tq = tq.Add(*stepStr) {
-		answer(sys, locater.DeviceID(*device), tq)
+	for tq := day.Add(7 * time.Hour); tq.Before(day.Add(21 * time.Hour)); tq = tq.Add(step) {
+		answer(sys, locater.DeviceID(device), tq)
 	}
 }
 
-func answer(sys *locater.System, d locater.DeviceID, tq time.Time) {
+func answer(sys locater.Locater, d locater.DeviceID, tq time.Time) {
 	res, err := sys.Locate(d, tq)
 	if err != nil {
 		fatalf("query failed: %v", err)

@@ -1,29 +1,43 @@
-// Command locater-serve exposes a LOCATER system as an HTTP JSON service:
-// the deployment mode of the paper's prototype, where applications (HVAC
-// control, occupancy dashboards) query the cleaning engine online while
-// connectivity events stream in.
+// Command locater-serve exposes a LOCATER deployment — a single system or a
+// sharded cluster — as an HTTP JSON service: the deployment mode of the
+// paper's prototype, where applications (HVAC control, occupancy
+// dashboards) query the cleaning engine online while connectivity events
+// stream in.
 //
-// Endpoints:
+// Endpoints (versioned under /v1/; the unversioned paths remain as legacy
+// aliases):
 //
-//	GET  /locate?device=MAC&time=2006-01-02T15:04:05Z   → localization result
-//	POST /locate/batch  body: {"queries":[{device,time}...], "workers":N}
-//	                                                    → batch results, in order
-//	POST /ingest   body: JSON array of {device, time, ap}  → ingest events
-//	GET  /stats                                         → system counters
-//	GET  /healthz                                       → liveness
-//	GET  /debug/pprof/                                  → Go profiler (-pprof only)
+//	GET  /v1/locate?device=MAC&time=2006-01-02T15:04:05Z → localization result
+//	POST /v1/locate/batch  body: {"queries":[{device,time}...], "workers":N}
+//	                                                     → batch results, in order
+//	POST /v1/ingest  body: JSON array of {device, time, ap} → ingest events
+//	GET  /v1/stats                                       → deployment counters
+//	GET  /v1/healthz                                     → liveness
+//	GET  /debug/pprof/                                   → Go profiler (-pprof only)
 //
-// With -data-dir the system is durable: every acknowledged ingest is written
-// ahead to a segmented log under the directory before the HTTP response, a
-// background checkpoint compacts the log on -snapshot-interval, and a
-// restart — graceful or a kill — recovers the acknowledged state before
-// listening. -fsync chooses between machine-crash durability (default) and
-// OS-buffered logging.
+// Errors come back as the uniform envelope {"code","message","error",
+// "retry_after_ms"?}; see internal/srv.ErrorEnvelope.
+//
+// With -shards N > 1 the deployment is a cluster of N independent engines
+// behind a router: -shard-by device hashes one building's devices across
+// the shards (parallel ingest), -shard-by building gives each shard its own
+// building (-building then takes a comma-separated list of metadata files,
+// one per shard). Each shard persists to its own shard-NNN subdirectory
+// under -data-dir and recovers independently on startup.
+//
+// With -data-dir the deployment is durable: every acknowledged ingest is
+// written ahead to a segmented log under the directory before the HTTP
+// response, a background checkpoint compacts the log on -snapshot-interval,
+// and a restart — graceful or a kill — recovers the acknowledged state
+// before listening. -fsync chooses between machine-crash durability
+// (default) and OS-buffered logging.
 //
 // Usage:
 //
 //	locater-serve -events data/dbh-events.csv -building data/dbh-building.json -addr :8080
 //	locater-serve -building data/dbh-building.json -data-dir /var/lib/locater -fsync -snapshot-interval 5m
+//	locater-serve -building data/dbh-building.json -shards 4 -data-dir /var/lib/locater
+//	locater-serve -shard-by building -building b1.json,b2.json -addr :8080
 package main
 
 import (
@@ -35,10 +49,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"locater"
+	"locater/internal/cluster"
 	"locater/internal/event"
 	"locater/internal/space"
 	"locater/internal/srv"
@@ -47,8 +63,10 @@ import (
 func main() {
 	var (
 		eventsPath   = flag.String("events", "", "connectivity CSV to preload (optional; skipped when -data-dir already holds events)")
-		buildingPath = flag.String("building", "", "building metadata JSON (required)")
+		buildingPath = flag.String("building", "", "building metadata JSON (required); with -shard-by building, a comma-separated list, one per shard")
 		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 1, "number of independent engine shards (1 = single system)")
+		shardBy      = flag.String("shard-by", cluster.ByDevice, "shard routing policy: device (hash one building's devices) | building (one building per shard)")
 		variant      = flag.String("variant", "dependent", "independent | dependent")
 		dataDir      = flag.String("data-dir", "", "directory for the durable event store (WAL + snapshots); empty = in-memory only")
 		fsync        = flag.Bool("fsync", true, "with -data-dir: fsync acknowledged writes (group commit); off = flush to OS only")
@@ -68,14 +86,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	bf, err := os.Open(*buildingPath)
-	if err != nil {
-		log.Fatalf("opening building metadata: %v", err)
+	var buildings []*locater.Building
+	for _, p := range strings.Split(*buildingPath, ",") {
+		bf, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatalf("opening building metadata: %v", err)
+		}
+		b, err := space.ReadJSON(bf)
+		bf.Close()
+		if err != nil {
+			log.Fatalf("parsing building metadata %s: %v", p, err)
+		}
+		buildings = append(buildings, b)
 	}
-	building, err := space.ReadJSON(bf)
-	bf.Close()
-	if err != nil {
-		log.Fatalf("parsing building metadata: %v", err)
+	building := buildings[0]
+	if *shardBy != cluster.ByBuilding && len(buildings) > 1 {
+		log.Fatalf("multiple -building files need -shard-by building")
 	}
 
 	v := locater.DependentVariant
@@ -88,24 +114,43 @@ func main() {
 		EnableCache:        true,
 		PromotionsPerRound: 8,
 	}
+	popts := locater.PersistOptions{
+		Fsync:            *fsync,
+		SnapshotInterval: *snapInterval,
+	}
 
-	var sys *locater.System
-	if *dataDir != "" {
-		sys, err = locater.Open(*dataDir, cfg, locater.PersistOptions{
-			Fsync:            *fsync,
-			SnapshotInterval: *snapInterval,
-		})
-		if err != nil {
-			log.Fatalf("opening durable LOCATER: %v", err)
+	// A single device-sharded "cluster" of one is exactly a bare System, so
+	// only assemble the router when it routes. ByBuilding always goes
+	// through the cluster (even with one building, for the uniform layout).
+	var sys locater.Locater
+	var err error
+	clustered := *shards > 1 || *shardBy == cluster.ByBuilding
+	switch {
+	case clustered:
+		copts := cluster.Options{Shards: *shards, ShardBy: *shardBy}
+		if *shardBy == cluster.ByBuilding {
+			copts.Buildings = buildings
 		}
+		if *dataDir != "" {
+			sys, err = cluster.Open(*dataDir, cfg, popts, copts)
+		} else {
+			sys, err = cluster.New(cfg, copts)
+		}
+	case *dataDir != "":
+		sys, err = locater.Open(*dataDir, cfg, popts)
+	default:
+		sys, err = locater.New(cfg)
+	}
+	if err != nil {
+		log.Fatalf("assembling LOCATER: %v", err)
+	}
+	if *dataDir != "" {
 		if n := sys.NumEvents(); n > 0 {
 			fmt.Printf("recovered %d events for %d devices from %s\n", n, sys.NumDevices(), *dataDir)
 		}
-	} else {
-		sys, err = locater.New(cfg)
-		if err != nil {
-			log.Fatalf("assembling LOCATER: %v", err)
-		}
+	}
+	if sh, ok := sys.(locater.Sharded); ok {
+		fmt.Printf("sharded deployment: %d shards, routed by %s\n", sh.NumShards(), sh.ShardPolicy())
 	}
 
 	// Preload the CSV only into an empty store: with -data-dir, a restart

@@ -1,0 +1,519 @@
+// Package cluster shards a LOCATER deployment across N independent System
+// engines behind one router, turning the single-building prototype into a
+// campus/fleet-scale service. Each shard owns its own event store, WAL
+// directory, cache tiers, and occupancy index, so shards never contend on a
+// lock: ingest fans out to the owning shards in parallel (the store's
+// exclusive ingest lock is per-shard, which is what unlocks multi-core
+// ingest), queries route to the single owning shard, and batch queries are
+// split by shard, answered concurrently, and re-merged in input order.
+//
+// Two routing policies exist:
+//
+//   - ByDevice hashes the device ID across N shards of one shared building.
+//     Throughput-oriented: co-location history is partitioned with the
+//     devices, so the fine stage's neighbor evidence becomes shard-local (a
+//     neighbor hashed to another shard is invisible). A 1-shard cluster is
+//     byte-identical to a bare System; multi-shard answers are a documented
+//     approximation that trades neighbor completeness for parallelism.
+//   - ByBuilding gives each shard its own building. Routing is exact, not
+//     approximate: devices and their neighbors live in the same building,
+//     so per-shard answers equal a per-building System's. Events route by
+//     the access point's building; a device is homed to the shard where it
+//     was first seen and stays there.
+//
+// The Cluster implements the locater.Locater service interface, so the HTTP
+// layer, benchmarks, and load harness drive a cluster exactly as they drive
+// a single System.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"locater"
+
+	"context"
+)
+
+// Routing policy names (Options.ShardBy).
+const (
+	// ByDevice partitions one building's devices across shards by a hash
+	// of the device ID.
+	ByDevice = "device"
+	// ByBuilding gives each shard one building; events route by AP,
+	// devices are homed to the shard where they were first seen.
+	ByBuilding = "building"
+)
+
+// Options configures the router.
+type Options struct {
+	// Shards is the shard count for ByDevice routing (≥ 1). Ignored for
+	// ByBuilding, where len(Buildings) decides.
+	Shards int
+	// ShardBy selects the routing policy: ByDevice (default) or
+	// ByBuilding.
+	ShardBy string
+	// Buildings are the per-shard buildings for ByBuilding routing, one
+	// per shard. Unused for ByDevice (every shard shares Config.Building).
+	Buildings []*locater.Building
+}
+
+func (o Options) normalized(cfg locater.Config) (Options, error) {
+	if o.ShardBy == "" {
+		o.ShardBy = ByDevice
+	}
+	switch o.ShardBy {
+	case ByDevice:
+		if o.Shards < 1 {
+			o.Shards = 1
+		}
+		if cfg.Building == nil {
+			return o, fmt.Errorf("cluster: ByDevice routing needs Config.Building")
+		}
+	case ByBuilding:
+		if len(o.Buildings) == 0 {
+			return o, fmt.Errorf("cluster: ByBuilding routing needs Options.Buildings")
+		}
+		o.Shards = len(o.Buildings)
+	default:
+		return o, fmt.Errorf("cluster: unknown routing policy %q (want %q or %q)", o.ShardBy, ByDevice, ByBuilding)
+	}
+	return o, nil
+}
+
+// Cluster is N independent System shards behind a router. Safe for
+// concurrent use: routing state is read-mostly (the device→shard home map
+// only grows, under its own RWMutex), and everything else delegates to the
+// shards, which synchronize themselves.
+type Cluster struct {
+	opts   Options
+	shards []*locater.System
+
+	// apShard routes ingest events by access point (ByBuilding only).
+	apShard map[locater.APID]int
+	// mu guards home, the device→shard registry (ByBuilding only).
+	mu   sync.RWMutex
+	home map[locater.DeviceID]int
+}
+
+// Compile-time checks: the cluster is a full Locater and exposes its
+// topology.
+var (
+	_ locater.Locater = (*Cluster)(nil)
+	_ locater.Sharded = (*Cluster)(nil)
+)
+
+// New assembles an in-memory cluster: opts.Shards (or len(opts.Buildings))
+// independent systems built from cfg. For ByDevice every shard shares
+// cfg.Building; for ByBuilding shard i serves opts.Buildings[i].
+func New(cfg locater.Config, opts Options) (*Cluster, error) {
+	return assemble(cfg, opts, func(i int, shardCfg locater.Config) (*locater.System, error) {
+		return locater.New(shardCfg)
+	})
+}
+
+// Open assembles a durable cluster rooted at dir: shard i logs to the
+// subdirectory shard-<i> and recovers it independently on startup, so a
+// restarted cluster answers exactly as the one that was shut down or
+// killed. The ByBuilding device→shard registry is rebuilt from the
+// recovered shards' device sets.
+func Open(dir string, cfg locater.Config, popts locater.PersistOptions, opts Options) (*Cluster, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating data dir: %w", err)
+	}
+	c, err := assemble(cfg, opts, func(i int, shardCfg locater.Config) (*locater.System, error) {
+		return locater.Open(ShardDir(dir, i), shardCfg, popts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.ShardBy == ByBuilding {
+		// Recovered devices re-home to the shard that persisted them;
+		// conflicts (a device recovered on two shards) keep the lowest
+		// index, matching first-seen-wins at ingest time.
+		for i := len(c.shards) - 1; i >= 0; i-- {
+			for _, d := range c.shards[i].Devices() {
+				c.home[d] = i
+			}
+		}
+	}
+	return c, nil
+}
+
+// ShardDir returns the WAL subdirectory of shard i under the cluster's
+// data directory.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+func assemble(cfg locater.Config, opts Options, build func(int, locater.Config) (*locater.System, error)) (*Cluster, error) {
+	opts, err := opts.normalized(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{opts: opts, shards: make([]*locater.System, opts.Shards)}
+	for i := range c.shards {
+		shardCfg := cfg
+		if opts.ShardBy == ByBuilding {
+			shardCfg.Building = opts.Buildings[i]
+		}
+		sys, err := build(i, shardCfg)
+		if err != nil {
+			for _, built := range c.shards[:i] {
+				built.Close()
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		c.shards[i] = sys
+	}
+	if opts.ShardBy == ByBuilding {
+		c.apShard = make(map[locater.APID]int)
+		c.home = make(map[locater.DeviceID]int)
+		for i, b := range opts.Buildings {
+			for _, ap := range b.AccessPoints() {
+				if owner, dup := c.apShard[ap]; dup {
+					for _, built := range c.shards {
+						built.Close()
+					}
+					return nil, fmt.Errorf("cluster: access point %s appears in buildings %d and %d (AP sets must be disjoint)", ap, owner, i)
+				}
+				c.apShard[ap] = i
+			}
+		}
+	}
+	return c, nil
+}
+
+// hashShard is FNV-1a over the device ID, reduced mod the shard count.
+func (c *Cluster) hashShard(d locater.DeviceID) int {
+	h := fnv.New64a()
+	h.Write([]byte(d))
+	return int(h.Sum64() % uint64(len(c.shards)))
+}
+
+// shardOf resolves the shard owning a device's queries and writes. ByDevice
+// hashes; ByBuilding consults the home registry, falling back to the hash
+// for devices never ingested (any shard answers their queries with the same
+// "unknown device" outcome).
+func (c *Cluster) shardOf(d locater.DeviceID) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	if c.opts.ShardBy == ByBuilding {
+		c.mu.RLock()
+		i, ok := c.home[d]
+		c.mu.RUnlock()
+		if ok {
+			return i
+		}
+	}
+	return c.hashShard(d)
+}
+
+// Shard exposes shard i's engine (tests and benchmarks reconcile merged
+// figures against the shards directly).
+func (c *Cluster) Shard(i int) *locater.System { return c.shards[i] }
+
+// NumShards implements locater.Sharded.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// ShardPolicy implements locater.Sharded.
+func (c *Cluster) ShardPolicy() string { return c.opts.ShardBy }
+
+// ShardInfos implements locater.Sharded: per-shard counters, index-ordered.
+func (c *Cluster) ShardInfos() []locater.ShardInfo {
+	infos := make([]locater.ShardInfo, len(c.shards))
+	for i, s := range c.shards {
+		info := locater.ShardInfo{
+			Index:    i,
+			Building: s.Building().Name(),
+			Events:   s.NumEvents(),
+			Devices:  s.NumDevices(),
+			Queries:  s.NumQueries(),
+		}
+		if segments, last, durable, ok := s.PersistStats(); ok {
+			info.Segments, info.LastLSN, info.DurableLSN, info.Durable = segments, last, durable, true
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+// route partitions events into per-shard batches, preserving each shard's
+// relative event order. ByBuilding also homes first-seen devices: the
+// event's AP decides the building, and every later event or query for that
+// device routes to the same shard regardless of AP.
+func (c *Cluster) route(events []locater.Event) [][]locater.Event {
+	parts := make([][]locater.Event, len(c.shards))
+	if c.opts.ShardBy != ByBuilding {
+		for _, e := range events {
+			i := c.hashShard(e.Device)
+			parts[i] = append(parts[i], e)
+		}
+		return parts
+	}
+	c.mu.Lock()
+	for _, e := range events {
+		i, ok := c.home[e.Device]
+		if !ok {
+			if byAP, known := c.apShard[e.AP]; known {
+				i = byAP
+			} else {
+				i = c.hashShard(e.Device)
+			}
+			c.home[e.Device] = i
+		}
+		parts[i] = append(parts[i], e)
+	}
+	c.mu.Unlock()
+	return parts
+}
+
+// Ingest routes the batch and ingests every shard's part concurrently. The
+// per-shard stores synchronize independently, so an N-shard ingest uses up
+// to N cores where a single System serializes on one store lock. Per-shard
+// errors are joined; a failing shard does not abort the others (matching
+// System.Ingest's all-or-nothing semantics per shard, not per cluster).
+func (c *Cluster) Ingest(events []locater.Event) error {
+	if len(c.shards) == 1 {
+		return c.shards[0].Ingest(events)
+	}
+	parts := c.route(events)
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []locater.Event) {
+			defer wg.Done()
+			if err := c.shards[i].Ingest(part); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// IngestOne routes a single streamed event to its owning shard.
+func (c *Cluster) IngestOne(e locater.Event) error {
+	if c.opts.ShardBy == ByBuilding {
+		// Route through the batch path so first-seen homing applies.
+		parts := c.route([]locater.Event{e})
+		for i, part := range parts {
+			if len(part) > 0 {
+				return c.shards[i].IngestOne(e)
+			}
+		}
+	}
+	return c.shards[c.shardOf(e.Device)].IngestOne(e)
+}
+
+// SetDelta registers a device-specific validity interval on the owning
+// shard.
+func (c *Cluster) SetDelta(d locater.DeviceID, delta time.Duration) error {
+	return c.shards[c.shardOf(d)].SetDelta(d, delta)
+}
+
+// EstimateDeltas fans to every shard concurrently; each shard estimates
+// from its own logs (the estimator is per-device, so sharding does not
+// change any estimate).
+func (c *Cluster) EstimateDeltas(quantile float64, min, max time.Duration) error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.shards[i].EstimateDeltas(quantile, min, max); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// AddRoomLabel records a room-level observation on the device's owning
+// shard (the room must belong to that shard's building).
+func (c *Cluster) AddRoomLabel(d locater.DeviceID, r locater.RoomID, t time.Time) error {
+	return c.shards[c.shardOf(d)].AddRoomLabel(d, r, t)
+}
+
+// SetTimePreferredRooms registers time-scoped preferred rooms on the
+// device's owning shard.
+func (c *Cluster) SetTimePreferredRooms(d locater.DeviceID, prefs []locater.TimePreference) error {
+	return c.shards[c.shardOf(d)].SetTimePreferredRooms(d, prefs)
+}
+
+// Locate answers Q = (device, t) on the owning shard.
+func (c *Cluster) Locate(d locater.DeviceID, t time.Time) (locater.Result, error) {
+	return c.shards[c.shardOf(d)].Locate(d, t)
+}
+
+// LocateContext is Locate under a context deadline, on the owning shard.
+func (c *Cluster) LocateContext(ctx context.Context, d locater.DeviceID, t time.Time) (locater.Result, error) {
+	return c.shards[c.shardOf(d)].LocateContext(ctx, d, t)
+}
+
+// LocateBatch answers many queries across shards, results in input order.
+func (c *Cluster) LocateBatch(queries []locater.Query, workers int) []locater.BatchResult {
+	return c.LocateBatchContext(context.Background(), queries, workers)
+}
+
+// LocateBatchContext splits the batch by owning shard, answers every
+// sub-batch concurrently on the shards' own worker pools, and re-merges the
+// answers into input order. Per-query errors stay attached to their slots —
+// one failing query never aborts the rest, exactly as in System. The worker
+// budget is divided across shards proportionally to their share of the
+// batch (at least one worker each), so the cluster-wide pool stays at the
+// caller's bound instead of multiplying by the shard count.
+func (c *Cluster) LocateBatchContext(ctx context.Context, queries []locater.Query, workers int) []locater.BatchResult {
+	if len(c.shards) == 1 {
+		return c.shards[0].LocateBatchContext(ctx, queries, workers)
+	}
+	out := make([]locater.BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idxs := make([][]int, len(c.shards))
+	for i, q := range queries {
+		s := c.shardOf(q.Device)
+		idxs[s] = append(idxs[s], i)
+	}
+	var wg sync.WaitGroup
+	for s, ix := range idxs {
+		if len(ix) == 0 {
+			continue
+		}
+		sub := make([]locater.Query, len(ix))
+		for j, i := range ix {
+			sub[j] = queries[i]
+		}
+		w := workers * len(ix) / len(queries)
+		if w < 1 {
+			w = 1
+		}
+		wg.Add(1)
+		go func(s int, ix []int, sub []locater.Query, w int) {
+			defer wg.Done()
+			res := c.shards[s].LocateBatchContext(ctx, sub, w)
+			for j, i := range ix {
+				out[i] = res[j]
+			}
+		}(s, ix, sub, w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Building returns the first shard's building (ByDevice clusters share one
+// building across all shards; ByBuilding callers should consult ShardInfos
+// for the full list).
+func (c *Cluster) Building() *locater.Building { return c.shards[0].Building() }
+
+// NumEvents sums ingested events across shards.
+func (c *Cluster) NumEvents() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.NumEvents()
+	}
+	return n
+}
+
+// NumDevices sums distinct devices across shards (shards partition the
+// device space, so the sum is exact).
+func (c *Cluster) NumDevices() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.NumDevices()
+	}
+	return n
+}
+
+// NumQueries sums served queries across shards.
+func (c *Cluster) NumQueries() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.NumQueries()
+	}
+	return n
+}
+
+// CacheStats merges every shard's cache tiers (sums — each shard's caches
+// are independent).
+func (c *Cluster) CacheStats() locater.CacheStats {
+	parts := make([]locater.CacheStats, len(c.shards))
+	for i, s := range c.shards {
+		parts[i] = s.CacheStats()
+	}
+	return locater.MergeCacheStats(parts...)
+}
+
+// QueryStats merges every shard's latency populations (counts sum,
+// quantiles take the worst shard — see locater.MergeQueryStats).
+func (c *Cluster) QueryStats() locater.QueryStats {
+	parts := make([]locater.QueryStats, len(c.shards))
+	for i, s := range c.shards {
+		parts[i] = s.QueryStats()
+	}
+	return locater.MergeQueryStats(parts...)
+}
+
+// PersistStats sums the shards' WAL shapes: segment counts and log
+// positions add up across independent logs, so the merged counters
+// reconcile exactly with per-shard sums. ok reports whether every shard is
+// durable (clusters are opened uniformly, so mixed durability only arises
+// from misuse).
+func (c *Cluster) PersistStats() (segments int, lastLSN, durableLSN uint64, ok bool) {
+	ok = true
+	for _, s := range c.shards {
+		seg, last, durable, shardOK := s.PersistStats()
+		if !shardOK {
+			ok = false
+			continue
+		}
+		segments += seg
+		lastLSN += last
+		durableLSN += durable
+	}
+	return segments, lastLSN, durableLSN, ok
+}
+
+// Checkpoint snapshots and compacts every shard's log concurrently.
+func (c *Cluster) Checkpoint() error {
+	return c.fanOut(func(s *locater.System) error { return s.Checkpoint() })
+}
+
+// Close checkpoints and releases every shard. The cluster must not be used
+// after Close.
+func (c *Cluster) Close() error {
+	return c.fanOut(func(s *locater.System) error { return s.Close() })
+}
+
+func (c *Cluster) fanOut(fn func(*locater.System) error) error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(c.shards[i]); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -54,11 +54,11 @@ func getLocate(s *Server, device string, tq time.Time, extra string) *httptest.R
 
 func errCode(t *testing.T, rec *httptest.ResponseRecorder) string {
 	t.Helper()
-	var body map[string]string
+	var body ErrorEnvelope
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("error body is not JSON: %v (%s)", err, rec.Body)
 	}
-	return body["code"]
+	return body.Code
 }
 
 // TestAdmitQueueRejections drives the queue through all three rejection

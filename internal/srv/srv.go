@@ -1,7 +1,11 @@
-// Package srv implements the HTTP JSON API around a LOCATER system: the
+// Package srv implements the HTTP JSON API around a LOCATER deployment: the
 // online query/ingest surface that applications (occupancy dashboards, HVAC
 // controllers, exposure analysis) integrate with. It is deliberately thin:
-// all semantics live in the locater package.
+// all semantics live behind the locater.Locater service interface, so the
+// same handlers serve a single-building System or a sharded
+// internal/cluster.Cluster. The API is versioned under /v1/ (the unversioned
+// paths remain as legacy aliases) and every error is the uniform
+// ErrorEnvelope.
 package srv
 
 import (
@@ -20,12 +24,12 @@ import (
 	"locater/internal/event"
 )
 
-// Server wraps a LOCATER system with HTTP handlers. It holds no lock of its
-// own: the system is safe for concurrent use (sharded model cache, shared
-// store read locks), so request handlers run fully in parallel on Go's
-// per-connection serving goroutines.
+// Server wraps a LOCATER deployment with HTTP handlers. It holds no lock of
+// its own: the engine is safe for concurrent use (sharded model cache,
+// shared store read locks), so request handlers run fully in parallel on
+// Go's per-connection serving goroutines.
 type Server struct {
-	sys *locater.System
+	sys locater.Locater
 	mux *http.ServeMux
 
 	// batchSem bounds the number of batch requests executing at once when
@@ -49,12 +53,13 @@ type Options struct {
 	Admission AdmissionOptions
 }
 
-// New builds the HTTP handler around an assembled system with default
-// options (admission control enabled).
-func New(sys *locater.System) *Server { return NewWithOptions(sys, Options{}) }
+// New builds the HTTP handler around an assembled engine (a *locater.System
+// or a sharded cluster.Cluster) with default options (admission control
+// enabled).
+func New(sys locater.Locater) *Server { return NewWithOptions(sys, Options{}) }
 
 // NewWithOptions builds the HTTP handler with explicit options.
-func NewWithOptions(sys *locater.System, opts Options) *Server {
+func NewWithOptions(sys locater.Locater, opts Options) *Server {
 	s := &Server{
 		sys:       sys,
 		mux:       http.NewServeMux(),
@@ -68,12 +73,23 @@ func NewWithOptions(sys *locater.System, opts Options) *Server {
 		s.batchQ = newAdmitQueue(s.admission.Batch)
 		s.ingestQ = newAdmitQueue(s.admission.Ingest)
 	}
-	s.mux.HandleFunc("/locate", s.handleLocate)
-	s.mux.HandleFunc("/locate/batch", s.handleLocateBatch)
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	// /v1/ is the versioned surface; the bare paths are legacy aliases for
+	// clients written before versioning. Both share one handler set.
+	for _, prefix := range []string{"", "/v1"} {
+		s.mux.HandleFunc(prefix+"/locate", s.handleLocate)
+		s.mux.HandleFunc(prefix+"/locate/batch", s.handleLocateBatch)
+		s.mux.HandleFunc(prefix+"/ingest", s.handleIngest)
+		s.mux.HandleFunc(prefix+"/stats", s.handleStats)
+		s.mux.HandleFunc(prefix+"/healthz", s.handleHealth)
+	}
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
+}
+
+// handleNotFound answers every unregistered path with the uniform envelope
+// instead of the standard library's plain-text 404.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	httpError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %s", r.URL.Path))
 }
 
 // ServeHTTP implements http.Handler.
@@ -210,9 +226,30 @@ type QueryStatsResponse struct {
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
 }
 
-// StatsResponse reports system counters. The legacy flat cache_edges /
-// cache_hits / cache_misses fields mirror the affinity tier (pre-cache-layer
-// clients read them); caches carries the full per-tier picture.
+// ShardResponse is one shard's counters inside the cluster stats block.
+// Summing events/devices/queries across shards reproduces the top-level
+// figures (the merged counters reconcile exactly with per-shard sums).
+type ShardResponse struct {
+	Index    int              `json:"index"`
+	Building string           `json:"building"`
+	Events   int              `json:"events"`
+	Devices  int              `json:"devices"`
+	Queries  int              `json:"queries"`
+	Persist  *PersistResponse `json:"persist,omitempty"`
+}
+
+// ClusterResponse is the topology block served when the engine is sharded.
+type ClusterResponse struct {
+	Shards   int             `json:"shards"`
+	ShardBy  string          `json:"shard_by"`
+	PerShard []ShardResponse `json:"per_shard"`
+}
+
+// StatsResponse reports deployment counters (summed across shards on a
+// cluster). The legacy flat cache_edges / cache_hits / cache_misses fields
+// mirror the affinity tier (pre-cache-layer clients read them); caches
+// carries the full per-tier picture; cluster appears only on sharded
+// deployments.
 type StatsResponse struct {
 	Events       int                `json:"events"`
 	Devices      int                `json:"devices"`
@@ -224,6 +261,7 @@ type StatsResponse struct {
 	QueryStats   QueryStatsResponse `json:"query_stats"`
 	Admission    AdmissionResponse  `json:"admission"`
 	Persist      *PersistResponse   `json:"persist,omitempty"`
+	Cluster      *ClusterResponse   `json:"cluster,omitempty"`
 	UptimeSecond int64              `json:"uptime_seconds"`
 	Building     string             `json:"building"`
 }
@@ -509,7 +547,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		QueryStats:   queryStatsResponseOf(s.sys.QueryStats()),
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
-		Building:     s.sys.Building().Name(),
+	}
+	if b := s.sys.Building(); b != nil {
+		resp.Building = b.Name()
+	}
+	if sh, ok := s.sys.(locater.Sharded); ok {
+		cluster := &ClusterResponse{Shards: sh.NumShards(), ShardBy: sh.ShardPolicy()}
+		for _, si := range sh.ShardInfos() {
+			sr := ShardResponse{
+				Index:    si.Index,
+				Building: si.Building,
+				Events:   si.Events,
+				Devices:  si.Devices,
+				Queries:  si.Queries,
+			}
+			if si.Durable {
+				sr.Persist = &PersistResponse{Segments: si.Segments, LastLSN: si.LastLSN, DurableLSN: si.DurableLSN}
+			}
+			cluster.PerShard = append(cluster.PerShard, sr)
+		}
+		resp.Cluster = cluster
 	}
 	if s.locateQ != nil {
 		resp.Admission = AdmissionResponse{
@@ -558,6 +615,10 @@ func cacheTierResponseOf(t locater.CacheTierStats) CacheTierResponse {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
@@ -605,22 +666,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if _, err := w.Write(buf); err != nil {
 		log.Printf("srv: writing response: %v", err)
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
-// writeAdmitError renders a rejection: the taxonomy code rides in the body
-// (clients and load harnesses classify on it) and retryable rejections carry
-// a Retry-After hint in whole seconds.
-func writeAdmitError(w http.ResponseWriter, rej *admitError) {
-	w.Header().Set("Content-Type", "application/json")
-	if rej.retryAfter > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(int(rej.retryAfter/time.Second)))
-	}
-	w.WriteHeader(rej.status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": rej.msg, "code": rej.code})
 }

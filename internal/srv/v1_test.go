@@ -1,0 +1,173 @@
+package srv
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locater"
+	"locater/internal/cluster"
+	"locater/internal/sim"
+)
+
+// TestV1Aliases checks every endpoint answers identically under /v1 and the
+// legacy unversioned path.
+func TestV1Aliases(t *testing.T) {
+	s, ds := newTestServer(t)
+	dev := string(ds.People[0].Device)
+	tq := simStart.AddDate(0, 0, 5).Add(11 * time.Hour).Format(time.RFC3339)
+	batchBody := `{"queries":[{"device":"` + dev + `","time":"` + tq + `"}]}`
+
+	cases := []struct {
+		method, path string
+		body         string
+	}{
+		{http.MethodGet, "/locate?device=" + dev + "&time=" + tq, ""},
+		{http.MethodPost, "/locate/batch", batchBody},
+		{http.MethodPost, "/ingest", `[]`},
+		{http.MethodGet, "/stats", ""},
+		{http.MethodGet, "/healthz", ""},
+	}
+	for _, c := range cases {
+		var bodies []string
+		for _, path := range []string{c.path, "/v1" + c.path} {
+			var rdr *bytes.Reader
+			if c.body != "" {
+				rdr = bytes.NewReader([]byte(c.body))
+			} else {
+				rdr = bytes.NewReader(nil)
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(c.method, path, rdr))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s %s = %d: %s", c.method, path, rec.Code, rec.Body)
+			}
+			bodies = append(bodies, rec.Body.String())
+		}
+		// Stats carries an uptime counter that can tick between the two
+		// requests; everything else must match byte-for-byte.
+		if c.path != "/stats" && bodies[0] != bodies[1] {
+			t.Errorf("%s: legacy and /v1 responses differ:\n%s\n%s", c.path, bodies[0], bodies[1])
+		}
+	}
+}
+
+// TestErrorEnvelope checks the uniform error body on every failure class
+// reachable without overload: 400, 404, and 405 across all five endpoints.
+func TestErrorEnvelope(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		name         string
+		method, path string
+		body         string
+		status       int
+		code         string
+	}{
+		{"locate missing device", http.MethodGet, "/v1/locate", "", http.StatusBadRequest, "bad_request"},
+		{"locate bad time", http.MethodGet, "/v1/locate?device=d&time=nope", "", http.StatusBadRequest, "bad_request"},
+		{"locate wrong method", http.MethodPost, "/v1/locate", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"batch bad body", http.MethodPost, "/v1/locate/batch", "{", http.StatusBadRequest, "bad_request"},
+		{"batch wrong method", http.MethodGet, "/v1/locate/batch", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"ingest bad body", http.MethodPost, "/v1/ingest", "nope", http.StatusBadRequest, "bad_request"},
+		{"ingest wrong method", http.MethodGet, "/v1/ingest", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"stats wrong method", http.MethodPost, "/v1/stats", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"healthz wrong method", http.MethodPost, "/v1/healthz", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"unknown path", http.MethodGet, "/v1/nope", "", http.StatusNotFound, "not_found"},
+		{"unknown legacy path", http.MethodGet, "/nope", "", http.StatusNotFound, "not_found"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(c.method, c.path, bytes.NewReader([]byte(c.body))))
+		if rec.Code != c.status {
+			t.Errorf("%s: status = %d, want %d", c.name, rec.Code, c.status)
+			continue
+		}
+		var env ErrorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Errorf("%s: body is not an envelope: %v (%s)", c.name, err, rec.Body)
+			continue
+		}
+		if env.Code != c.code {
+			t.Errorf("%s: code = %q, want %q", c.name, env.Code, c.code)
+		}
+		if env.Message == "" {
+			t.Errorf("%s: empty message", c.name)
+		}
+		if env.LegacyError != env.Message {
+			t.Errorf("%s: legacy error field %q does not mirror message %q", c.name, env.LegacyError, env.Message)
+		}
+	}
+}
+
+// TestStatsClusterBlock serves a 2-shard cluster and checks /v1/stats
+// publishes the topology with per-shard counters that reconcile with the
+// merged top-level figures.
+func TestStatsClusterBlock(t *testing.T) {
+	sc, err := sim.DBH(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sim.Generate(sc.Config(simStart, 7, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(locater.Config{
+		Building:           ds.Building,
+		EnableCache:        true,
+		HistoryDays:        7,
+		PromotionsPerRound: 8,
+	}, cluster.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ingest(ds.Events); err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatal("sharded deployment published no cluster block")
+	}
+	if st.Cluster.Shards != 2 || st.Cluster.ShardBy != cluster.ByDevice {
+		t.Errorf("cluster block = %d shards by %q", st.Cluster.Shards, st.Cluster.ShardBy)
+	}
+	if len(st.Cluster.PerShard) != 2 {
+		t.Fatalf("per_shard has %d entries", len(st.Cluster.PerShard))
+	}
+	var events, devices int
+	for _, sh := range st.Cluster.PerShard {
+		events += sh.Events
+		devices += sh.Devices
+	}
+	if events != st.Events || events != len(ds.Events) {
+		t.Errorf("per-shard events sum %d, top-level %d, ingested %d", events, st.Events, len(ds.Events))
+	}
+	if devices != st.Devices {
+		t.Errorf("per-shard devices sum %d, top-level %d", devices, st.Devices)
+	}
+
+	// A bare System must NOT publish the block.
+	bare, _ := newTestServer(t)
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var bareStats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &bareStats); err != nil {
+		t.Fatal(err)
+	}
+	if bareStats.Cluster != nil {
+		t.Error("unsharded deployment published a cluster block")
+	}
+}

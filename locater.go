@@ -638,6 +638,11 @@ func (s *System) NumEvents() int { return s.store.NumEvents() }
 // NumDevices returns the number of distinct ingested devices.
 func (s *System) NumDevices() int { return s.store.NumDevices() }
 
+// Devices returns the distinct ingested device IDs in sorted order. A
+// sharded deployment uses it to rebuild its device→shard routing table
+// after per-shard recovery.
+func (s *System) Devices() []DeviceID { return s.store.Devices() }
+
 // NumQueries returns the number of Locate calls served.
 func (s *System) NumQueries() int { return int(s.queries.Load()) }
 

@@ -160,3 +160,88 @@ func (m *queryMetrics) snapshot() QueryStats {
 func (s *System) QueryStats() QueryStats {
 	return s.metrics.snapshot()
 }
+
+// mergeLatency folds per-shard latency summaries into one population:
+// counts sum, means combine weighted by count, and the quantiles and
+// maximum take the worst shard. Quantiles merged this way remain upper
+// estimates — consistent with the power-of-two histograms they come from —
+// because the true cluster-wide quantile can never exceed the worst
+// per-shard one.
+func mergeLatency(parts ...LatencyStats) LatencyStats {
+	var out LatencyStats
+	var weighted float64
+	for _, p := range parts {
+		out.Count += p.Count
+		weighted += p.MeanMicros * float64(p.Count)
+		out.P50Micros = math.Max(out.P50Micros, p.P50Micros)
+		out.P99Micros = math.Max(out.P99Micros, p.P99Micros)
+		out.MaxMicros = math.Max(out.MaxMicros, p.MaxMicros)
+	}
+	if out.Count > 0 {
+		out.MeanMicros = weighted / float64(out.Count)
+	}
+	return out
+}
+
+// MergeQueryStats folds per-shard QueryStats into one cluster-level
+// summary: counts and counters sum, latency populations merge per
+// mergeLatency, and the neighbors-processed quantiles take the worst shard
+// (upper estimates, like the per-shard figures themselves).
+func MergeQueryStats(parts ...QueryStats) QueryStats {
+	var out QueryStats
+	cold := make([]LatencyStats, len(parts))
+	cached := make([]LatencyStats, len(parts))
+	for i, p := range parts {
+		cold[i], cached[i] = p.Cold, p.Cached
+		if p.NeighborsProcessedP50 > out.NeighborsProcessedP50 {
+			out.NeighborsProcessedP50 = p.NeighborsProcessedP50
+		}
+		if p.NeighborsProcessedP99 > out.NeighborsProcessedP99 {
+			out.NeighborsProcessedP99 = p.NeighborsProcessedP99
+		}
+		out.DeadlineExceeded += p.DeadlineExceeded
+	}
+	out.Cold = mergeLatency(cold...)
+	out.Cached = mergeLatency(cached...)
+	return out
+}
+
+// mergeTier sums two cache tiers' sizes, bounds, and counters.
+func mergeTier(a, b CacheTierStats) CacheTierStats {
+	return CacheTierStats{
+		Size:          a.Size + b.Size,
+		Capacity:      a.Capacity + b.Capacity,
+		Hits:          a.Hits + b.Hits,
+		Misses:        a.Misses + b.Misses,
+		Evictions:     a.Evictions + b.Evictions,
+		Invalidations: a.Invalidations + b.Invalidations,
+	}
+}
+
+// MergeCacheStats folds per-shard cache statistics into the cluster-level
+// picture: every tier's sizes, capacities, and counters sum (each shard
+// owns independent caches, so the totals are exact), the occupancy index
+// sums its buckets/entries/traffic, and Enabled reports whether any shard
+// runs the caching engine. The occupancy bucket width is taken from the
+// first shard that has the index enabled (shards share one configuration
+// in practice).
+func MergeCacheStats(parts ...CacheStats) CacheStats {
+	var out CacheStats
+	for _, p := range parts {
+		out.Enabled = out.Enabled || p.Enabled
+		out.GraphEdges += p.GraphEdges
+		out.Affinity = mergeTier(out.Affinity, p.Affinity)
+		out.CoarseModels = mergeTier(out.CoarseModels, p.CoarseModels)
+		out.Results = mergeTier(out.Results, p.Results)
+		occ := &out.Occupancy
+		if p.Occupancy.Enabled && !occ.Enabled {
+			occ.Enabled = true
+			occ.Bucket = p.Occupancy.Bucket
+		}
+		occ.Buckets += p.Occupancy.Buckets
+		occ.Entries += p.Occupancy.Entries
+		occ.Lookups += p.Occupancy.Lookups
+		occ.FallbackScans += p.Occupancy.FallbackScans
+	}
+	return out
+}
