@@ -14,11 +14,12 @@
 //	locater-bench -throughput -workers 8   # parallel LocateBatch scaling
 //	locater-bench -persist -persist-events 200000   # durable-store throughput
 //	locater-bench -neighbors               # occupancy-index neighbor discovery
+//	locater-bench -memory -memory-devices 1000,10000,50000   # segmented-store footprint
 //
-// The -throughput, -persist, and -neighbors modes also emit
+// The -throughput, -persist, -neighbors, and -memory modes also emit
 // machine-readable BENCH_throughput.json / BENCH_persist.json /
-// BENCH_neighbors.json (into -bench-out) so CI can track the performance
-// trajectory across commits.
+// BENCH_neighbors.json / BENCH_memory.json (into -bench-out) so CI can
+// track the performance trajectory across commits.
 package main
 
 import (
@@ -52,6 +53,9 @@ func main() {
 		query = flag.Bool("query", false, "measure the fine-stage query kernel (cold/warm latency + allocs at 10/50/200 neighbors, I-FINE and D-FINE) against the pre-refactor reference, with a posterior-correctness gate")
 
 		shard = flag.Bool("shard", false, "measure the sharded cluster: 1/2/4-shard ingest + query ladder with a 1-shard-vs-System identity gate")
+
+		memory        = flag.Bool("memory", false, "measure segmented-store memory + cold/warm query latency against the plain-slice layout, with byte-identity and crash-recovery gates")
+		memoryDevices = flag.String("memory-devices", "1000,10000,50000", "comma-separated device ladder for -memory")
 
 		persist       = flag.Bool("persist", false, "measure durable event store ingest + recovery throughput")
 		persistEvents = flag.Int("persist-events", 200000, "events for -persist")
@@ -95,6 +99,19 @@ func main() {
 	if *neighbors {
 		if err := runNeighbors(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "neighbors: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *memory {
+		ladder, err := parseDeviceLadder(*memoryDevices)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memory: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runMemory(ladder, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "memory: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,450 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"locater"
+	"locater/internal/space"
+)
+
+// The memory ladder's workload shape: every device carries ~memEventsPerDev
+// events over two weeks, and the segmented arm seals at 32 events, so most
+// of each log is sealed history — the case the columnar layout exists for.
+const (
+	memEventsPerDev  = 96
+	memSegMaxEvents  = 32
+	memQueries       = 160
+	memSpanDays      = 14
+	memAPs           = 16
+	memRoomsPerAP    = 3
+	memMaxNeighbors  = 24
+	memModelCacheCap = 16384
+	// memLatencyCacheSegs sizes the latency arms' decoded-segment cache to
+	// the probe set's working set (~queries × (1 + MaxNeighbors) devices ×
+	// segments/device, with slack), so warm passes measure the layout's scan
+	// cost, not cache thrash.
+	memLatencyCacheSegs = 32768
+)
+
+// memoryReport is the machine-readable result of -memory, emitted as
+// BENCH_memory.json. CI gates on it: every row must be byte-identical
+// between the arms, recovery must reproduce the pre-crash answers, and the
+// largest rung must show the headline memory reduction without a cold-query
+// regression.
+type memoryReport struct {
+	Name             string      `json:"name"`
+	EventsPerDevice  int         `json:"events_per_device"`
+	SegmentMaxEvents int         `json:"segment_max_events"`
+	Rows             []memoryRow `json:"rows"`
+	// RecoveryIdentical reports the crash-recovery equivalence check: a
+	// durable segmented system is checkpointed mid-stream, "crashes", and
+	// the recovered system (manifest + cold tier + WAL tail) must answer
+	// every probe query exactly as the live one did.
+	RecoveryIdentical bool `json:"recovery_identical"`
+}
+
+type memoryRow struct {
+	Devices int `json:"devices"`
+	Events  int `json:"events"`
+	// BytesPerEvent* is resident heap per ingested event (occupancy index
+	// disabled on both arms — it is layout-independent and would drown the
+	// store's own footprint). Reduction = slices / segments.
+	BytesPerEventSlices   float64 `json:"bytes_per_event_slices"`
+	BytesPerEventSegments float64 `json:"bytes_per_event_segments"`
+	Reduction             float64 `json:"reduction"`
+	// Cold latencies are the end-to-end first-query cost on a fresh
+	// system: models untrained and the decoded-segment cache invalidated,
+	// so the pass pays gap extraction, model training, and (on the
+	// segmented arm) every page-in. Warm latencies follow on the
+	// now-trained, now-cached system (best of two passes).
+	ColdUsSlices   float64 `json:"cold_us_slices"`
+	ColdUsSegments float64 `json:"cold_us_segments"`
+	WarmUsSlices   float64 `json:"warm_us_slices"`
+	WarmUsSegments float64 `json:"warm_us_segments"`
+	ColdRatio      float64 `json:"cold_ratio"`
+	// Identical reports the byte-identity gate: every Locate answer on the
+	// segmented arm equals the plain-slice arm's, field for field.
+	Identical bool `json:"identical"`
+}
+
+// memBuilding builds the synthetic campus the ladder runs on: memAPs
+// regions of memRoomsPerAP rooms each, with adjacent regions overlapping by
+// one room so fine-grained disambiguation has real work.
+func memBuilding() (*space.Building, error) {
+	var rooms []space.Room
+	var aps []space.AccessPoint
+	for a := 0; a < memAPs; a++ {
+		cover := make([]space.RoomID, 0, memRoomsPerAP+1)
+		for r := 0; r < memRoomsPerAP; r++ {
+			id := space.RoomID(fmt.Sprintf("r%02d-%d", a, r))
+			rooms = append(rooms, space.Room{ID: id})
+			cover = append(cover, id)
+		}
+		if a > 0 {
+			cover = append(cover, space.RoomID(fmt.Sprintf("r%02d-0", a-1)))
+		}
+		aps = append(aps, space.AccessPoint{ID: space.APID(fmt.Sprintf("ap%02d", a)), Coverage: cover})
+	}
+	return space.NewBuilding(space.Config{Name: "mem-ladder", Rooms: rooms, AccessPoints: aps})
+}
+
+var memBase = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+
+// memIngest streams the deterministic workload for devices [lo, hi) into
+// sys in per-device batches: mostly time-ordered with occasional
+// out-of-order swaps, so segments overlap the way real association logs
+// make them. Batches are a pure function of the device index, which is what
+// lets the recovery check regenerate the exact post-checkpoint tail.
+func memIngest(sys *locater.System, lo, hi int) (int, error) {
+	total := 0
+	batch := make([]locater.Event, 0, memEventsPerDev)
+	for d := lo; d < hi; d++ {
+		rng := rand.New(rand.NewSource(int64(d)*2654435761 + 17))
+		dev := locater.DeviceID(fmt.Sprintf("mem%06d", d))
+		home := rng.Intn(memAPs)
+		batch = batch[:0]
+		for i := 0; i < memEventsPerDev; i++ {
+			// A workday rhythm: events cluster in business hours, hopping
+			// between the home AP and a few neighbors.
+			day := i * memSpanDays / memEventsPerDev
+			tod := 9*time.Hour + time.Duration(rng.Int63n(int64(9*time.Hour)))
+			ap := home
+			if rng.Intn(4) == 0 {
+				ap = (home + 1 + rng.Intn(3)) % memAPs
+			}
+			batch = append(batch, locater.Event{
+				Device: dev,
+				Time:   memBase.Add(time.Duration(day)*24*time.Hour + tod),
+				AP:     locater.APID(fmt.Sprintf("ap%02d", ap)),
+			})
+		}
+		// Late arrivals: swap a few events backwards so some cross seal
+		// boundaries out of order.
+		for i := 0; i < 4; i++ {
+			a, b := rng.Intn(len(batch)), rng.Intn(len(batch))
+			batch[a], batch[b] = batch[b], batch[a]
+		}
+		if err := sys.Ingest(batch); err != nil {
+			return 0, err
+		}
+		total += len(batch)
+	}
+	return total, nil
+}
+
+// memConfig builds one arm's configuration. cacheSegs sizes the
+// decoded-segment cache: the memory ladder passes 0 (the default quiescent
+// footprint — what an idle deployment holds), while the latency ladder
+// sizes it to the probe set's working set (memLatencyCacheSegs), which is
+// precisely what the SegmentCacheSize knob exists for. Entries are
+// allocated on use, so an oversized capacity costs only what the workload
+// actually touches.
+func memConfig(b *space.Building, segmented, occupancy bool, cacheSegs int) locater.Config {
+	cfg := locater.Config{
+		Building:           b,
+		MaxNeighbors:       memMaxNeighbors,
+		ModelCacheSize:     memModelCacheCap,
+		SegmentCacheSize:   cacheSegs,
+		HistoryDays:        memSpanDays,
+		PromotionsPerRound: 8,
+		// Neighbor discovery resolves each candidate's region through the
+		// coarse stage, so a cold query at fleet scale trains thousands of
+		// candidate models. A small gap cap keeps each training cheap —
+		// identically in both arms, so the ratios the gates check are
+		// unaffected while the ladder stays CI-sized.
+		MaxTrainingGaps:       12,
+		DisableOccupancyIndex: !occupancy,
+	}
+	if segmented {
+		cfg.SegmentMaxEvents = memSegMaxEvents
+	} else {
+		cfg.SegmentMaxEvents = -1
+	}
+	return cfg
+}
+
+// heapLive returns the post-GC live heap (HeapAlloc: reachable objects
+// only, no span-fragmentation noise), settled over two cycles so freshly
+// unreachable ingest scratch does not count against either arm.
+func heapLive() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// memMeasureBytes builds one arm with the occupancy index off and returns
+// resident bytes per event.
+func memMeasureBytes(b *space.Building, n int, segmented bool) (float64, error) {
+	before := heapLive()
+	sys, err := locater.New(memConfig(b, segmented, false, 0))
+	if err != nil {
+		return 0, err
+	}
+	events, err := memIngest(sys, 0, n)
+	if err != nil {
+		return 0, err
+	}
+	perEvent := float64(heapLive()-before) / float64(events)
+	runtime.KeepAlive(sys)
+	return perEvent, nil
+}
+
+// memQueryCount scales the probe set down as the fleet grows: per-query
+// cost rises with the device count (neighbor discovery surfaces more
+// candidates to rank), so a fixed probe count would make the large rungs
+// dominate wall-clock for no statistical gain.
+func memQueryCount(n int) int {
+	switch {
+	case n <= 2000:
+		return memQueries
+	case n <= 10000:
+		return 48
+	default:
+		// Each 50k-device cold query averages over thousands of candidate
+		// trainings, so per-query variance is already low; a small probe set
+		// keeps the rung's mean stable and the rung CI-sized.
+		return 16
+	}
+}
+
+func memQuerySet(n int) []locater.Query {
+	rng := rand.New(rand.NewSource(99))
+	count := memQueryCount(n)
+	qs := make([]locater.Query, 0, count)
+	for i := 0; i < count; i++ {
+		d := rng.Intn(n)
+		qs = append(qs, locater.Query{
+			Device: locater.DeviceID(fmt.Sprintf("mem%06d", d)),
+			Time:   memBase.Add(time.Duration(rng.Intn(memSpanDays))*24*time.Hour + 10*time.Hour + time.Duration(rng.Int63n(int64(7*time.Hour)))),
+		})
+	}
+	return qs
+}
+
+// memRunQueries answers the probe set and returns mean µs/query plus the
+// results for the identity gates. Any query error fails the measurement.
+func memRunQueries(sys *locater.System, qs []locater.Query) (float64, []locater.Result, error) {
+	start := time.Now()
+	batch := sys.LocateBatch(qs, runtime.GOMAXPROCS(0))
+	elapsed := time.Since(start)
+	out := make([]locater.Result, len(batch))
+	for i, r := range batch {
+		if r.Err != nil {
+			return 0, nil, fmt.Errorf("query (%s, %v): %w", r.Query.Device, r.Query.Time, r.Err)
+		}
+		out[i] = r.Result
+	}
+	return float64(elapsed.Microseconds()) / float64(len(qs)), out, nil
+}
+
+// memMeasureLatency builds one occupancy-enabled arm and runs the probe
+// protocol. Cold is the honest end-to-end first-query cost: models
+// untrained and the decoded-segment cache invalidated, so the pass pays
+// gap extraction over full histories, model training, AND (on the
+// segmented arm) every page-in — the exact path a query takes after
+// recovery or under memory pressure. Warm passes (best-of-2) follow on the
+// now-trained, now-cached system.
+func memMeasureLatency(b *space.Building, n int, segmented bool, qs []locater.Query) (coldUs, warmUs float64, res []locater.Result, err error) {
+	sys, err := locater.New(memConfig(b, segmented, true, memLatencyCacheSegs))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if _, err := memIngest(sys, 0, n); err != nil {
+		return 0, 0, nil, err
+	}
+	sys.InvalidateSegmentCache() // drop the seal-time pre-warm: cold means cold
+	if coldUs, res, err = memRunQueries(sys, qs); err != nil {
+		return 0, 0, nil, err
+	}
+	for i := 0; i < 2; i++ {
+		us, _, err := memRunQueries(sys, qs)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if i == 0 || us < warmUs {
+			warmUs = us
+		}
+	}
+	return coldUs, warmUs, res, nil
+}
+
+func memResultsIdentical(a, b []locater.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memRecoveryCheck runs the crash-recovery equivalence gate on a durable
+// segmented system: checkpoint mid-stream (publishing the only manifest),
+// keep ingesting past more seal boundaries, capture the live answers, then
+// reopen the directory without Close — recovery from manifest + cold tier +
+// WAL tail — and require identical answers with a cold segment cache.
+func memRecoveryCheck(b *space.Building, n int, qs []locater.Query) (bool, error) {
+	dir, err := os.MkdirTemp("", "locater-membench-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := memConfig(b, true, true, memLatencyCacheSegs)
+	live, err := locater.Open(dir, cfg, locater.PersistOptions{})
+	if err != nil {
+		return false, err
+	}
+	cut := n * 4 / 5
+	if _, err := memIngest(live, 0, cut); err != nil {
+		return false, err
+	}
+	if err := live.Checkpoint(); err != nil {
+		return false, err
+	}
+	// The tail: the remaining devices land after the only manifest, so
+	// recovery must stitch manifest + cold tier + WAL tail back together.
+	if _, err := memIngest(live, cut, n); err != nil {
+		return false, err
+	}
+	_, liveRes, err := memRunQueries(live, qs)
+	if err != nil {
+		return false, err
+	}
+	// Crash: reopen without Close. The recovered system pages everything
+	// back in from the cold tier.
+	rec, err := locater.Open(dir, cfg, locater.PersistOptions{})
+	if err != nil {
+		return false, err
+	}
+	defer rec.Close()
+	if rec.NumEvents() != live.NumEvents() {
+		return false, fmt.Errorf("recovered %d events, live had %d", rec.NumEvents(), live.NumEvents())
+	}
+	rec.InvalidateSegmentCache()
+	_, recRes, err := memRunQueries(rec, qs)
+	if err != nil {
+		return false, err
+	}
+	return memResultsIdentical(liveRes, recRes), nil
+}
+
+// parseDeviceLadder parses the -memory-devices flag ("1000,10000,50000").
+func parseDeviceLadder(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad device count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty device ladder")
+	}
+	return out, nil
+}
+
+// runMemory is the -memory mode: the resident-bytes + cold/warm-latency
+// ladder comparing the segmented store against the plain-slice layout, with
+// byte-identity and crash-recovery gates. The headline gates — ≥4× memory
+// reduction and ≤1.1× cold-query ratio at the largest rung — are enforced
+// here, so a regression fails the command, not just the CI jq step.
+func runMemory(ladder []int, outDir string) error {
+	b, err := memBuilding()
+	if err != nil {
+		return err
+	}
+	rep := memoryReport{
+		Name:             "memory",
+		EventsPerDevice:  memEventsPerDev,
+		SegmentMaxEvents: memSegMaxEvents,
+	}
+	fmt.Printf("%-9s %9s %12s %12s %10s %11s %11s %10s %10s\n",
+		"devices", "events", "B/ev slices", "B/ev segs", "reduction", "cold-sl µs", "cold-sg µs", "ratio", "identical")
+	for _, n := range ladder {
+		phase := time.Now()
+		bpeSlices, err := memMeasureBytes(b, n, false)
+		if err != nil {
+			return fmt.Errorf("devices=%d slices memory: %w", n, err)
+		}
+		bpeSegments, err := memMeasureBytes(b, n, true)
+		if err != nil {
+			return fmt.Errorf("devices=%d segments memory: %w", n, err)
+		}
+		fmt.Printf("# devices=%d memory arms done in %.0fs\n", n, time.Since(phase).Seconds())
+		qs := memQuerySet(n)
+		phase = time.Now()
+		coldSl, warmSl, resSl, err := memMeasureLatency(b, n, false, qs)
+		if err != nil {
+			return fmt.Errorf("devices=%d slices latency: %w", n, err)
+		}
+		fmt.Printf("# devices=%d slices latency arm (%d queries) done in %.0fs\n", n, len(qs), time.Since(phase).Seconds())
+		phase = time.Now()
+		coldSg, warmSg, resSg, err := memMeasureLatency(b, n, true, qs)
+		if err != nil {
+			return fmt.Errorf("devices=%d segments latency: %w", n, err)
+		}
+		fmt.Printf("# devices=%d segments latency arm done in %.0fs\n", n, time.Since(phase).Seconds())
+		row := memoryRow{
+			Devices:               n,
+			Events:                n * memEventsPerDev,
+			BytesPerEventSlices:   bpeSlices,
+			BytesPerEventSegments: bpeSegments,
+			Reduction:             bpeSlices / bpeSegments,
+			ColdUsSlices:          coldSl,
+			ColdUsSegments:        coldSg,
+			WarmUsSlices:          warmSl,
+			WarmUsSegments:        warmSg,
+			ColdRatio:             coldSg / coldSl,
+			Identical:             memResultsIdentical(resSl, resSg),
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-9d %9d %12.1f %12.1f %9.2fx %11.0f %11.0f %10.3f %10v\n",
+			n, row.Events, row.BytesPerEventSlices, row.BytesPerEventSegments,
+			row.Reduction, row.ColdUsSlices, row.ColdUsSegments, row.ColdRatio, row.Identical)
+	}
+
+	recN := ladder[0]
+	rep.RecoveryIdentical, err = memRecoveryCheck(b, recN, memQuerySet(recN))
+	if err != nil {
+		return fmt.Errorf("recovery check: %w", err)
+	}
+	fmt.Printf("recovery-identical (%d devices, crash after checkpoint + tail): %v\n", recN, rep.RecoveryIdentical)
+
+	if err := writeBenchJSON(outDir, "BENCH_memory.json", rep); err != nil {
+		return err
+	}
+
+	// Gates. Identity and recovery always hold; the headline memory and
+	// cold-latency bounds apply at the ladder's largest rung.
+	for _, row := range rep.Rows {
+		if !row.Identical {
+			return fmt.Errorf("devices=%d: segmented Locate answers diverge from the slice arm", row.Devices)
+		}
+	}
+	if !rep.RecoveryIdentical {
+		return fmt.Errorf("crash recovery answers diverge from the live system")
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.Reduction < 4 {
+		return fmt.Errorf("devices=%d: memory reduction %.2fx, want >= 4x", last.Devices, last.Reduction)
+	}
+	if last.ColdRatio > 1.1 {
+		return fmt.Errorf("devices=%d: cold-query ratio %.3f, want <= 1.1", last.Devices, last.ColdRatio)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+// Opt-in profiling harness for the -memory bench: builds one rung's latency
+// arm and runs a cold query pass under the test profiler, which is how the
+// segmented read path gets tuned (it is what surfaced the window-assembly
+// sort that mergeRuns replaced). Run with:
+//
+//	MEMPROF_DEVICES=50000 go test -run MemProf -cpuprofile cpu.out ./cmd/locater-bench
+//
+// Add MEMPROF_SLICES=1 for the flat-slice baseline arm. Guarded by an env
+// var so the ordinary test run skips it.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"locater"
+)
+
+func TestMemProfSegmentedCold(t *testing.T) {
+	nStr := os.Getenv("MEMPROF_DEVICES")
+	if nStr == "" {
+		t.Skip("set MEMPROF_DEVICES to run the profiling scaffold")
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segmented := os.Getenv("MEMPROF_SLICES") == ""
+	b, err := memBuilding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := locater.New(memConfig(b, segmented, true, memLatencyCacheSegs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memIngest(sys, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	sys.InvalidateSegmentCache()
+	qs := memQuerySet(n)
+	if len(qs) > 8 {
+		qs = qs[:8]
+	}
+	us, _, err := memRunQueries(sys, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("segmented=%v devices=%d cold=%.0fus/query", segmented, n, us)
+}

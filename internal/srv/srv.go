@@ -181,8 +181,28 @@ type OccupancyResponse struct {
 	FallbackScans int64   `json:"fallback_scans"`
 }
 
+// SegmentsResponse is the JSON shape of the store's log-structured event
+// layout: sealed-segment shape, encoded size, and seal/page-in traffic.
+type SegmentsResponse struct {
+	Enabled        bool  `json:"enabled"`
+	MaxEvents      int   `json:"max_events"`
+	ColdTier       bool  `json:"cold_tier"`
+	Segments       int   `json:"segments"`
+	SegmentEvents  int   `json:"segment_events"`
+	HeadEvents     int   `json:"head_events"`
+	EncodedBytes   int64 `json:"encoded_bytes"`
+	Seals          int64 `json:"seals"`
+	SealFailures   int64 `json:"seal_failures"`
+	PageIns        int64 `json:"page_ins"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheSize      int   `json:"cache_size"`
+	CacheCapacity  int   `json:"cache_capacity"`
+	DecodeFailures int64 `json:"decode_failures"`
+}
+
 // CachesResponse is the JSON shape of the caching layer's stats: the global
-// affinity graph, the three bounded tiers, and the store's occupancy index.
+// affinity graph, the three bounded tiers, the store's occupancy index, and
+// the segmented event layout.
 type CachesResponse struct {
 	Enabled      bool              `json:"enabled"`
 	GraphEdges   int               `json:"graph_edges"`
@@ -190,6 +210,7 @@ type CachesResponse struct {
 	CoarseModels CacheTierResponse `json:"coarse_models"`
 	Results      CacheTierResponse `json:"results"`
 	Occupancy    OccupancyResponse `json:"occupancy"`
+	Segments     SegmentsResponse  `json:"segments"`
 }
 
 // PersistResponse is the JSON shape of the durable event store's stats,
@@ -543,6 +564,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Entries:       cs.Occupancy.Entries,
 				Lookups:       cs.Occupancy.Lookups,
 				FallbackScans: cs.Occupancy.FallbackScans,
+			},
+			Segments: SegmentsResponse{
+				Enabled:        cs.Segments.Enabled,
+				MaxEvents:      cs.Segments.MaxEvents,
+				ColdTier:       cs.Segments.ColdTier,
+				Segments:       cs.Segments.Segments,
+				SegmentEvents:  cs.Segments.SegmentEvents,
+				HeadEvents:     cs.Segments.HeadEvents,
+				EncodedBytes:   cs.Segments.EncodedBytes,
+				Seals:          cs.Segments.Seals,
+				SealFailures:   cs.Segments.SealFailures,
+				PageIns:        cs.Segments.PageIns,
+				CacheHits:      cs.Segments.CacheHits,
+				CacheSize:      cs.Segments.CacheSize,
+				CacheCapacity:  cs.Segments.CacheCapacity,
+				DecodeFailures: cs.Segments.DecodeFailures,
 			},
 		},
 		QueryStats:   queryStatsResponseOf(s.sys.QueryStats()),

@@ -377,6 +377,21 @@ func TestStatsCacheTiers(t *testing.T) {
 	if c.Occupancy.FallbackScans != 0 {
 		t.Errorf("index-enabled server fell back to full scans: %+v", c.Occupancy)
 	}
+	// The segmented event layout is on by default; an in-memory server has
+	// no cold tier.
+	if !c.Segments.Enabled || c.Segments.MaxEvents <= 0 {
+		t.Errorf("segments block missing or disabled: %+v", c.Segments)
+	}
+	if c.Segments.ColdTier {
+		t.Errorf("memory-only server reports a cold tier: %+v", c.Segments)
+	}
+	if c.Segments.SealFailures != 0 || c.Segments.DecodeFailures != 0 {
+		t.Errorf("segment failures on a healthy server: %+v", c.Segments)
+	}
+	if c.Segments.SegmentEvents+c.Segments.HeadEvents != resp.Events {
+		t.Errorf("segment shape (%d sealed + %d head) does not account for %d events",
+			c.Segments.SegmentEvents, c.Segments.HeadEvents, resp.Events)
+	}
 }
 
 // TestStatsQueryStats: after a cold query and a repeat (cached) query, the

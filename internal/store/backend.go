@@ -1,0 +1,313 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"locater/internal/event"
+)
+
+// segKey identifies one sealed segment: segments are per-device and numbered
+// densely in seal order.
+type segKey struct {
+	dev event.DeviceID
+	seq uint64
+}
+
+// SegmentBackend stores the encoded payloads of sealed, immutable event
+// segments, keyed by (device, per-device sequence number). The store seals
+// segments under its exclusive lock but pages them back in under the shared
+// lock, so implementations must be safe for concurrent use.
+//
+// Segments are immutable once written, with one exception: crash recovery
+// can re-seal a head the previous run had already sealed but not yet
+// captured in a snapshot manifest, re-issuing the same (device, seq) with
+// identical contents. Put must let the newest write win. Payloads carry
+// their own CRC trailer (wal.EncodeEventBlock), so backends store them
+// opaquely and corruption is detected at decode time, not here.
+type SegmentBackend interface {
+	// Put stores one sealed segment's payload. The slice is not retained.
+	Put(d event.DeviceID, seq uint64, payload []byte) error
+	// Get returns the payload stored for (d, seq); the caller owns the
+	// returned slice.
+	Get(d event.DeviceID, seq uint64) ([]byte, error)
+	// Sync makes every Put so far durable. A checkpoint calls it before
+	// publishing a manifest that references the segments.
+	Sync() error
+	// Persistent reports whether payloads survive a process restart (a cold
+	// tier) or live in memory only (a compressed warm tier).
+	Persistent() bool
+	// Close releases backend resources; the store issues no calls after it.
+	Close() error
+}
+
+// memSegmentBackend keeps encoded segments in a map: the compressed warm
+// tier used when no cold-tier directory is configured. Even in memory the
+// payloads are the columnar encoding, so sealed history costs a few bytes
+// per event instead of a 64-byte Event struct.
+type memSegmentBackend struct {
+	mu   sync.RWMutex
+	segs map[segKey][]byte
+}
+
+// NewMemorySegmentBackend returns an in-memory SegmentBackend.
+func NewMemorySegmentBackend() SegmentBackend {
+	return &memSegmentBackend{segs: make(map[segKey][]byte)}
+}
+
+func (b *memSegmentBackend) Put(d event.DeviceID, seq uint64, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	b.mu.Lock()
+	b.segs[segKey{d, seq}] = cp
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memSegmentBackend) Get(d event.DeviceID, seq uint64) ([]byte, error) {
+	b.mu.RLock()
+	p, ok := b.segs[segKey{d, seq}]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: segment %d for device %s not in memory tier", seq, d)
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	return cp, nil
+}
+
+func (b *memSegmentBackend) Sync() error      { return nil }
+func (b *memSegmentBackend) Persistent() bool { return false }
+func (b *memSegmentBackend) Close() error     { return nil }
+
+// --- Cold tier: per-device segment files -------------------------------------
+
+// segFileMagic leads every segment file. The format is append-only: after
+// the magic come records of [seq u64 LE][payload length u32 LE][payload],
+// where the payload is a wal.EncodeEventBlock block (CRC trailer included).
+// A crash can leave a torn final record; the scan on first open truncates
+// it, exactly like the WAL's torn-record handling. A duplicate seq — crash
+// recovery re-sealing an unmanifested head — appends a second record; the
+// scan lets the last one win.
+const segFileMagic = "LOCSEG1\n"
+
+// segRecHdrLen is the per-record header: 8-byte seq + 4-byte payload length.
+const segRecHdrLen = 12
+
+// segLoc locates one segment payload inside its device file.
+type segLoc struct {
+	off int64
+	n   int
+}
+
+// diskSegmentBackend spills sealed segments to per-device append-only files
+// under dir, fanned out over 256 hash subdirectories so fleet-scale device
+// counts don't pile into one directory. Files are opened per operation (no
+// resident descriptor per device); the per-device record index is built
+// lazily on first access and maintained on Put.
+type diskSegmentBackend struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[event.DeviceID]map[uint64]segLoc
+	sizes map[event.DeviceID]int64
+	// dirty holds device files written since the last Sync; newDirs the
+	// directories that gained entries and need a directory fsync.
+	dirty   map[string]struct{}
+	newDirs map[string]struct{}
+}
+
+// NewDiskSegmentBackend returns a SegmentBackend storing segments in
+// per-device files under dir, creating it if needed.
+func NewDiskSegmentBackend(dir string) (SegmentBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating cold-tier dir: %w", err)
+	}
+	return &diskSegmentBackend{
+		dir:     dir,
+		index:   make(map[event.DeviceID]map[uint64]segLoc),
+		sizes:   make(map[event.DeviceID]int64),
+		dirty:   make(map[string]struct{}),
+		newDirs: make(map[string]struct{}),
+	}, nil
+}
+
+func (b *diskSegmentBackend) pathFor(d event.DeviceID) string {
+	h := fnv.New32a()
+	io.WriteString(h, string(d))
+	return filepath.Join(b.dir, fmt.Sprintf("%02x", h.Sum32()&0xff), hex.EncodeToString([]byte(d))+".seg")
+}
+
+// loadLocked scans a device's file into the index on first access,
+// truncating a torn final record. Caller holds b.mu.
+func (b *diskSegmentBackend) loadLocked(d event.DeviceID) (map[uint64]segLoc, error) {
+	if idx, ok := b.index[d]; ok {
+		return idx, nil
+	}
+	idx := make(map[uint64]segLoc)
+	path := b.pathFor(d)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		b.index[d] = idx
+		b.sizes[d] = 0
+		return idx, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment file: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: segment file stat: %w", err)
+	}
+	size := st.Size()
+	valid := int64(0)
+	if size >= int64(len(segFileMagic)) {
+		magic := make([]byte, len(segFileMagic))
+		if _, err := f.ReadAt(magic, 0); err != nil {
+			return nil, fmt.Errorf("store: segment file magic: %w", err)
+		}
+		if string(magic) != segFileMagic {
+			return nil, fmt.Errorf("store: %s: bad segment file magic %q", path, magic)
+		}
+		off := int64(len(segFileMagic))
+		hdr := make([]byte, segRecHdrLen)
+		for off+segRecHdrLen <= size {
+			if _, err := f.ReadAt(hdr, off); err != nil {
+				return nil, fmt.Errorf("store: segment record header: %w", err)
+			}
+			n := int64(binary.LittleEndian.Uint32(hdr[8:12]))
+			if off+segRecHdrLen+n > size {
+				break // torn final record
+			}
+			seq := binary.LittleEndian.Uint64(hdr[0:8])
+			idx[seq] = segLoc{off: off + segRecHdrLen, n: int(n)}
+			off += segRecHdrLen + n
+		}
+		valid = off
+	}
+	// A torn tail (or a torn magic from a crash during file creation) is
+	// dropped so appends resume at a clean boundary.
+	if valid < size {
+		if err := f.Truncate(valid); err != nil {
+			return nil, fmt.Errorf("store: truncating torn segment record: %w", err)
+		}
+	}
+	b.index[d] = idx
+	b.sizes[d] = valid
+	return idx, nil
+}
+
+func (b *diskSegmentBackend) Put(d event.DeviceID, seq uint64, payload []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx, err := b.loadLocked(d)
+	if err != nil {
+		return err
+	}
+	path := b.pathFor(d)
+	size := b.sizes[d]
+	if size == 0 {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("store: creating segment subdir: %w", err)
+		}
+		b.newDirs[filepath.Dir(path)] = struct{}{}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment file: %w", err)
+	}
+	defer f.Close()
+	rec := make([]byte, 0, len(segFileMagic)+segRecHdrLen+len(payload))
+	if size == 0 {
+		rec = append(rec, segFileMagic...)
+	}
+	rec = binary.LittleEndian.AppendUint64(rec, seq)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	if _, err := f.WriteAt(rec, size); err != nil {
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
+	off := size + int64(len(rec)) - int64(len(payload))
+	idx[seq] = segLoc{off: off, n: len(payload)}
+	b.sizes[d] = size + int64(len(rec))
+	b.dirty[path] = struct{}{}
+	return nil
+}
+
+func (b *diskSegmentBackend) Get(d event.DeviceID, seq uint64) ([]byte, error) {
+	b.mu.Lock()
+	idx, err := b.loadLocked(d)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	loc, ok := idx[seq]
+	path := b.pathFor(d)
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: segment %d for device %s not in cold tier", seq, d)
+	}
+	// The read runs outside the lock: records are immutable once indexed
+	// and appends never move them, so concurrent page-ins proceed in
+	// parallel.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment file: %w", err)
+	}
+	defer f.Close()
+	p := make([]byte, loc.n)
+	if _, err := f.ReadAt(p, loc.off); err != nil {
+		return nil, fmt.Errorf("store: reading segment %d for device %s: %w", seq, d, err)
+	}
+	return p, nil
+}
+
+func (b *diskSegmentBackend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for path := range b.dirty {
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return fmt.Errorf("store: syncing segment file: %w", err)
+		}
+		err = f.Sync()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("store: syncing segment file: %w", err)
+		}
+		delete(b.dirty, path)
+	}
+	for dir := range b.newDirs {
+		f, err := os.Open(dir)
+		if err != nil {
+			return fmt.Errorf("store: syncing segment dir: %w", err)
+		}
+		err = f.Sync()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("store: syncing segment dir: %w", err)
+		}
+		delete(b.newDirs, dir)
+	}
+	// The root dir gains subdirectories; one sync covers them all.
+	f, err := os.Open(b.dir)
+	if err != nil {
+		return fmt.Errorf("store: syncing cold-tier dir: %w", err)
+	}
+	err = f.Sync()
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("store: syncing cold-tier dir: %w", err)
+	}
+	return nil
+}
+
+func (b *diskSegmentBackend) Persistent() bool { return true }
+func (b *diskSegmentBackend) Close() error     { return nil }

@@ -6,6 +6,7 @@ import (
 
 	"locater/internal/event"
 	"locater/internal/space"
+	"locater/internal/wal"
 )
 
 // DefaultOccupancyBucket is the default width of the temporal occupancy
@@ -112,9 +113,14 @@ func (s *Store) OccupancyStats() OccupancyStats {
 // ConfigureOccupancy reconfigures the temporal occupancy index: a new bucket
 // width (non-positive selects DefaultOccupancyBucket) or disabling it
 // entirely (enabled=false), in which case ActiveDevices falls back to
-// scanning every device log. The index is rebuilt from the logs in one pass,
-// so ConfigureOccupancy may be called at any point, not only on an empty
-// store.
+// scanning every device log. The index is rebuilt from the logs in one
+// pass — sealed segments are streamed block-at-a-time (decoded into a
+// reused scratch buffer, never materialized as whole logs), so a rebuild
+// over a mostly-sealed store allocates O(segment), not O(history). A
+// segment that cannot be paged in is skipped (the index under-covers and
+// boundary verification still keeps results exact for decodable devices)
+// and counted in SegmentStats.DecodeFailures. ConfigureOccupancy may be
+// called at any point, not only on an empty store.
 func (s *Store) ConfigureOccupancy(width time.Duration, enabled bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -123,8 +129,31 @@ func (s *Store) ConfigureOccupancy(width time.Duration, enabled bool) {
 		return
 	}
 	ix := newOccupancyIndex(width)
-	for _, lg := range s.logs {
-		for _, e := range lg.events {
+	var scratch []event.Event
+	for dev, lg := range s.logs {
+		for i := range lg.segs {
+			ref := lg.segs[i]
+			if evs, ok := s.segCache.Peek(segKey{dev, ref.meta.Seq}); ok {
+				for j := range evs {
+					ix.add(evs[j])
+				}
+				continue
+			}
+			payload, err := s.segBackend.Get(dev, ref.meta.Seq)
+			if err != nil {
+				s.decodeFails.Add(1)
+				continue
+			}
+			scratch, err = wal.DecodeEventBlock(payload, dev, scratch[:0])
+			if err != nil {
+				s.decodeFails.Add(1)
+				continue
+			}
+			for j := range scratch {
+				ix.add(scratch[j])
+			}
+		}
+		for _, e := range lg.head {
 			ix.add(e)
 		}
 	}
@@ -176,7 +205,7 @@ func (s *Store) activeDevicesLocked(aps []space.APID, start, end time.Time) []ev
 	s.occFallbacks.Add(1)
 	var out []event.DeviceID
 	for d, lg := range s.logs {
-		if deviceActiveInWindow(lg.events, aps, start, end) {
+		if s.deviceActiveInWindowLocked(d, lg, aps, start, end) {
 			out = append(out, d)
 		}
 	}
@@ -247,7 +276,7 @@ func (s *Store) activeFromIndexLocked(aps []space.APID, start, end time.Time) []
 		if !ok {
 			continue
 		}
-		if deviceActiveInWindow(lg.events, aps, start, end) {
+		if s.deviceActiveInWindowLocked(d, lg, aps, start, end) {
 			confirmed[d] = struct{}{}
 		}
 	}
@@ -262,9 +291,46 @@ func (s *Store) activeFromIndexLocked(aps []space.APID, start, end time.Time) []
 	return out
 }
 
-// deviceActiveInWindow reports whether a sorted event log has an event in
+// deviceActiveInWindowLocked reports whether a device has an event in
+// [start, end] (at one of the given APs when aps is non-nil), across its
+// head and sealed segments. Segment metadata prunes most decodes: segments
+// disjoint from the window are skipped outright, and with no AP filter a
+// segment endpoint inside the window confirms activity without decoding.
+// Only boundary-straddling segments (or any overlap under an AP filter) are
+// paged in, through the bounded cache. Caller holds a store lock; the head
+// is sorted.
+func (s *Store) deviceActiveInWindowLocked(d event.DeviceID, lg *deviceLog, aps []space.APID, start, end time.Time) bool {
+	if windowHasAP(lg.head, aps, start, end) {
+		return true
+	}
+	if len(lg.segs) == 0 || end.Before(start) {
+		return false
+	}
+	startN, endN := clampedNanos(start), clampedNanos(end)
+	for i := range lg.segs {
+		m := &lg.segs[i].meta
+		if m.MaxNanos < startN || m.MinNanos > endN {
+			continue
+		}
+		// A segment endpoint inside the window guarantees an event inside
+		// it (the endpoints are event times).
+		if aps == nil && (m.MinNanos >= startN || m.MaxNanos <= endN) {
+			return true
+		}
+		evs, err := s.segEventsCached(d, lg.segs[i])
+		if err != nil {
+			continue
+		}
+		if windowHasAP(evs, aps, start, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// windowHasAP reports whether a sorted event slice has an event in
 // [start, end], at one of the given APs when aps is non-nil.
-func deviceActiveInWindow(evs []event.Event, aps []space.APID, start, end time.Time) bool {
+func windowHasAP(evs []event.Event, aps []space.APID, start, end time.Time) bool {
 	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
 	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
 	if lo >= hi {

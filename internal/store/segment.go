@@ -1,0 +1,681 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"locater/internal/cache"
+	"locater/internal/event"
+	"locater/internal/wal"
+)
+
+// Default segmentation parameters. 512 events per segment keeps blocks in
+// the few-KiB range (decode cost measured in microseconds) while a device
+// with fleet-typical history still seals most of its log; 1024 cached
+// decoded segments bound the warm working set to a few tens of MiB.
+const (
+	DefaultSegmentMaxEvents = 512
+	DefaultSegmentCacheSize = 1024
+)
+
+// segmentRef is a device log's handle on one sealed segment: metadata only.
+// The encoded payload lives in the SegmentBackend and decoded events are
+// materialized on demand through the bounded segment cache.
+type segmentRef struct {
+	meta wal.SegmentMeta
+}
+
+// SegmentConfig configures the store's log-structured layout.
+type SegmentConfig struct {
+	// MaxEvents is the head size at which a device's mutable head is sealed
+	// into an immutable compressed segment. 0 selects
+	// DefaultSegmentMaxEvents; a negative value disables sealing entirely
+	// (every log stays a plain slice). Values 1..2 are clamped to 2.
+	MaxEvents int
+	// CacheSize bounds the decoded-segment cache (entries = segments).
+	// 0 selects DefaultSegmentCacheSize.
+	CacheSize int
+	// Backend stores sealed segment payloads; nil selects the in-memory
+	// compressed tier. Pass NewDiskSegmentBackend for a cold tier.
+	Backend SegmentBackend
+}
+
+// ConfigureSegments applies a segmentation configuration. It must be called
+// before any events are ingested or restored: sealed segments already
+// reference the previous backend.
+func (s *Store) ConfigureSegments(cfg SegmentConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count != 0 || len(s.logs) != 0 {
+		return errors.New("store: ConfigureSegments on a non-empty store")
+	}
+	switch {
+	case cfg.MaxEvents < 0:
+		s.segMax = 0
+	case cfg.MaxEvents == 0:
+		s.segMax = DefaultSegmentMaxEvents
+	case cfg.MaxEvents < 2:
+		s.segMax = 2
+	default:
+		s.segMax = cfg.MaxEvents
+	}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = DefaultSegmentCacheSize
+	}
+	s.segCache = cache.New[segKey, []event.Event](size, segKeyHash)
+	if cfg.Backend != nil {
+		s.segBackend = cfg.Backend
+	}
+	return nil
+}
+
+// CloseSegments closes the segment backend. Call once the store will no
+// longer be read (page-ins need the backend).
+func (s *Store) CloseSegments() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segBackend.Close()
+}
+
+// InvalidateSegmentCache drops every decoded segment in O(1) (epoch bump),
+// releasing the decoded working set. Purely an operational control — the
+// encoded payloads in the backend stay authoritative and are paged back in
+// on demand — used under memory pressure and by the cold-query benchmarks.
+func (s *Store) InvalidateSegmentCache() {
+	s.segCache.Invalidate()
+}
+
+// SyncSegments makes every sealed segment durable in the backend. The
+// checkpoint path calls it before publishing a manifest that references the
+// segments: a manifest must never point at bytes that could vanish in a
+// crash.
+func (s *Store) SyncSegments() error {
+	return s.segBackend.Sync()
+}
+
+func segKeyHash(k segKey) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.dev); i++ {
+		h ^= uint64(k.dev[i])
+		h *= 1099511628211
+	}
+	h ^= k.seq
+	h *= 1099511628211
+	return h
+}
+
+// sealLocked compresses the device's head into an immutable segment: sort,
+// encode (dictionary APs + delta-of-delta timestamps), store the payload in
+// the backend, register the metadata, and start a fresh head. The freshly
+// decoded block — a round-trip that also verifies the encoding — pre-warms
+// the segment cache. Caller holds the exclusive lock.
+//
+// On failure the head is simply kept: the next append re-attempts the seal,
+// and an over-full head is only a memory regression, never a correctness
+// one.
+func (s *Store) sealLocked(d event.DeviceID, lg *deviceLog) {
+	s.ensureSorted(lg)
+	block := wal.EncodeEventBlock(nil, lg.head)
+	decoded, err := wal.DecodeEventBlock(block, d, make([]event.Event, 0, len(lg.head)))
+	if err != nil || len(decoded) != len(lg.head) {
+		s.sealFails.Add(1)
+		return
+	}
+	seq := lg.nextSeq
+	if err := s.segBackend.Put(d, seq, block); err != nil {
+		s.sealFails.Add(1)
+		return
+	}
+	lg.nextSeq++
+	lg.segs = append(lg.segs, segmentRef{meta: wal.SegmentMeta{
+		Seq:      seq,
+		Count:    len(lg.head),
+		MinNanos: lg.head[0].Time.UnixNano(),
+		MaxNanos: lg.head[len(lg.head)-1].Time.UnixNano(),
+		Bytes:    len(block),
+	}})
+	lg.segEvents += len(lg.head)
+	s.segCount++
+	s.segEvents += len(lg.head)
+	s.segBytes += int64(len(block))
+	s.seals.Add(1)
+	s.segCache.Put(segKey{d, seq}, decoded)
+	lg.head = nil
+}
+
+// segEventsCached returns a segment's decoded events through the bounded
+// segment cache, paging the payload in from the backend on a miss. The
+// returned slice is shared and immutable: callers must not mutate it, and
+// non-copying callers must not let it escape the store lock. Errors are not
+// cached, so a corrupt segment is refused on every access.
+func (s *Store) segEventsCached(d event.DeviceID, ref segmentRef) ([]event.Event, error) {
+	return s.segCache.GetOrCompute(segKey{d, ref.meta.Seq}, func() ([]event.Event, error) {
+		s.pageIns.Add(1)
+		payload, err := s.segBackend.Get(d, ref.meta.Seq)
+		if err != nil {
+			s.decodeFails.Add(1)
+			return nil, err
+		}
+		out, err := wal.DecodeEventBlock(payload, d, make([]event.Event, 0, ref.meta.Count))
+		if err != nil {
+			s.decodeFails.Add(1)
+			return nil, fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
+		}
+		if len(out) != ref.meta.Count {
+			s.decodeFails.Add(1)
+			return nil, fmt.Errorf("store: segment %d for device %s decoded %d events, manifest says %d",
+				ref.meta.Seq, d, len(out), ref.meta.Count)
+		}
+		return out, nil
+	})
+}
+
+// materializeLocked appends the device's full log — every sealed segment
+// plus the head — to out in time order. Cached decodes are reused (via Peek,
+// so bulk materialization doesn't skew cache traffic counters); uncached
+// segments are decoded straight into out without populating the cache.
+// Caller holds a store lock and has sorted the head.
+func (s *Store) materializeLocked(d event.DeviceID, lg *deviceLog, out []event.Event) ([]event.Event, error) {
+	for i := range lg.segs {
+		ref := lg.segs[i]
+		if evs, ok := s.segCache.Peek(segKey{d, ref.meta.Seq}); ok {
+			out = append(out, evs...)
+			continue
+		}
+		payload, err := s.segBackend.Get(d, ref.meta.Seq)
+		if err != nil {
+			s.decodeFails.Add(1)
+			return out, err
+		}
+		out, err = wal.DecodeEventBlock(payload, d, out)
+		if err != nil {
+			s.decodeFails.Add(1)
+			return out, fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
+		}
+	}
+	out = append(out, lg.head...)
+	if !eventsSorted(out) {
+		event.SortEvents(out)
+	}
+	return out, nil
+}
+
+// nanoTime bounds within which time.Time round-trips through UnixNano.
+// Stored events always fit (they round-trip through the WAL codec); query
+// windows are clamped so comparisons against segment metadata stay correct
+// for arbitrarily wide windows.
+var (
+	minNanoTime = time.Unix(0, math.MinInt64)
+	maxNanoTime = time.Unix(0, math.MaxInt64)
+)
+
+func clampedNanos(t time.Time) int64 {
+	if t.Before(minNanoTime) {
+		return math.MinInt64
+	}
+	if t.After(maxNanoTime) {
+		return math.MaxInt64
+	}
+	return t.UnixNano()
+}
+
+// searchWindow returns the [lo, hi) index range of events with
+// start ≤ Time ≤ end in a sorted slice.
+func searchWindow(evs []event.Event, start, end time.Time) (int, int) {
+	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
+	return lo, hi
+}
+
+// eventsSorted reports whether evs is sorted by the store's event order.
+func eventsSorted(evs []event.Event) bool {
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Before(evs[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanBuf is the pooled scratch a segmented read assembles its window or
+// point-lookup neighborhood into. Pooled per call (Get/Put around each use),
+// so re-entrant reads — the fine stage scans candidate logs while holding
+// results of an outer scan — each get their own buffer.
+type scanBuf struct {
+	evs  []event.Event
+	idx  []int
+	runs [][]event.Event
+}
+
+var scanBufPool = sync.Pool{New: func() any { return new(scanBuf) }}
+
+// mergeRuns appends the merge of k individually sorted, non-empty runs to
+// out in the store's (Time, ID, Device) event order. The run list is kept
+// sorted by head event; each step binary-searches how far the front run
+// extends before the second run's head and copies that whole stretch. Runs
+// that do not interleave — the common shape, since segments are sealed in
+// rough time order and overlap only around late-arriving events — thus cost
+// one wholesale copy each, and a store fragmented into thousands of tiny
+// segments still merges in O(m) instead of re-sorting every window. The
+// order is total (event IDs are unique per device), so the result is
+// exactly what sorting the concatenation would produce.
+func mergeRuns(out []event.Event, runs [][]event.Event) []event.Event {
+	// Insertion-sort the runs by head: they arrive in seal order, which is
+	// already nearly sorted.
+	for i := 1; i < len(runs); i++ {
+		r := runs[i]
+		j := i
+		for ; j > 0 && r[0].Before(runs[j-1][0]); j-- {
+			runs[j] = runs[j-1]
+		}
+		runs[j] = r
+	}
+	for len(runs) > 1 {
+		r, next := runs[0], runs[1][0]
+		// Everything in r strictly before the next run's head is safe to
+		// emit wholesale. The heads are ordered, so cut ≥ 1: progress is
+		// guaranteed.
+		cut := sort.Search(len(r), func(j int) bool { return next.Before(r[j]) })
+		out = append(out, r[:cut]...)
+		if cut == len(r) {
+			runs = runs[1:]
+			continue
+		}
+		// Re-position the remainder by its new head.
+		r = r[cut:]
+		i := 1
+		for ; i < len(runs) && runs[i][0].Before(r[0]); i++ {
+			runs[i-1] = runs[i]
+		}
+		runs[i-1] = r
+	}
+	if len(runs) == 1 {
+		out = append(out, runs[0]...)
+	}
+	return out
+}
+
+// scanWindowLocked is the segmented ScanEvents core: it assembles the
+// device's events in [start, end] and hands them to fn. Zero-copy fast
+// paths cover the no-segments and single-source cases; otherwise the
+// windowed runs from cached segment decodes plus the head are k-way merged
+// (see mergeRuns) into a pooled buffer. On a page-in or decode failure the
+// scan degrades to an empty window — the corrupt segment is refused, never
+// served — with the failure counted in SegmentStats. Caller holds a store
+// lock and has sorted the head.
+func (s *Store) scanWindowLocked(d event.DeviceID, lg *deviceLog, start, end time.Time, delta time.Duration, fn func([]event.Event, time.Duration)) {
+	hl, hh := searchWindow(lg.head, start, end)
+	if len(lg.segs) == 0 || end.Before(start) {
+		if hl >= hh {
+			fn(nil, delta)
+		} else {
+			fn(lg.head[hl:hh], delta)
+		}
+		return
+	}
+	startN, endN := clampedNanos(start), clampedNanos(end)
+	nOver, single := 0, -1
+	for i := range lg.segs {
+		m := &lg.segs[i].meta
+		if m.MaxNanos < startN || m.MinNanos > endN {
+			continue
+		}
+		nOver++
+		single = i
+	}
+	if nOver == 0 {
+		if hl >= hh {
+			fn(nil, delta)
+		} else {
+			fn(lg.head[hl:hh], delta)
+		}
+		return
+	}
+	if nOver == 1 && hl >= hh {
+		evs, err := s.segEventsCached(d, lg.segs[single])
+		if err != nil {
+			fn(nil, delta)
+			return
+		}
+		lo, hi := searchWindow(evs, start, end)
+		if lo >= hi {
+			fn(nil, delta)
+		} else {
+			fn(evs[lo:hi], delta)
+		}
+		return
+	}
+	bp := scanBufPool.Get().(*scanBuf)
+	runs := bp.runs[:0]
+	ok := true
+	for i := range lg.segs {
+		m := &lg.segs[i].meta
+		if m.MaxNanos < startN || m.MinNanos > endN {
+			continue
+		}
+		evs, err := s.segEventsCached(d, lg.segs[i])
+		if err != nil {
+			ok = false
+			break
+		}
+		if lo, hi := searchWindow(evs, start, end); lo < hi {
+			runs = append(runs, evs[lo:hi])
+		}
+	}
+	out := bp.evs[:0]
+	if ok {
+		if hl < hh {
+			runs = append(runs, lg.head[hl:hh])
+		}
+		out = mergeRuns(out, runs)
+	}
+	if !ok || len(out) == 0 {
+		fn(nil, delta)
+	} else {
+		fn(out, delta)
+	}
+	// Drop the run views before pooling: they alias cached segment decodes,
+	// which the pool must not pin.
+	for i := range runs {
+		runs[i] = nil
+	}
+	bp.evs, bp.runs = out, runs[:0]
+	scanBufPool.Put(bp)
+}
+
+// appendNeighborhood appends to buf the events adjacent to t in one sorted
+// source: up to two at or before t and up to two after.
+func appendNeighborhood(buf []event.Event, evs []event.Event, t time.Time) []event.Event {
+	idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
+	lo, hi := idx-2, idx+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(evs) {
+		hi = len(evs)
+	}
+	return append(buf, evs[lo:hi]...)
+}
+
+// leqStats returns how many events in buf have Time ≤ t (as nanos) and the
+// second-largest such time (math.MinInt64 when fewer than two).
+func leqStats(buf []event.Event, tN int64) (int, int64) {
+	n := 0
+	max1, max2 := int64(math.MinInt64), int64(math.MinInt64)
+	for i := range buf {
+		en := buf[i].Time.UnixNano()
+		if en > tN {
+			continue
+		}
+		n++
+		if en >= max1 {
+			max2, max1 = max1, en
+		} else if en > max2 {
+			max2 = en
+		}
+	}
+	return n, max2
+}
+
+// gtStats returns how many events in buf have Time > t (as nanos) and the
+// second-smallest such time (math.MaxInt64 when fewer than two).
+func gtStats(buf []event.Event, tN int64) (int, int64) {
+	n := 0
+	min1, min2 := int64(math.MaxInt64), int64(math.MaxInt64)
+	for i := range buf {
+		en := buf[i].Time.UnixNano()
+		if en <= tN {
+			continue
+		}
+		n++
+		if en <= min1 {
+			min2, min1 = min1, en
+		} else if en < min2 {
+			min2 = en
+		}
+	}
+	return n, min2
+}
+
+// neighborhoodLocked assembles into bp the sorted set of events adjacent to
+// t across every source (head + segments): at least the two nearest events
+// on each side of t, drawn from whichever sources hold them.
+//
+// Timeline.At/APAt on time t only ever read the two events on each side of
+// it — validity truncation uses the immediate neighbors and gap bounds use
+// the straddling pair — so running them over this neighborhood reproduces
+// the flat-log answer exactly. Segments whose time range overlaps t are
+// always decoded; segments entirely before (after) t are visited in
+// decreasing-max (increasing-min) order and decoding stops as soon as the
+// next segment provably cannot displace the two best candidates already
+// found (ties keep decoding, so equal-time events still tie-break by ID).
+// Caller holds a store lock and has sorted the head.
+func (s *Store) neighborhoodLocked(d event.DeviceID, lg *deviceLog, t time.Time, bp *scanBuf) ([]event.Event, error) {
+	buf := appendNeighborhood(bp.evs[:0], lg.head, t)
+	tN := clampedNanos(t)
+	before, after := bp.idx[:0], make([]int, 0)
+	for i := range lg.segs {
+		m := &lg.segs[i].meta
+		switch {
+		case m.MaxNanos < tN:
+			// Insertion sort by MaxNanos descending.
+			j := len(before)
+			before = append(before, i)
+			for ; j > 0 && lg.segs[before[j-1]].meta.MaxNanos < m.MaxNanos; j-- {
+				before[j] = before[j-1]
+			}
+			before[j] = i
+		case m.MinNanos > tN:
+			// Insertion sort by MinNanos ascending.
+			j := len(after)
+			after = append(after, i)
+			for ; j > 0 && lg.segs[after[j-1]].meta.MinNanos > m.MinNanos; j-- {
+				after[j] = after[j-1]
+			}
+			after[j] = i
+		default:
+			evs, err := s.segEventsCached(d, lg.segs[i])
+			if err != nil {
+				bp.evs, bp.idx = buf, before
+				return nil, err
+			}
+			buf = appendNeighborhood(buf, evs, t)
+		}
+	}
+	for _, i := range before {
+		n, second := leqStats(buf, tN)
+		if n >= 2 && lg.segs[i].meta.MaxNanos < second {
+			break
+		}
+		evs, err := s.segEventsCached(d, lg.segs[i])
+		if err != nil {
+			bp.evs, bp.idx = buf, before
+			return nil, err
+		}
+		buf = appendNeighborhood(buf, evs, t)
+	}
+	for _, i := range after {
+		n, second := gtStats(buf, tN)
+		if n >= 2 && lg.segs[i].meta.MinNanos > second {
+			break
+		}
+		evs, err := s.segEventsCached(d, lg.segs[i])
+		if err != nil {
+			bp.evs, bp.idx = buf, before
+			return nil, err
+		}
+		buf = appendNeighborhood(buf, evs, t)
+	}
+	if !eventsSorted(buf) {
+		event.SortEvents(buf)
+	}
+	bp.evs, bp.idx = buf, before
+	return buf, nil
+}
+
+// RestoreSegments registers recovered segment metadata on an empty store —
+// metadata only: no segment is decoded to restore it, which is what makes
+// recovery incremental. Per-device sequence counters resume past the
+// highest restored seq, and the occupancy index (when enabled) is rebuilt
+// by streaming the segments block-at-a-time — the one full read, which
+// doubles as an integrity pass over the cold tier; run with occupancy
+// disabled, restore touches no segment bytes at all.
+func (s *Store) RestoreSegments(manifest map[event.DeviceID][]wal.SegmentMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count != 0 || len(s.logs) != 0 {
+		return errors.New("store: RestoreSegments on a non-empty store")
+	}
+	for dev, metas := range manifest {
+		if len(metas) == 0 {
+			continue
+		}
+		sorted := make([]wal.SegmentMeta, len(metas))
+		copy(sorted, metas)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+		lg := &deviceLog{sorted: true, nextSeq: 1}
+		for _, m := range sorted {
+			lg.segs = append(lg.segs, segmentRef{meta: m})
+			if m.Seq >= lg.nextSeq {
+				lg.nextSeq = m.Seq + 1
+			}
+			lg.segEvents += m.Count
+			s.segCount++
+			s.segEvents += m.Count
+			s.segBytes += int64(m.Bytes)
+			minT, maxT := time.Unix(0, m.MinNanos).UTC(), time.Unix(0, m.MaxNanos).UTC()
+			if s.count == 0 || minT.Before(s.minTime) {
+				s.minTime = minT
+			}
+			if s.count == 0 || maxT.After(s.maxTime) {
+				s.maxTime = maxT
+			}
+			s.count += m.Count
+		}
+		s.logs[dev] = lg
+	}
+	s.segCache.Invalidate()
+	if s.occ == nil {
+		return nil
+	}
+	var scratch []event.Event
+	for dev, lg := range s.logs {
+		for i := range lg.segs {
+			ref := lg.segs[i]
+			payload, err := s.segBackend.Get(dev, ref.meta.Seq)
+			if err != nil {
+				return fmt.Errorf("store: restoring segment %d for device %s: %w", ref.meta.Seq, dev, err)
+			}
+			scratch = scratch[:0]
+			scratch, err = wal.DecodeEventBlock(payload, dev, scratch)
+			if err != nil {
+				s.decodeFails.Add(1)
+				return fmt.Errorf("store: restoring segment %d for device %s: %w", ref.meta.Seq, dev, err)
+			}
+			for j := range scratch {
+				s.occ.add(scratch[j])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckpointState is the store's durable state in incremental-snapshot
+// form: the mutable heads in full plus a manifest of sealed segments —
+// metadata only, since the segment payloads are already durable in the
+// backend (SyncSegments). It shares nothing with the live store.
+type CheckpointState struct {
+	NextID   int64
+	Deltas   map[event.DeviceID]time.Duration
+	Heads    map[event.DeviceID][]event.Event
+	Segments map[event.DeviceID][]wal.SegmentMeta
+}
+
+// CheckpointState captures the store's durable state for an incremental
+// checkpoint. Unlike SnapshotState it never materializes sealed segments:
+// capture cost is proportional to the mutable heads, not total history.
+func (s *Store) CheckpointState() CheckpointState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := CheckpointState{
+		NextID:   s.nextID,
+		Deltas:   make(map[event.DeviceID]time.Duration, len(s.deltas)),
+		Heads:    make(map[event.DeviceID][]event.Event, len(s.logs)),
+		Segments: make(map[event.DeviceID][]wal.SegmentMeta),
+	}
+	for d, dl := range s.deltas {
+		st.Deltas[d] = dl
+	}
+	for dev, lg := range s.logs {
+		s.ensureSorted(lg)
+		if len(lg.head) > 0 {
+			cp := make([]event.Event, len(lg.head))
+			copy(cp, lg.head)
+			st.Heads[dev] = cp
+		}
+		if len(lg.segs) > 0 {
+			metas := make([]wal.SegmentMeta, len(lg.segs))
+			for i := range lg.segs {
+				metas[i] = lg.segs[i].meta
+			}
+			st.Segments[dev] = metas
+		}
+	}
+	return st
+}
+
+// SegmentStats reports the log-structured layout's shape and traffic.
+type SegmentStats struct {
+	// Enabled reports whether heads are sealed into segments; MaxEvents is
+	// the seal threshold.
+	Enabled   bool
+	MaxEvents int
+	// ColdTier reports whether sealed payloads live on disk (a persistent
+	// backend) rather than in memory.
+	ColdTier bool
+	// Segments / SegmentEvents / HeadEvents split the store's resident
+	// shape; EncodedBytes is the compressed size of all sealed payloads.
+	Segments      int
+	SegmentEvents int
+	HeadEvents    int
+	EncodedBytes  int64
+	// Seals / SealFailures count seal attempts; PageIns counts backend
+	// reads (decoded-segment cache misses), CacheHits the reads served
+	// without one. DecodeFailures counts refused page-ins (corrupt or
+	// missing payloads).
+	Seals          int64
+	SealFailures   int64
+	PageIns        int64
+	CacheHits      int64
+	CacheSize      int
+	CacheCapacity  int
+	DecodeFailures int64
+}
+
+// SegmentStats returns the segmented layout's current shape and counters.
+func (s *Store) SegmentStats() SegmentStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cst := s.segCache.Stats()
+	return SegmentStats{
+		Enabled:        s.segMax > 0,
+		MaxEvents:      s.segMax,
+		ColdTier:       s.segBackend.Persistent(),
+		Segments:       s.segCount,
+		SegmentEvents:  s.segEvents,
+		HeadEvents:     s.count - s.segEvents,
+		EncodedBytes:   s.segBytes,
+		Seals:          s.seals.Load(),
+		SealFailures:   s.sealFails.Load(),
+		PageIns:        s.pageIns.Load(),
+		CacheHits:      cst.Hits,
+		CacheSize:      cst.Size,
+		CacheCapacity:  cst.Capacity,
+		DecodeFailures: s.decodeFails.Load(),
+	}
+}

@@ -3,10 +3,17 @@
 // streaming ingestion, per-device timelines, time-window scans, and the gap
 // lookups that the cleaning engine issues for every query.
 //
-// The store keeps one sorted event log per device. Campus-scale deployments
-// generate millions of tuples per day (paper Section 1), so all temporal
-// lookups are binary searches over the per-device logs, and ingestion
-// amortizes sorting by buffering out-of-order arrivals.
+// The store keeps one log per device in a log-structured layout: a small
+// mutable head (a sorted slice absorbing fresh ingestion) plus a list of
+// immutable, sorted, compressed segments (see internal/wal's columnar block
+// codec) sealed whenever the head reaches a configurable size. Sealed
+// payloads live in a SegmentBackend — in memory, or spilled to per-device
+// files for a cold tier — and are decoded block-at-a-time through a bounded
+// segment cache, so resident memory scales with the working set instead of
+// total history. Campus-scale deployments generate millions of tuples per
+// day (paper Section 1), so all temporal lookups are binary searches plus
+// metadata-pruned segment decodes, and ingestion amortizes sorting by
+// buffering out-of-order arrivals in the head.
 package store
 
 import (
@@ -16,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locater/internal/cache"
 	"locater/internal/event"
 	"locater/internal/space"
 )
@@ -48,7 +56,7 @@ type Backend interface {
 }
 
 // Store is an in-memory event repository. It is safe for concurrent use:
-// reads take a shared lock in the common case (all logs sorted), so
+// reads take a shared lock in the common case (all heads sorted), so
 // concurrent queries scan the store in parallel; ingestion — and the lazy
 // re-sort a read triggers after out-of-order ingestion — takes an exclusive
 // lock.
@@ -68,14 +76,30 @@ type Store struct {
 
 	nextID int64
 
-	// dirty holds the device logs knocked out of time order by out-of-order
-	// ingestion: read paths test "everything sorted" in O(1) via len(dirty),
-	// and the lazy re-sort touches exactly these logs instead of iterating
-	// every log in the store.
+	// dirty holds the device logs whose heads were knocked out of time
+	// order by out-of-order ingestion: read paths test "everything sorted"
+	// in O(1) via len(dirty), and the lazy re-sort touches exactly these
+	// logs instead of iterating every log in the store.
 	dirty map[*deviceLog]struct{}
 	// resorts counts actual lazy re-sorts (one per dirtied log), so tests
 	// can assert the re-sort scope.
 	resorts int64
+
+	// Segmented layout (see segment.go): segMax is the seal threshold
+	// (0 = sealing disabled), segBackend stores sealed payloads, segCache
+	// bounds the decoded working set. segCount/segEvents/segBytes track the
+	// sealed shape; the atomics count seal and page-in traffic (bumped
+	// under the shared lock).
+	segMax      int
+	segBackend  SegmentBackend
+	segCache    *cache.Cache[segKey, []event.Event]
+	segCount    int
+	segEvents   int
+	segBytes    int64
+	seals       atomic.Int64
+	sealFails   atomic.Int64
+	pageIns     atomic.Int64
+	decodeFails atomic.Int64
 
 	// occ is the temporal occupancy index serving ActiveDevices /
 	// ActiveDevicesAt; nil when disabled (see ConfigureOccupancy).
@@ -91,13 +115,24 @@ type Store struct {
 	count   int
 }
 
+// deviceLog is one device's log-structured history: sealed immutable
+// segments (in seal order, each internally sorted) plus the mutable head.
+// Segments may overlap each other and the head in time when ingestion was
+// out of order across a seal boundary; read paths merge-and-sort windows
+// that actually interleave.
 type deviceLog struct {
-	events []event.Event // sorted by (Time, ID)
+	head   []event.Event // mutable tail, sorted by (Time, ID) when sorted
 	sorted bool
+
+	segs      []segmentRef
+	segEvents int
+	nextSeq   uint64 // next segment sequence number (1-based)
 }
 
 // New creates an empty store with the given default validity interval δ.
-// A non-positive defaultDelta falls back to DefaultDelta.
+// A non-positive defaultDelta falls back to DefaultDelta. Segmentation
+// starts at the defaults (in-memory compressed tier, DefaultSegmentMaxEvents
+// seal threshold); ConfigureSegments adjusts it before first ingest.
 func New(defaultDelta time.Duration) *Store {
 	if defaultDelta <= 0 {
 		defaultDelta = DefaultDelta
@@ -109,6 +144,9 @@ func New(defaultDelta time.Duration) *Store {
 		nextID:       1,
 		dirty:        make(map[*deviceLog]struct{}),
 		occ:          newOccupancyIndex(DefaultOccupancyBucket),
+		segMax:       DefaultSegmentMaxEvents,
+		segBackend:   NewMemorySegmentBackend(),
+		segCache:     cache.New[segKey, []event.Event](DefaultSegmentCacheSize, segKeyHash),
 	}
 }
 
@@ -160,16 +198,17 @@ func (s *Store) deltaLocked(d event.DeviceID) time.Duration {
 	return s.defaultDelta
 }
 
-// withSortedLog invokes fn with the device's sorted event log and validity
+// withDevice invokes fn with the device's log — head sorted — and validity
 // interval while a store lock is held: a shared lock in the common case
-// (the log is already sorted), an exclusive one only when a lazy sort is
-// needed after out-of-order ingestion. fn must not retain or mutate evs.
-// Reports whether the device exists.
-func (s *Store) withSortedLog(d event.DeviceID, fn func(evs []event.Event, delta time.Duration)) bool {
+// (the head is already sorted), an exclusive one only when a lazy sort is
+// needed after out-of-order ingestion. fn must only read the log and must
+// not retain any slice it derives from it. Reports whether the device
+// exists.
+func (s *Store) withDevice(d event.DeviceID, fn func(lg *deviceLog, delta time.Duration)) bool {
 	s.mu.RLock()
 	lg, ok := s.logs[d]
 	if ok && lg.sorted {
-		fn(lg.events, s.deltaLocked(d))
+		fn(lg, s.deltaLocked(d))
 		s.mu.RUnlock()
 		return true
 	}
@@ -185,7 +224,7 @@ func (s *Store) withSortedLog(d event.DeviceID, fn func(evs []event.Event, delta
 		return false
 	}
 	s.ensureSorted(lg)
-	fn(lg.events, s.deltaLocked(d))
+	fn(lg, s.deltaLocked(d))
 	return true
 }
 
@@ -193,12 +232,23 @@ func (s *Store) withSortedLog(d event.DeviceID, fn func(evs []event.Event, delta
 // event.EstimateDelta) and registers the results. Devices with too little
 // data keep the default. With a backend attached the estimated deltas are
 // logged and committed as one group; the returned error reports a logging
-// failure (always nil without a backend).
+// failure or a sealed segment that could not be materialized.
 func (s *Store) EstimateDeltas(quantile float64, minD, maxD time.Duration) error {
 	s.mu.Lock()
+	var scratch []event.Event
 	for dev, lg := range s.logs {
 		s.ensureSorted(lg)
-		d := event.EstimateDelta(lg.events, quantile, minD, maxD, s.defaultDelta)
+		evs := lg.head
+		if len(lg.segs) > 0 {
+			var err error
+			scratch, err = s.materializeLocked(dev, lg, scratch[:0])
+			if err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("store: materializing device %s: %w", dev, err)
+			}
+			evs = scratch
+		}
+		d := event.EstimateDelta(evs, quantile, minD, maxD, s.defaultDelta)
 		if s.backend != nil {
 			if err := s.backend.AppendDelta(dev, d); err != nil {
 				s.mu.Unlock()
@@ -222,7 +272,9 @@ func (s *Store) EstimateDeltas(quantile float64, minD, maxD time.Duration) error
 // before anything is appended, so a rejected batch leaves the store
 // untouched (all-or-nothing). With a backend attached the batch is logged —
 // exactly as acknowledged, IDs included — before the in-memory apply, and
-// Ingest returns only after the backend reports the batch durable.
+// Ingest returns only after the backend reports the batch durable. Heads
+// that reach the seal threshold are compressed into immutable segments on
+// the spot.
 func (s *Store) Ingest(events []event.Event) (int, error) {
 	for _, e := range events {
 		if e.Device == "" {
@@ -260,16 +312,16 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 	for _, e := range batch {
 		lg, ok := s.logs[e.Device]
 		if !ok {
-			lg = &deviceLog{sorted: true}
+			lg = &deviceLog{sorted: true, nextSeq: 1}
 			s.logs[e.Device] = lg
 		}
 		// Maintain sortedness cheaply: appending in time order is the
 		// common case for streaming ingestion.
-		if lg.sorted && len(lg.events) > 0 && e.Before(lg.events[len(lg.events)-1]) {
+		if lg.sorted && len(lg.head) > 0 && e.Before(lg.head[len(lg.head)-1]) {
 			lg.sorted = false
 			s.dirty[lg] = struct{}{}
 		}
-		lg.events = append(lg.events, e)
+		lg.head = append(lg.head, e)
 		if s.occ != nil {
 			s.occ.add(e)
 		}
@@ -280,6 +332,9 @@ func (s *Store) Ingest(events []event.Event) (int, error) {
 			s.maxTime = e.Time
 		}
 		s.count++
+		if s.segMax > 0 && len(lg.head) >= s.segMax {
+			s.sealLocked(e.Device, lg)
+		}
 	}
 	b := s.backend
 	s.mu.Unlock()
@@ -300,11 +355,11 @@ func (s *Store) IngestOne(e event.Event) error {
 	return err
 }
 
-// ensureSorted re-sorts a log after out-of-order ingestion and maintains
+// ensureSorted re-sorts a head after out-of-order ingestion and maintains
 // the store's dirty-log set. Callers must hold the exclusive lock.
 func (s *Store) ensureSorted(lg *deviceLog) {
 	if !lg.sorted {
-		event.SortEvents(lg.events)
+		event.SortEvents(lg.head)
 		lg.sorted = true
 		delete(s.dirty, lg)
 		s.resorts++
@@ -348,37 +403,43 @@ func (s *Store) Devices() []event.DeviceID {
 	return out
 }
 
-// Events returns a copy of a device's full event log in time order.
+// Events returns a copy of a device's full event log in time order,
+// materializing sealed segments. A segment that cannot be paged in yields a
+// nil slice (and a DecodeFailures bump) rather than a partial log.
 func (s *Store) Events(d event.DeviceID) []event.Event {
 	var out []event.Event
-	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
-		out = make([]event.Event, len(evs))
-		copy(out, evs)
+	s.withDevice(d, func(lg *deviceLog, _ time.Duration) {
+		var err error
+		out, err = s.materializeLocked(d, lg, make([]event.Event, 0, len(lg.head)+lg.segEvents))
+		if err != nil {
+			out = nil
+		}
 	})
 	return out
 }
 
 // ScanEvents invokes fn once with the device's events with start ≤ t ≤ end
-// (a zero-copy sub-slice of the sorted log, located by binary search) and
-// the device's validity interval δ, while a store lock is held — a shared
-// lock in the common case, so concurrent scans proceed in parallel. fn must
-// not retain or mutate evs: the slice aliases the store's own log and is
-// invalid the moment ScanEvents returns. Reports whether the device exists;
-// fn is invoked (possibly with an empty slice) exactly when it does.
+// and the device's validity interval δ, while a store lock is held — a
+// shared lock in the common case, so concurrent scans proceed in parallel.
+//
+// fn must not retain or mutate evs, and must not assume anything about its
+// backing storage: depending on where the window lives, the slice may alias
+// the device's mutable head, a cached segment-decode buffer shared with
+// concurrent readers, or a pooled scratch buffer that is reused the moment
+// ScanEvents returns. Callers that need to keep the events must copy them
+// (EventsBetween / TimelineBetween do exactly that). Reports whether the
+// device exists; fn is invoked (possibly with an empty slice) exactly when
+// it does. A window whose segments cannot be paged in (corrupt or missing
+// cold-tier payload) is served as empty and counted in
+// SegmentStats.DecodeFailures — a corrupt segment is refused, never served.
 //
 // This is the allocation-free read path the per-query kernels use: the fine
 // stage's batched affinity sweep and the coarse stage's history statistics
-// visit millions of events per second through it without per-call copies.
-// Callers that need to keep the events use EventsBetween instead.
+// visit millions of events per second through it; windows inside a single
+// source (head or one segment) are served zero-copy.
 func (s *Store) ScanEvents(d event.DeviceID, start, end time.Time, fn func(evs []event.Event, delta time.Duration)) bool {
-	return s.withSortedLog(d, func(evs []event.Event, delta time.Duration) {
-		lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(start) })
-		hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(end) })
-		if lo >= hi {
-			fn(nil, delta)
-			return
-		}
-		fn(evs[lo:hi], delta)
+	return s.withDevice(d, func(lg *deviceLog, delta time.Duration) {
+		s.scanWindowLocked(d, lg, start, end, delta, fn)
 	})
 }
 
@@ -430,16 +491,30 @@ func (s *Store) TimelineBetween(d event.DeviceID, start, end time.Time) (*event.
 
 // At classifies time t for device d: inside a validity interval, inside a
 // gap, or unknown (before first/after last event). It is the store-level
-// entry point the cleaning engine uses for every query; it runs directly on
-// the shared sorted log (no per-query copy) under a shared lock.
+// entry point the cleaning engine uses for every query. Timeline.At only
+// ever reads the two events on each side of t, so for a segmented log it
+// runs over the point-lookup neighborhood (see neighborhoodLocked) instead
+// of materializing the history — at most a couple of segment decodes, all
+// through the bounded cache.
 func (s *Store) At(d event.DeviceID, t time.Time) (*event.Validity, *event.Gap, error) {
 	var v *event.Validity
 	var g *event.Gap
 	var err error
-	s.withSortedLog(d, func(evs []event.Event, delta time.Duration) {
+	s.withDevice(d, func(lg *deviceLog, delta time.Duration) {
 		if delta <= 0 {
 			err = fmt.Errorf("store: non-positive validity interval %v for device %s", delta, d)
 			return
+		}
+		evs := lg.head
+		var bp *scanBuf
+		if len(lg.segs) > 0 {
+			bp = scanBufPool.Get().(*scanBuf)
+			defer scanBufPool.Put(bp)
+			evs, err = s.neighborhoodLocked(d, lg, t, bp)
+			if err != nil {
+				err = fmt.Errorf("store: reading device %s at %v: %w", d, t, err)
+				return
+			}
 		}
 		// Timeline.At only reads the slice and returns freshly-allocated
 		// values, so the view never escapes the lock.
@@ -453,7 +528,17 @@ func (s *Store) At(d event.DeviceID, t time.Time) (*event.Validity, *event.Gap, 
 func (s *Store) LastEventAtOrBefore(d event.DeviceID, t time.Time) (event.Event, bool) {
 	var e event.Event
 	var found bool
-	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
+	s.withDevice(d, func(lg *deviceLog, _ time.Duration) {
+		evs := lg.head
+		if len(lg.segs) > 0 {
+			bp := scanBufPool.Get().(*scanBuf)
+			defer scanBufPool.Put(bp)
+			var err error
+			evs, err = s.neighborhoodLocked(d, lg, t, bp)
+			if err != nil {
+				return
+			}
+		}
 		idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
 		if idx == 0 {
 			return
@@ -467,7 +552,17 @@ func (s *Store) LastEventAtOrBefore(d event.DeviceID, t time.Time) (event.Event,
 func (s *Store) FirstEventAfter(d event.DeviceID, t time.Time) (event.Event, bool) {
 	var e event.Event
 	var found bool
-	s.withSortedLog(d, func(evs []event.Event, _ time.Duration) {
+	s.withDevice(d, func(lg *deviceLog, _ time.Duration) {
+		evs := lg.head
+		if len(lg.segs) > 0 {
+			bp := scanBufPool.Get().(*scanBuf)
+			defer scanBufPool.Put(bp)
+			var err error
+			evs, err = s.neighborhoodLocked(d, lg, t, bp)
+			if err != nil {
+				return
+			}
+		}
 		idx := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(t) })
 		if idx == len(evs) {
 			return
@@ -479,15 +574,25 @@ func (s *Store) FirstEventAfter(d event.DeviceID, t time.Time) (event.Event, boo
 
 // CurrentAP returns the AP the device is connected to at time t when t falls
 // inside a validity interval; ok is false otherwise. This is the "online"
-// test for neighbor devices at query time; it runs allocation-free on the
-// shared sorted log (Timeline.APAt) because the fine stage issues it once
-// per candidate neighbor of every query.
+// test for neighbor devices at query time; it runs on the head (or the
+// point-lookup neighborhood for segmented logs) because the fine stage
+// issues it once per candidate neighbor of every query.
 func (s *Store) CurrentAP(d event.DeviceID, t time.Time) (space.APID, bool) {
 	var ap space.APID
 	var ok bool
-	s.withSortedLog(d, func(evs []event.Event, delta time.Duration) {
+	s.withDevice(d, func(lg *deviceLog, delta time.Duration) {
 		if delta <= 0 {
 			return
+		}
+		evs := lg.head
+		if len(lg.segs) > 0 {
+			bp := scanBufPool.Get().(*scanBuf)
+			defer scanBufPool.Put(bp)
+			var err error
+			evs, err = s.neighborhoodLocked(d, lg, t, bp)
+			if err != nil {
+				return
+			}
 		}
 		tl := event.Timeline{Device: d, Delta: delta, Events: evs}
 		ap, ok = tl.APAt(t)
@@ -516,20 +621,22 @@ func (s *Store) AdvanceNextID(n int64) {
 	}
 }
 
-// SnapshotState is the store's complete durable state, captured for a
-// checkpoint: the ID counter, the per-device validity intervals, and the
+// SnapshotState is the store's complete durable state in fully materialized
+// form: the ID counter, the per-device validity intervals, and the
 // per-device event logs (each sorted by time). It shares nothing with the
-// live store.
+// live store. Incremental checkpoints use CheckpointState instead; this
+// remains the full-export form (format-v1 snapshots, tests, tooling).
 type SnapshotState struct {
 	NextID int64
 	Deltas map[event.DeviceID]time.Duration
 	Events map[event.DeviceID][]event.Event
 }
 
-// SnapshotState returns a deep copy of the store's durable state. It takes
-// the exclusive lock (out-of-order logs are sorted in place first), so
-// capture cost is one pass over the data; writing the snapshot to disk
-// happens outside any store lock.
+// SnapshotState returns a deep copy of the store's durable state with every
+// sealed segment materialized. It takes the exclusive lock (out-of-order
+// heads are sorted in place first). A device whose segments cannot be paged
+// in is exported with only its decodable events (counted in
+// SegmentStats.DecodeFailures).
 func (s *Store) SnapshotState() SnapshotState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -543,8 +650,10 @@ func (s *Store) SnapshotState() SnapshotState {
 	}
 	for dev, lg := range s.logs {
 		s.ensureSorted(lg)
-		cp := make([]event.Event, len(lg.events))
-		copy(cp, lg.events)
+		cp, err := s.materializeLocked(dev, lg, make([]event.Event, 0, len(lg.head)+lg.segEvents))
+		if err != nil {
+			event.SortEvents(cp)
+		}
 		st.Events[dev] = cp
 	}
 	return st
@@ -553,14 +662,16 @@ func (s *Store) SnapshotState() SnapshotState {
 // Clone returns a deep copy of the store. Used by experiments that mutate
 // per-device deltas while sharing the ingested data. The clone keeps the
 // original's ID counter (so it never reissues an event ID the source store
-// handed out) but has no backend attached: cloned mutations are not written
-// to the source's log.
+// handed out) but has no durability backend attached and owns a fresh
+// in-memory segment tier: sealed history is materialized into plain heads
+// (re-sealed lazily as the clone ingests), so cloned mutations never touch
+// the source's segment backend.
 func (s *Store) Clone() *Store {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c := New(s.defaultDelta)
 	c.nextID = s.nextID
-	c.minTime, c.maxTime, c.count = s.minTime, s.maxTime, s.count
+	c.segMax = s.segMax
 	// The occupancy index is derived state: the clone keeps the source's
 	// configuration (width, or disabled) and rebuilds its own index while
 	// the logs are copied.
@@ -574,13 +685,22 @@ func (s *Store) Clone() *Store {
 	}
 	for dev, lg := range s.logs {
 		s.ensureSorted(lg)
-		cp := make([]event.Event, len(lg.events))
-		copy(cp, lg.events)
-		c.logs[dev] = &deviceLog{events: cp, sorted: true}
-		if c.occ != nil {
-			for _, e := range cp {
+		cp, err := s.materializeLocked(dev, lg, make([]event.Event, 0, len(lg.head)+lg.segEvents))
+		if err != nil {
+			event.SortEvents(cp)
+		}
+		c.logs[dev] = &deviceLog{head: cp, sorted: true, nextSeq: 1}
+		for _, e := range cp {
+			if c.occ != nil {
 				c.occ.add(e)
 			}
+			if c.count == 0 || e.Time.Before(c.minTime) {
+				c.minTime = e.Time
+			}
+			if c.count == 0 || e.Time.After(c.maxTime) {
+				c.maxTime = e.Time
+			}
+			c.count++
 		}
 	}
 	return c

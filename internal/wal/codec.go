@@ -17,6 +17,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"locater/internal/event"
@@ -141,6 +142,142 @@ func (d *decoder) str() string {
 }
 
 func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+// --- Columnar event-block codec ---------------------------------------------
+//
+// A block is the encoded payload of one sealed event segment: a single
+// device's sorted run of events in compressed columnar form. WiFi
+// connectivity logs are highly redundant — a device re-associates with a
+// handful of APs and timestamps are near-monotone with regular spacing — so
+// the block dictionary-encodes AP IDs (a uvarint index into a per-block AP
+// table) and stores timestamps as delta-of-delta varints (the first is
+// absolute nanoseconds, the second a delta, the rest deltas of deltas, which
+// are near zero for periodic beacons). Event IDs are delta varints. The
+// device ID is not stored: segments are keyed by device, so the caller
+// supplies it at decode time.
+//
+// Layout:
+//
+//	uvarint count
+//	uvarint nAPs, then nAPs length-prefixed AP strings (first-appearance order)
+//	per event: uvarint apIndex, varint ddTime, varint deltaID
+//	4-byte LE CRC-32C over everything above
+//
+// The trailing CRC is verified before any field is parsed, so a corrupted
+// segment file is refused at page-in rather than yielding garbage events.
+
+// SegmentMeta describes one sealed, immutable event segment without decoding
+// it: enough for the store to prune segment page-ins by time window and for
+// the snapshot manifest to restore a device's segment list after a restart.
+type SegmentMeta struct {
+	// Seq is the segment's per-device sequence number (1-based, dense in
+	// seal order). (Device, Seq) keys the payload in the SegmentBackend.
+	Seq uint64
+	// Count is the number of events in the block.
+	Count int
+	// MinNanos/MaxNanos bound the block's event times (inclusive).
+	MinNanos int64
+	MaxNanos int64
+	// Bytes is the encoded payload size including the CRC trailer.
+	Bytes int
+}
+
+// EncodeEventBlock appends the columnar block encoding of evs to dst and
+// returns the extended slice. evs must be non-empty and sorted; all events
+// must belong to the same device (the device is not encoded).
+func EncodeEventBlock(dst []byte, evs []event.Event) []byte {
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(evs)))
+	apIdx := make(map[space.APID]uint64, 8)
+	order := make([]space.APID, 0, 8)
+	for i := range evs {
+		if _, ok := apIdx[evs[i].AP]; !ok {
+			apIdx[evs[i].AP] = uint64(len(order))
+			order = append(order, evs[i].AP)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(order)))
+	for _, ap := range order {
+		dst = appendString(dst, string(ap))
+	}
+	var prevT, prevDelta, prevID int64
+	for i := range evs {
+		dst = binary.AppendUvarint(dst, apIdx[evs[i].AP])
+		t := evs[i].Time.UnixNano()
+		if i == 0 {
+			dst = binary.AppendVarint(dst, t)
+			dst = binary.AppendVarint(dst, evs[i].ID)
+		} else {
+			d := t - prevT
+			dst = binary.AppendVarint(dst, d-prevDelta)
+			dst = binary.AppendVarint(dst, evs[i].ID-prevID)
+			prevDelta = d
+		}
+		prevT = t
+		prevID = evs[i].ID
+	}
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeEventBlock verifies the block's CRC, decodes its events for device
+// dev, appends them to dst, and returns the extended slice. The CRC is
+// checked before any field is parsed; on any error dst is returned with only
+// fully decoded events appended and must be discarded by the caller.
+func DecodeEventBlock(block []byte, dev event.DeviceID, dst []event.Event) ([]event.Event, error) {
+	if len(block) < 4 {
+		return dst, fmt.Errorf("wal: event block too short (%d bytes)", len(block))
+	}
+	body := block[:len(block)-4]
+	want := binary.LittleEndian.Uint32(block[len(block)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return dst, fmt.Errorf("wal: event block CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	d := &decoder{b: body}
+	count := d.uvarint()
+	nAPs := d.uvarint()
+	if d.err != nil {
+		return dst, d.err
+	}
+	if nAPs > count || count > uint64(len(body)) {
+		return dst, fmt.Errorf("wal: event block header implausible (count %d, aps %d, body %d bytes)", count, nAPs, len(body))
+	}
+	aps := make([]space.APID, nAPs)
+	for i := range aps {
+		aps[i] = space.APID(d.str())
+	}
+	var prevT, prevDelta, prevID int64
+	for i := uint64(0); i < count; i++ {
+		ai := d.uvarint()
+		dd := d.varint()
+		di := d.varint()
+		if d.err != nil {
+			return dst, d.err
+		}
+		if ai >= nAPs {
+			return dst, fmt.Errorf("wal: event block AP index %d out of range (%d APs)", ai, nAPs)
+		}
+		var t, id int64
+		if i == 0 {
+			t, id = dd, di
+		} else {
+			prevDelta += dd
+			t = prevT + prevDelta
+			id = prevID + di
+		}
+		prevT, prevID = t, id
+		dst = append(dst, event.Event{
+			ID:     id,
+			Device: dev,
+			Time:   time.Unix(0, t).UTC(),
+			AP:     aps[ai],
+		})
+	}
+	if d.remaining() != 0 {
+		return dst, fmt.Errorf("wal: %d trailing bytes after event block", d.remaining())
+	}
+	return dst, nil
+}
 
 // decodeRecord parses one record payload. Every byte must be consumed; a
 // short or over-long payload is malformed.

@@ -17,17 +17,32 @@ import (
 	"locater/internal/space"
 )
 
-const snapMagic = "LOCSNAP1"
+// Snapshot format magics. V1 ("LOCSNAP1") is the original full-state form:
+// every event of every device inlined. V2 ("LOCSNAP2") is the incremental
+// form: only the mutable heads are inlined, and sealed segments appear as a
+// metadata manifest — their payloads are already durable in the store's
+// segment backend, so a checkpoint ships new heads plus new manifest
+// entries instead of rewriting total history. Readers accept both formats;
+// writers emit v1 via WriteSnapshot and v2 via WriteSnapshotV2.
+const (
+	snapMagic   = "LOCSNAP1"
+	snapMagicV2 = "LOCSNAP2"
+)
 
-// SnapshotData is the full materialized state captured by a checkpoint:
-// everything recovery needs without replaying the log from the beginning.
+// SnapshotData is the state captured by a checkpoint: everything recovery
+// needs without replaying the log from the beginning.
 type SnapshotData struct {
 	// NextID is the store's event-ID counter at capture time.
 	NextID int64
 	// Deltas are the per-device validity intervals δ(d).
 	Deltas map[event.DeviceID]time.Duration
-	// Events are the per-device event logs, each sorted by time.
+	// Events are the per-device event logs, each sorted by time: full logs
+	// in a v1 snapshot, just the mutable heads in a v2 snapshot.
 	Events map[event.DeviceID][]event.Event
+	// Segments is the per-device sealed-segment manifest (v2 only; ignored
+	// by the v1 writer). The referenced payloads must be durable in the
+	// segment backend before the snapshot is published.
+	Segments map[event.DeviceID][]SegmentMeta
 	// Labels are the crowd-sourced room-label counts.
 	Labels map[event.DeviceID]map[space.RoomID]int
 }
@@ -76,12 +91,27 @@ func (e *snapEncoder) str(s string) {
 // LSN ≤ lsn and no records after it (locater.System captures both under its
 // checkpoint lock).
 func (w *WAL) WriteSnapshot(lsn uint64, data *SnapshotData) error {
+	return w.publishSnapshot(lsn, data, snapMagic)
+}
+
+// WriteSnapshotV2 persists an incremental (format v2) checkpoint: data's
+// Events hold only the mutable heads and Segments carries the sealed-
+// segment manifest. The caller must have made the referenced segment
+// payloads durable (store.SyncSegments) BEFORE calling this — publishing a
+// manifest is the commit point of an incremental checkpoint, and it must
+// never point at bytes a crash could lose. Prune/compaction semantics are
+// identical to WriteSnapshot.
+func (w *WAL) WriteSnapshotV2(lsn uint64, data *SnapshotData) error {
+	return w.publishSnapshot(lsn, data, snapMagicV2)
+}
+
+func (w *WAL) publishSnapshot(lsn uint64, data *SnapshotData, magic string) error {
 	w.snapMu.Lock()
 	defer w.snapMu.Unlock()
 
 	path := filepath.Join(w.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
 	tmp := path + ".tmp"
-	if err := writeSnapshotFile(tmp, lsn, data); err != nil {
+	if err := writeSnapshotFile(tmp, lsn, data, magic); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -98,7 +128,7 @@ func (w *WAL) WriteSnapshot(lsn uint64, data *SnapshotData) error {
 	return nil
 }
 
-func writeSnapshotFile(path string, lsn uint64, data *SnapshotData) error {
+func writeSnapshotFile(path string, lsn uint64, data *SnapshotData, magic string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot: %w", err)
@@ -106,7 +136,7 @@ func writeSnapshotFile(path string, lsn uint64, data *SnapshotData) error {
 	defer f.Close()
 	bw := bufio.NewWriterSize(f, 1<<20)
 
-	if _, err := io.WriteString(bw, snapMagic); err != nil {
+	if _, err := io.WriteString(bw, magic); err != nil {
 		return fmt.Errorf("wal: writing snapshot: %w", err)
 	}
 	// The CRC covers everything after the magic: the LSN and the body.
@@ -138,6 +168,27 @@ func writeSnapshotFile(path string, lsn uint64, data *SnapshotData) error {
 			enc.varint(e.ID)
 			enc.varint(e.Time.UnixNano())
 			enc.str(string(e.AP))
+		}
+	}
+
+	// The sealed-segment manifest sits between events and labels, only in
+	// format v2: v1 keeps its original byte layout so pre-v2 snapshots stay
+	// readable (and v1 files written by this version stay readable by
+	// pre-v2 code).
+	if magic == snapMagicV2 {
+		segDevs := sortedKeys(data.Segments)
+		enc.uvarint(uint64(len(segDevs)))
+		for _, d := range segDevs {
+			metas := data.Segments[d]
+			enc.str(string(d))
+			enc.uvarint(uint64(len(metas)))
+			for _, m := range metas {
+				enc.uvarint(m.Seq)
+				enc.uvarint(uint64(m.Count))
+				enc.varint(m.MinNanos)
+				enc.varint(m.MaxNanos)
+				enc.uvarint(uint64(m.Bytes))
+			}
 		}
 	}
 
@@ -285,7 +336,11 @@ func readSnapshotFile(path string, rec *Recovered) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("wal: reading snapshot: %w", err)
 	}
-	if len(data) < len(snapMagic)+8+4 || string(data[:len(snapMagic)]) != snapMagic {
+	if len(data) < len(snapMagic)+8+4 {
+		return 0, fmt.Errorf("wal: snapshot %s: bad header", filepath.Base(path))
+	}
+	magic := string(data[:len(snapMagic)])
+	if magic != snapMagic && magic != snapMagicV2 {
 		return 0, fmt.Errorf("wal: snapshot %s: bad header", filepath.Base(path))
 	}
 	body := data[len(snapMagic) : len(data)-4]
@@ -304,6 +359,7 @@ func readSnapshotFile(path string, rec *Recovered) (uint64, error) {
 	rec.Events = nil
 	rec.Deltas = make(map[event.DeviceID]time.Duration)
 	rec.Labels = make(map[event.DeviceID]map[space.RoomID]int)
+	rec.Segments = nil
 
 	nDeltas := d.uvarint()
 	for i := uint64(0); i < nDeltas && d.err == nil; i++ {
@@ -325,6 +381,28 @@ func readSnapshotFile(path string, rec *Recovered) (uint64, error) {
 			rec.Events = append(rec.Events, ev)
 			if ev.ID >= rec.NextID {
 				rec.NextID = ev.ID + 1
+			}
+		}
+	}
+
+	if magic == snapMagicV2 {
+		rec.Segments = make(map[event.DeviceID][]SegmentMeta)
+		nSegDevs := d.uvarint()
+		for i := uint64(0); i < nSegDevs && d.err == nil; i++ {
+			dev := event.DeviceID(d.str())
+			nSegs := d.uvarint()
+			metas := make([]SegmentMeta, 0, nSegs)
+			for j := uint64(0); j < nSegs && d.err == nil; j++ {
+				metas = append(metas, SegmentMeta{
+					Seq:      d.uvarint(),
+					Count:    int(d.uvarint()),
+					MinNanos: d.varint(),
+					MaxNanos: d.varint(),
+					Bytes:    int(d.uvarint()),
+				})
+			}
+			if d.err == nil {
+				rec.Segments[dev] = metas
 			}
 		}
 	}

@@ -110,6 +110,12 @@ type Recovered struct {
 	Deltas map[event.DeviceID]time.Duration
 	// Labels are the crowd-sourced room-label counts.
 	Labels map[event.DeviceID]map[space.RoomID]int
+	// Segments is the sealed-segment manifest from a format-v2 incremental
+	// snapshot (nil for v1 snapshots or none): per-device metadata for the
+	// segments whose payloads live in the store's segment backend. Events
+	// then holds only the mutable heads plus the WAL tail — recovery
+	// registers the manifest without re-decoding any sealed segment.
+	Segments map[event.DeviceID][]SegmentMeta
 	// SnapshotLSN is the LSN of the snapshot recovery started from (0 if
 	// none); LastLSN is the position of the last valid record replayed.
 	SnapshotLSN uint64

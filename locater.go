@@ -169,6 +169,21 @@ type Config struct {
 	// state (rebuilt from the logs, never persisted), so the knob only
 	// trades lookup cost against index memory.
 	DisableOccupancyIndex bool
+
+	// SegmentMaxEvents is the head size at which a device's mutable event
+	// log is sealed into an immutable compressed segment (dictionary-encoded
+	// APs, delta-of-delta timestamps). 0 selects the default (512); a
+	// negative value disables sealing, keeping every log a plain slice.
+	SegmentMaxEvents int
+	// SegmentCacheSize bounds the decoded-segment cache in segments.
+	// Default 1024. Sealed payloads are paged back in through this cache on
+	// demand, so the bound caps the decoded warm working set.
+	SegmentCacheSize int
+	// ColdTierDir spills sealed segments to per-device files under this
+	// directory instead of holding the compressed payloads in memory. On
+	// systems built with Open it defaults to "<dir>/segments"; with New it
+	// defaults to the in-memory compressed tier.
+	ColdTierDir string
 }
 
 func (c Config) coarseOptions() coarse.Options {
@@ -308,6 +323,20 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	st := store.New(cfg.DefaultDelta)
+	segCfg := store.SegmentConfig{
+		MaxEvents: cfg.SegmentMaxEvents,
+		CacheSize: cfg.SegmentCacheSize,
+	}
+	if cfg.ColdTierDir != "" {
+		backend, err := store.NewDiskSegmentBackend(cfg.ColdTierDir)
+		if err != nil {
+			return nil, fmt.Errorf("locater: opening cold tier: %w", err)
+		}
+		segCfg.Backend = backend
+	}
+	if err := st.ConfigureSegments(segCfg); err != nil {
+		return nil, err
+	}
 	if cfg.DisableOccupancyIndex || cfg.OccupancyBucket > 0 {
 		st.ConfigureOccupancy(cfg.OccupancyBucket, !cfg.DisableOccupancyIndex)
 	}
@@ -686,12 +715,18 @@ type OccupancyIndexStats struct {
 	Lookups, FallbackScans int64
 }
 
+// SegmentTierStats reports the store's log-structured event layout: sealed
+// segment counts, encoded size, and seal/page-in/decode traffic. See
+// store.SegmentStats for field documentation.
+type SegmentTierStats = store.SegmentStats
+
 // CacheStats reports every cache tier's state: the global affinity graph's
 // edge count, the pairwise-affinity fallback cache, the coarse per-device
 // model cache, and the query result cache, plus the store's occupancy
-// index. CoarseModels and Occupancy are live even when EnableCache is off
-// (the coarse stage always caches trained models, and the index is a store
-// feature); Affinity and Results are zero then, and Enabled reports false.
+// index and segmented event layout. CoarseModels, Occupancy, and Segments
+// are live even when EnableCache is off (the coarse stage always caches
+// trained models, and the index and segment tiers are store features);
+// Affinity and Results are zero then, and Enabled reports false.
 type CacheStats struct {
 	// Enabled reports whether the caching engine (Config.EnableCache) is on.
 	Enabled bool
@@ -708,12 +743,18 @@ type CacheStats struct {
 	// Occupancy is the store's temporal occupancy index (neighbor
 	// discovery).
 	Occupancy OccupancyIndexStats
+	// Segments is the store's log-structured event layout: sealed-segment
+	// shape plus the decoded-segment cache's traffic.
+	Segments SegmentTierStats
 }
 
 // CacheStats reports the caching layer's per-tier sizes, bounds, and
 // hit/miss/eviction/invalidation counters.
 func (s *System) CacheStats() CacheStats {
-	cs := CacheStats{CoarseModels: tierStats(s.coarse.ModelCacheStats())}
+	cs := CacheStats{
+		CoarseModels: tierStats(s.coarse.ModelCacheStats()),
+		Segments:     s.store.SegmentStats(),
+	}
 	occ := s.store.OccupancyStats()
 	cs.Occupancy = OccupancyIndexStats{
 		Enabled:       occ.Enabled,
@@ -733,6 +774,13 @@ func (s *System) CacheStats() CacheStats {
 	}
 	return cs
 }
+
+// InvalidateSegmentCache drops the store's decoded-segment cache in O(1)
+// (epoch bump). The encoded payloads in the segment backend stay
+// authoritative and are paged back in on demand, so this only releases the
+// decoded working set — an operational control for memory pressure, and the
+// cold-query arm of the memory benchmarks.
+func (s *System) InvalidateSegmentCache() { s.store.InvalidateSegmentCache() }
 
 // Query is one localization request Q = (device, t) for LocateBatch.
 type Query struct {

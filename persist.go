@@ -3,6 +3,7 @@ package locater
 import (
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
 	"locater/internal/store"
@@ -34,14 +35,21 @@ type PersistOptions struct {
 
 // Open assembles a System like New and attaches a durable event store
 // rooted at dir: an append-only write-ahead log plus periodic snapshots
-// (see internal/wal). If dir holds a previous run's state, Open recovers it
-// — the newest valid snapshot plus the log tail, truncating a torn final
-// record — before serving, so a restarted system answers exactly as the one
-// that was shut down or killed.
+// (see internal/wal), with sealed event segments spilled to a cold tier
+// under "<dir>/segments" (Config.ColdTierDir overrides the location). If
+// dir holds a previous run's state, Open recovers it — the newest valid
+// snapshot plus the log tail, truncating a torn final record — before
+// serving, so a restarted system answers exactly as the one that was shut
+// down or killed. Recovery is incremental: sealed segments named by the
+// snapshot manifest are registered by metadata alone and paged in lazily;
+// only the mutable heads and the log tail are replayed event-by-event.
 //
 // The caller must Close the returned system to checkpoint and release the
 // log; after Close the directory can be reopened.
 func Open(dir string, cfg Config, popts PersistOptions) (*System, error) {
+	if cfg.ColdTierDir == "" {
+		cfg.ColdTierDir = filepath.Join(dir, "segments")
+	}
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -51,7 +59,13 @@ func Open(dir string, cfg Config, popts PersistOptions) (*System, error) {
 		return nil, fmt.Errorf("locater: opening event store: %w", err)
 	}
 	// Restore the recovered state before attaching the backend, so replayed
-	// mutations are not re-logged.
+	// mutations are not re-logged. Segment metadata goes first (it requires
+	// an empty store), then deltas, then the head events and log tail, which
+	// replay through Ingest and may re-seal past the restored segments.
+	if err := s.store.RestoreSegments(rec.Segments); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("locater: restoring segments: %w", err)
+	}
 	for d, delta := range rec.Deltas {
 		if err := s.store.SetDelta(d, delta); err != nil {
 			w.Close()
@@ -100,14 +114,19 @@ func (s *System) snapshotLoop(interval time.Duration, onErr func(error)) {
 	}
 }
 
-// Checkpoint writes a snapshot of the full durable state — events,
-// per-device δs, crowd-sourced labels, the event-ID counter — and compacts
-// the write-ahead log (segments fully covered by the snapshot are deleted).
-// Recovery then replays the snapshot plus the short log tail instead of the
-// whole history. A no-op on systems built with New.
+// Checkpoint writes an incremental snapshot of the durable state — the
+// mutable per-device heads, the sealed-segment manifest, per-device δs,
+// crowd-sourced labels, the event-ID counter — and compacts the write-ahead
+// log (segments fully covered by the snapshot are deleted). Sealed event
+// segments are not rewritten: their payloads are already durable in the
+// cold tier, so checkpoint cost is proportional to the mutable heads, not
+// total history. Recovery then registers the manifest (metadata only),
+// replays the heads plus the short log tail, and never re-decodes sealed
+// segments. A no-op on systems built with New.
 //
 // Checkpoint briefly blocks writers while it captures state (one pass over
-// the data); the snapshot file is written with no system-wide lock held.
+// the heads); the segment fsync and snapshot file are written with no
+// system-wide lock held.
 func (s *System) Checkpoint() error {
 	if s.wal == nil {
 		return nil
@@ -116,16 +135,25 @@ func (s *System) Checkpoint() error {
 	// AddRoomLabel, EstimateDeltas), so the captured state and the captured
 	// log position agree exactly.
 	s.persistMu.Lock()
-	st := s.store.SnapshotState()
+	st := s.store.CheckpointState()
 	labels := s.labels.Snapshot()
 	lsn := s.wal.LastLSN()
 	s.persistMu.Unlock()
 
-	return s.wal.WriteSnapshot(lsn, &wal.SnapshotData{
-		NextID: st.NextID,
-		Deltas: st.Deltas,
-		Events: st.Events,
-		Labels: labels,
+	// Segment payloads must be durable before a manifest referencing them
+	// is published: the manifest write is the checkpoint's commit point. A
+	// crash between the two recovers from the previous manifest plus the
+	// log tail — re-sealing produces duplicate (device, seq) records the
+	// cold tier resolves last-wins.
+	if err := s.store.SyncSegments(); err != nil {
+		return fmt.Errorf("locater: syncing segments: %w", err)
+	}
+	return s.wal.WriteSnapshotV2(lsn, &wal.SnapshotData{
+		NextID:   st.NextID,
+		Deltas:   st.Deltas,
+		Events:   st.Heads,
+		Segments: st.Segments,
+		Labels:   labels,
 	})
 }
 
@@ -144,6 +172,9 @@ func (s *System) Close() error {
 	}
 	err := s.Checkpoint()
 	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.store.CloseSegments(); err == nil {
 		err = cerr
 	}
 	s.store.AttachBackend(nil)

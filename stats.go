@@ -221,10 +221,11 @@ func mergeTier(a, b CacheTierStats) CacheTierStats {
 // MergeCacheStats folds per-shard cache statistics into the cluster-level
 // picture: every tier's sizes, capacities, and counters sum (each shard
 // owns independent caches, so the totals are exact), the occupancy index
-// sums its buckets/entries/traffic, and Enabled reports whether any shard
-// runs the caching engine. The occupancy bucket width is taken from the
-// first shard that has the index enabled (shards share one configuration
-// in practice).
+// and segment tier sum their shapes and traffic, and Enabled reports
+// whether any shard runs the caching engine. The occupancy bucket width
+// and segment seal threshold are taken from the first shard with the
+// feature enabled (shards share one configuration in practice); ColdTier
+// reports whether any shard spills segments to disk.
 func MergeCacheStats(parts ...CacheStats) CacheStats {
 	var out CacheStats
 	for _, p := range parts {
@@ -242,6 +243,23 @@ func MergeCacheStats(parts ...CacheStats) CacheStats {
 		occ.Entries += p.Occupancy.Entries
 		occ.Lookups += p.Occupancy.Lookups
 		occ.FallbackScans += p.Occupancy.FallbackScans
+		seg := &out.Segments
+		if p.Segments.Enabled && !seg.Enabled {
+			seg.Enabled = true
+			seg.MaxEvents = p.Segments.MaxEvents
+		}
+		seg.ColdTier = seg.ColdTier || p.Segments.ColdTier
+		seg.Segments += p.Segments.Segments
+		seg.SegmentEvents += p.Segments.SegmentEvents
+		seg.HeadEvents += p.Segments.HeadEvents
+		seg.EncodedBytes += p.Segments.EncodedBytes
+		seg.Seals += p.Segments.Seals
+		seg.SealFailures += p.Segments.SealFailures
+		seg.PageIns += p.Segments.PageIns
+		seg.CacheHits += p.Segments.CacheHits
+		seg.CacheSize += p.Segments.CacheSize
+		seg.CacheCapacity += p.Segments.CacheCapacity
+		seg.DecodeFailures += p.Segments.DecodeFailures
 	}
 	return out
 }
