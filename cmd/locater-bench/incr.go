@@ -1,0 +1,307 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"locater"
+	"locater/internal/space"
+)
+
+// The incremental-maintenance ladder's workload shape: every device seeds
+// memEventsPerDev events of history (reusing the memory ladder's generator,
+// so segments and out-of-order arrivals look realistic), then a small live
+// cohort keeps writing while a fixed probe set queries the historical
+// cohort at affinity-bucket-aligned reference times. The two arms differ in
+// exactly one bit — Config.RecomputeOnWrite — so any divergence in answers
+// is the incremental write path's fault.
+const (
+	incrRounds         = 8
+	incrEventsPerWrite = 2
+	incrQueriesPerRnd  = 48
+	incrStatsSample    = 200
+)
+
+// incrReport is the machine-readable result of -incr, emitted as
+// BENCH_incr.json. CI gates on the headline (largest-rung) fields:
+// identical must be true, stats_max_err ≤ 1e-9, maintenance_ratio ≥ 5.
+type incrReport struct {
+	Name           string    `json:"name"`
+	Rounds         int       `json:"rounds"`
+	EventsPerWrite int       `json:"events_per_write"`
+	Rows           []incrRow `json:"rows"`
+	// Headline gates, taken from the largest rung.
+	Identical        bool    `json:"identical"`
+	StatsMaxErr      float64 `json:"stats_max_err"`
+	MaintenanceRatio float64 `json:"maintenance_ratio"`
+}
+
+type incrRow struct {
+	Devices     int `json:"devices"`
+	LiveDevices int `json:"live_devices"`
+	Queries     int `json:"queries"`
+	// Identical reports the byte-identity gate: every Locate answer under
+	// incremental maintenance equals the recompute arm's, field for field,
+	// across every interleaved ingest/query round.
+	Identical bool `json:"identical"`
+	// StatsMaxErr is the worst relative error between the incremental gap
+	// sufficient statistics and the batch-recompute oracle over a device
+	// sample (live and historical devices both).
+	StatsMaxErr float64 `json:"stats_max_err"`
+	// MaintenanceNanos* is each arm's write-path model-maintenance cost
+	// across the measured rounds: coarse sufficient-statistic observation
+	// plus affinity fallback recomputation — the work each strategy spends
+	// keeping derived model state consistent with writes. Model training
+	// (TrainNanos*) is reported separately and excluded from the ratio:
+	// trained coarse models are history-dependent and are rebuilt on touch
+	// under either strategy, so both arms pay it identically by
+	// construction and it measures training cost, not maintenance
+	// strategy. The ratio is the headline — recompute over incremental.
+	MaintenanceNanosIncremental int64   `json:"maintenance_nanos_incremental"`
+	MaintenanceNanosRecompute   int64   `json:"maintenance_nanos_recompute"`
+	MaintenanceRatio            float64 `json:"maintenance_ratio"`
+	TrainNanosIncremental       int64   `json:"train_nanos_incremental"`
+	TrainNanosRecompute         int64   `json:"train_nanos_recompute"`
+	// ScopedKept / ScopedStale are the incremental arm's per-device
+	// validation outcomes: cache entries that survived writes versus ones
+	// the write sequence actually invalidated.
+	ScopedKept  int64 `json:"scoped_kept"`
+	ScopedStale int64 `json:"scoped_stale"`
+	// Rebuilds counts incremental-stats escape hatches taken (out-of-order
+	// arrivals routing a device to a from-store rebuild).
+	Rebuilds int64 `json:"rebuilds"`
+}
+
+func incrConfig(b *space.Building, recompute bool) locater.Config {
+	return locater.Config{
+		Building:           b,
+		EnableCache:        true,
+		MaxNeighbors:       memMaxNeighbors,
+		ModelCacheSize:     memModelCacheCap,
+		SegmentCacheSize:   memLatencyCacheSegs,
+		HistoryDays:        memSpanDays,
+		PromotionsPerRound: 8,
+		MaxTrainingGaps:    12,
+		RecomputeOnWrite:   recompute,
+	}
+}
+
+// incrLiveCount sizes the live cohort: enough writers that every round
+// touches many devices, small enough that the historical cohort dominates
+// the probe set.
+func incrLiveCount(n int) int {
+	live := n / 50
+	if live < 8 {
+		live = 8
+	}
+	if live > n/2 {
+		live = n / 2
+	}
+	return live
+}
+
+// incrQuerySet probes the historical cohort (device indices ≥ live) at
+// hour-aligned reference times. Hour alignment matters: the affinity cache
+// buckets references by the hour, so aligned probes re-ask the same cache
+// entries round after round — precisely the retention the scoped
+// validation exists to provide.
+func incrQuerySet(n, live int) []locater.Query {
+	rng := rand.New(rand.NewSource(4242))
+	qs := make([]locater.Query, 0, incrQueriesPerRnd)
+	for len(qs) < incrQueriesPerRnd {
+		d := live + rng.Intn(n-live)
+		day := 1 + rng.Intn(memSpanDays-2)
+		hour := 9 + rng.Intn(9)
+		qs = append(qs, locater.Query{
+			Device: locater.DeviceID(fmt.Sprintf("mem%06d", d)),
+			Time:   memBase.Add(time.Duration(day*24+hour) * time.Hour),
+		})
+	}
+	return qs
+}
+
+// incrLiveBatch generates round r's writes for live device d: events past
+// the seed window, deterministic in (d, r), identical across arms.
+func incrLiveBatch(d, r int) []locater.Event {
+	rng := rand.New(rand.NewSource(int64(d)*1099511628211 + int64(r)*31 + 5))
+	dev := locater.DeviceID(fmt.Sprintf("mem%06d", d))
+	base := memBase.Add(time.Duration(memSpanDays*24+r) * time.Hour)
+	batch := make([]locater.Event, 0, incrEventsPerWrite)
+	for i := 0; i < incrEventsPerWrite; i++ {
+		batch = append(batch, locater.Event{
+			Device: dev,
+			Time:   base.Add(time.Duration(rng.Int63n(int64(time.Hour)))),
+			AP:     locater.APID(fmt.Sprintf("ap%02d", rng.Intn(memAPs))),
+		})
+	}
+	return batch
+}
+
+func maintenanceNanos(m locater.MaintenanceStats) int64 {
+	return m.Coarse.ObserveNanos + m.Affinity.FallbackNanos
+}
+
+// incrRunArm seeds one arm, warms the caches with one query pass, then
+// interleaves rounds of live-cohort ingest with the fixed probe set,
+// returning every round's answers plus the write-path maintenance and
+// model-training cost paid across the measured rounds.
+func incrRunArm(b *space.Building, n, live int, qs []locater.Query, recompute bool) (*locater.System, []locater.Result, int64, int64, error) {
+	sys, err := locater.New(incrConfig(b, recompute))
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if _, err := memIngest(sys, 0, n); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if err := sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	// Warm pass: train models, populate the affinity tier.
+	for _, q := range qs {
+		if _, err := sys.Locate(q.Device, q.Time); err != nil {
+			return nil, nil, 0, 0, err
+		}
+	}
+	m0 := sys.MaintenanceStats()
+	var results []locater.Result
+	for r := 0; r < incrRounds; r++ {
+		for d := 0; d < live; d++ {
+			if err := sys.Ingest(incrLiveBatch(d, r)); err != nil {
+				return nil, nil, 0, 0, err
+			}
+		}
+		for _, q := range qs {
+			res, err := sys.Locate(q.Device, q.Time)
+			if err != nil {
+				return nil, nil, 0, 0, err
+			}
+			results = append(results, res)
+		}
+	}
+	m1 := sys.MaintenanceStats()
+	spent := maintenanceNanos(m1) - maintenanceNanos(m0)
+	train := m1.Coarse.TrainNanos - m0.Coarse.TrainNanos
+	return sys, results, spent, train, nil
+}
+
+// incrStatsErr compares the incremental gap sufficient statistics against
+// the batch-recompute oracle over a sample of devices, returning the worst
+// relative error across every field of every sampled device.
+func incrStatsErr(sys *locater.System, n int) float64 {
+	step := n / incrStatsSample
+	if step < 1 {
+		step = 1
+	}
+	worst := 0.0
+	relErr := func(a, b float64) float64 {
+		d := math.Abs(a - b)
+		if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+			d /= m
+		}
+		return d
+	}
+	for d := 0; d < n; d += step {
+		dev := locater.DeviceID(fmt.Sprintf("mem%06d", d))
+		inc, ok1 := sys.GapStats(dev)
+		bat, ok2 := sys.GapStatsOracle(dev)
+		if ok1 != ok2 {
+			return math.Inf(1)
+		}
+		if !ok1 {
+			continue
+		}
+		if inc.LastNanos != bat.LastNanos || inc.RawEvents != bat.RawEvents {
+			return math.Inf(1)
+		}
+		worst = math.Max(worst, relErr(inc.Events, bat.Events))
+		worst = math.Max(worst, relErr(inc.Gaps, bat.Gaps))
+		worst = math.Max(worst, relErr(inc.GapSeconds, bat.GapSeconds))
+		worst = math.Max(worst, relErr(inc.Inside, bat.Inside))
+		worst = math.Max(worst, relErr(inc.Outside, bat.Outside))
+		for i := range inc.Hist {
+			worst = math.Max(worst, relErr(inc.Hist[i], bat.Hist[i]))
+		}
+	}
+	return worst
+}
+
+// runIncr drives the two-arm incremental-maintenance comparison over the
+// device ladder and writes BENCH_incr.json.
+func runIncr(ladder []int, benchOut string) error {
+	b, err := memBuilding()
+	if err != nil {
+		return err
+	}
+	rep := incrReport{
+		Name:           "incremental-maintenance",
+		Rounds:         incrRounds,
+		EventsPerWrite: incrEventsPerWrite,
+	}
+	for _, n := range ladder {
+		live := incrLiveCount(n)
+		qs := incrQuerySet(n, live)
+		fmt.Printf("incr: %d devices (%d live writers, %d probes × %d rounds)\n", n, live, len(qs), incrRounds)
+
+		incSys, incRes, incNanos, incTrain, err := incrRunArm(b, n, live, qs, false)
+		if err != nil {
+			return fmt.Errorf("incremental arm: %w", err)
+		}
+		_, recRes, recNanos, recTrain, err := incrRunArm(b, n, live, qs, true)
+		if err != nil {
+			return fmt.Errorf("recompute arm: %w", err)
+		}
+
+		row := incrRow{
+			Devices:                     n,
+			LiveDevices:                 live,
+			Queries:                     len(qs),
+			Identical:                   memResultsIdentical(incRes, recRes),
+			StatsMaxErr:                 incrStatsErr(incSys, n),
+			MaintenanceNanosIncremental: incNanos,
+			MaintenanceNanosRecompute:   recNanos,
+			TrainNanosIncremental:       incTrain,
+			TrainNanosRecompute:         recTrain,
+		}
+		if incNanos > 0 {
+			row.MaintenanceRatio = float64(recNanos) / float64(incNanos)
+		} else if recNanos > 0 {
+			row.MaintenanceRatio = math.Inf(1)
+		}
+		ms := incSys.MaintenanceStats()
+		row.ScopedKept = ms.Affinity.ScopedKept
+		row.ScopedStale = ms.Affinity.ScopedStale
+		row.Rebuilds = ms.Coarse.Rebuilds
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("incr: %d devices: identical=%v stats_err=%.3g maintenance %s vs %s (ratio %.1f, shared train %s vs %s)\n",
+			n, row.Identical, row.StatsMaxErr,
+			time.Duration(incNanos), time.Duration(recNanos), row.MaintenanceRatio,
+			time.Duration(incTrain), time.Duration(recTrain))
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	rep.Identical = last.Identical
+	rep.StatsMaxErr = last.StatsMaxErr
+	rep.MaintenanceRatio = last.MaintenanceRatio
+	for _, r := range rep.Rows {
+		rep.Identical = rep.Identical && r.Identical
+		if r.StatsMaxErr > rep.StatsMaxErr {
+			rep.StatsMaxErr = r.StatsMaxErr
+		}
+	}
+	if err := writeBenchJSON(benchOut, "BENCH_incr.json", rep); err != nil {
+		return err
+	}
+	// Self-enforced gates: CI re-checks the artifact with jq, but the bench
+	// itself fails the run on a violation.
+	if !rep.Identical {
+		return fmt.Errorf("incremental maintenance changed query answers (identity gate)")
+	}
+	if rep.StatsMaxErr > 1e-9 {
+		return fmt.Errorf("incremental stats diverge from the batch oracle by %g (gate 1e-9)", rep.StatsMaxErr)
+	}
+	if rep.MaintenanceRatio < 5 {
+		return fmt.Errorf("maintenance ratio %.2f at the largest rung (gate ≥ 5)", rep.MaintenanceRatio)
+	}
+	return nil
+}

@@ -57,6 +57,9 @@ func main() {
 		memory        = flag.Bool("memory", false, "measure segmented-store memory + cold/warm query latency against the plain-slice layout, with byte-identity and crash-recovery gates")
 		memoryDevices = flag.String("memory-devices", "1000,10000,50000", "comma-separated device ladder for -memory")
 
+		incr        = flag.Bool("incr", false, "measure incremental model maintenance vs recompute-on-write: interleaved ingest/query rounds with byte-identity, stats-oracle, and maintenance-cost gates")
+		incrDevices = flag.String("incr-devices", "1000,10000", "comma-separated device ladder for -incr")
+
 		persist       = flag.Bool("persist", false, "measure durable event store ingest + recovery throughput")
 		persistEvents = flag.Int("persist-events", 200000, "events for -persist")
 		persistDir    = flag.String("persist-dir", "", "WAL directory for -persist (default: a temp dir, removed afterwards)")
@@ -112,6 +115,19 @@ func main() {
 		}
 		if err := runMemory(ladder, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "memory: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *incr {
+		ladder, err := parseDeviceLadder(*incrDevices)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "incr: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runIncr(ladder, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "incr: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -79,6 +79,15 @@ func main() {
 		defaultDeadline = flag.Duration("default-deadline", 0, "deadline applied to requests without deadline_ms (default 5s)")
 		maxDeadline     = flag.Duration("max-deadline", 0, "clamp on client-requested deadlines (default 30s)")
 		shedBatchAt     = flag.Float64("shed-batch-at", 0, "queue occupancy above which /locate/batch is shed (default 0.5)")
+		staticAdmission = flag.Bool("static-admission", false, "disable the adaptive queue bound (Little's law over the EWMA service time) and use the configured -max-queue verbatim")
+		targetQueueWait = flag.Duration("target-queue-wait", 0, "adaptive admission's target worst-case queue wait (default 2s)")
+
+		cleansing      = flag.Bool("cleansing", false, "ingest-time cleansing: dedupe re-associations, drop impossible transitions, flag degenerate devices; rejects land in the quarantine (GET /v1/quarantine)")
+		quarantineCap  = flag.Int("quarantine-cap", 0, "with -cleansing: quarantine ring size in entries (default 1024)")
+		reassocWindow  = flag.Duration("cleanse-reassoc-window", 0, "with -cleansing: same-AP re-association dedupe window (default 10s)")
+		flapWindow     = flag.Duration("cleanse-flap-window", 0, "with -cleansing: A→B→A oscillation window (default 30s)")
+		minTransit     = flag.Duration("cleanse-min-transit", 0, "with -cleansing: minimum time between non-adjacent APs (default 1s)")
+		degenEventsMin = flag.Int("cleanse-degenerate-rate", 0, "with -cleansing: sustained events/minute above which a device is flagged degenerate (default 120)")
 	)
 	flag.Parse()
 
@@ -113,6 +122,16 @@ func main() {
 		Variant:            v,
 		EnableCache:        true,
 		PromotionsPerRound: 8,
+
+		EnableCleansing:                  *cleansing,
+		QuarantineCap:                    *quarantineCap,
+		CleanseReassocWindow:             *reassocWindow,
+		CleanseFlapWindow:                *flapWindow,
+		CleanseMinTransit:                *minTransit,
+		CleanseDegenerateEventsPerMinute: *degenEventsMin,
+	}
+	if *cleansing {
+		fmt.Println("ingest-time cleansing enabled; quarantine at /v1/quarantine")
 	}
 	popts := locater.PersistOptions{
 		Fsync:            *fsync,
@@ -181,6 +200,8 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
 		ShedBatchAt:     *shedBatchAt,
+		Static:          *staticAdmission,
+		TargetQueueWait: *targetQueueWait,
 	}})
 	if *pprofFlag {
 		handler.EnablePprof()

@@ -1,0 +1,283 @@
+package locater_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locater"
+	"locater/internal/cluster"
+	"locater/internal/sim"
+)
+
+// gapStatsMaxErr compares every device's incrementally-maintained gap
+// sufficient statistics against the batch-recompute oracle, returning the
+// worst relative error across all fields. The incremental path and the
+// oracle fold events through the same observe function, so any divergence
+// beyond float noise is an ordering or bookkeeping bug.
+func gapStatsMaxErr(t *testing.T, sys *locater.System, devices []locater.DeviceID) float64 {
+	t.Helper()
+	relErr := func(a, b float64) float64 {
+		d := math.Abs(a - b)
+		if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+			d /= m
+		}
+		return d
+	}
+	worst := 0.0
+	for _, dev := range devices {
+		inc, ok1 := sys.GapStats(dev)
+		bat, ok2 := sys.GapStatsOracle(dev)
+		if ok1 != ok2 {
+			t.Fatalf("device %s: incremental ok=%v, oracle ok=%v", dev, ok1, ok2)
+		}
+		if !ok1 {
+			continue
+		}
+		if inc.LastNanos != bat.LastNanos {
+			t.Fatalf("device %s: LastNanos %d vs oracle %d", dev, inc.LastNanos, bat.LastNanos)
+		}
+		if inc.RawEvents != bat.RawEvents {
+			t.Fatalf("device %s: RawEvents %d vs oracle %d", dev, inc.RawEvents, bat.RawEvents)
+		}
+		worst = math.Max(worst, relErr(inc.Events, bat.Events))
+		worst = math.Max(worst, relErr(inc.Gaps, bat.Gaps))
+		worst = math.Max(worst, relErr(inc.GapSeconds, bat.GapSeconds))
+		worst = math.Max(worst, relErr(inc.Inside, bat.Inside))
+		worst = math.Max(worst, relErr(inc.Outside, bat.Outside))
+		for i := range inc.Hist {
+			worst = math.Max(worst, relErr(inc.Hist[i], bat.Hist[i]))
+		}
+	}
+	return worst
+}
+
+func dsDevices(ds *sim.Dataset) []locater.DeviceID {
+	devs := make([]locater.DeviceID, len(ds.People))
+	for i, p := range ds.People {
+		devs[i] = p.Device
+	}
+	return devs
+}
+
+// driveInterleaved replays ds.Events against sys in a random interleaving
+// of ingest batches (some deliberately shuffled out of order), per-device
+// invalidations (SetDelta), and queries. Deterministic in seed, identical
+// across systems, so two arms driven with the same seed see the same
+// operation sequence.
+func driveInterleaved(t *testing.T, sys locater.Locater, ds *sim.Dataset, seed int64, queryEvery int) []locater.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var results []locater.Result
+	step := 0
+	for i := 0; i < len(ds.Events); {
+		n := 32 + rng.Intn(96)
+		if i+n > len(ds.Events) {
+			n = len(ds.Events) - i
+		}
+		batch := make([]locater.Event, n)
+		copy(batch, ds.Events[i:i+n])
+		i += n
+		// A third of the batches arrive shuffled: out-of-order within the
+		// batch and straddling earlier batches' time ranges is exactly what
+		// routes devices onto the rebuild escape hatch.
+		if rng.Intn(3) == 0 {
+			rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+		}
+		if err := sys.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(8) == 0 {
+			// An explicit per-device invalidation mid-stream.
+			p := ds.People[rng.Intn(len(ds.People))]
+			if s, ok := sys.(interface {
+				SetDelta(locater.DeviceID, time.Duration)
+			}); ok {
+				s.SetDelta(p.Device, time.Duration(5+rng.Intn(10))*time.Minute)
+			}
+		}
+		step++
+		if queryEvery > 0 && step%queryEvery == 0 {
+			p := ds.People[rng.Intn(len(ds.People))]
+			qt := simStart.Add(time.Duration(24+rng.Intn(48))*time.Hour + time.Duration(rng.Intn(3600))*time.Second)
+			res, err := sys.Locate(p.Device, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// TestIncrementalStatsMatchOracleUnderInterleaving is the tentpole's core
+// property: after any interleaving of in-order ingest, out-of-order ingest,
+// invalidation, and queries, the incremental gap statistics equal a batch
+// recompute from the store within 1e-9.
+func TestIncrementalStatsMatchOracleUnderInterleaving(t *testing.T) {
+	ds := buildDataset(t, 5)
+	for _, seed := range []int64{1, 7, 42} {
+		sys := newEmptySystem(t, ds, locater.Config{EnableCache: true})
+		driveInterleaved(t, sys, ds, seed, 6)
+		if err := gapStatsMaxErr(t, sys, dsDevices(ds)); err > 1e-9 {
+			t.Fatalf("seed %d: incremental stats diverge from oracle by %g", seed, err)
+		}
+	}
+}
+
+// TestIncrementalVsRecomputeByteIdentical drives the incremental write
+// path and the legacy recompute-on-write path through the same interleaved
+// workload (same seed, arbitrary un-quantized query times) and requires
+// byte-identical answers: the incremental maintenance must be invisible to
+// every query.
+func TestIncrementalVsRecomputeByteIdentical(t *testing.T) {
+	ds := buildDataset(t, 5)
+	for _, seed := range []int64{3, 19} {
+		inc := newEmptySystem(t, ds, locater.Config{EnableCache: true})
+		rec := newEmptySystem(t, ds, locater.Config{EnableCache: true, RecomputeOnWrite: true})
+		ri := driveInterleaved(t, inc, ds, seed, 4)
+		rr := driveInterleaved(t, rec, ds, seed, 4)
+		if len(ri) != len(rr) {
+			t.Fatalf("seed %d: %d vs %d results", seed, len(ri), len(rr))
+		}
+		for i := range ri {
+			if ri[i] != rr[i] {
+				t.Fatalf("seed %d: result %d diverges:\nincremental: %+v\nrecompute:   %+v", seed, i, ri[i], rr[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalStatsSurviveCrashRecovery checkpoints mid-stream, keeps
+// ingesting, crashes (reopen without Close), and requires the recovered
+// system's incremental statistics to match its own batch oracle AND the
+// dead system's: recovery replays the WAL through the same observe path.
+func TestIncrementalStatsSurviveCrashRecovery(t *testing.T) {
+	ds := buildDataset(t, 5)
+	dir := t.TempDir()
+	cfg := locater.Config{
+		Building:           ds.Building,
+		EnableCache:        true,
+		HistoryDays:        14,
+		PromotionsPerRound: 8,
+		MaxTrainingGaps:    100,
+	}
+	popts := locater.PersistOptions{Fsync: true}
+	live, err := locater.Open(dir, cfg, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveInterleaved(t, live, ds, 11, 0)
+	if err := live.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail after the only checkpoint: recovered state stitches the
+	// snapshot with a WAL replay.
+	tail := make([]locater.Event, 0, 64)
+	for i, p := range ds.People {
+		tail = append(tail, locater.Event{
+			Device: p.Device,
+			Time:   simStart.Add(120*time.Hour + time.Duration(i)*time.Minute),
+			AP:     ds.Events[0].AP,
+		})
+	}
+	if err := live.Ingest(tail); err != nil {
+		t.Fatal(err)
+	}
+	devs := dsDevices(ds)
+	if err := gapStatsMaxErr(t, live, devs); err > 1e-9 {
+		t.Fatalf("live stats diverge from oracle by %g", err)
+	}
+
+	rec, err := locater.Open(dir, cfg, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if err := gapStatsMaxErr(t, rec, devs); err > 1e-9 {
+		t.Fatalf("recovered stats diverge from oracle by %g", err)
+	}
+	for _, d := range devs {
+		a, ok1 := live.GapStats(d)
+		b, ok2 := rec.GapStats(d)
+		if ok1 != ok2 || a != b {
+			t.Fatalf("device %s: recovered stats differ from live (ok %v/%v)", d, ok1, ok2)
+		}
+	}
+}
+
+// TestIncrementalStatsAcrossCluster routes an interleaved workload through
+// a sharded deployment and checks every shard's incremental statistics
+// against that shard's own oracle: routing must not perturb maintenance.
+func TestIncrementalStatsAcrossCluster(t *testing.T) {
+	ds := buildDataset(t, 5)
+	cfg := locater.Config{
+		Building:           ds.Building,
+		EnableCache:        true,
+		HistoryDays:        14,
+		PromotionsPerRound: 8,
+		MaxTrainingGaps:    100,
+	}
+	cl, err := cluster.New(cfg, cluster.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	driveInterleaved(t, cl, ds, 23, 6)
+	for i := 0; i < cl.NumShards(); i++ {
+		if err := gapStatsMaxErr(t, cl.Shard(i), dsDevices(ds)); err > 1e-9 {
+			t.Fatalf("shard %d: incremental stats diverge from oracle by %g", i, err)
+		}
+	}
+}
+
+// newEmptySystem builds a System over ds.Building without ingesting
+// anything (the interleaving driver owns ingest).
+func newEmptySystem(t testing.TB, ds *sim.Dataset, cfg locater.Config) *locater.System {
+	t.Helper()
+	cfg.Building = ds.Building
+	cfg.HistoryDays = 14
+	cfg.PromotionsPerRound = 8
+	cfg.MaxTrainingGaps = 100
+	sys, err := locater.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// FuzzIncrementalMaintenance lets the fuzzer pick the interleaving: the
+// seed selects batch boundaries, shuffles, and invalidations; the property
+// is always stats-equal-oracle. `go test -fuzz=FuzzIncrementalMaintenance`
+// explores; the seed corpus keeps the target exercised on every plain run.
+func FuzzIncrementalMaintenance(f *testing.F) {
+	sc, err := sim.DBH(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ds, err := sim.Generate(sc.Config(simStart, 3, 5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(int64(1))
+	f.Add(int64(1 << 40))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		cfg := locater.Config{
+			Building:           ds.Building,
+			EnableCache:        true,
+			HistoryDays:        14,
+			PromotionsPerRound: 8,
+			MaxTrainingGaps:    50,
+		}
+		sys, err := locater.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveInterleaved(t, sys, ds, seed, 10)
+		if errv := gapStatsMaxErr(t, sys, dsDevices(ds)); errv > 1e-9 {
+			t.Fatalf("seed %d: incremental stats diverge from oracle by %g", seed, errv)
+		}
+	})
+}

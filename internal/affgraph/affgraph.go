@@ -247,11 +247,30 @@ func (g *Graph) Observations(a, b event.DeviceID) []WeightedEdge {
 
 // CachedAffinity is a fine.PairAffinityProvider that first consults the
 // global graph and falls back to the underlying provider on a miss, caching
-// the fallback's answers in a bounded LRU keyed by (pair, time bucket) so
-// repeated queries at nearby times hit the cache. The cache is epoch-based:
-// Invalidate (called after every ingest or δ change) orphans all cached
-// affinities in O(1), so post-write queries recompute from the new history
-// instead of answering from pre-write co-locations forever.
+// the fallback's answers in a bounded LRU keyed by (pair, time bucket).
+//
+// Staleness after writes is handled with SCOPED per-device validation
+// instead of a whole-cache epoch bump. Every cached entry is stamped with
+// the write sequence numbers of its two devices at computation time
+// (affEntry); ObserveIngest records each device's writes together with the
+// minimum event timestamp of the batch. A cached (pair, bucket) entry
+// remains provably byte-identical to a fresh recompute as long as every
+// write to either device since the entry was computed carries only events
+// AFTER the bucket's end: the fallback affinity over (ref−window, ref]
+// depends only on the two devices' events with time ≤ ref ≤ bucketEnd (see
+// fine.DeviceAffinity) plus δ, and δ changes route through
+// InvalidateDevice/Invalidate. So steady-state ingest of recent events —
+// the fleet write pattern — invalidates nothing, where the old epoch bump
+// recomputed every pair after every write.
+//
+// The global Invalidate (O(1) epoch bump) remains for writes scoped
+// validation cannot express, e.g. EstimateDeltas changing every δ at once.
+//
+// One documented relaxation: a waiter that joins an in-flight computation
+// re-validates the result against the write log before consuming it, but a
+// write landing in the microseconds between that check and the caller's use
+// is indistinguishable from the write landing just after the query — the
+// same pre/post ordering ambiguity any concurrent read/write pair has.
 type CachedAffinity struct {
 	Graph *Graph
 	// Fallback computes affinities when the graph has no edge. Must be
@@ -265,7 +284,7 @@ type CachedAffinity struct {
 
 	// fallbackCache bounds the memoized fallback answers; its shards
 	// synchronize plain lookups, so the common hit path never touches mu.
-	fallbackCache *cache.Cache[pairKey, float64]
+	fallbackCache *cache.Cache[pairKey, affEntry]
 	// mu guards inflight, which deduplicates concurrent misses for the
 	// same key (singleflight): the fallback computation is the most
 	// expensive step of the fine stage, so only one goroutine runs it
@@ -273,7 +292,45 @@ type CachedAffinity struct {
 	mu       sync.Mutex
 	inflight map[pairKey]*inflightAffinity
 
-	graphHits atomic.Int64
+	// wmu guards writes, the per-device write log scoped validation reads.
+	// Lock order: mu before wmu; neither is held across a fallback compute.
+	wmu    sync.RWMutex
+	writes map[event.DeviceID]*devWrites
+
+	// cooccur incrementally accumulates co-occurrence edge statistics from
+	// ingested events (cooccur.go). Observability only — never consulted
+	// when answering queries.
+	cooccur *CoOccur
+
+	graphHits     atomic.Int64
+	fallbackNanos atomic.Int64
+	scopedKept    atomic.Int64
+	scopedStale   atomic.Int64
+}
+
+// affEntry is one cached fallback affinity, stamped with the write
+// sequence numbers of the (ordered) pair's devices captured when its
+// computation was claimed.
+type affEntry struct {
+	val  float64
+	seqA uint64
+	seqB uint64
+}
+
+// writeRingSize bounds the per-device write history scoped validation can
+// prove against; entries older than the ring are conservatively stale.
+const writeRingSize = 32
+
+type writeRec struct {
+	seq      uint64
+	minNanos int64
+}
+
+// devWrites is one device's write log: a monotone sequence number plus a
+// ring of the last writeRingSize (seq, min event time) records.
+type devWrites struct {
+	seq  uint64
+	ring [writeRingSize]writeRec
 }
 
 // inflightAffinity is one in-progress fallback computation. val and ok are
@@ -287,8 +344,12 @@ type CachedAffinity struct {
 type inflightAffinity struct {
 	done  chan struct{}
 	epoch uint64
-	val   float64
-	ok    bool
+	// seqA/seqB are the pair devices' write sequence numbers captured when
+	// the computation was claimed; the cached entry is stamped with them.
+	seqA uint64
+	seqB uint64
+	val  float64
+	ok   bool
 }
 
 // DefaultFallbackCacheSize bounds the fallback cache when NewCachedAffinity
@@ -311,8 +372,10 @@ func NewCachedAffinity(g *Graph, fallback interface {
 		Graph:         g,
 		Fallback:      fallback,
 		BucketSize:    bucket,
-		fallbackCache: cache.New[pairKey, float64](capacity, hashPairKey),
+		fallbackCache: cache.New[pairKey, affEntry](capacity, hashPairKey),
 		inflight:      make(map[pairKey]*inflightAffinity),
+		writes:        make(map[event.DeviceID]*devWrites),
+		cooccur:       NewCoOccur(CoOccurConfig{}),
 	}
 }
 
@@ -356,18 +419,35 @@ func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float6
 	}
 	x, y := orderPair(a, b)
 	key := pairKey{a: x, b: y, bucket: ref.Unix() / int64(c.BucketSize.Seconds())}
+	bucketEnd := c.bucketEndNanos(key.bucket)
 	for {
-		if v, ok := c.fallbackCache.Get(key); ok {
-			return v
+		if e, ok := c.fallbackCache.Get(key); ok {
+			if valid, survived := c.entryScopedValid(e, key, bucketEnd); valid {
+				if survived {
+					c.scopedKept.Add(1)
+				}
+				return e.val
+			}
+			// A write since the entry was computed may have changed the
+			// pair's history inside this bucket: drop and recompute.
+			c.scopedStale.Add(1)
+			c.fallbackCache.Delete(key)
 		}
 		// Miss (already counted by Get): join an in-flight computation
 		// for this key if one exists, otherwise claim it.
 		c.mu.Lock()
-		if v, ok := c.fallbackCache.Peek(key); ok {
+		if e, ok := c.fallbackCache.Peek(key); ok {
 			// Filled between Get and Lock; Peek keeps the counters
 			// honest (the miss above stands, no phantom second lookup).
-			c.mu.Unlock()
-			return v
+			if valid, survived := c.entryScopedValid(e, key, bucketEnd); valid {
+				c.mu.Unlock()
+				if survived {
+					c.scopedKept.Add(1)
+				}
+				return e.val
+			}
+			c.scopedStale.Add(1)
+			c.fallbackCache.Delete(key)
 		}
 		if call, ok := c.inflight[key]; ok {
 			// If the epoch moved since the leader captured call.epoch,
@@ -376,7 +456,8 @@ func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float6
 			joinEpoch := c.fallbackCache.Epoch()
 			c.mu.Unlock()
 			<-call.done
-			if call.ok && call.epoch == joinEpoch {
+			if call.ok && call.epoch == joinEpoch &&
+				c.seqsStillValid(call.seqA, call.seqB, key, bucketEnd) {
 				return call.val
 			}
 			// Leader panicked, or its computation predates a write that
@@ -385,11 +466,120 @@ func (c *CachedAffinity) PairAffinity(a, b event.DeviceID, ref time.Time) float6
 			// before closing done, so the retry never re-joins it).
 			continue
 		}
-		call := &inflightAffinity{done: make(chan struct{}), epoch: c.fallbackCache.Epoch()}
+		sa, sb := c.seqsOf(x, y)
+		call := &inflightAffinity{done: make(chan struct{}), epoch: c.fallbackCache.Epoch(), seqA: sa, seqB: sb}
 		c.inflight[key] = call
 		c.mu.Unlock()
 		return c.leadFallback(a, b, ref, key, call)
 	}
+}
+
+// bucketEndNanos returns the exclusive end of a cache bucket in Unix nanos.
+func (c *CachedAffinity) bucketEndNanos(bucket int64) int64 {
+	return (bucket + 1) * int64(c.BucketSize.Seconds()) * int64(time.Second)
+}
+
+// seqsOf reads the pair devices' current write sequence numbers.
+func (c *CachedAffinity) seqsOf(a, b event.DeviceID) (sa, sb uint64) {
+	c.wmu.RLock()
+	if dw := c.writes[a]; dw != nil {
+		sa = dw.seq
+	}
+	if dw := c.writes[b]; dw != nil {
+		sb = dw.seq
+	}
+	c.wmu.RUnlock()
+	return sa, sb
+}
+
+// entryScopedValid reports whether a cached entry is still provably
+// byte-identical to a fresh recompute: every write to either device since
+// the entry's sequence numbers must carry only events after the bucket's
+// end. survived is true when the entry outlived at least one write — the
+// lookups the old epoch bump would have recomputed.
+func (c *CachedAffinity) entryScopedValid(e affEntry, key pairKey, bucketEnd int64) (valid, survived bool) {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	va, sa := devWritesValid(c.writes[key.a], e.seqA, bucketEnd)
+	if !va {
+		return false, false
+	}
+	vb, sb := devWritesValid(c.writes[key.b], e.seqB, bucketEnd)
+	if !vb {
+		return false, false
+	}
+	return true, sa || sb
+}
+
+// seqsStillValid is entryScopedValid for an in-flight result a waiter is
+// about to consume.
+func (c *CachedAffinity) seqsStillValid(seqA, seqB uint64, key pairKey, bucketEnd int64) bool {
+	valid, _ := c.entryScopedValid(affEntry{seqA: seqA, seqB: seqB}, key, bucketEnd)
+	return valid
+}
+
+// devWritesValid checks one device's write log: the cached sequence number
+// must be within ring reach of the current one, and every write in between
+// must carry only events after bucketEnd. survived reports that at least
+// one such write was proven harmless.
+func devWritesValid(dw *devWrites, seq uint64, bucketEnd int64) (valid, survived bool) {
+	if dw == nil || dw.seq == seq {
+		return true, false
+	}
+	if seq > dw.seq || dw.seq-seq > writeRingSize {
+		return false, false
+	}
+	for s := seq + 1; s <= dw.seq; s++ {
+		rec := dw.ring[s%writeRingSize]
+		if rec.seq != s || rec.minNanos <= bucketEnd {
+			return false, false
+		}
+	}
+	return true, true
+}
+
+// ObserveIngest records a successfully-ingested batch in the per-device
+// write log (one sequenced record per touched device, carrying the batch's
+// minimum event time for that device) and feeds the co-occurrence
+// accumulator. Call it AFTER the store applied the batch.
+func (c *CachedAffinity) ObserveIngest(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	mins := make(map[event.DeviceID]int64, 8)
+	for _, e := range events {
+		ts := e.Time.UnixNano()
+		if cur, ok := mins[e.Device]; !ok || ts < cur {
+			mins[e.Device] = ts
+		}
+	}
+	c.wmu.Lock()
+	for d, mn := range mins {
+		c.recordWriteLocked(d, mn)
+	}
+	c.wmu.Unlock()
+	if c.cooccur != nil {
+		c.cooccur.Observe(events)
+	}
+}
+
+// InvalidateDevice invalidates every cached affinity involving the device
+// (a write record carrying MinInt64 fails every bucket check). Used for δ
+// changes, which alter the device's affinities at every reference time.
+func (c *CachedAffinity) InvalidateDevice(d event.DeviceID) {
+	c.wmu.Lock()
+	c.recordWriteLocked(d, math.MinInt64)
+	c.wmu.Unlock()
+}
+
+func (c *CachedAffinity) recordWriteLocked(d event.DeviceID, minNanos int64) {
+	dw := c.writes[d]
+	if dw == nil {
+		dw = &devWrites{}
+		c.writes[d] = dw
+	}
+	dw.seq++
+	dw.ring[dw.seq%writeRingSize] = writeRec{seq: dw.seq, minNanos: minNanos}
 }
 
 // leadFallback runs the fallback as the singleflight leader and publishes
@@ -402,14 +592,16 @@ func (c *CachedAffinity) leadFallback(a, b event.DeviceID, ref time.Time, key pa
 	defer func() {
 		c.mu.Lock()
 		if computed {
-			c.fallbackCache.PutAt(key, v, call.epoch)
+			c.fallbackCache.PutAt(key, affEntry{val: v, seqA: call.seqA, seqB: call.seqB}, call.epoch)
 		}
 		delete(c.inflight, key)
 		c.mu.Unlock()
 		call.val, call.ok = v, computed
 		close(call.done)
 	}()
+	start := time.Now()
 	v = c.Fallback.PairAffinity(a, b, ref)
+	c.fallbackNanos.Add(time.Since(start).Nanoseconds())
 	computed = true
 	return v
 }
@@ -430,6 +622,7 @@ func (c *CachedAffinity) leadFallback(a, b event.DeviceID, ref time.Time, key pa
 func (c *CachedAffinity) BatchPairAffinity(d event.DeviceID, cands []event.DeviceID, ref time.Time, out []float64) []float64 {
 	out = c.Graph.WeightsBatch(d, cands, ref, out)
 	bucket := ref.Unix() / int64(c.BucketSize.Seconds())
+	bucketEnd := c.bucketEndNanos(bucket)
 
 	// Resolve graph hits and cached fallback answers; collect the misses.
 	var missIdx []int
@@ -441,9 +634,16 @@ func (c *CachedAffinity) BatchPairAffinity(d event.DeviceID, cands []event.Devic
 		}
 		x, y := orderPair(d, cand)
 		key := pairKey{a: x, b: y, bucket: bucket}
-		if v, ok := c.fallbackCache.Get(key); ok {
-			out[i] = v
-			continue
+		if e, ok := c.fallbackCache.Get(key); ok {
+			if valid, survived := c.entryScopedValid(e, key, bucketEnd); valid {
+				if survived {
+					c.scopedKept.Add(1)
+				}
+				out[i] = e.val
+				continue
+			}
+			c.scopedStale.Add(1)
+			c.fallbackCache.Delete(key)
 		}
 		missIdx = append(missIdx, i)
 		missKeys = append(missKeys, key)
@@ -469,9 +669,16 @@ func (c *CachedAffinity) BatchPairAffinity(d event.DeviceID, cands []event.Devic
 	}
 	var joins []joined
 	for mi, key := range missKeys {
-		if v, ok := c.fallbackCache.Peek(key); ok {
-			out[missIdx[mi]] = v
-			continue
+		if e, ok := c.fallbackCache.Peek(key); ok {
+			if valid, survived := c.entryScopedValid(e, key, bucketEnd); valid {
+				if survived {
+					c.scopedKept.Add(1)
+				}
+				out[missIdx[mi]] = e.val
+				continue
+			}
+			c.scopedStale.Add(1)
+			c.fallbackCache.Delete(key)
 		}
 		if call, ok := c.inflight[key]; ok {
 			joins = append(joins, joined{pos: missIdx[mi], call: call, epoch: c.fallbackCache.Epoch()})
@@ -480,7 +687,8 @@ func (c *CachedAffinity) BatchPairAffinity(d event.DeviceID, cands []event.Devic
 		if leadDone == nil {
 			leadDone = make(chan struct{})
 		}
-		call := &inflightAffinity{done: leadDone, epoch: c.fallbackCache.Epoch()}
+		sa, sb := c.seqsOf(key.a, key.b)
+		call := &inflightAffinity{done: leadDone, epoch: c.fallbackCache.Epoch(), seqA: sa, seqB: sb}
 		c.inflight[key] = call
 		leadIdx = append(leadIdx, mi)
 		leadCalls = append(leadCalls, call)
@@ -502,8 +710,12 @@ func (c *CachedAffinity) BatchPairAffinity(d event.DeviceID, cands []event.Devic
 	for _, j := range joins {
 		<-j.call.done
 		if j.call.ok && j.call.epoch == j.epoch {
-			out[j.pos] = j.call.val
-			continue
+			x, y := orderPair(d, cands[j.pos])
+			key := pairKey{a: x, b: y, bucket: bucket}
+			if c.seqsStillValid(j.call.seqA, j.call.seqB, key, bucketEnd) {
+				out[j.pos] = j.call.val
+				continue
+			}
 		}
 		// The foreign leader panicked or its computation predates a write
 		// observed before this query joined: re-resolve through the full
@@ -527,7 +739,7 @@ func (c *CachedAffinity) leadBatchFallback(d event.DeviceID, devs []event.Device
 		c.mu.Lock()
 		for i, key := range keys {
 			if computed {
-				c.fallbackCache.PutAt(key, vals[i], calls[i].epoch)
+				c.fallbackCache.PutAt(key, affEntry{val: vals[i], seqA: calls[i].seqA, seqB: calls[i].seqB}, calls[i].epoch)
 			}
 			delete(c.inflight, key)
 		}
@@ -540,6 +752,7 @@ func (c *CachedAffinity) leadBatchFallback(d event.DeviceID, devs []event.Device
 		}
 		close(done)
 	}()
+	start := time.Now()
 	if bf, ok := c.Fallback.(batchFallback); ok {
 		vals = bf.BatchPairAffinity(d, devs, ref, make([]float64, 0, len(devs)))
 	} else {
@@ -548,6 +761,7 @@ func (c *CachedAffinity) leadBatchFallback(d event.DeviceID, devs []event.Device
 			vals[i] = c.Fallback.PairAffinity(d, dev, ref)
 		}
 	}
+	c.fallbackNanos.Add(time.Since(start).Nanoseconds())
 	computed = true
 	return vals
 }
@@ -566,9 +780,54 @@ func (c *CachedAffinity) Invalidate() { c.fallbackCache.Invalidate() }
 
 // Stats reports the affinity tier's counters: the bounded fallback cache's
 // size/capacity/evictions/invalidations, with lookups served straight from
-// the global graph folded into Hits.
+// the global graph folded into Hits. Lookups the underlying cache served
+// but scoped validation rejected are moved from Hits to Misses — they paid
+// the fallback.
 func (c *CachedAffinity) Stats() cache.Stats {
 	st := c.fallbackCache.Stats()
-	st.Hits += c.graphHits.Load()
+	st.Hits += c.graphHits.Load() - c.scopedStale.Load()
+	st.Misses += c.scopedStale.Load()
 	return st
+}
+
+// MaintenanceStats are the affinity tier's incremental-maintenance counters:
+// time spent in fallback recomputes (the cost scoped validation avoids),
+// entries proven valid across writes vs rejected, the write-log size, and
+// the co-occurrence accumulator's state.
+type MaintenanceStats struct {
+	// FallbackNanos is total time spent computing fallback affinities —
+	// the recompute cost the write path induces on queries.
+	FallbackNanos int64 `json:"fallback_nanos"`
+	// ScopedKept counts cached entries that survived at least one write
+	// because scoped validation proved them still exact; ScopedStale counts
+	// entries a write actually invalidated.
+	ScopedKept  int64 `json:"scoped_kept"`
+	ScopedStale int64 `json:"scoped_stale"`
+	// TrackedDevices is the number of devices with a live write log.
+	TrackedDevices int64 `json:"tracked_devices"`
+	// CoOccur* snapshot the ingest-time co-occurrence accumulator.
+	CoOccurPairs        int64 `json:"cooccur_pairs"`
+	CoOccurObservations int64 `json:"cooccur_observations"`
+	CoOccurDropped      int64 `json:"cooccur_dropped"`
+}
+
+// MaintenanceStats snapshots the scoped-validation and co-occurrence
+// counters.
+func (c *CachedAffinity) MaintenanceStats() MaintenanceStats {
+	c.wmu.RLock()
+	tracked := int64(len(c.writes))
+	c.wmu.RUnlock()
+	ms := MaintenanceStats{
+		FallbackNanos:  c.fallbackNanos.Load(),
+		ScopedKept:     c.scopedKept.Load(),
+		ScopedStale:    c.scopedStale.Load(),
+		TrackedDevices: tracked,
+	}
+	if c.cooccur != nil {
+		cs := c.cooccur.Stats()
+		ms.CoOccurPairs = cs.Pairs
+		ms.CoOccurObservations = cs.Observations
+		ms.CoOccurDropped = cs.Dropped
+	}
+	return ms
 }

@@ -1,0 +1,193 @@
+// Ingest-time co-occurrence accumulation.
+//
+// The fallback affinity (fine.DeviceAffinity) measures interval overlap
+// between two devices' timelines by scanning raw history at query time. The
+// CoOccur accumulator maintains the same signal incrementally as events
+// arrive: whenever two devices connect to the same access point within a
+// small window, their pair edge receives a decayed bump. The resulting edge
+// weights are OBSERVABILITY ONLY — they are reported through
+// MaintenanceStats and never consulted when answering queries, because the
+// query path must stay byte-identical to the batch recompute the `-incr`
+// bench gates against.
+//
+// Like coarse.DeviceStats, decay is driven by event time, so replaying the
+// same events in the same order reproduces the same weights exactly — that
+// replay is the oracle the tests compare against.
+package affgraph
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// CoOccurConfig tunes the accumulator. Zero values take defaults.
+type CoOccurConfig struct {
+	// Window is how close in time two sightings at the same AP must be to
+	// count as a co-occurrence. Default 5 minutes.
+	Window time.Duration
+	// HalfLife is the event-time decay half-life of edge weights.
+	// Default 7 days.
+	HalfLife time.Duration
+	// MaxPairs bounds the pair map; bumps past the bound on NEW pairs are
+	// counted as dropped instead of stored. Default 64Ki.
+	MaxPairs int
+	// RingSize is the per-AP ring of recent sightings scanned for
+	// co-occurrences. Default 32.
+	RingSize int
+}
+
+func (c CoOccurConfig) withDefaults() CoOccurConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 7 * 24 * time.Hour
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 64 * 1024
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 32
+	}
+	return c
+}
+
+type sighting struct {
+	dev   event.DeviceID
+	nanos int64
+}
+
+type apRing struct {
+	ring []sighting
+	next int
+	used int
+}
+
+type coEdge struct {
+	w         float64
+	lastNanos int64
+}
+
+type coPair struct {
+	a, b event.DeviceID
+}
+
+// CoOccurStats snapshots the accumulator's counters.
+type CoOccurStats struct {
+	// Pairs is the number of live pair edges.
+	Pairs int64 `json:"pairs"`
+	// Observations counts co-occurrence bumps applied.
+	Observations int64 `json:"observations"`
+	// Dropped counts bumps discarded because the pair map was full.
+	Dropped int64 `json:"dropped"`
+}
+
+// CoOccur incrementally accumulates decayed co-occurrence edge weights from
+// ingested events. Safe for concurrent use.
+type CoOccur struct {
+	cfg CoOccurConfig
+
+	mu    sync.Mutex
+	aps   map[space.APID]*apRing
+	pairs map[coPair]*coEdge
+
+	observations int64
+	dropped      int64
+}
+
+// NewCoOccur creates an empty accumulator.
+func NewCoOccur(cfg CoOccurConfig) *CoOccur {
+	return &CoOccur{
+		cfg:   cfg.withDefaults(),
+		aps:   make(map[space.APID]*apRing),
+		pairs: make(map[coPair]*coEdge),
+	}
+}
+
+// Observe folds an ingested batch into the accumulator: each event is
+// checked against the recent sightings at its AP, and every other device
+// seen there within Window gets its pair edge bumped (with event-time
+// decay), then the event joins the AP's ring.
+func (co *CoOccur) Observe(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	window := int64(co.cfg.Window)
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, e := range events {
+		ts := e.Time.UnixNano()
+		r := co.aps[e.AP]
+		if r == nil {
+			r = &apRing{ring: make([]sighting, co.cfg.RingSize)}
+			co.aps[e.AP] = r
+		}
+		for i := 0; i < r.used; i++ {
+			s := r.ring[i]
+			if s.dev == e.Device {
+				continue
+			}
+			dt := ts - s.nanos
+			if dt < 0 {
+				dt = -dt
+			}
+			if dt <= window {
+				co.bumpLocked(e.Device, s.dev, ts)
+			}
+		}
+		r.ring[r.next] = sighting{dev: e.Device, nanos: ts}
+		r.next = (r.next + 1) % len(r.ring)
+		if r.used < len(r.ring) {
+			r.used++
+		}
+	}
+}
+
+func (co *CoOccur) bumpLocked(a, b event.DeviceID, tsNanos int64) {
+	x, y := orderPair(a, b)
+	key := coPair{a: x, b: y}
+	ed := co.pairs[key]
+	if ed == nil {
+		if len(co.pairs) >= co.cfg.MaxPairs {
+			co.dropped++
+			return
+		}
+		ed = &coEdge{}
+		co.pairs[key] = ed
+	}
+	if dt := tsNanos - ed.lastNanos; ed.w > 0 && dt > 0 {
+		ed.w *= math.Exp(-math.Ln2 * float64(dt) / float64(co.cfg.HalfLife))
+	}
+	if tsNanos > ed.lastNanos {
+		ed.lastNanos = tsNanos
+	}
+	ed.w++
+	co.observations++
+}
+
+// Weight returns the pair's current decayed edge weight (0 when the pair
+// has never co-occurred) and the event time it was last bumped at.
+func (co *CoOccur) Weight(a, b event.DeviceID) (float64, int64) {
+	x, y := orderPair(a, b)
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if ed := co.pairs[coPair{a: x, b: y}]; ed != nil {
+		return ed.w, ed.lastNanos
+	}
+	return 0, 0
+}
+
+// Stats snapshots the accumulator's counters.
+func (co *CoOccur) Stats() CoOccurStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return CoOccurStats{
+		Pairs:        int64(len(co.pairs)),
+		Observations: co.observations,
+		Dropped:      co.dropped,
+	}
+}

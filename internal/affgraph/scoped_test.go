@@ -1,0 +1,311 @@
+package affgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// --- scoped write validation -------------------------------------------
+
+func TestScopedValidationKeepsEntryAcrossRecentWrites(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.7}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	if got := c.PairAffinity("a", "b", ref); got != 0.7 {
+		t.Fatalf("fallback affinity = %v", got)
+	}
+	if fb.calls != 1 {
+		t.Fatalf("fallback calls = %d, want 1", fb.calls)
+	}
+
+	// Ingest events for both devices strictly AFTER the bucket's end: the
+	// cached entry provably cannot change, so it must survive.
+	later := ref.Add(3 * time.Hour)
+	c.ObserveIngest([]event.Event{
+		{Device: "a", Time: later, AP: "ap1"},
+		{Device: "b", Time: later.Add(time.Minute), AP: "ap1"},
+	})
+	if got := c.PairAffinity("a", "b", ref.Add(time.Minute)); got != 0.7 {
+		t.Fatalf("post-write affinity = %v", got)
+	}
+	if fb.calls != 1 {
+		t.Fatalf("fallback calls = %d after harmless write, want 1 (entry kept)", fb.calls)
+	}
+	ms := c.MaintenanceStats()
+	if ms.ScopedKept == 0 || ms.ScopedStale != 0 {
+		t.Fatalf("maintenance %+v, want kept>0 stale=0", ms)
+	}
+	if ms.TrackedDevices != 2 {
+		t.Fatalf("tracked devices %d, want 2", ms.TrackedDevices)
+	}
+}
+
+func TestScopedValidationInvalidatesOnInBucketWrite(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.7}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	c.PairAffinity("a", "b", ref)
+
+	// A write carrying an event at (or before) the bucket end may change
+	// the pair's history inside the bucket: the entry must be recomputed.
+	c.ObserveIngest([]event.Event{{Device: "a", Time: ref, AP: "ap1"}})
+	if got := c.PairAffinity("a", "b", ref.Add(time.Minute)); got != 0.7 {
+		t.Fatalf("post-write affinity = %v", got)
+	}
+	if fb.calls != 2 {
+		t.Fatalf("fallback calls = %d after in-bucket write, want 2 (recomputed)", fb.calls)
+	}
+	if ms := c.MaintenanceStats(); ms.ScopedStale != 1 {
+		t.Fatalf("maintenance %+v, want stale=1", ms)
+	}
+}
+
+func TestScopedValidationIsPerDevice(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	c.PairAffinity("a", "b", ref)
+	c.PairAffinity("c", "d", ref)
+	if fb.calls != 2 {
+		t.Fatalf("fallback calls = %d, want 2", fb.calls)
+	}
+
+	// An in-bucket write to device a invalidates (a,b) but must NOT touch
+	// (c,d) — the point of scoped validation over the old epoch bump.
+	c.ObserveIngest([]event.Event{{Device: "a", Time: ref, AP: "ap1"}})
+	c.PairAffinity("c", "d", ref.Add(time.Minute))
+	if fb.calls != 2 {
+		t.Fatalf("fallback calls = %d, want 2 (unrelated pair kept)", fb.calls)
+	}
+	c.PairAffinity("a", "b", ref.Add(time.Minute))
+	if fb.calls != 3 {
+		t.Fatalf("fallback calls = %d, want 3 (touched pair recomputed)", fb.calls)
+	}
+}
+
+func TestInvalidateDeviceScopedToDevice(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	c.PairAffinity("a", "b", ref)
+	c.PairAffinity("c", "d", ref)
+
+	// InvalidateDevice must kill every bucket of the device's pairs —
+	// including entries for refs far in the future — but leave others.
+	c.InvalidateDevice("a")
+	c.PairAffinity("a", "b", ref.Add(time.Minute))
+	if fb.calls != 3 {
+		t.Fatalf("fallback calls = %d, want 3 (invalidated pair recomputed)", fb.calls)
+	}
+	c.PairAffinity("c", "d", ref.Add(time.Minute))
+	if fb.calls != 3 {
+		t.Fatalf("fallback calls = %d, want 3 (unrelated pair kept)", fb.calls)
+	}
+}
+
+func TestWriteRingOverflowConservativelyStale(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	c.PairAffinity("a", "b", ref)
+
+	// More writes than the ring holds — all harmless (after bucket end) —
+	// must still invalidate: validation can no longer prove anything.
+	later := ref.Add(3 * time.Hour)
+	for i := 0; i < writeRingSize+2; i++ {
+		c.ObserveIngest([]event.Event{{Device: "a", Time: later.Add(time.Duration(i) * time.Minute), AP: "ap1"}})
+	}
+	c.PairAffinity("a", "b", ref.Add(time.Minute))
+	if fb.calls != 2 {
+		t.Fatalf("fallback calls = %d, want 2 (ring overflow → recompute)", fb.calls)
+	}
+}
+
+func TestGlobalInvalidateStillWorks(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	c.PairAffinity("a", "b", ref)
+	c.Invalidate() // e.g. EstimateDeltas changed every δ at once
+	c.PairAffinity("a", "b", ref.Add(time.Minute))
+	if fb.calls != 2 {
+		t.Fatalf("fallback calls = %d, want 2 after global invalidate", fb.calls)
+	}
+}
+
+func TestBatchScopedValidation(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	ref := t0
+	cands := []event.DeviceID{"b", "c", "d"}
+	c.BatchPairAffinity("a", cands, ref, nil)
+	calls0 := fb.calls
+
+	// In-bucket write to c: only (a,c) recomputes on the next batch.
+	c.ObserveIngest([]event.Event{{Device: "c", Time: ref, AP: "ap1"}})
+	out := c.BatchPairAffinity("a", cands, ref.Add(time.Minute), nil)
+	for i, v := range out {
+		if v != 0.5 {
+			t.Fatalf("out[%d] = %v, want 0.5", i, v)
+		}
+	}
+	if fb.calls != calls0+1 {
+		t.Fatalf("fallback calls = %d, want %d (only the touched pair)", fb.calls, calls0+1)
+	}
+}
+
+func TestScopedValidationConcurrent(t *testing.T) {
+	g := New(Options{})
+	fb := &fixedFallback{value: 0.5}
+	c := NewCachedAffinity(g, fb, time.Hour, 0)
+
+	const workers = 8
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				d := event.DeviceID(fmt.Sprintf("dev-%d", rng.Intn(6)))
+				e := event.DeviceID(fmt.Sprintf("dev-%d", rng.Intn(6)))
+				switch rng.Intn(4) {
+				case 0:
+					c.ObserveIngest([]event.Event{{Device: d, Time: t0.Add(time.Duration(i) * time.Minute), AP: "ap1"}})
+				case 1:
+					c.InvalidateDevice(d)
+				default:
+					if d != e {
+						c.PairAffinity(d, e, t0.Add(time.Duration(rng.Intn(300))*time.Minute))
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// --- co-occurrence accumulator -----------------------------------------
+
+func TestCoOccurWindowAndWeight(t *testing.T) {
+	co := NewCoOccur(CoOccurConfig{Window: 5 * time.Minute})
+	co.Observe([]event.Event{
+		{Device: "a", Time: t0, AP: "ap1"},
+		{Device: "b", Time: t0.Add(2 * time.Minute), AP: "ap1"},  // within window → bump
+		{Device: "c", Time: t0.Add(30 * time.Minute), AP: "ap1"}, // outside window
+		{Device: "d", Time: t0.Add(31 * time.Minute), AP: "ap2"}, // other AP
+	})
+	if w, _ := co.Weight("a", "b"); w != 1 {
+		t.Fatalf("weight(a,b) = %v, want 1", w)
+	}
+	if w, _ := co.Weight("a", "c"); w != 0 {
+		t.Fatalf("weight(a,c) = %v, want 0", w)
+	}
+	if w, _ := co.Weight("c", "d"); w != 0 {
+		t.Fatalf("weight(c,d) = %v, want 0 (different AP)", w)
+	}
+	st := co.Stats()
+	if st.Pairs != 1 || st.Observations != 1 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCoOccurDecayIsEventTimeDriven(t *testing.T) {
+	cfg := CoOccurConfig{Window: 5 * time.Minute, HalfLife: time.Hour}
+	co := NewCoOccur(cfg)
+	co.Observe([]event.Event{
+		{Device: "a", Time: t0, AP: "ap1"},
+		{Device: "b", Time: t0.Add(time.Minute), AP: "ap1"},
+	})
+	// One half-life later the old bump has decayed to 0.5 before the new
+	// bump lands: weight ≈ 1.5.
+	co.Observe([]event.Event{
+		{Device: "a", Time: t0.Add(time.Hour), AP: "ap1"},
+		{Device: "b", Time: t0.Add(time.Hour + time.Minute), AP: "ap1"},
+	})
+	w, _ := co.Weight("a", "b")
+	if w < 1.49 || w > 1.51 {
+		t.Fatalf("decayed weight = %v, want ≈1.5", w)
+	}
+}
+
+// Oracle: replaying the same events through a fresh accumulator reproduces
+// the incremental weights exactly — the same determinism contract the
+// coarse sufficient statistics have.
+func TestCoOccurReplayOracle(t *testing.T) {
+	cfg := CoOccurConfig{Window: 10 * time.Minute, HalfLife: 6 * time.Hour}
+	rng := rand.New(rand.NewSource(7))
+	var all []event.Event
+	cur := t0
+	for i := 0; i < 500; i++ {
+		cur = cur.Add(time.Duration(rng.Intn(8)) * time.Minute)
+		all = append(all, event.Event{
+			Device: event.DeviceID(fmt.Sprintf("dev-%d", rng.Intn(8))),
+			Time:   cur,
+			AP:     []space.APID{"ap1", "ap2", "ap3"}[rng.Intn(3)],
+		})
+	}
+
+	incr := NewCoOccur(cfg)
+	for i := 0; i < len(all); i += 17 { // uneven batches
+		end := i + 17
+		if end > len(all) {
+			end = len(all)
+		}
+		incr.Observe(all[i:end])
+	}
+	oracle := NewCoOccur(cfg)
+	oracle.Observe(all)
+
+	if is, os := incr.Stats(), oracle.Stats(); is != os {
+		t.Fatalf("stats diverge: incr %+v oracle %+v", is, os)
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			a := event.DeviceID(fmt.Sprintf("dev-%d", i))
+			b := event.DeviceID(fmt.Sprintf("dev-%d", j))
+			wi, ti := incr.Weight(a, b)
+			wo, to := oracle.Weight(a, b)
+			if wi != wo || ti != to {
+				t.Fatalf("pair (%s,%s): incr (%v,%d) oracle (%v,%d)", a, b, wi, ti, wo, to)
+			}
+		}
+	}
+}
+
+func TestCoOccurBoundedPairs(t *testing.T) {
+	co := NewCoOccur(CoOccurConfig{Window: time.Hour, MaxPairs: 2})
+	co.Observe([]event.Event{
+		{Device: "a", Time: t0, AP: "ap1"},
+		{Device: "b", Time: t0.Add(time.Minute), AP: "ap1"},
+		{Device: "c", Time: t0.Add(2 * time.Minute), AP: "ap1"},
+		{Device: "d", Time: t0.Add(3 * time.Minute), AP: "ap1"},
+	})
+	st := co.Stats()
+	if st.Pairs != 2 {
+		t.Fatalf("pairs = %d, want 2 (bounded)", st.Pairs)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("stats %+v, want dropped>0", st)
+	}
+}

@@ -1,0 +1,264 @@
+package cleanse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// testBuilding has two non-overlapping regions (ap1: r1,r2; ap2: r3,r4) and
+// one region overlapping both (ap3: r2,r3) for boundary-hop cases.
+func testBuilding(t *testing.T) *space.Building {
+	t.Helper()
+	b, err := space.NewBuilding(space.Config{
+		Name: "test",
+		Rooms: []space.Room{
+			{ID: "r1", Kind: space.Private}, {ID: "r2", Kind: space.Public},
+			{ID: "r3", Kind: space.Public}, {ID: "r4", Kind: space.Private},
+		},
+		AccessPoints: []space.AccessPoint{
+			{ID: "ap1", Coverage: []space.RoomID{"r1", "r2"}},
+			{ID: "ap2", Coverage: []space.RoomID{"r3", "r4"}},
+			{ID: "ap3", Coverage: []space.RoomID{"r2", "r3"}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("building: %v", err)
+	}
+	return b
+}
+
+var base = time.Date(2026, 4, 6, 9, 0, 0, 0, time.UTC)
+
+func ev(d string, ap string, offset time.Duration) event.Event {
+	return event.Event{Device: event.DeviceID(d), AP: space.APID(ap), Time: base.Add(offset)}
+}
+
+func TestDuplicateAndReassociation(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	in := []event.Event{
+		ev("d1", "ap1", 0),
+		ev("d1", "ap1", 0),                            // exact duplicate
+		ev("d1", "ap1", 5*time.Second),                // re-association within 10s window
+		ev("d1", "ap1", 30*time.Second),               // beyond window: kept
+		ev("d1", "ap1", 20*time.Minute),               // kept
+		ev("d1", "ap1", 20*time.Minute+9*time.Second), // re-association
+	}
+	out := c.Clean(in)
+	if len(out) != 3 {
+		t.Fatalf("kept %d events, want 3: %v", len(out), out)
+	}
+	s := c.Stats()
+	if s.Duplicates != 1 || s.Reassociations != 2 {
+		t.Fatalf("stats %+v, want 1 duplicate + 2 reassociations", s)
+	}
+	if s.Ingested != 6 || s.Kept != 3 || s.Quarantined != 3 {
+		t.Fatalf("stats %+v, want ingested=6 kept=3 quarantined=3", s)
+	}
+}
+
+func TestOscillationFlapBack(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	in := []event.Event{
+		ev("d1", "ap1", 0),
+		ev("d1", "ap3", 15*time.Second), // overlapping region: legitimate hop
+		ev("d1", "ap1", 25*time.Second), // flap-back to ap1 within 30s
+		ev("d1", "ap3", 20*time.Minute), // fresh hop much later: kept
+		ev("d1", "ap1", 21*time.Minute), // prev (ap1@0) is ancient: kept
+	}
+	out := c.Clean(in)
+	if len(out) != 4 {
+		t.Fatalf("kept %d events, want 4: %v", len(out), out)
+	}
+	if s := c.Stats(); s.Oscillations != 1 {
+		t.Fatalf("stats %+v, want 1 oscillation", s)
+	}
+}
+
+func TestImpossibleTransition(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	in := []event.Event{
+		ev("d1", "ap1", 0),
+		ev("d1", "ap2", 200*time.Millisecond), // ap1/ap2 regions disjoint, <1s
+		ev("d1", "ap3", 400*time.Millisecond), // ap1→ap3 overlap: legal hop
+		ev("d1", "ap2", 600*time.Millisecond), // ap3→ap2 overlap: legal hop
+		ev("d2", "ap1", 0),
+		ev("d2", "ap2", 5*time.Second), // ≥ MinTransit: kept
+	}
+	out := c.Clean(in)
+	if len(out) != 5 {
+		t.Fatalf("kept %d events, want 5: %v", len(out), out)
+	}
+	if s := c.Stats(); s.ImpossibleTransitions != 1 {
+		t.Fatalf("stats %+v, want 1 impossible transition", s)
+	}
+	// Without building topology the rule is disabled.
+	c2 := New(nil, Config{})
+	out2 := c2.Clean([]event.Event{ev("d1", "ap1", 0), ev("d1", "ap2", 100*time.Millisecond)})
+	if len(out2) != 2 {
+		t.Fatalf("nil-building cleanser dropped a transition: %v", out2)
+	}
+}
+
+func TestDegenerateDeviceFlaggedNotDropped(t *testing.T) {
+	c := New(testBuilding(t), Config{DegenerateEventsPerMinute: 5})
+	var in []event.Event
+	// 8 events within one minute, rotating three APs so no pair repeats
+	// within the flap window and every consecutive hop is legal.
+	aps := []string{"ap1", "ap3", "ap2"}
+	for i := 0; i < 8; i++ {
+		in = append(in, ev("noisy", aps[i%3], time.Duration(i)*7*time.Second))
+	}
+	out := c.Clean(in)
+	if len(out) != len(in) {
+		t.Fatalf("degenerate rule dropped events: kept %d of %d", len(out), len(in))
+	}
+	if !c.Flagged("noisy") {
+		t.Fatal("device not flagged")
+	}
+	if c.Flagged("other") {
+		t.Fatal("unknown device reported flagged")
+	}
+	if s := c.Stats(); s.FlaggedDevices != 1 {
+		t.Fatalf("stats %+v, want 1 flagged device", s)
+	}
+	// A second noisy minute must not double-count the device.
+	var more []event.Event
+	for i := 0; i < 8; i++ {
+		more = append(more, ev("noisy", aps[i%2], 5*time.Minute+time.Duration(i)*7*time.Second))
+	}
+	c.Clean(more)
+	if s := c.Stats(); s.FlaggedDevices != 1 {
+		t.Fatalf("stats %+v, want flagged count to stay 1", s)
+	}
+}
+
+func TestOutOfOrderPassesThrough(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	out := c.Clean([]event.Event{
+		ev("d1", "ap1", time.Hour),
+		ev("d1", "ap2", 0),                       // older than newest: pass through unjudged
+		ev("d1", "ap1", time.Hour+5*time.Second), // judged against ap1@1h: reassoc
+	})
+	if len(out) != 2 {
+		t.Fatalf("kept %d events, want 2: %v", len(out), out)
+	}
+	if s := c.Stats(); s.Reassociations != 1 {
+		t.Fatalf("stats %+v, want 1 reassociation", s)
+	}
+}
+
+func TestQuarantineRing(t *testing.T) {
+	c := New(testBuilding(t), Config{QuarantineCap: 3})
+	// 5 duplicates → 5 quarantined, ring keeps the newest 3.
+	in := []event.Event{ev("d1", "ap1", 0)}
+	for i := 1; i <= 5; i++ {
+		in = append(in, ev("d1", "ap1", 0))
+	}
+	c.Clean(in)
+	got := c.Quarantine(0)
+	if len(got) != 3 {
+		t.Fatalf("quarantine holds %d entries, want 3", len(got))
+	}
+	for _, e := range got {
+		if e.Rule != RuleDuplicate || e.Reason == "" || e.At.IsZero() {
+			t.Fatalf("malformed entry %+v", e)
+		}
+	}
+	if s := c.Stats(); s.Quarantined != 5 || s.QuarantineEvicted != 2 {
+		t.Fatalf("stats %+v, want quarantined=5 evicted=2", s)
+	}
+	if got := c.Quarantine(2); len(got) != 2 {
+		t.Fatalf("limited quarantine returned %d entries, want 2", len(got))
+	}
+	// Empty cleanser: no entries, no panic.
+	if got := New(nil, Config{}).Quarantine(10); len(got) != 0 {
+		t.Fatalf("empty quarantine returned %d entries", len(got))
+	}
+}
+
+func TestQuarantineNewestFirst(t *testing.T) {
+	c := New(testBuilding(t), Config{QuarantineCap: 4})
+	in := []event.Event{ev("d1", "ap1", 0)}
+	for i := 1; i <= 6; i++ {
+		// Distinct IDs so order is observable.
+		e := ev("d1", "ap1", 0)
+		e.ID = int64(i)
+		in = append(in, e)
+	}
+	c.Clean(in)
+	got := c.Quarantine(0)
+	if len(got) != 4 {
+		t.Fatalf("quarantine holds %d entries, want 4", len(got))
+	}
+	for i, e := range got {
+		want := int64(6 - i)
+		if e.Event.ID != want {
+			t.Fatalf("entry %d has ID %d, want %d (newest first)", i, e.Event.ID, want)
+		}
+	}
+}
+
+func TestLazySeedFromStore(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	seeded := 0
+	c.SetSeed(func(d event.DeviceID) (event.Event, bool) {
+		seeded++
+		if d == "d1" {
+			return ev("d1", "ap1", 0), true
+		}
+		return event.Event{}, false
+	})
+	// First post-recovery event: a same-AP re-association 5s after the
+	// stored last event must be caught even though the cleanser never saw
+	// the original.
+	out := c.Clean([]event.Event{ev("d1", "ap1", 5*time.Second)})
+	if len(out) != 0 {
+		t.Fatalf("seeded reassociation not dropped: %v", out)
+	}
+	c.Clean([]event.Event{ev("d1", "ap1", time.Hour)})
+	if seeded != 1 {
+		t.Fatalf("seed called %d times for d1, want 1 (lazy, once)", seeded)
+	}
+	// Unknown device seeds empty state and keeps its first event.
+	if out := c.Clean([]event.Event{ev("d2", "ap1", 0)}); len(out) != 1 {
+		t.Fatalf("first event of unseeded device dropped: %v", out)
+	}
+}
+
+func TestCleanEmptyBatch(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	if out := c.Clean(nil); len(out) != 0 {
+		t.Fatalf("Clean(nil) = %v", out)
+	}
+}
+
+func TestConcurrentClean(t *testing.T) {
+	c := New(testBuilding(t), Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := fmt.Sprintf("dev-%d-%d", w, i%10)
+				c.Clean([]event.Event{
+					ev(d, "ap1", time.Duration(i)*time.Minute),
+					ev(d, "ap1", time.Duration(i)*time.Minute), // duplicate
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Ingested != 8*200*2 {
+		t.Fatalf("ingested %d, want %d", s.Ingested, 8*200*2)
+	}
+	if s.Kept+s.Quarantined != s.Ingested {
+		t.Fatalf("kept %d + quarantined %d != ingested %d", s.Kept, s.Quarantined, s.Ingested)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -102,11 +103,12 @@ type Cluster struct {
 	home map[locater.DeviceID]int
 }
 
-// Compile-time checks: the cluster is a full Locater and exposes its
-// topology.
+// Compile-time checks: the cluster is a full Locater, exposes its
+// topology, and merges its shards' quarantine rings.
 var (
-	_ locater.Locater = (*Cluster)(nil)
-	_ locater.Sharded = (*Cluster)(nil)
+	_ locater.Locater     = (*Cluster)(nil)
+	_ locater.Sharded     = (*Cluster)(nil)
+	_ locater.Quarantiner = (*Cluster)(nil)
 )
 
 // New assembles an in-memory cluster: opts.Shards (or len(opts.Buildings))
@@ -465,6 +467,60 @@ func (c *Cluster) CacheStats() locater.CacheStats {
 		parts[i] = s.CacheStats()
 	}
 	return locater.MergeCacheStats(parts...)
+}
+
+// CleansingEnabled reports whether any shard runs the ingest-time
+// cleansing stage. Clusters are configured uniformly, so in practice this
+// is all-or-nothing.
+func (c *Cluster) CleansingEnabled() bool {
+	for _, s := range c.shards {
+		if s.CleansingEnabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// CleanseStats sums every shard's cleansing counters. Each shard cleanses
+// its own slice of the ingest stream independently, so the per-rule totals
+// are exact.
+func (c *Cluster) CleanseStats() locater.CleanseStats {
+	var out locater.CleanseStats
+	for _, s := range c.shards {
+		p := s.CleanseStats()
+		out.Ingested += p.Ingested
+		out.Kept += p.Kept
+		out.Duplicates += p.Duplicates
+		out.Reassociations += p.Reassociations
+		out.Oscillations += p.Oscillations
+		out.ImpossibleTransitions += p.ImpossibleTransitions
+		out.FlaggedDevices += p.FlaggedDevices
+		out.Quarantined += p.Quarantined
+		out.QuarantineEvicted += p.QuarantineEvicted
+	}
+	return out
+}
+
+// Quarantine merges the shards' quarantine rings into one newest-first
+// view, truncated to limit (limit ≤ 0 keeps everything the rings retain).
+// Entries order by observation time, breaking ties on event time, so the
+// merged view reads like a single ring regardless of which shard rejected
+// each event.
+func (c *Cluster) Quarantine(limit int) []locater.QuarantineEntry {
+	var merged []locater.QuarantineEntry
+	for _, s := range c.shards {
+		merged = append(merged, s.Quarantine(limit)...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if !merged[i].At.Equal(merged[j].At) {
+			return merged[i].At.After(merged[j].At)
+		}
+		return merged[i].Event.Time.After(merged[j].Event.Time)
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged
 }
 
 // QueryStats merges every shard's latency populations (counts sum,

@@ -487,3 +487,74 @@ func TestBuildingModeRecoveryRebuildsHomes(t *testing.T) {
 		t.Errorf("recovered beta device did not route to shard 1 (queries %d → %d)", before, got)
 	}
 }
+
+// TestClusterQuarantineMerge exercises the Quarantiner surface on a
+// sharded deployment: cleansing-rejected events land in per-shard rings,
+// and the cluster presents them as one merged, newest-first quarantine with
+// summed counters.
+func TestClusterQuarantineMerge(t *testing.T) {
+	ds := buildDataset(t, 1, 2, 21)
+	cfg := testConfig(ds.Building)
+	cfg.EnableCleansing = true
+	cl, err := cluster.New(cfg, cluster.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if !cl.CleansingEnabled() {
+		t.Fatal("cluster with cleansing-enabled shards reports CleansingEnabled()=false")
+	}
+	ingestChunks(t, cl, ds.Events)
+
+	// Append, per device, a fresh event followed by its exact duplicate:
+	// the duplicate is quarantined on whichever shard owns the device.
+	base := simStart.Add(72 * time.Hour)
+	ap := ds.Events[0].AP
+	nDev := len(ds.People)
+	for i, p := range ds.People {
+		e := locater.Event{Device: p.Device, Time: base.Add(time.Duration(i) * time.Minute), AP: ap}
+		if err := cl.Ingest([]locater.Event{e, e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := cl.CleanseStats()
+	if st.Duplicates != int64(nDev) || st.Quarantined != int64(nDev) {
+		t.Fatalf("merged cleanse stats %+v, want %d duplicates quarantined", st, nDev)
+	}
+	if st.Ingested != int64(len(ds.Events)+2*nDev) {
+		t.Fatalf("merged Ingested=%d, want %d", st.Ingested, len(ds.Events)+2*nDev)
+	}
+
+	// Per-shard rings must reconcile with the merged view, and more than
+	// one shard must have contributed (devices hash across both).
+	contributing := 0
+	perShard := 0
+	for i := 0; i < cl.NumShards(); i++ {
+		n := len(cl.Shard(i).Quarantine(0))
+		perShard += n
+		if n > 0 {
+			contributing++
+		}
+	}
+	if contributing < 2 {
+		t.Fatalf("expected quarantined events on ≥2 shards, got %d", contributing)
+	}
+	merged := cl.Quarantine(0)
+	if len(merged) != perShard || len(merged) != nDev {
+		t.Fatalf("merged quarantine has %d entries, per-shard sum %d, want %d", len(merged), perShard, nDev)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At.After(merged[i-1].At) {
+			t.Fatalf("merged quarantine not newest-first at %d: %v after %v", i, merged[i].At, merged[i-1].At)
+		}
+	}
+	for _, ent := range merged {
+		if ent.Rule != "duplicate" {
+			t.Fatalf("unexpected rule %q in quarantine", ent.Rule)
+		}
+	}
+	if got := cl.Quarantine(3); len(got) != 3 {
+		t.Fatalf("Quarantine(3) returned %d entries", len(got))
+	}
+}

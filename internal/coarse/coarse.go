@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locater/internal/cache"
@@ -80,6 +81,10 @@ type Options struct {
 	// past it the least recently used model is evicted (and simply
 	// retrained on that device's next query). Default 4096.
 	ModelCacheCapacity int
+	// StatsHalfLife is the event-time half-life of the decayed gap
+	// sufficient statistics maintained incrementally on ingest (stats.go).
+	// Default 7 days.
+	StatsHalfLife time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +100,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ModelCacheCapacity <= 0 {
 		o.ModelCacheCapacity = 4096
+	}
+	if o.StatsHalfLife <= 0 {
+		o.StatsHalfLife = 7 * 24 * time.Hour
 	}
 	return o
 }
@@ -123,6 +131,15 @@ type Localizer struct {
 	// history of their own (paper footnote 5).
 	popMu      sync.Mutex
 	population *deviceModel
+
+	// stats holds the incrementally-maintained per-device gap sufficient
+	// statistics (stats.go), with the write-path maintenance counters.
+	stats        *statsTable
+	observeNanos atomic.Int64
+	trainNanos   atomic.Int64
+	trains       atomic.Int64
+	rebuilds     atomic.Int64
+	outOfOrder   atomic.Int64
 }
 
 // Result is the coarse-level answer for a query.
@@ -150,22 +167,29 @@ func New(b *space.Building, st *store.Store, opts Options) *Localizer {
 		store:    st,
 		models: cache.NewSharded[event.DeviceID, *deviceModel](
 			opts.ModelCacheCapacity, numModelShards, cache.StringHash[event.DeviceID]),
+		stats: newStatsTable(),
 	}
 }
 
-// InvalidateDevice drops the cached model for a device (e.g. after new
-// history was ingested). Only the device's cache shard is locked.
+// InvalidateDevice is the full per-device escape hatch: it drops the cached
+// model AND marks the device's incremental gap statistics for a from-store
+// rebuild. The ingest hot path no longer calls it — ObserveIngest maintains
+// the statistics in place — so it remains for the cases incremental updates
+// cannot cover: δ changes (SetDelta) and explicit operator resets.
 func (l *Localizer) InvalidateDevice(d event.DeviceID) {
 	l.models.Delete(d)
+	l.stats.markRebuild(d)
 }
 
-// InvalidateAll drops every cached model (an O(1) epoch bump), including
-// the population model.
+// InvalidateAll drops every cached model (an O(1) epoch bump), the
+// population model, and every incremental statistic (each device rebuilds
+// lazily from the store).
 func (l *Localizer) InvalidateAll() {
 	l.models.Invalidate()
 	l.popMu.Lock()
 	l.population = nil
 	l.popMu.Unlock()
+	l.stats.clear()
 }
 
 // ModelCacheStats reports the model cache's size, capacity, and counters.

@@ -1,0 +1,285 @@
+package coarse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/store"
+)
+
+// statsDiff returns the largest absolute field-wise difference between two
+// DeviceStats.
+func statsDiff(a, b DeviceStats) float64 {
+	max := 0.0
+	acc := func(x, y float64) {
+		if d := math.Abs(x - y); d > max {
+			max = d
+		}
+	}
+	acc(a.Events, b.Events)
+	acc(a.Gaps, b.Gaps)
+	acc(a.GapSeconds, b.GapSeconds)
+	acc(a.Inside, b.Inside)
+	acc(a.Outside, b.Outside)
+	acc(float64(a.LastNanos), float64(b.LastNanos))
+	acc(float64(a.RawEvents), float64(b.RawEvents))
+	for i := range a.Hist {
+		acc(a.Hist[i], b.Hist[i])
+	}
+	return max
+}
+
+func TestIncrementalStatsMatchOracleInOrder(t *testing.T) {
+	st := store.New(5 * time.Minute)
+	l := New(testBuilding(t), st, Options{})
+	d := event.DeviceID("dev-1")
+
+	rng := rand.New(rand.NewSource(42))
+	cur := t0
+	for batch := 0; batch < 20; batch++ {
+		var evs []event.Event
+		for i := 0; i < 10; i++ {
+			// Mixed spacings: some within 2δ (no gap), some short gaps
+			// (≤ τl), some long (≥ τh).
+			switch rng.Intn(3) {
+			case 0:
+				cur = cur.Add(time.Duration(1+rng.Intn(8)) * time.Minute)
+			case 1:
+				cur = cur.Add(time.Duration(12+rng.Intn(20)) * time.Minute)
+			default:
+				cur = cur.Add(time.Duration(4+rng.Intn(6)) * time.Hour)
+			}
+			evs = append(evs, event.Event{Device: d, Time: cur, AP: "apA"})
+		}
+		if _, err := st.Ingest(evs); err != nil {
+			t.Fatal(err)
+		}
+		l.ObserveIngest(evs)
+		got, ok := l.DeviceStatsOf(d)
+		if !ok {
+			t.Fatalf("batch %d: no stats", batch)
+		}
+		want, ok := l.BatchDeviceStats(d)
+		if !ok {
+			t.Fatalf("batch %d: no oracle stats", batch)
+		}
+		if diff := statsDiff(got, want); diff > 1e-9 {
+			t.Fatalf("batch %d: incremental vs oracle diff %g\nincr %+v\noracle %+v", batch, diff, got, want)
+		}
+	}
+	ms := l.MaintenanceStats()
+	if ms.StatsDevices != 1 {
+		t.Fatalf("stats devices %d, want 1", ms.StatsDevices)
+	}
+	// Exactly one rebuild: the lazy first-sight one. In-order ingest never
+	// falls back afterwards.
+	if ms.Rebuilds != 1 || ms.OutOfOrder != 0 {
+		t.Fatalf("maintenance %+v, want rebuilds=1 out_of_order=0", ms)
+	}
+	if ms.ObserveNanos <= 0 {
+		t.Fatalf("maintenance %+v, want observe time accounted", ms)
+	}
+}
+
+func TestOutOfOrderIngestRebuilds(t *testing.T) {
+	st := store.New(5 * time.Minute)
+	l := New(testBuilding(t), st, Options{})
+	d := event.DeviceID("dev-ooo")
+
+	first := []event.Event{
+		{Device: d, Time: t0.Add(2 * time.Hour), AP: "apA"},
+		{Device: d, Time: t0.Add(3 * time.Hour), AP: "apA"},
+	}
+	if _, err := st.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveIngest(first)
+	if _, ok := l.DeviceStatsOf(d); !ok {
+		t.Fatal("no stats after first batch")
+	}
+
+	// A late event older than the newest must flag a rebuild, after which
+	// the stats match the oracle exactly.
+	late := []event.Event{{Device: d, Time: t0.Add(time.Hour), AP: "apB"}}
+	if _, err := st.Ingest(late); err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveIngest(late)
+	ms := l.MaintenanceStats()
+	if ms.OutOfOrder != 1 {
+		t.Fatalf("maintenance %+v, want out_of_order=1", ms)
+	}
+	got, ok := l.DeviceStatsOf(d)
+	if !ok {
+		t.Fatal("no stats after rebuild")
+	}
+	want, _ := l.BatchDeviceStats(d)
+	if diff := statsDiff(got, want); diff != 0 {
+		t.Fatalf("post-rebuild diff %g", diff)
+	}
+	if after := l.MaintenanceStats(); after.Rebuilds != ms.Rebuilds+1 {
+		t.Fatalf("rebuilds %d, want %d", after.Rebuilds, ms.Rebuilds+1)
+	}
+}
+
+func TestSetDeltaInvalidatesStats(t *testing.T) {
+	st := store.New(5 * time.Minute)
+	l := New(testBuilding(t), st, Options{})
+	d := event.DeviceID("dev-delta")
+	evs := []event.Event{
+		{Device: d, Time: t0, AP: "apA"},
+		{Device: d, Time: t0.Add(30 * time.Minute), AP: "apA"},
+		{Device: d, Time: t0.Add(5 * time.Hour), AP: "apA"},
+	}
+	if _, err := st.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveIngest(evs)
+	before, _ := l.DeviceStatsOf(d)
+
+	// δ 5m→15m: the 30-minute spacing stops being a gap. The stats must
+	// rebuild with the new δ and keep matching the oracle.
+	if err := st.SetDelta(d, 15*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	l.InvalidateDevice(d)
+	after, ok := l.DeviceStatsOf(d)
+	if !ok {
+		t.Fatal("no stats after δ change")
+	}
+	if after.Gaps >= before.Gaps {
+		t.Fatalf("gaps %v → %v, want fewer after widening δ", before.Gaps, after.Gaps)
+	}
+	want, _ := l.BatchDeviceStats(d)
+	if diff := statsDiff(after, want); diff != 0 {
+		t.Fatalf("post-δ-change diff %g", diff)
+	}
+}
+
+func TestInvalidateAllClearsStats(t *testing.T) {
+	st := store.New(5 * time.Minute)
+	l := New(testBuilding(t), st, Options{})
+	d := event.DeviceID("dev-clear")
+	evs := []event.Event{
+		{Device: d, Time: t0, AP: "apA"},
+		{Device: d, Time: t0.Add(time.Hour), AP: "apA"},
+	}
+	if _, err := st.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveIngest(evs)
+	if _, ok := l.DeviceStatsOf(d); !ok {
+		t.Fatal("no stats before clear")
+	}
+	l.InvalidateAll()
+	if n := l.MaintenanceStats().StatsDevices; n != 0 {
+		t.Fatalf("stats devices %d after InvalidateAll, want 0", n)
+	}
+	// Lazy rebuild serves the device again.
+	got, ok := l.DeviceStatsOf(d)
+	if !ok {
+		t.Fatal("no stats after clear")
+	}
+	want, _ := l.BatchDeviceStats(d)
+	if diff := statsDiff(got, want); diff != 0 {
+		t.Fatalf("post-clear diff %g", diff)
+	}
+}
+
+func TestDeviceStatsOfUnknownDevice(t *testing.T) {
+	st := store.New(5 * time.Minute)
+	l := New(testBuilding(t), st, Options{})
+	if _, ok := l.DeviceStatsOf("ghost"); ok {
+		t.Fatal("stats reported for unknown device")
+	}
+	if _, ok := l.BatchDeviceStats("ghost"); ok {
+		t.Fatal("oracle stats reported for unknown device")
+	}
+}
+
+func TestObserveIngestInvalidatesModels(t *testing.T) {
+	b := testBuilding(t)
+	st := store.New(0)
+	seedHistory(t, st, "dev-model", 30)
+	l := newLocalizer(t, b, st)
+	// Train via a gap query, then ingest: the cached model must drop.
+	if _, err := l.Locate("dev-model", t0.AddDate(0, 0, 29).Add(12*time.Hour+20*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.cachedModel("dev-model"); !ok {
+		t.Fatal("model not cached after query")
+	}
+	evs := []event.Event{{Device: "dev-model", Time: t0.AddDate(0, 0, 30), AP: "apA"}}
+	if _, err := st.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveIngest(evs)
+	if _, ok := l.cachedModel("dev-model"); ok {
+		t.Fatal("model survived ObserveIngest")
+	}
+	if ms := l.MaintenanceStats(); ms.Trains == 0 || ms.TrainNanos <= 0 {
+		t.Fatalf("maintenance %+v, want training accounted", ms)
+	}
+}
+
+func TestStatsManyDevicesConcurrent(t *testing.T) {
+	st := store.New(5 * time.Minute)
+	l := New(testBuilding(t), st, Options{})
+	const devs = 40
+	done := make(chan error, devs)
+	for i := 0; i < devs; i++ {
+		go func(i int) {
+			d := event.DeviceID(fmt.Sprintf("dev-%02d", i))
+			cur := t0.Add(time.Duration(i) * time.Minute)
+			for b := 0; b < 5; b++ {
+				var evs []event.Event
+				for j := 0; j < 8; j++ {
+					cur = cur.Add(time.Duration(7+j) * time.Minute)
+					evs = append(evs, event.Event{Device: d, Time: cur, AP: "apA"})
+				}
+				if _, err := st.Ingest(evs); err != nil {
+					done <- err
+					return
+				}
+				l.ObserveIngest(evs)
+			}
+			got, ok := l.DeviceStatsOf(d)
+			if !ok {
+				done <- fmt.Errorf("%s: no stats", d)
+				return
+			}
+			want, _ := l.BatchDeviceStats(d)
+			if diff := statsDiff(got, want); diff > 1e-9 {
+				done <- fmt.Errorf("%s: diff %g", d, diff)
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < devs; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.MaintenanceStats().StatsDevices; n != devs {
+		t.Fatalf("stats devices %d, want %d", n, devs)
+	}
+}
+
+func TestGapBucketBounds(t *testing.T) {
+	if b := gapBucket(int64(500 * time.Millisecond)); b != 0 {
+		t.Fatalf("sub-second gap bucket %d, want 0", b)
+	}
+	if b := gapBucket(int64(time.Second)); b != 1 {
+		t.Fatalf("1s gap bucket %d, want 1", b)
+	}
+	// The largest representable gap (~292 years of nanos) still lands
+	// inside the histogram.
+	if b := gapBucket(math.MaxInt64); b <= 0 || b >= GapHistBuckets {
+		t.Fatalf("huge gap bucket %d out of range", b)
+	}
+}

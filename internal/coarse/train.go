@@ -56,6 +56,11 @@ func (l *Localizer) model(d event.DeviceID) (*deviceModel, error) {
 // bootstrap-label the easy ones, run Algorithm 1 twice (building level, then
 // region level for inside gaps).
 func (l *Localizer) train(d event.DeviceID) (*deviceModel, error) {
+	trainStart := time.Now()
+	defer func() {
+		l.trainNanos.Add(time.Since(trainStart).Nanoseconds())
+		l.trains.Add(1)
+	}()
 	_, maxT, ok := l.store.TimeBounds()
 	if !ok {
 		return nil, fmt.Errorf("coarse: empty store, cannot train model for %s", d)

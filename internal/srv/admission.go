@@ -59,6 +59,18 @@ type AdmissionOptions struct {
 	// ShedBatchAt is the queue-occupancy fraction (of either the batch or
 	// the locate queue) above which batch requests are shed. Default 0.5.
 	ShedBatchAt float64
+	// Static pins each class's waiting-queue bound at the configured
+	// MaxQueue (the historical GOMAXPROCS-multiple behavior). By default
+	// the bound ADAPTS to the observed EWMA service time via Little's law:
+	// the queue admits only as many waiters as the class can drain within
+	// TargetQueueWait at its current service rate, clamped to
+	// [2, MaxQueue]. Fast service → deep queue (absorb bursts); slow
+	// service → shallow queue (reject early, before waiters' deadlines rot
+	// in line). locater-serve exposes this as -static-admission.
+	Static bool
+	// TargetQueueWait is the waiting time the adaptive queue bound aims
+	// for. Default 2s. Ignored when Static.
+	TargetQueueWait time.Duration
 }
 
 // defaultAdmission fills zero fields with the defaults: locate gets
@@ -87,6 +99,9 @@ func defaultAdmission(o AdmissionOptions) AdmissionOptions {
 	if o.ShedBatchAt <= 0 || o.ShedBatchAt > 1 {
 		o.ShedBatchAt = 0.5
 	}
+	if o.TargetQueueWait <= 0 {
+		o.TargetQueueWait = 2 * time.Second
+	}
 	return o
 }
 
@@ -112,6 +127,10 @@ const (
 // admitQueue is one request class's bounded executing/waiting state.
 type admitQueue struct {
 	cfg QueueConfig
+	// static pins the queue bound at cfg.MaxQueue; targetWaitNs is the
+	// adaptive bound's aim (see AdmissionOptions.Static/TargetQueueWait).
+	static       bool
+	targetWaitNs int64
 	// slots holds one token per executing request; acquiring = sending.
 	slots chan struct{}
 	// queued counts requests waiting for a slot (bounded by MaxQueue).
@@ -133,9 +152,44 @@ func newAdmitQueue(cfg QueueConfig) *admitQueue {
 	return &admitQueue{cfg: cfg, slots: make(chan struct{}, cfg.MaxConcurrent)}
 }
 
-// occupancy is the waiting queue's fullness in [0, 1].
+// configureAdaptive sets the queue's bound policy (see
+// AdmissionOptions.Static / TargetQueueWait).
+func (q *admitQueue) configureAdaptive(static bool, targetWait time.Duration) {
+	q.static = static
+	q.targetWaitNs = int64(targetWait)
+}
+
+// effectiveMaxQueue is the waiting-queue bound currently in force. In
+// static mode — and before the first service-time observation — it is the
+// configured MaxQueue. Otherwise Little's law sizes the queue to the
+// longest backlog the class can drain within TargetQueueWait at its
+// current EWMA service time (one wave of MaxConcurrent per EWMA), clamped
+// to [2, MaxQueue]: a fast class keeps its deep burst buffer, a slow one
+// rejects early instead of parking waiters whose deadlines will rot in
+// line.
+func (q *admitQueue) effectiveMaxQueue() int64 {
+	maxQ := int64(q.cfg.MaxQueue)
+	if q.static || q.targetWaitNs <= 0 {
+		return maxQ
+	}
+	ewma := q.ewmaNs.Load()
+	if ewma <= 0 {
+		return maxQ
+	}
+	bound := q.targetWaitNs * int64(q.cfg.MaxConcurrent) / ewma
+	if bound < 2 {
+		bound = 2
+	}
+	if bound > maxQ {
+		bound = maxQ
+	}
+	return bound
+}
+
+// occupancy is the waiting queue's fullness in [0, 1] relative to the
+// effective (possibly adapted) bound.
 func (q *admitQueue) occupancy() float64 {
-	return float64(q.queued.Load()) / float64(q.cfg.MaxQueue)
+	return float64(q.queued.Load()) / float64(q.effectiveMaxQueue())
 }
 
 // expectedWait estimates how long the (waiting+1)-th request will wait for a
@@ -187,11 +241,12 @@ func (q *admitQueue) admit(ctx context.Context, shedAbove float64, peerOccupancy
 	}
 
 	waiting := q.queued.Add(1)
+	maxQueue := q.effectiveMaxQueue()
 
 	// Shed check: batch degrades before single locate. Uses the occupancy
 	// including this request, so a single waiter against MaxQueue=1 sheds.
 	if shedAbove >= 0 {
-		occ := float64(waiting) / float64(q.cfg.MaxQueue)
+		occ := float64(waiting) / float64(maxQueue)
 		if occ > shedAbove || peerOccupancy > shedAbove {
 			q.queued.Add(-1)
 			q.rejectedShed.Add(1)
@@ -203,8 +258,9 @@ func (q *admitQueue) admit(ctx context.Context, shedAbove float64, peerOccupancy
 		}
 	}
 
-	// Bounded queue: beyond MaxQueue the request is turned away now.
-	if waiting > int64(q.cfg.MaxQueue) {
+	// Bounded queue: beyond the effective bound the request is turned away
+	// now.
+	if waiting > maxQueue {
 		q.queued.Add(-1)
 		q.rejectedQueueFull.Add(1)
 		return nil, &admitError{
@@ -267,6 +323,12 @@ func (q *admitQueue) release(served time.Duration) {
 type AdmissionQueueResponse struct {
 	MaxConcurrent int `json:"max_concurrent"`
 	MaxQueue      int `json:"max_queue"`
+	// EffectiveMaxQueue is the waiting-queue bound currently in force:
+	// equal to MaxQueue in static mode, adapted to the EWMA service time
+	// otherwise (see AdmissionOptions.Static).
+	EffectiveMaxQueue int `json:"effective_max_queue"`
+	// Adaptive reports whether the bound adapts (i.e. !Static).
+	Adaptive bool `json:"adaptive"`
 	// InFlight / Queued are instantaneous gauges.
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
@@ -296,6 +358,8 @@ func admissionQueueResponseOf(q *admitQueue) AdmissionQueueResponse {
 	return AdmissionQueueResponse{
 		MaxConcurrent:     q.cfg.MaxConcurrent,
 		MaxQueue:          q.cfg.MaxQueue,
+		EffectiveMaxQueue: int(q.effectiveMaxQueue()),
+		Adaptive:          !q.static,
 		InFlight:          len(q.slots),
 		Queued:            int(q.queued.Load()),
 		Admitted:          q.admitted.Load(),

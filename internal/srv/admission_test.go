@@ -396,3 +396,128 @@ func TestRetryAfterRounding(t *testing.T) {
 		t.Errorf("Retry-After not an integer: %v", err)
 	}
 }
+
+// TestAdaptiveQueueBound pins the Little's-law bound: effective queue depth
+// = targetWait × MaxConcurrent / EWMA service time, clamped to [2,
+// MaxQueue], with the static path and the no-signal (EWMA 0) path falling
+// back to the configured bound.
+func TestAdaptiveQueueBound(t *testing.T) {
+	q := newAdmitQueue(QueueConfig{MaxConcurrent: 4, MaxQueue: 64})
+	q.configureAdaptive(false, 2*time.Second)
+
+	// No service-time signal yet: the configured bound applies.
+	if got := q.effectiveMaxQueue(); got != 64 {
+		t.Fatalf("effectiveMaxQueue with EWMA 0 = %d, want 64", got)
+	}
+	// Fast service (10ms): the wait target allows far more than MaxQueue,
+	// so the configured bound still clamps.
+	q.ewmaNs.Store(int64(10 * time.Millisecond))
+	if got := q.effectiveMaxQueue(); got != 64 {
+		t.Fatalf("effectiveMaxQueue fast = %d, want clamp to 64", got)
+	}
+	// Slow service (500ms): 2s × 4 / 500ms = 16 waiters keep the worst
+	// queue wait at the target.
+	q.ewmaNs.Store(int64(500 * time.Millisecond))
+	if got := q.effectiveMaxQueue(); got != 16 {
+		t.Fatalf("effectiveMaxQueue slow = %d, want 16", got)
+	}
+	// Pathological service (10s): the floor keeps a minimal queue.
+	q.ewmaNs.Store(int64(10 * time.Second))
+	if got := q.effectiveMaxQueue(); got != 2 {
+		t.Fatalf("effectiveMaxQueue pathological = %d, want floor 2", got)
+	}
+	// Static mode ignores the signal entirely.
+	q.configureAdaptive(true, 2*time.Second)
+	if got := q.effectiveMaxQueue(); got != 64 {
+		t.Fatalf("static effectiveMaxQueue = %d, want 64", got)
+	}
+	// A zero wait target also disables adaptation.
+	q.configureAdaptive(false, 0)
+	if got := q.effectiveMaxQueue(); got != 64 {
+		t.Fatalf("zero-target effectiveMaxQueue = %d, want 64", got)
+	}
+}
+
+// TestAdaptiveQueueRejectsAtBound drives a queue whose EWMA shrinks the
+// effective bound below the configured one and checks the queue-full
+// rejection fires at the adaptive bound.
+func TestAdaptiveQueueRejectsAtBound(t *testing.T) {
+	q := newAdmitQueue(QueueConfig{MaxConcurrent: 1, MaxQueue: 32})
+	q.configureAdaptive(false, time.Second)
+	q.ewmaNs.Store(int64(500 * time.Millisecond)) // bound = 1s×1/500ms = 2
+	ctx := context.Background()
+
+	release, rej := q.admit(ctx, -1, 0)
+	if rej != nil {
+		t.Fatalf("idle queue rejected: %+v", rej)
+	}
+	defer release(time.Millisecond)
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, e := q.admit(ctx, -1, 0)
+			if e == nil {
+				defer r(time.Millisecond)
+			}
+			<-done
+		}()
+	}
+	deadlineT := time.Now().Add(5 * time.Second)
+	for q.queued.Load() < 2 {
+		if time.Now().After(deadlineT) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, rej = q.admit(ctx, -1, 0)
+	close(done)
+	if rej == nil || rej.code != codeQueueFull {
+		t.Fatalf("admit beyond adaptive bound: got %+v, want %s (static bound is 32)", rej, codeQueueFull)
+	}
+}
+
+// TestAdmissionStatsReportAdaptiveBound checks /stats surfaces the
+// effective bound and the adaptive flag.
+func TestAdmissionStatsReportAdaptiveBound(t *testing.T) {
+	s, _ := newTinyServer(t, Options{Admission: AdmissionOptions{
+		Locate:          QueueConfig{MaxConcurrent: 2, MaxQueue: 16},
+		TargetQueueWait: time.Second,
+	}})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var body struct {
+		Admission struct {
+			Locate struct {
+				MaxQueue          int  `json:"max_queue"`
+				EffectiveMaxQueue int  `json:"effective_max_queue"`
+				Adaptive          bool `json:"adaptive"`
+			} `json:"locate"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	l := body.Admission.Locate
+	if !l.Adaptive {
+		t.Error("adaptive flag not reported")
+	}
+	if l.MaxQueue != 16 || l.EffectiveMaxQueue != 16 {
+		t.Errorf("bounds = %d/%d, want 16/16 before any service-time signal", l.MaxQueue, l.EffectiveMaxQueue)
+	}
+
+	static, _ := newTinyServer(t, Options{Admission: AdmissionOptions{
+		Locate: QueueConfig{MaxConcurrent: 2, MaxQueue: 16},
+		Static: true,
+	}})
+	rec = httptest.NewRecorder()
+	static.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Admission.Locate.Adaptive {
+		t.Error("static server reports adaptive=true")
+	}
+}

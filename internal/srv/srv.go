@@ -72,6 +72,9 @@ func NewWithOptions(sys locater.Locater, opts Options) *Server {
 		s.locateQ = newAdmitQueue(s.admission.Locate)
 		s.batchQ = newAdmitQueue(s.admission.Batch)
 		s.ingestQ = newAdmitQueue(s.admission.Ingest)
+		for _, q := range []*admitQueue{s.locateQ, s.batchQ, s.ingestQ} {
+			q.configureAdaptive(s.admission.Static, s.admission.TargetQueueWait)
+		}
 	}
 	// /v1/ is the versioned surface; the bare paths are legacy aliases for
 	// clients written before versioning. Both share one handler set.
@@ -80,6 +83,7 @@ func NewWithOptions(sys locater.Locater, opts Options) *Server {
 		s.mux.HandleFunc(prefix+"/locate/batch", s.handleLocateBatch)
 		s.mux.HandleFunc(prefix+"/ingest", s.handleIngest)
 		s.mux.HandleFunc(prefix+"/stats", s.handleStats)
+		s.mux.HandleFunc(prefix+"/quarantine", s.handleQuarantine)
 		s.mux.HandleFunc(prefix+"/healthz", s.handleHealth)
 	}
 	s.mux.HandleFunc("/", s.handleNotFound)
@@ -198,19 +202,95 @@ type SegmentsResponse struct {
 	CacheSize      int   `json:"cache_size"`
 	CacheCapacity  int   `json:"cache_capacity"`
 	DecodeFailures int64 `json:"decode_failures"`
+	// Compactions / CompactionFailures count checkpoint-time runt-segment
+	// merges and the merges abandoned on error.
+	Compactions        int64 `json:"compactions"`
+	CompactionFailures int64 `json:"compaction_failures"`
 }
 
 // CachesResponse is the JSON shape of the caching layer's stats: the global
-// affinity graph, the three bounded tiers, the store's occupancy index, and
-// the segmented event layout.
+// affinity graph, the three bounded tiers, the store's occupancy index, the
+// segmented event layout, the ingest-time cleansing stage, and the write
+// path's model-maintenance counters.
 type CachesResponse struct {
-	Enabled      bool              `json:"enabled"`
-	GraphEdges   int               `json:"graph_edges"`
-	Affinity     CacheTierResponse `json:"affinity"`
-	CoarseModels CacheTierResponse `json:"coarse_models"`
-	Results      CacheTierResponse `json:"results"`
-	Occupancy    OccupancyResponse `json:"occupancy"`
-	Segments     SegmentsResponse  `json:"segments"`
+	Enabled      bool                `json:"enabled"`
+	GraphEdges   int                 `json:"graph_edges"`
+	Affinity     CacheTierResponse   `json:"affinity"`
+	CoarseModels CacheTierResponse   `json:"coarse_models"`
+	Results      CacheTierResponse   `json:"results"`
+	Occupancy    OccupancyResponse   `json:"occupancy"`
+	Segments     SegmentsResponse    `json:"segments"`
+	Cleanse      CleanseResponse     `json:"cleanse"`
+	Maintenance  MaintenanceResponse `json:"maintenance"`
+}
+
+// CleanseResponse is the JSON shape of the ingest-time cleansing stage's
+// per-rule counters (zero when cleansing is off).
+type CleanseResponse struct {
+	Ingested              int64 `json:"ingested"`
+	Kept                  int64 `json:"kept"`
+	Duplicates            int64 `json:"duplicates"`
+	Reassociations        int64 `json:"reassociations"`
+	Oscillations          int64 `json:"oscillations"`
+	ImpossibleTransitions int64 `json:"impossible_transitions"`
+	FlaggedDevices        int64 `json:"flagged_devices"`
+	Quarantined           int64 `json:"quarantined"`
+	QuarantineEvicted     int64 `json:"quarantine_evicted"`
+}
+
+// MaintenanceResponse is the JSON shape of the write path's incremental
+// model-maintenance counters: the coarse gap sufficient statistics and the
+// affinity tier's scoped validation.
+type MaintenanceResponse struct {
+	Coarse struct {
+		ObserveNanos int64 `json:"observe_nanos"`
+		TrainNanos   int64 `json:"train_nanos"`
+		Trains       int64 `json:"trains"`
+		Rebuilds     int64 `json:"rebuilds"`
+		OutOfOrder   int64 `json:"out_of_order"`
+		StatsDevices int64 `json:"stats_devices"`
+	} `json:"coarse"`
+	Affinity struct {
+		FallbackNanos       int64 `json:"fallback_nanos"`
+		ScopedKept          int64 `json:"scoped_kept"`
+		ScopedStale         int64 `json:"scoped_stale"`
+		TrackedDevices      int64 `json:"tracked_devices"`
+		CoOccurPairs        int64 `json:"cooccur_pairs"`
+		CoOccurObservations int64 `json:"cooccur_observations"`
+		CoOccurDropped      int64 `json:"cooccur_dropped"`
+	} `json:"affinity"`
+}
+
+func cleanseResponseOf(cl locater.CleanseStats) CleanseResponse {
+	return CleanseResponse{
+		Ingested:              cl.Ingested,
+		Kept:                  cl.Kept,
+		Duplicates:            cl.Duplicates,
+		Reassociations:        cl.Reassociations,
+		Oscillations:          cl.Oscillations,
+		ImpossibleTransitions: cl.ImpossibleTransitions,
+		FlaggedDevices:        cl.FlaggedDevices,
+		Quarantined:           cl.Quarantined,
+		QuarantineEvicted:     cl.QuarantineEvicted,
+	}
+}
+
+func maintenanceResponseOf(ms locater.MaintenanceStats) MaintenanceResponse {
+	var out MaintenanceResponse
+	out.Coarse.ObserveNanos = ms.Coarse.ObserveNanos
+	out.Coarse.TrainNanos = ms.Coarse.TrainNanos
+	out.Coarse.Trains = ms.Coarse.Trains
+	out.Coarse.Rebuilds = ms.Coarse.Rebuilds
+	out.Coarse.OutOfOrder = ms.Coarse.OutOfOrder
+	out.Coarse.StatsDevices = ms.Coarse.StatsDevices
+	out.Affinity.FallbackNanos = ms.Affinity.FallbackNanos
+	out.Affinity.ScopedKept = ms.Affinity.ScopedKept
+	out.Affinity.ScopedStale = ms.Affinity.ScopedStale
+	out.Affinity.TrackedDevices = ms.Affinity.TrackedDevices
+	out.Affinity.CoOccurPairs = ms.Affinity.CoOccurPairs
+	out.Affinity.CoOccurObservations = ms.Affinity.CoOccurObservations
+	out.Affinity.CoOccurDropped = ms.Affinity.CoOccurDropped
+	return out
 }
 
 // PersistResponse is the JSON shape of the durable event store's stats,
@@ -566,21 +646,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				FallbackScans: cs.Occupancy.FallbackScans,
 			},
 			Segments: SegmentsResponse{
-				Enabled:        cs.Segments.Enabled,
-				MaxEvents:      cs.Segments.MaxEvents,
-				ColdTier:       cs.Segments.ColdTier,
-				Segments:       cs.Segments.Segments,
-				SegmentEvents:  cs.Segments.SegmentEvents,
-				HeadEvents:     cs.Segments.HeadEvents,
-				EncodedBytes:   cs.Segments.EncodedBytes,
-				Seals:          cs.Segments.Seals,
-				SealFailures:   cs.Segments.SealFailures,
-				PageIns:        cs.Segments.PageIns,
-				CacheHits:      cs.Segments.CacheHits,
-				CacheSize:      cs.Segments.CacheSize,
-				CacheCapacity:  cs.Segments.CacheCapacity,
-				DecodeFailures: cs.Segments.DecodeFailures,
+				Enabled:            cs.Segments.Enabled,
+				MaxEvents:          cs.Segments.MaxEvents,
+				ColdTier:           cs.Segments.ColdTier,
+				Segments:           cs.Segments.Segments,
+				SegmentEvents:      cs.Segments.SegmentEvents,
+				HeadEvents:         cs.Segments.HeadEvents,
+				EncodedBytes:       cs.Segments.EncodedBytes,
+				Seals:              cs.Segments.Seals,
+				SealFailures:       cs.Segments.SealFailures,
+				PageIns:            cs.Segments.PageIns,
+				CacheHits:          cs.Segments.CacheHits,
+				CacheSize:          cs.Segments.CacheSize,
+				CacheCapacity:      cs.Segments.CacheCapacity,
+				DecodeFailures:     cs.Segments.DecodeFailures,
+				Compactions:        cs.Segments.Compactions,
+				CompactionFailures: cs.Segments.CompactionFailures,
 			},
+			Cleanse:     cleanseResponseOf(cs.Cleanse),
+			Maintenance: maintenanceResponseOf(cs.Maintenance),
 		},
 		QueryStats:   queryStatsResponseOf(s.sys.QueryStats()),
 		UptimeSecond: int64(time.Since(s.started).Seconds()),
@@ -649,6 +733,66 @@ func cacheTierResponseOf(t locater.CacheTierStats) CacheTierResponse {
 		Evictions:     t.Evictions,
 		Invalidations: t.Invalidations,
 	}
+}
+
+// QuarantineEntryResponse is the JSON shape of one cleansing-rejected
+// event.
+type QuarantineEntryResponse struct {
+	Device string `json:"device"`
+	Time   string `json:"time"`
+	AP     string `json:"ap"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	At     string `json:"at"`
+}
+
+// QuarantineResponse is the JSON shape of GET /v1/quarantine: the cleansing
+// counters plus the newest quarantined events, newest first.
+type QuarantineResponse struct {
+	Enabled bool                      `json:"enabled"`
+	Stats   CleanseResponse           `json:"stats"`
+	Entries []QuarantineEntryResponse `json:"entries"`
+}
+
+// handleQuarantine serves the ingest-time cleansing stage's quarantine ring
+// (GET /v1/quarantine?limit=N). Engines without a quarantine surface (e.g.
+// remote clients) answer 404; engines with cleansing disabled answer an
+// empty ring with enabled=false.
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q, ok := s.sys.(locater.Quarantiner)
+	if !ok {
+		httpError(w, http.StatusNotFound, "engine has no quarantine surface")
+		return
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q (want a positive integer)", v))
+			return
+		}
+		limit = n
+	}
+	resp := QuarantineResponse{
+		Enabled: q.CleansingEnabled(),
+		Stats:   cleanseResponseOf(q.CleanseStats()),
+		Entries: []QuarantineEntryResponse{},
+	}
+	for _, e := range q.Quarantine(limit) {
+		resp.Entries = append(resp.Entries, QuarantineEntryResponse{
+			Device: string(e.Event.Device),
+			Time:   e.Event.Time.UTC().Format(time.RFC3339Nano),
+			AP:     string(e.Event.AP),
+			Rule:   string(e.Rule),
+			Reason: e.Reason,
+			At:     e.At.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

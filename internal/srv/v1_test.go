@@ -171,3 +171,101 @@ func TestStatsClusterBlock(t *testing.T) {
 		t.Error("unsharded deployment published a cluster block")
 	}
 }
+
+// TestQuarantineEndpoint drives the cleansing stage through the HTTP
+// surface: dirty ingest lands rejects in the quarantine, GET /v1/quarantine
+// returns them newest-first with per-rule stats, and the limit parameter
+// is validated.
+func TestQuarantineEndpoint(t *testing.T) {
+	sc, err := sim.Office(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sim.Generate(sc.Config(simStart, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := locater.New(locater.Config{
+		Building:           ds.Building,
+		EnableCache:        true,
+		EnableCleansing:    true,
+		HistoryDays:        3,
+		PromotionsPerRound: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys)
+	if err := sys.Ingest(ds.Events); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh event followed by its exact duplicate: one reject.
+	e := locater.Event{
+		Device: ds.People[0].Device,
+		Time:   simStart.Add(100 * time.Hour),
+		AP:     ds.Events[0].AP,
+	}
+	if err := sys.Ingest([]locater.Event{e, e}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/quarantine", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("quarantine: %d (%s)", rec.Code, rec.Body)
+	}
+	var resp QuarantineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled {
+		t.Error("cleansing-enabled engine reports enabled=false")
+	}
+	if len(resp.Entries) != 1 {
+		t.Fatalf("quarantine has %d entries, want 1: %+v", len(resp.Entries), resp.Entries)
+	}
+	ent := resp.Entries[0]
+	if ent.Device != string(e.Device) || ent.Rule != "duplicate" || ent.Reason == "" {
+		t.Errorf("entry = %+v, want the duplicate of %s", ent, e.Device)
+	}
+	if resp.Stats.Quarantined != 1 || resp.Stats.Duplicates != 1 {
+		t.Errorf("stats = %+v, want 1 duplicate quarantined", resp.Stats)
+	}
+
+	// The same counters appear in the /v1/stats caches block.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var st StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Caches.Cleanse.Quarantined != 1 {
+		t.Errorf("stats cleanse block = %+v, want quarantined 1", st.Caches.Cleanse)
+	}
+
+	// Bad limit is a 400; the legacy alias serves too.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/quarantine?limit=zero", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit: %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/quarantine", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("legacy alias: %d, want 200", rec.Code)
+	}
+
+	// With cleansing off, the endpoint still serves — empty and disabled.
+	off, _ := newTestServer(t)
+	rec = httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/quarantine", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("quarantine (cleansing off): %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Enabled || len(resp.Entries) != 0 {
+		t.Errorf("cleansing-off quarantine = %+v, want disabled and empty", resp)
+	}
+}

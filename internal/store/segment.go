@@ -585,6 +585,103 @@ func (s *Store) RestoreSegments(manifest map[event.DeviceID][]wal.SegmentMeta) e
 	return nil
 }
 
+// CompactRuntSegments merges runt segments — sealed blocks holding fewer
+// than MaxEvents/4 events, the debris of checkpoint-time partial seals and
+// low-traffic devices — into their predecessor segment, provided the
+// combined block still fits under MaxEvents. Compaction re-seals the merged
+// events under a fresh sequence number (the backend has no delete, so the
+// old payloads are simply orphaned; last-wins recovery ignores them) and
+// replaces the two refs with one, shrinking the per-device manifest and the
+// decoded-segment cache's working set. Returns the number of merges
+// performed. Failures leave the original refs untouched: compaction is a
+// pure space optimization, never a correctness risk.
+func (s *Store) CompactRuntSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.segMax <= 0 {
+		return 0
+	}
+	runt := s.segMax / 4
+	if runt < 1 {
+		runt = 1
+	}
+	merged := 0
+	for d, lg := range s.logs {
+		if len(lg.segs) < 2 {
+			continue
+		}
+		out := make([]segmentRef, 0, len(lg.segs))
+		out = append(out, lg.segs[0])
+		changed := false
+		for i := 1; i < len(lg.segs); i++ {
+			cur := lg.segs[i]
+			prev := &out[len(out)-1]
+			if cur.meta.Count >= runt || prev.meta.Count+cur.meta.Count > s.segMax {
+				out = append(out, cur)
+				continue
+			}
+			ref, ok := s.mergeSegmentsLocked(d, lg, *prev, cur)
+			if !ok {
+				out = append(out, cur)
+				continue
+			}
+			*prev = ref
+			changed = true
+			merged++
+		}
+		if changed {
+			lg.segs = out
+		}
+	}
+	return merged
+}
+
+// mergeSegmentsLocked re-seals two adjacent segments as one: decode both
+// through the cache, merge-sort (out-of-order ingest means ranges can
+// overlap), encode, and store under a fresh sequence number. Caller holds
+// the exclusive lock and splices the returned ref in place of the pair.
+func (s *Store) mergeSegmentsLocked(d event.DeviceID, lg *deviceLog, a, b segmentRef) (segmentRef, bool) {
+	ea, err := s.segEventsCached(d, a)
+	if err != nil {
+		s.compactFails.Add(1)
+		return segmentRef{}, false
+	}
+	eb, err := s.segEventsCached(d, b)
+	if err != nil {
+		s.compactFails.Add(1)
+		return segmentRef{}, false
+	}
+	evs := make([]event.Event, 0, len(ea)+len(eb))
+	evs = append(evs, ea...)
+	evs = append(evs, eb...)
+	if !eventsSorted(evs) {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+	}
+	block := wal.EncodeEventBlock(nil, evs)
+	decoded, err := wal.DecodeEventBlock(block, d, make([]event.Event, 0, len(evs)))
+	if err != nil || len(decoded) != len(evs) {
+		s.compactFails.Add(1)
+		return segmentRef{}, false
+	}
+	seq := lg.nextSeq
+	if err := s.segBackend.Put(d, seq, block); err != nil {
+		s.compactFails.Add(1)
+		return segmentRef{}, false
+	}
+	lg.nextSeq++
+	s.segCount--
+	s.segBytes += int64(len(block)) - int64(a.meta.Bytes) - int64(b.meta.Bytes)
+	s.compactions.Add(1)
+	s.segCache.Put(segKey{d, seq}, decoded)
+	return segmentRef{meta: wal.SegmentMeta{
+		Seq:      seq,
+		Count:    len(evs),
+		MinNanos: evs[0].Time.UnixNano(),
+		MaxNanos: evs[len(evs)-1].Time.UnixNano(),
+		Bytes:    len(block),
+	}}, true
+}
+
 // CheckpointState is the store's durable state in incremental-snapshot
 // form: the mutable heads in full plus a manifest of sealed segments —
 // metadata only, since the segment payloads are already durable in the
@@ -655,6 +752,11 @@ type SegmentStats struct {
 	CacheSize      int
 	CacheCapacity  int
 	DecodeFailures int64
+	// Compactions counts runt-segment merges performed at checkpoint;
+	// CompactionFailures counts merges abandoned (decode or backend
+	// errors), which leave the original segments in place.
+	Compactions        int64
+	CompactionFailures int64
 }
 
 // SegmentStats returns the segmented layout's current shape and counters.
@@ -663,19 +765,21 @@ func (s *Store) SegmentStats() SegmentStats {
 	defer s.mu.RUnlock()
 	cst := s.segCache.Stats()
 	return SegmentStats{
-		Enabled:        s.segMax > 0,
-		MaxEvents:      s.segMax,
-		ColdTier:       s.segBackend.Persistent(),
-		Segments:       s.segCount,
-		SegmentEvents:  s.segEvents,
-		HeadEvents:     s.count - s.segEvents,
-		EncodedBytes:   s.segBytes,
-		Seals:          s.seals.Load(),
-		SealFailures:   s.sealFails.Load(),
-		PageIns:        s.pageIns.Load(),
-		CacheHits:      cst.Hits,
-		CacheSize:      cst.Size,
-		CacheCapacity:  cst.Capacity,
-		DecodeFailures: s.decodeFails.Load(),
+		Enabled:            s.segMax > 0,
+		MaxEvents:          s.segMax,
+		ColdTier:           s.segBackend.Persistent(),
+		Segments:           s.segCount,
+		SegmentEvents:      s.segEvents,
+		HeadEvents:         s.count - s.segEvents,
+		EncodedBytes:       s.segBytes,
+		Seals:              s.seals.Load(),
+		SealFailures:       s.sealFails.Load(),
+		PageIns:            s.pageIns.Load(),
+		CacheHits:          cst.Hits,
+		CacheSize:          cst.Size,
+		CacheCapacity:      cst.Capacity,
+		DecodeFailures:     s.decodeFails.Load(),
+		Compactions:        s.compactions.Load(),
+		CompactionFailures: s.compactFails.Load(),
 	}
 }

@@ -618,3 +618,130 @@ func TestCloneMaterializesSegments(t *testing.T) {
 		t.Fatalf("clone not independent: %d / %d", s.NumEvents(), c.NumEvents())
 	}
 }
+
+// TestCompactRuntSegments seals a log into many runt segments (a manifest
+// written under a small seal threshold, restored into a store with a larger
+// one), compacts, and checks the merged layout answers every read exactly
+// like the pre-compaction log while the manifest shrinks.
+func TestCompactRuntSegments(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := New(0)
+	if err := small.ConfigureSegments(SegmentConfig{MaxEvents: 4, Backend: b1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		e := mk("d", time.Duration(rng.Int63n(int64(6*time.Hour))), "x")
+		if err := small.IngestOne(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := small.CheckpointState()
+	if err := small.SyncSegments(); err != nil {
+		t.Fatal(err)
+	}
+	want := small.Events("d")
+
+	b2, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := New(0)
+	if err := big.ConfigureSegments(SegmentConfig{MaxEvents: 32, Backend: b2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.RestoreSegments(st.Segments); err != nil {
+		t.Fatal(err)
+	}
+	for _, head := range st.Heads {
+		if _, err := big.Ingest(head); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := big.SegmentStats()
+	if before.Segments < 4 {
+		t.Fatalf("restore produced %d segments, want ≥4 runts to compact", before.Segments)
+	}
+
+	merged := big.CompactRuntSegments()
+	if merged == 0 {
+		t.Fatal("CompactRuntSegments merged nothing")
+	}
+	after := big.SegmentStats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("segments %d → %d, want fewer after compaction", before.Segments, after.Segments)
+	}
+	if after.Segments != before.Segments-merged {
+		t.Fatalf("segments %d → %d with %d merges, counts disagree", before.Segments, after.Segments, merged)
+	}
+	if after.SegmentEvents != before.SegmentEvents {
+		t.Fatalf("sealed events %d → %d, compaction must not change totals", before.SegmentEvents, after.SegmentEvents)
+	}
+	if after.Compactions != int64(merged) || after.CompactionFailures != 0 {
+		t.Fatalf("compaction counters = %+v, want %d clean merges", after, merged)
+	}
+
+	// Reads must be unchanged, including after dropping the decoded cache
+	// (forcing page-ins of the freshly written merged payloads).
+	if got := big.Events("d"); !eventsEqual(got, want) {
+		t.Fatalf("post-compaction Events diverge")
+	}
+	big.InvalidateSegmentCache()
+	if got := big.EventsBetween("d", t0, t0.Add(6*time.Hour)); !eventsEqual(got, want) {
+		t.Fatalf("post-compaction EventsBetween diverges after cache drop")
+	}
+
+	// A second pass finds nothing left to merge.
+	if again := big.CompactRuntSegments(); again != 0 {
+		t.Fatalf("second compaction merged %d more segments, want 0", again)
+	}
+
+	// The compacted manifest must checkpoint and restore: recovery reads
+	// only the new sequence numbers (orphaned runt payloads are ignored).
+	st2 := big.CheckpointState()
+	if err := big.SyncSegments(); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(0)
+	if err := rec.ConfigureSegments(SegmentConfig{MaxEvents: 32, Backend: b3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.RestoreSegments(st2.Segments); err != nil {
+		t.Fatal(err)
+	}
+	for _, head := range st2.Heads {
+		if _, err := rec.Ingest(head); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Events("d"); !eventsEqual(got, want) {
+		t.Fatalf("recovered post-compaction log diverges")
+	}
+}
+
+// TestCompactRuntSegmentsRespectsMaxEvents: merges never build a segment
+// larger than the seal threshold, and a lone pair exceeding it stays split.
+func TestCompactRuntSegmentsRespectsMaxEvents(t *testing.T) {
+	s := newSegmented(t, 4)
+	for i := 0; i < 16; i++ {
+		if err := s.IngestOne(mk("d", time.Duration(i)*time.Minute, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four full segments of 4 under segMax=4: none is a runt (the runt
+	// threshold is MaxEvents/4 = 1 event), so compaction is a no-op.
+	if merged := s.CompactRuntSegments(); merged != 0 {
+		t.Fatalf("full segments merged %d times, want 0", merged)
+	}
+	if st := s.SegmentStats(); st.Segments != 4 {
+		t.Fatalf("segments = %d, want 4 untouched", st.Segments)
+	}
+}

@@ -90,16 +90,18 @@ type Store struct {
 	// bounds the decoded working set. segCount/segEvents/segBytes track the
 	// sealed shape; the atomics count seal and page-in traffic (bumped
 	// under the shared lock).
-	segMax      int
-	segBackend  SegmentBackend
-	segCache    *cache.Cache[segKey, []event.Event]
-	segCount    int
-	segEvents   int
-	segBytes    int64
-	seals       atomic.Int64
-	sealFails   atomic.Int64
-	pageIns     atomic.Int64
-	decodeFails atomic.Int64
+	segMax       int
+	segBackend   SegmentBackend
+	segCache     *cache.Cache[segKey, []event.Event]
+	segCount     int
+	segEvents    int
+	segBytes     int64
+	seals        atomic.Int64
+	sealFails    atomic.Int64
+	pageIns      atomic.Int64
+	decodeFails  atomic.Int64
+	compactions  atomic.Int64
+	compactFails atomic.Int64
 
 	// occ is the temporal occupancy index serving ActiveDevices /
 	// ActiveDevicesAt; nil when disabled (see ConfigureOccupancy).

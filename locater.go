@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 
 	"locater/internal/affgraph"
 	"locater/internal/cache"
+	"locater/internal/cleanse"
 	"locater/internal/coarse"
 	"locater/internal/event"
 	"locater/internal/fine"
@@ -184,6 +186,37 @@ type Config struct {
 	// systems built with Open it defaults to "<dir>/segments"; with New it
 	// defaults to the in-memory compressed tier.
 	ColdTierDir string
+
+	// EnableCleansing turns on the ingest-time cleansing stage: oscillating
+	// AP re-associations are deduplicated, physically impossible transitions
+	// dropped, and degenerate devices flagged BEFORE events reach the store
+	// (and, on durable systems, before they reach the write-ahead log, so
+	// replay never re-cleanses). Rejected events land in a bounded
+	// quarantine ring inspectable via Quarantine / GET /v1/quarantine.
+	// Default off: with cleansing disabled the pipeline's answers are
+	// byte-identical to raw ingestion.
+	EnableCleansing bool
+	// CleanseReassocWindow / CleanseFlapWindow / CleanseMinTransit /
+	// CleanseDegenerateEventsPerMinute tune the cleansing rules (see
+	// internal/cleanse.Config; zero values select the defaults of 10s, 30s,
+	// 1s, and 120 events/min).
+	CleanseReassocWindow             time.Duration
+	CleanseFlapWindow                time.Duration
+	CleanseMinTransit                time.Duration
+	CleanseDegenerateEventsPerMinute int
+	// QuarantineCap bounds the quarantine ring in entries. Default 1024.
+	QuarantineCap int
+
+	// StatsHalfLife is the event-time half-life of the coarse stage's
+	// decayed gap sufficient statistics. Default 7 days.
+	StatsHalfLife time.Duration
+	// RecomputeOnWrite reverts the write path to full recompute-on-miss
+	// invalidation: every ingested batch invalidates the touched devices'
+	// coarse state entirely and epoch-bumps the whole pairwise-affinity
+	// cache, instead of maintaining models incrementally with scoped
+	// validation. It exists as the baseline arm of `locater-bench -incr`
+	// and as an operational escape hatch; leave it off.
+	RecomputeOnWrite bool
 }
 
 func (c Config) coarseOptions() coarse.Options {
@@ -206,6 +239,17 @@ func (c Config) coarseOptions() coarse.Options {
 		MaxPromotionsPerRound: c.PromotionsPerRound,
 		MaxTrainingGaps:       c.MaxTrainingGaps,
 		ModelCacheCapacity:    c.ModelCacheSize,
+		StatsHalfLife:         c.StatsHalfLife,
+	}
+}
+
+func (c Config) cleanseConfig() cleanse.Config {
+	return cleanse.Config{
+		ReassocWindow:             c.CleanseReassocWindow,
+		FlapWindow:                c.CleanseFlapWindow,
+		MinTransit:                c.CleanseMinTransit,
+		DegenerateEventsPerMinute: c.CleanseDegenerateEventsPerMinute,
+		QuarantineCap:             c.QuarantineCap,
 	}
 }
 
@@ -289,6 +333,10 @@ type System struct {
 	cached   *affgraph.CachedAffinity
 	labels   *fine.LabelStore
 
+	// cleanser is the ingest-time cleansing stage; nil when
+	// Config.EnableCleansing is off.
+	cleanser *cleanse.Cleanser
+
 	// results memoizes whole Locate answers by (device, bucketed time);
 	// nil when caching is off. Every write path bumps its epoch (see
 	// invalidateQueryCaches), so a cached answer can never outlive the
@@ -346,6 +394,15 @@ func New(cfg Config) (*System, error) {
 		store:    st,
 	}
 	s.coarse = coarse.New(cfg.Building, st, cfg.coarseOptions())
+	if cfg.EnableCleansing {
+		s.cleanser = cleanse.New(cfg.Building, cfg.cleanseConfig())
+		// After recovery the cleanser's per-device state is empty (the WAL
+		// holds only cleansed events, so replay skips the stage); seed each
+		// device's rule state lazily from its newest stored event.
+		s.cleanser.SetSeed(func(d event.DeviceID) (event.Event, bool) {
+			return st.LastEventAtOrBefore(d, time.Unix(0, math.MaxInt64))
+		})
+	}
 
 	fineOpts := cfg.fineOptions()
 	var provider fine.PairAffinityProvider
@@ -415,43 +472,83 @@ func (s *System) invalidateResultCache() {
 	}
 }
 
-// Ingest adds a batch of connectivity events. Caches filled before the
-// ingest are invalidated: per-device coarse models for the affected
-// devices, plus (epoch bump) the pairwise-affinity and query-result caches.
-// Safe to call while queries are in flight: invalidation follows the store
-// write, so a model or cache entry computed concurrently from pre-ingest
-// history is dropped and recomputed on the next query. On a system built
-// with Open the batch is written ahead to the log and Ingest returns only
-// once it is durable.
+// Ingest adds a batch of connectivity events. With EnableCleansing the
+// batch passes the cleansing stage first, so the store — and, on durable
+// systems, the write-ahead log — only ever hold cleansed events.
+//
+// After the store applies the batch, the model layer is maintained
+// INCREMENTALLY: the touched devices' gap sufficient statistics are updated
+// in place, the affinity tier records the write in its per-device log
+// (scoped validation then keeps every cached affinity a recent-events write
+// provably cannot change), and only the memoized query results — whose
+// entries future events can always change — are epoch-bumped. With
+// Config.RecomputeOnWrite the legacy path runs instead: full per-device
+// coarse invalidation plus a whole-cache affinity epoch bump. Safe to call
+// while queries are in flight. On a system built with Open the batch is
+// written ahead to the log and Ingest returns only once it is durable.
 func (s *System) Ingest(events []Event) error {
+	if s.cleanser != nil {
+		events = s.cleanser.Clean(events)
+		if len(events) == 0 {
+			return nil
+		}
+	}
 	s.persistMu.RLock()
 	_, err := s.store.Ingest(events)
 	s.persistMu.RUnlock()
-	// Invalidate even on error: a durability (Commit-stage) failure has
-	// already applied the batch to the in-memory store, and stale caches
-	// must not outlive it. For a rejected batch the invalidation is
-	// harmless — the caches just refill on the next query.
-	for _, e := range events {
-		s.coarse.InvalidateDevice(e.Device)
-	}
-	s.invalidateQueryCaches()
+	s.observeWrite(events, err)
 	return err
 }
 
-// IngestOne adds one event (streaming ingestion). Invalidation matches
-// Ingest: the device's coarse model plus the affinity and result caches.
+// IngestOne adds one event (streaming ingestion). Cleansing and model
+// maintenance match Ingest.
 func (s *System) IngestOne(e Event) error {
+	events := []Event{e}
+	if s.cleanser != nil {
+		events = s.cleanser.Clean(events)
+		if len(events) == 0 {
+			return nil
+		}
+	}
 	s.persistMu.RLock()
-	err := s.store.IngestOne(e)
+	err := s.store.IngestOne(events[0])
 	s.persistMu.RUnlock()
-	s.coarse.InvalidateDevice(e.Device)
-	s.invalidateQueryCaches()
+	s.observeWrite(events, err)
 	return err
+}
+
+// observeWrite runs post-store model maintenance for an ingested batch.
+// On a store error the batch may be partially applied (a durability
+// Commit-stage failure has already mutated the in-memory store), so the
+// conservative legacy invalidation runs regardless of mode — stale caches
+// must not outlive the partial write.
+func (s *System) observeWrite(events []Event, err error) {
+	if err != nil || s.cfg.RecomputeOnWrite {
+		seen := make(map[DeviceID]struct{}, 8)
+		for _, e := range events {
+			if _, ok := seen[e.Device]; ok {
+				continue
+			}
+			seen[e.Device] = struct{}{}
+			s.coarse.InvalidateDevice(e.Device)
+		}
+		s.invalidateQueryCaches()
+		return
+	}
+	s.coarse.ObserveIngest(events)
+	if s.cached != nil {
+		s.cached.ObserveIngest(events)
+	}
+	// Memoized whole-query answers can never survive a write: a future
+	// event can close an open gap and change any neighbor's evidence.
+	s.invalidateResultCache()
 }
 
 // SetDelta registers a device-specific validity interval δ(d). The device's
-// coarse model is invalidated (its gap structure just changed), as are the
-// affinity and result caches (δ feeds validity-overlap affinity counting).
+// coarse state is invalidated (its gap structure just changed — the
+// incremental statistics cannot express a δ change, so this is the rebuild
+// escape hatch), and the affinity tier drops the device's cached pairs
+// (scoped, unless RecomputeOnWrite forces the global epoch bump).
 func (s *System) SetDelta(d DeviceID, delta time.Duration) error {
 	s.persistMu.RLock()
 	err := s.store.SetDelta(d, delta)
@@ -460,7 +557,12 @@ func (s *System) SetDelta(d DeviceID, delta time.Duration) error {
 	// failure has already applied the new δ to the in-memory store, and
 	// caches built under the old δ must not outlive it.
 	s.coarse.InvalidateDevice(d)
-	s.invalidateQueryCaches()
+	if s.cfg.RecomputeOnWrite || s.cached == nil {
+		s.invalidateQueryCaches()
+		return err
+	}
+	s.cached.InvalidateDevice(d)
+	s.invalidateResultCache()
 	return err
 }
 
@@ -720,6 +822,81 @@ type OccupancyIndexStats struct {
 // store.SegmentStats for field documentation.
 type SegmentTierStats = store.SegmentStats
 
+// CleanseStats reports the ingest-time cleansing stage's per-rule counters.
+// See cleanse.Stats for field documentation.
+type CleanseStats = cleanse.Stats
+
+// QuarantineEntry is one cleansing-rejected event with the rule that
+// rejected it. See cleanse.Entry.
+type QuarantineEntry = cleanse.Entry
+
+// CoarseMaintenanceStats / AffinityMaintenanceStats are the two model
+// tiers' write-path maintenance counters (see coarse.MaintenanceStats and
+// affgraph.MaintenanceStats).
+type (
+	CoarseMaintenanceStats   = coarse.MaintenanceStats
+	AffinityMaintenanceStats = affgraph.MaintenanceStats
+)
+
+// MaintenanceStats reports the write path's model-maintenance picture: what
+// keeping the coarse sufficient statistics and the affinity tier current
+// costs per ingested batch, and how often the incremental paths fell back
+// to full recomputation. `locater-bench -incr` differences these counters
+// between the incremental and recompute-on-write arms.
+type MaintenanceStats struct {
+	Coarse   CoarseMaintenanceStats   `json:"coarse"`
+	Affinity AffinityMaintenanceStats `json:"affinity"`
+}
+
+// MaintenanceStats snapshots the write-path maintenance counters.
+func (s *System) MaintenanceStats() MaintenanceStats {
+	ms := MaintenanceStats{Coarse: s.coarse.MaintenanceStats()}
+	if s.cached != nil {
+		ms.Affinity = s.cached.MaintenanceStats()
+	}
+	return ms
+}
+
+// CleanseStats snapshots the cleansing stage's counters; zero when
+// Config.EnableCleansing is off.
+func (s *System) CleanseStats() CleanseStats {
+	if s.cleanser == nil {
+		return CleanseStats{}
+	}
+	return s.cleanser.Stats()
+}
+
+// CleansingEnabled reports whether Config.EnableCleansing is on.
+func (s *System) CleansingEnabled() bool { return s.cleanser != nil }
+
+// Quarantine returns the newest quarantined (cleansing-rejected) events,
+// newest first, at most limit (limit ≤ 0 returns the whole ring). Empty
+// when Config.EnableCleansing is off.
+func (s *System) Quarantine(limit int) []QuarantineEntry {
+	if s.cleanser == nil {
+		return nil
+	}
+	return s.cleanser.Quarantine(limit)
+}
+
+// DeviceGapStats is one device's decayed gap sufficient statistics (see
+// coarse.DeviceStats).
+type DeviceGapStats = coarse.DeviceStats
+
+// GapStats returns the device's incrementally-maintained gap sufficient
+// statistics, rebuilding from the store when the incremental path gave up.
+// ok is false for unknown devices.
+func (s *System) GapStats(d DeviceID) (DeviceGapStats, bool) {
+	return s.coarse.DeviceStatsOf(d)
+}
+
+// GapStatsOracle recomputes the device's gap statistics from scratch by
+// replaying its stored history — the batch oracle the incremental path is
+// property-tested and benchmarked against.
+func (s *System) GapStatsOracle(d DeviceID) (DeviceGapStats, bool) {
+	return s.coarse.BatchDeviceStats(d)
+}
+
 // CacheStats reports every cache tier's state: the global affinity graph's
 // edge count, the pairwise-affinity fallback cache, the coarse per-device
 // model cache, and the query result cache, plus the store's occupancy
@@ -746,6 +923,12 @@ type CacheStats struct {
 	// Segments is the store's log-structured event layout: sealed-segment
 	// shape plus the decoded-segment cache's traffic.
 	Segments SegmentTierStats
+	// Cleanse is the ingest-time cleansing stage's per-rule counters; zero
+	// when Config.EnableCleansing is off.
+	Cleanse CleanseStats
+	// Maintenance is the write path's model-maintenance counters (coarse
+	// sufficient statistics + affinity scoped validation).
+	Maintenance MaintenanceStats
 }
 
 // CacheStats reports the caching layer's per-tier sizes, bounds, and
@@ -754,6 +937,8 @@ func (s *System) CacheStats() CacheStats {
 	cs := CacheStats{
 		CoarseModels: tierStats(s.coarse.ModelCacheStats()),
 		Segments:     s.store.SegmentStats(),
+		Cleanse:      s.CleanseStats(),
+		Maintenance:  s.MaintenanceStats(),
 	}
 	occ := s.store.OccupancyStats()
 	cs.Occupancy = OccupancyIndexStats{

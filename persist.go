@@ -135,6 +135,10 @@ func (s *System) Checkpoint() error {
 	// AddRoomLabel, EstimateDeltas), so the captured state and the captured
 	// log position agree exactly.
 	s.persistMu.Lock()
+	// Merge runt segments before capturing the manifest: the checkpoint
+	// then publishes the compacted layout, and the orphaned pre-merge
+	// payloads are never referenced again.
+	s.store.CompactRuntSegments()
 	st := s.store.CheckpointState()
 	labels := s.labels.Snapshot()
 	lsn := s.wal.LastLSN()

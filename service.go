@@ -91,6 +91,25 @@ type Sharded interface {
 	ShardInfos() []ShardInfo
 }
 
+// Quarantiner is the optional service interface an engine implements when
+// it can expose the ingest-time cleansing stage's quarantine. The HTTP
+// layer detects it to serve GET /v1/quarantine; a cluster merges its
+// shards' rings. A System always implements it — with cleansing disabled
+// the quarantine is simply empty.
+type Quarantiner interface {
+	// Quarantine returns the newest cleansing-rejected events, newest
+	// first, at most limit (limit ≤ 0 returns everything retained).
+	Quarantine(limit int) []QuarantineEntry
+	// CleanseStats reports the cleansing stage's per-rule counters.
+	CleanseStats() CleanseStats
+	// CleansingEnabled reports whether the ingest-time cleansing stage is
+	// on (any shard, on a cluster).
+	CleansingEnabled() bool
+}
+
 // Compile-time check: the single-building engine implements the full
-// service interface.
-var _ Locater = (*System)(nil)
+// service interface and the quarantine surface.
+var (
+	_ Locater     = (*System)(nil)
+	_ Quarantiner = (*System)(nil)
+)

@@ -260,6 +260,33 @@ func MergeCacheStats(parts ...CacheStats) CacheStats {
 		seg.CacheSize += p.Segments.CacheSize
 		seg.CacheCapacity += p.Segments.CacheCapacity
 		seg.DecodeFailures += p.Segments.DecodeFailures
+		seg.Compactions += p.Segments.Compactions
+		seg.CompactionFailures += p.Segments.CompactionFailures
+		cl := &out.Cleanse
+		cl.Ingested += p.Cleanse.Ingested
+		cl.Kept += p.Cleanse.Kept
+		cl.Duplicates += p.Cleanse.Duplicates
+		cl.Reassociations += p.Cleanse.Reassociations
+		cl.Oscillations += p.Cleanse.Oscillations
+		cl.ImpossibleTransitions += p.Cleanse.ImpossibleTransitions
+		cl.FlaggedDevices += p.Cleanse.FlaggedDevices
+		cl.Quarantined += p.Cleanse.Quarantined
+		cl.QuarantineEvicted += p.Cleanse.QuarantineEvicted
+		mc := &out.Maintenance.Coarse
+		mc.ObserveNanos += p.Maintenance.Coarse.ObserveNanos
+		mc.TrainNanos += p.Maintenance.Coarse.TrainNanos
+		mc.Trains += p.Maintenance.Coarse.Trains
+		mc.Rebuilds += p.Maintenance.Coarse.Rebuilds
+		mc.OutOfOrder += p.Maintenance.Coarse.OutOfOrder
+		mc.StatsDevices += p.Maintenance.Coarse.StatsDevices
+		ma := &out.Maintenance.Affinity
+		ma.FallbackNanos += p.Maintenance.Affinity.FallbackNanos
+		ma.ScopedKept += p.Maintenance.Affinity.ScopedKept
+		ma.ScopedStale += p.Maintenance.Affinity.ScopedStale
+		ma.TrackedDevices += p.Maintenance.Affinity.TrackedDevices
+		ma.CoOccurPairs += p.Maintenance.Affinity.CoOccurPairs
+		ma.CoOccurObservations += p.Maintenance.Affinity.CoOccurObservations
+		ma.CoOccurDropped += p.Maintenance.Affinity.CoOccurDropped
 	}
 	return out
 }
