@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"locater"
+)
+
+// TestColdProf times fresh-system cold passes for the block and whole
+// arms back to back — the same protocol the -memory bench uses, repeated
+// within one process so the arm ratio is measurable (and profilable, via
+// -cpuprofile) without the run-to-run noise of the full ladder. Guarded by
+// an env var so a bare `go test ./...` skips it, like TestMemProfSegmentedCold:
+//
+//	COLDPROF_DEVICES=5000 go test -run ColdProf -cpuprofile cpu.out ./cmd/locater-bench
+func TestColdProf(t *testing.T) {
+	nStr := os.Getenv("COLDPROF_DEVICES")
+	if nStr == "" {
+		t.Skip("set COLDPROF_DEVICES to run the profiling scaffold")
+	}
+	n, _ := strconv.Atoi(nStr)
+	b, err := memBuilding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := memQuerySet(n)
+	arms := map[string]int{"block": memBlockEvents, "whole": -1}
+	names := []string{"block", "whole"}
+	if only := os.Getenv("COLDPROF_ARM"); only != "" {
+		// One arm isolates a -cpuprofile; a comma list reorders the arms
+		// (process heap growth favors whichever runs later).
+		names = strings.Split(only, ",")
+	}
+	reps := 3
+	if r, _ := strconv.Atoi(os.Getenv("COLDPROF_REPS")); r > 0 {
+		reps = r
+	}
+	for rep := 0; rep < reps; rep++ {
+		for _, name := range names {
+			be := arms[name]
+			sys, err := locater.New(memConfig(b, true, be, true, memCacheEntries(be)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := memIngest(sys, 0, n); err != nil {
+				t.Fatal(err)
+			}
+			sys.InvalidateSegmentCache()
+			us, _, err := memRunQueries(sys, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg := sys.CacheStats().Segments
+			t.Logf("rep %d %s: cold=%.0fus/query lookups=%d bytes/lookup=%.1f decoded=%d",
+				rep, name, us, seg.PointLookups, float64(seg.LookupDecodedBytes)/float64(seg.PointLookups), seg.DecodedBytes)
+		}
+	}
+}

@@ -14,23 +14,43 @@ import (
 )
 
 // The memory ladder's workload shape: every device carries ~memEventsPerDev
-// events over two weeks, and the segmented arm seals at 32 events, so most
-// of each log is sealed history — the case the columnar layout exists for.
+// events over two weeks, and the segmented arm seals at 64 events — an even
+// divisor of the per-device history, so EVERY event is sealed history and
+// the arms compare pure layouts with no mutable-head contribution.
 const (
-	memEventsPerDev  = 96
-	memSegMaxEvents  = 32
+	memEventsPerDev  = 128
+	memSegMaxEvents  = 64
 	memQueries       = 160
 	memSpanDays      = 14
 	memAPs           = 16
 	memRoomsPerAP    = 3
 	memMaxNeighbors  = 24
 	memModelCacheCap = 16384
-	// memLatencyCacheSegs sizes the latency arms' decoded-segment cache to
-	// the probe set's working set (~queries × (1 + MaxNeighbors) devices ×
-	// segments/device, with slack), so warm passes measure the layout's scan
-	// cost, not cache thrash.
+	// memBlockEvents is the block arm's intra-segment block size: 8 blocks
+	// per 64-event segment, small enough that a point lookup's 1–2-block
+	// neighborhood decodes a fraction of the segment (the decode-reduction
+	// gate), large enough that per-block CRC/trailer overhead stays a small
+	// share of the payload (~2 B/event; the production default of 64-event
+	// blocks costs ~0.3).
+	memBlockEvents = 8
+	// memLatencyCacheSegs sizes the latency arms' decoded-block cache to the
+	// probe set's working set in SEGMENTS (~queries × (1 + MaxNeighbors)
+	// devices × segments/device, with slack); memCacheEntries scales it to
+	// block entries for the arm's block size, so warm passes measure the
+	// layout's scan cost, not cache thrash.
 	memLatencyCacheSegs = 32768
 )
+
+// memCacheEntries converts the segment-denominated cache budget into block
+// entries for one arm's block size (whole-segment arms hold one block per
+// segment).
+func memCacheEntries(blockEvents int) int {
+	if blockEvents <= 0 {
+		return memLatencyCacheSegs
+	}
+	per := (memSegMaxEvents + blockEvents - 1) / blockEvents
+	return memLatencyCacheSegs * per
+}
 
 // memoryReport is the machine-readable result of -memory, emitted as
 // BENCH_memory.json. CI gates on it: every row must be byte-identical
@@ -38,10 +58,11 @@ const (
 // largest rung must show the headline memory reduction without a cold-query
 // regression.
 type memoryReport struct {
-	Name             string      `json:"name"`
-	EventsPerDevice  int         `json:"events_per_device"`
-	SegmentMaxEvents int         `json:"segment_max_events"`
-	Rows             []memoryRow `json:"rows"`
+	Name               string      `json:"name"`
+	EventsPerDevice    int         `json:"events_per_device"`
+	SegmentMaxEvents   int         `json:"segment_max_events"`
+	SegmentBlockEvents int         `json:"segment_block_events"`
+	Rows               []memoryRow `json:"rows"`
 	// RecoveryIdentical reports the crash-recovery equivalence check: a
 	// durable segmented system is checkpointed mid-stream, "crashes", and
 	// the recovered system (manifest + cold tier + WAL tail) must answer
@@ -68,8 +89,24 @@ type memoryRow struct {
 	WarmUsSlices   float64 `json:"warm_us_slices"`
 	WarmUsSegments float64 `json:"warm_us_segments"`
 	ColdRatio      float64 `json:"cold_ratio"`
+	// The whole-segment arm is the pre-block baseline (SegmentBlockEvents =
+	// -1, one block per segment, no index): ColdUsWhole is its cold pass,
+	// ColdBlockRatio = block cold / whole cold — the block layout must hold
+	// cold-latency parity with whole-segment decode (≤ 1.15; paired
+	// in-process runs measure 1.00–1.08 at 50k, the allowance covers
+	// single-shot run noise). The whole arm runs first so shared-process
+	// heap growth cannot systematically flatter it.
+	ColdUsWhole    float64 `json:"cold_us_whole"`
+	ColdBlockRatio float64 `json:"cold_block_ratio"`
+	// BytesPerLookup* is encoded bytes decoded per segmented point lookup
+	// during the cold pass (cache misses only); DecodeReduction = whole /
+	// block, the tentpole's ≥4× headline.
+	BytesPerLookupWhole float64 `json:"bytes_per_lookup_whole"`
+	BytesPerLookupBlock float64 `json:"bytes_per_lookup_block"`
+	DecodeReduction     float64 `json:"decode_reduction"`
 	// Identical reports the byte-identity gate: every Locate answer on the
-	// segmented arm equals the plain-slice arm's, field for field.
+	// segmented (block) arm and the whole-segment arm equals the plain-slice
+	// arm's, field for field.
 	Identical bool `json:"identical"`
 }
 
@@ -145,12 +182,13 @@ func memIngest(sys *locater.System, lo, hi int) (int, error) {
 // precisely what the SegmentCacheSize knob exists for. Entries are
 // allocated on use, so an oversized capacity costs only what the workload
 // actually touches.
-func memConfig(b *space.Building, segmented, occupancy bool, cacheSegs int) locater.Config {
+func memConfig(b *space.Building, segmented bool, blockEvents int, occupancy bool, cacheEntries int) locater.Config {
 	cfg := locater.Config{
 		Building:           b,
 		MaxNeighbors:       memMaxNeighbors,
 		ModelCacheSize:     memModelCacheCap,
-		SegmentCacheSize:   cacheSegs,
+		SegmentBlockEvents: blockEvents,
+		SegmentCacheSize:   cacheEntries,
 		HistoryDays:        memSpanDays,
 		PromotionsPerRound: 8,
 		// Neighbor discovery resolves each candidate's region through the
@@ -184,7 +222,7 @@ func heapLive() uint64 {
 // resident bytes per event.
 func memMeasureBytes(b *space.Building, n int, segmented bool) (float64, error) {
 	before := heapLive()
-	sys, err := locater.New(memConfig(b, segmented, false, 0))
+	sys, err := locater.New(memConfig(b, segmented, memBlockEvents, false, 0))
 	if err != nil {
 		return 0, err
 	}
@@ -245,35 +283,50 @@ func memRunQueries(sys *locater.System, qs []locater.Query) (float64, []locater.
 	return float64(elapsed.Microseconds()) / float64(len(qs)), out, nil
 }
 
+// memArm is one latency arm's measurement: cold/warm µs per query, the
+// answers (for the identity gates), and the cold pass's segmented
+// point-lookup decode traffic (for the decode-reduction gate).
+type memArm struct {
+	coldUs, warmUs float64
+	res            []locater.Result
+	lookups        int64
+	lookupBytes    int64
+}
+
 // memMeasureLatency builds one occupancy-enabled arm and runs the probe
 // protocol. Cold is the honest end-to-end first-query cost: models
-// untrained and the decoded-segment cache invalidated, so the pass pays
+// untrained and the decoded-block cache invalidated, so the pass pays
 // gap extraction over full histories, model training, AND (on the
 // segmented arm) every page-in — the exact path a query takes after
 // recovery or under memory pressure. Warm passes (best-of-2) follow on the
 // now-trained, now-cached system.
-func memMeasureLatency(b *space.Building, n int, segmented bool, qs []locater.Query) (coldUs, warmUs float64, res []locater.Result, err error) {
-	sys, err := locater.New(memConfig(b, segmented, true, memLatencyCacheSegs))
+func memMeasureLatency(b *space.Building, n int, segmented bool, blockEvents int, qs []locater.Query) (memArm, error) {
+	var arm memArm
+	sys, err := locater.New(memConfig(b, segmented, blockEvents, true, memCacheEntries(blockEvents)))
 	if err != nil {
-		return 0, 0, nil, err
+		return arm, err
 	}
 	if _, err := memIngest(sys, 0, n); err != nil {
-		return 0, 0, nil, err
+		return arm, err
 	}
 	sys.InvalidateSegmentCache() // drop the seal-time pre-warm: cold means cold
-	if coldUs, res, err = memRunQueries(sys, qs); err != nil {
-		return 0, 0, nil, err
+	if arm.coldUs, arm.res, err = memRunQueries(sys, qs); err != nil {
+		return arm, err
 	}
+	// Capture decode traffic after the cold pass only: warm passes serve
+	// from cache and would dilute bytes-per-lookup toward zero on both arms.
+	seg := sys.CacheStats().Segments
+	arm.lookups, arm.lookupBytes = seg.PointLookups, seg.LookupDecodedBytes
 	for i := 0; i < 2; i++ {
 		us, _, err := memRunQueries(sys, qs)
 		if err != nil {
-			return 0, 0, nil, err
+			return arm, err
 		}
-		if i == 0 || us < warmUs {
-			warmUs = us
+		if i == 0 || us < arm.warmUs {
+			arm.warmUs = us
 		}
 	}
-	return coldUs, warmUs, res, nil
+	return arm, nil
 }
 
 func memResultsIdentical(a, b []locater.Result) bool {
@@ -299,7 +352,11 @@ func memRecoveryCheck(b *space.Building, n int, qs []locater.Query) (bool, error
 		return false, err
 	}
 	defer os.RemoveAll(dir)
-	cfg := memConfig(b, true, true, memLatencyCacheSegs)
+	// The durable arm runs the full cold tier as deployed: block encoding
+	// AND the mmap backend, so recovery equivalence covers mapped reads,
+	// lazy block-index parses, and checkpoint-time reclamation together.
+	cfg := memConfig(b, true, memBlockEvents, true, memCacheEntries(memBlockEvents))
+	cfg.ColdTierMmap = true
 	live, err := locater.Open(dir, cfg, locater.PersistOptions{})
 	if err != nil {
 		return false, err
@@ -369,12 +426,13 @@ func runMemory(ladder []int, outDir string) error {
 		return err
 	}
 	rep := memoryReport{
-		Name:             "memory",
-		EventsPerDevice:  memEventsPerDev,
-		SegmentMaxEvents: memSegMaxEvents,
+		Name:               "memory",
+		EventsPerDevice:    memEventsPerDev,
+		SegmentMaxEvents:   memSegMaxEvents,
+		SegmentBlockEvents: memBlockEvents,
 	}
-	fmt.Printf("%-9s %9s %12s %12s %10s %11s %11s %10s %10s\n",
-		"devices", "events", "B/ev slices", "B/ev segs", "reduction", "cold-sl µs", "cold-sg µs", "ratio", "identical")
+	fmt.Printf("%-9s %9s %12s %12s %10s %11s %11s %10s %9s %9s %10s\n",
+		"devices", "events", "B/ev slices", "B/ev segs", "reduction", "cold-sl µs", "cold-bk µs", "cold-wh µs", "bk-ratio", "dec-red", "identical")
 	for _, n := range ladder {
 		phase := time.Now()
 		bpeSlices, err := memMeasureBytes(b, n, false)
@@ -388,34 +446,58 @@ func runMemory(ladder []int, outDir string) error {
 		fmt.Printf("# devices=%d memory arms done in %.0fs\n", n, time.Since(phase).Seconds())
 		qs := memQuerySet(n)
 		phase = time.Now()
-		coldSl, warmSl, resSl, err := memMeasureLatency(b, n, false, qs)
+		slices, err := memMeasureLatency(b, n, false, memBlockEvents, qs)
 		if err != nil {
 			return fmt.Errorf("devices=%d slices latency: %w", n, err)
 		}
 		fmt.Printf("# devices=%d slices latency arm (%d queries) done in %.0fs\n", n, len(qs), time.Since(phase).Seconds())
+		// Whole before block: arms share a process, and whichever runs
+		// later inherits a grown heap (GC pacing) worth 10–25% of the cold
+		// pass at the largest rung. Paired in-process runs with alternating
+		// order (cmd/locater-bench/coldprof_test.go) measure the two
+		// layouts at parity; running the baseline first keeps the ratio's
+		// bias on the conservative side for the slices comparison while
+		// not systematically penalizing the layout under test.
 		phase = time.Now()
-		coldSg, warmSg, resSg, err := memMeasureLatency(b, n, true, qs)
+		whole, err := memMeasureLatency(b, n, true, -1, qs)
 		if err != nil {
-			return fmt.Errorf("devices=%d segments latency: %w", n, err)
+			return fmt.Errorf("devices=%d whole-segment latency: %w", n, err)
 		}
-		fmt.Printf("# devices=%d segments latency arm done in %.0fs\n", n, time.Since(phase).Seconds())
+		fmt.Printf("# devices=%d whole-segment latency arm done in %.0fs\n", n, time.Since(phase).Seconds())
+		phase = time.Now()
+		block, err := memMeasureLatency(b, n, true, memBlockEvents, qs)
+		if err != nil {
+			return fmt.Errorf("devices=%d block latency: %w", n, err)
+		}
+		fmt.Printf("# devices=%d block latency arm done in %.0fs\n", n, time.Since(phase).Seconds())
+		if block.lookups == 0 || whole.lookups == 0 {
+			return fmt.Errorf("devices=%d: no segmented point lookups recorded (block=%d whole=%d); the decode gate would be vacuous", n, block.lookups, whole.lookups)
+		}
+		bplWhole := float64(whole.lookupBytes) / float64(whole.lookups)
+		bplBlock := float64(block.lookupBytes) / float64(block.lookups)
 		row := memoryRow{
 			Devices:               n,
 			Events:                n * memEventsPerDev,
 			BytesPerEventSlices:   bpeSlices,
 			BytesPerEventSegments: bpeSegments,
 			Reduction:             bpeSlices / bpeSegments,
-			ColdUsSlices:          coldSl,
-			ColdUsSegments:        coldSg,
-			WarmUsSlices:          warmSl,
-			WarmUsSegments:        warmSg,
-			ColdRatio:             coldSg / coldSl,
-			Identical:             memResultsIdentical(resSl, resSg),
+			ColdUsSlices:          slices.coldUs,
+			ColdUsSegments:        block.coldUs,
+			WarmUsSlices:          slices.warmUs,
+			WarmUsSegments:        block.warmUs,
+			ColdRatio:             block.coldUs / slices.coldUs,
+			ColdUsWhole:           whole.coldUs,
+			ColdBlockRatio:        block.coldUs / whole.coldUs,
+			BytesPerLookupWhole:   bplWhole,
+			BytesPerLookupBlock:   bplBlock,
+			DecodeReduction:       bplWhole / bplBlock,
+			Identical:             memResultsIdentical(slices.res, block.res) && memResultsIdentical(slices.res, whole.res),
 		}
 		rep.Rows = append(rep.Rows, row)
-		fmt.Printf("%-9d %9d %12.1f %12.1f %9.2fx %11.0f %11.0f %10.3f %10v\n",
+		fmt.Printf("%-9d %9d %12.1f %12.1f %9.2fx %11.0f %11.0f %10.0f %9.3f %8.2fx %10v\n",
 			n, row.Events, row.BytesPerEventSlices, row.BytesPerEventSegments,
-			row.Reduction, row.ColdUsSlices, row.ColdUsSegments, row.ColdRatio, row.Identical)
+			row.Reduction, row.ColdUsSlices, row.ColdUsSegments, row.ColdUsWhole,
+			row.ColdBlockRatio, row.DecodeReduction, row.Identical)
 	}
 
 	recN := ladder[0]
@@ -445,6 +527,17 @@ func runMemory(ladder []int, outDir string) error {
 	}
 	if last.ColdRatio > 1.1 {
 		return fmt.Errorf("devices=%d: cold-query ratio %.3f, want <= 1.1", last.Devices, last.ColdRatio)
+	}
+	if last.DecodeReduction < 4 {
+		return fmt.Errorf("devices=%d: bytes-decoded-per-lookup reduction %.2fx (whole %.0f B -> block %.0f B), want >= 4x",
+			last.Devices, last.DecodeReduction, last.BytesPerLookupWhole, last.BytesPerLookupBlock)
+	}
+	// Paired in-process runs (coldprof_test.go, alternating arm order)
+	// measure the block layout at parity with whole-segment decode —
+	// ratios 1.00–1.08 at 50k once heap growth is equalized — so this
+	// gate is parity plus a noise allowance.
+	if last.ColdBlockRatio > 1.15 {
+		return fmt.Errorf("devices=%d: block/whole cold-query ratio %.3f, want <= 1.15", last.Devices, last.ColdBlockRatio)
 	}
 	return nil
 }

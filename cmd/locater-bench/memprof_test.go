@@ -28,11 +28,17 @@ func TestMemProfSegmentedCold(t *testing.T) {
 		t.Fatal(err)
 	}
 	segmented := os.Getenv("MEMPROF_SLICES") == ""
+	// MEMPROF_WHOLE=1 profiles the whole-segment baseline arm instead of the
+	// block-granular layout.
+	blockEvents := memBlockEvents
+	if os.Getenv("MEMPROF_WHOLE") != "" {
+		blockEvents = -1
+	}
 	b, err := memBuilding()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := locater.New(memConfig(b, segmented, true, memLatencyCacheSegs))
+	sys, err := locater.New(memConfig(b, segmented, blockEvents, true, memCacheEntries(blockEvents)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,6 +71,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for the durable event store (WAL + snapshots); empty = in-memory only")
 		fsync        = flag.Bool("fsync", true, "with -data-dir: fsync acknowledged writes (group commit); off = flush to OS only")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "with -data-dir: background checkpoint period (0 = only at shutdown)")
+		mmapColdTier = flag.Bool("mmap", true, "with -data-dir: memory-map cold-tier segment files (OS-owned residency); off = portable read-at")
 		pprofFlag    = flag.Bool("pprof", false, "expose Go's runtime profiler under /debug/pprof/ (off by default; profiling data reveals internals)")
 
 		admission       = flag.Bool("admission", true, "admission control: bounded per-endpoint queues, deadline-aware 429s, batch shedding")
@@ -122,6 +123,7 @@ func main() {
 		Variant:            v,
 		EnableCache:        true,
 		PromotionsPerRound: 8,
+		ColdTierMmap:       *mmapColdTier,
 
 		EnableCleansing:                  *cleansing,
 		QuarantineCap:                    *quarantineCap,

@@ -54,6 +54,11 @@ type Stats struct {
 	Invalidations int64
 	// Epoch is the current epoch (the number of Invalidate calls so far).
 	Epoch uint64
+	// Weight is the total weight of resident entries under the cache's
+	// weigher — typically approximate heap bytes. Zero when no weigher is
+	// installed (see SetWeigher). Stale-epoch entries count until dropped,
+	// matching Size.
+	Weight int64
 }
 
 // entry is one cached value on its shard's intrusive LRU list.
@@ -71,6 +76,11 @@ type shard[K comparable, V any] struct {
 	m          map[K]*entry[K, V]
 	capacity   int
 	head, tail *entry[K, V]
+
+	// weigh, when set, prices each resident value; weight is the running
+	// total over resident entries (see Cache.SetWeigher).
+	weigh  func(V) int64
+	weight int64
 
 	hits, misses, evictions, deletes int64
 }
@@ -129,6 +139,37 @@ func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
 	return &c.shards[c.hash(k)%uint64(len(c.shards))]
 }
 
+// SetWeigher installs a per-value weight function (typically approximate
+// heap bytes) and reprices any resident entries. Stats.Weight then tracks
+// the total weight of resident values, maintained on every insert, update,
+// eviction, and drop. Install once at construction time; the weigher must
+// be deterministic for a given value.
+func (c *Cache[K, V]) SetWeigher(w func(V) int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.weigh = w
+		sh.weight = 0
+		if w != nil {
+			for _, e := range sh.m {
+				sh.weight += w(e.val)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// drop removes a resident entry (stale-epoch lazy drop, Delete, eviction),
+// keeping the weight total consistent. Caller holds sh.mu and accounts the
+// removal in the appropriate counter.
+func (sh *shard[K, V]) drop(e *entry[K, V]) {
+	sh.unlink(e)
+	delete(sh.m, e.key)
+	if sh.weigh != nil {
+		sh.weight -= sh.weigh(e.val)
+	}
+}
+
 // Get returns the value cached for k in the current epoch. A stale entry
 // (cached before the last Invalidate) is dropped and reported as a miss.
 func (c *Cache[K, V]) Get(k K) (V, bool) {
@@ -142,8 +183,7 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 		return e.val, true
 	}
 	if ok {
-		sh.unlink(e)
-		delete(sh.m, k)
+		sh.drop(e)
 	}
 	sh.misses++
 	var zero V
@@ -188,6 +228,9 @@ func (c *Cache[K, V]) PutAt(k K, v V, epoch uint64) {
 // Caller holds sh.mu.
 func (sh *shard[K, V]) insert(k K, v V, epoch uint64) {
 	if e, ok := sh.m[k]; ok {
+		if sh.weigh != nil {
+			sh.weight += sh.weigh(v) - sh.weigh(e.val)
+		}
 		e.val = v
 		e.epoch = epoch
 		sh.moveToFront(e)
@@ -196,10 +239,11 @@ func (sh *shard[K, V]) insert(k K, v V, epoch uint64) {
 	e := &entry[K, V]{key: k, val: v, epoch: epoch}
 	sh.m[k] = e
 	sh.pushFront(e)
+	if sh.weigh != nil {
+		sh.weight += sh.weigh(v)
+	}
 	if len(sh.m) > sh.capacity {
-		victim := sh.tail
-		sh.unlink(victim)
-		delete(sh.m, victim.key)
+		sh.drop(sh.tail)
 		sh.evictions++
 	}
 }
@@ -222,8 +266,7 @@ func (c *Cache[K, V]) GetOrCompute(k K, compute func() (V, error)) (V, error) {
 			sh.hits++
 			return e.val, nil
 		}
-		sh.unlink(e)
-		delete(sh.m, k)
+		sh.drop(e)
 	}
 	sh.misses++
 	v, err := compute()
@@ -245,8 +288,7 @@ func (c *Cache[K, V]) Delete(k K) bool {
 	if !ok {
 		return false
 	}
-	sh.unlink(e)
-	delete(sh.m, k)
+	sh.drop(e)
 	sh.deletes++
 	return true
 }
@@ -297,6 +339,7 @@ func (c *Cache[K, V]) Stats() Stats {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		st.Size += len(sh.m)
+		st.Weight += sh.weight
 		st.Hits += sh.hits
 		st.Misses += sh.misses
 		st.Evictions += sh.evictions

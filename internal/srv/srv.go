@@ -190,6 +190,7 @@ type OccupancyResponse struct {
 type SegmentsResponse struct {
 	Enabled        bool  `json:"enabled"`
 	MaxEvents      int   `json:"max_events"`
+	BlockEvents    int   `json:"block_events"`
 	ColdTier       bool  `json:"cold_tier"`
 	Segments       int   `json:"segments"`
 	SegmentEvents  int   `json:"segment_events"`
@@ -198,14 +199,37 @@ type SegmentsResponse struct {
 	Seals          int64 `json:"seals"`
 	SealFailures   int64 `json:"seal_failures"`
 	PageIns        int64 `json:"page_ins"`
+	DecodedBytes   int64 `json:"decoded_bytes"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheSize      int   `json:"cache_size"`
 	CacheCapacity  int   `json:"cache_capacity"`
 	DecodeFailures int64 `json:"decode_failures"`
+	// ResidentBytesHeap approximates the decoded-block cache's Go-heap
+	// footprint; ResidentBytesMmap is the OS-owned mapped residency of the
+	// cold tier's segment files (zero without the mmap backend). Together
+	// they split "resident" into the part the GC sees and the part the
+	// kernel can evict under pressure.
+	ResidentBytesHeap int64 `json:"resident_bytes_heap"`
+	ResidentBytesMmap int64 `json:"resident_bytes_mmap"`
+	// PointLookups / LookupDecodedBytes gate the block tentpole: their
+	// ratio is bytes decoded per point lookup. BlockSkips counts blocks
+	// pruned undecoded via the block index; IndexLoads counts trailer
+	// parses.
+	PointLookups       int64 `json:"point_lookups"`
+	LookupDecodedBytes int64 `json:"lookup_decoded_bytes"`
+	BlockSkips         int64 `json:"block_skips"`
+	IndexLoads         int64 `json:"index_loads"`
 	// Compactions / CompactionFailures count checkpoint-time runt-segment
 	// merges and the merges abandoned on error.
 	Compactions        int64 `json:"compactions"`
 	CompactionFailures int64 `json:"compaction_failures"`
+	// Cold-tier backend counters: mapped file/byte residency, remaps after
+	// file growth, and checkpoint-time dead-record reclamation.
+	MappedFiles     int   `json:"mapped_files"`
+	Remaps          int64 `json:"remaps"`
+	Rewrites        int64 `json:"rewrites"`
+	RewriteFailures int64 `json:"rewrite_failures"`
+	ReclaimedBytes  int64 `json:"reclaimed_bytes"`
 }
 
 // CachesResponse is the JSON shape of the caching layer's stats: the global
@@ -648,6 +672,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Segments: SegmentsResponse{
 				Enabled:            cs.Segments.Enabled,
 				MaxEvents:          cs.Segments.MaxEvents,
+				BlockEvents:        cs.Segments.BlockEvents,
 				ColdTier:           cs.Segments.ColdTier,
 				Segments:           cs.Segments.Segments,
 				SegmentEvents:      cs.Segments.SegmentEvents,
@@ -656,12 +681,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Seals:              cs.Segments.Seals,
 				SealFailures:       cs.Segments.SealFailures,
 				PageIns:            cs.Segments.PageIns,
+				DecodedBytes:       cs.Segments.DecodedBytes,
 				CacheHits:          cs.Segments.CacheHits,
 				CacheSize:          cs.Segments.CacheSize,
 				CacheCapacity:      cs.Segments.CacheCapacity,
 				DecodeFailures:     cs.Segments.DecodeFailures,
+				ResidentBytesHeap:  cs.Segments.CachedBytes,
+				ResidentBytesMmap:  cs.Segments.Backend.MappedBytes,
+				PointLookups:       cs.Segments.PointLookups,
+				LookupDecodedBytes: cs.Segments.LookupDecodedBytes,
+				BlockSkips:         cs.Segments.BlockSkips,
+				IndexLoads:         cs.Segments.IndexLoads,
 				Compactions:        cs.Segments.Compactions,
 				CompactionFailures: cs.Segments.CompactionFailures,
+				MappedFiles:        cs.Segments.Backend.MappedFiles,
+				Remaps:             cs.Segments.Backend.Remaps,
+				Rewrites:           cs.Segments.Backend.Rewrites,
+				RewriteFailures:    cs.Segments.Backend.RewriteFailures,
+				ReclaimedBytes:     cs.Segments.Backend.ReclaimedBytes,
 			},
 			Cleanse:     cleanseResponseOf(cs.Cleanse),
 			Maintenance: maintenanceResponseOf(cs.Maintenance),

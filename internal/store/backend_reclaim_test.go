@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"locater/internal/event"
+)
+
+// bigPayload builds a payload large enough that a handful of dead copies
+// clear the reclaim gates (reclaimMinDeadBytes and the dead-fraction bound).
+func bigPayload(fill byte, n int) []byte {
+	return bytes.Repeat([]byte{fill}, n)
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".seg") {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestDiskBackendReclaimDropsDeadRecords fills a device file with
+// superseded and orphaned records and checks Reclaim rewrites it down to
+// the live set, keeps every live payload readable (in this process and
+// after a reload), and reports the reclaimed bytes.
+func TestDiskBackendReclaimDropsDeadRecords(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := b.(ReclaimableBackend)
+	// Seq 1 superseded twice (two dead copies), seq 2 orphaned by
+	// compaction, seq 3 live, seq 4 above the floor.
+	for i := 0; i < 2; i++ {
+		if err := b.Put("d", 1, bigPayload('x', 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Put("d", 1, bigPayload('a', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 2, bigPayload('o', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 3, bigPayload('b', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 4, bigPayload('c', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSize(t, dir)
+
+	live := map[event.DeviceID]LiveSegments{"d": {Seqs: []uint64{1, 3}, Floor: 4}}
+	reclaimed, err := rb.Reclaim(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed <= 0 {
+		t.Fatalf("reclaimed %d bytes, want > 0", reclaimed)
+	}
+	after := dirSize(t, dir)
+	if after >= before {
+		t.Fatalf("file did not shrink: %d -> %d", before, after)
+	}
+	check := func(bk SegmentBackend, label string) {
+		t.Helper()
+		for seq, fill := range map[uint64]byte{1: 'a', 3: 'b', 4: 'c'} {
+			p, err := bk.Get("d", seq)
+			if err != nil {
+				t.Fatalf("%s: live seq %d lost: %v", label, seq, err)
+			}
+			if !bytes.Equal(p, bigPayload(fill, 4096)) {
+				t.Fatalf("%s: live seq %d payload corrupted by rewrite", label, seq)
+			}
+		}
+		if _, err := bk.Get("d", 2); err == nil {
+			t.Fatalf("%s: dead seq 2 still served after reclaim", label)
+		}
+	}
+	check(b, "in-process")
+	if sb, ok := b.(StatsBackend); ok {
+		st := sb.BackendStats()
+		if st.Rewrites != 1 || st.ReclaimedBytes != reclaimed {
+			t.Fatalf("stats = %+v, want 1 rewrite / %d reclaimed", st, reclaimed)
+		}
+	}
+	// The rewrite must be durable and torn-free on reload.
+	b2, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(b2, "reloaded")
+
+	// A second pass with nothing dead is a no-op: gates skip clean files.
+	if reclaimed, err = rb.Reclaim(live); err != nil || reclaimed != 0 {
+		t.Fatalf("idle reclaim = (%d, %v), want (0, nil)", reclaimed, err)
+	}
+}
+
+// TestDiskBackendReclaimSkipsSmallDeadFractions checks both gates: a file
+// whose dead bytes are below the absolute floor, or a small fraction of the
+// file, is left alone — rewriting it would cost more IO than it frees.
+func TestDiskBackendReclaimSkipsSmallDeadFractions(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := b.(ReclaimableBackend)
+	// 64 KiB live, ~4.1 KiB dead: above the absolute floor but well under a
+	// quarter of the file.
+	if err := b.Put("d", 1, bigPayload('x', 4200)); err != nil { // superseded
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 1, bigPayload('a', 4200)); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(2); seq <= 16; seq++ {
+		if err := b.Put("d", seq, bigPayload(byte(seq), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dirSize(t, dir)
+	live := map[event.DeviceID]LiveSegments{"d": {Floor: 1}}
+	reclaimed, err := rb.Reclaim(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 0 || dirSize(t, dir) != before {
+		t.Fatalf("low-dead-fraction file was rewritten (%d bytes reclaimed)", reclaimed)
+	}
+}
+
+// TestReclaimTornRewriteRecovery simulates a crash mid-rewrite: a stale
+// temporary file sits next to the real segment file. The live file must win
+// on reload (the tmp is never read), a later reclaim must succeed by
+// truncating over the debris, and live payloads survive throughout.
+func TestReclaimTornRewriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 1, bigPayload('x', 4096)); err != nil { // dead after supersede
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 1, bigPayload('a', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 2, bigPayload('b', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.seg"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one segment file, got %v (%v)", matches, err)
+	}
+	// The torn rewrite: a half-written tmp with garbage, as a crash between
+	// tmp creation and rename leaves it.
+	torn := matches[0] + segTmpSuffix
+	if err := os.WriteFile(torn, []byte("garbage-half-rewrite"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := NewDiskSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, fill := range map[uint64]byte{1: 'a', 2: 'b'} {
+		p, err := b2.Get("d", seq)
+		if err != nil || !bytes.Equal(p, bigPayload(fill, 4096)) {
+			t.Fatalf("seq %d lost after torn rewrite: %v", seq, err)
+		}
+	}
+	reclaimed, err := b2.(ReclaimableBackend).Reclaim(map[event.DeviceID]LiveSegments{"d": {Seqs: []uint64{1, 2}, Floor: 3}})
+	if err != nil {
+		t.Fatalf("reclaim over torn tmp: %v", err)
+	}
+	if reclaimed <= 0 {
+		t.Fatal("reclaim dropped nothing despite a dead superseded record")
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("tmp debris still present after successful rewrite: %v", err)
+	}
+	p, err := b2.Get("d", 1)
+	if err != nil || !bytes.Equal(p, bigPayload('a', 4096)) {
+		t.Fatalf("seq 1 lost after recovery rewrite: %v", err)
+	}
+}
+
+// TestMmapBackendLifecycle drives the mmap backend through its lifecycle:
+// map on first view, serve reads from the mapping, remap after growth,
+// survive a reclaim-triggered rewrite mid-view (the doomed-mapping path),
+// and unmap on close.
+func TestMmapBackendLifecycle(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	b, err := NewMmapSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := b.(ViewBackend)
+	sb := b.(StatsBackend)
+	if err := b.Put("d", 1, bigPayload('a', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	view := func(seq uint64, want byte) {
+		t.Helper()
+		err := vb.View("d", seq, func(p []byte) error {
+			if !bytes.Equal(p, bigPayload(want, 4096)) {
+				t.Fatalf("seq %d view diverges from payload", seq)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	view(1, 'a')
+	st := sb.BackendStats()
+	if st.MappedFiles != 1 || st.MappedBytes == 0 {
+		t.Fatalf("after first view stats = %+v, want one live mapping", st)
+	}
+
+	// Growth: a Put after the mapping was established lands beyond the
+	// mapped prefix; the next view of it must remap.
+	if err := b.Put("d", 2, bigPayload('b', 4096)); err != nil {
+		t.Fatal(err)
+	}
+	view(2, 'b')
+	if st2 := sb.BackendStats(); st2.Remaps <= st.Remaps {
+		t.Fatalf("no remap recorded after growth: %+v", st2)
+	}
+
+	// Doomed-mapping path: trigger a rewrite while a view is outstanding.
+	// The borrowed slice must stay valid for the whole view (munmap is
+	// deferred until the last reference drops) and the rewrite must land.
+	if err := b.Put("d", 1, bigPayload('A', 4096)); err != nil { // supersede: dead bytes
+		t.Fatal(err)
+	}
+	err = vb.View("d", 2, func(p []byte) error {
+		if _, err := b.(ReclaimableBackend).Reclaim(map[event.DeviceID]LiveSegments{"d": {Seqs: []uint64{1, 2}, Floor: 3}}); err != nil {
+			return err
+		}
+		// Touch every page of the old mapping after the rewrite: if the
+		// backend unmapped eagerly this faults.
+		if !bytes.Equal(p, bigPayload('b', 4096)) {
+			t.Fatal("view bytes changed under a concurrent rewrite")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view(1, 'A')
+	view(2, 'b')
+	if st3 := sb.BackendStats(); st3.Rewrites != 1 {
+		t.Fatalf("rewrite not recorded: %+v", st3)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMmapBackendReloadServesRewrittenFile checks the full crash cycle with
+// mmap on: rewrite, reload, map again, read everything back.
+func TestMmapBackendReloadServesRewrittenFile(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	b, err := NewMmapSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 1, bigPayload('x', 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("d", 1, bigPayload('a', 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.(ReclaimableBackend).Reclaim(map[event.DeviceID]LiveSegments{"d": {Seqs: []uint64{1}, Floor: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewMmapSegmentBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	err = b2.(ViewBackend).View("d", 1, func(p []byte) error {
+		if !bytes.Equal(p, bigPayload('a', 8192)) {
+			t.Fatal("rewritten payload lost across reload")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

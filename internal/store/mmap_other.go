@@ -1,0 +1,18 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can memory-map cold-tier
+// segment files; here the cold tier always uses the portable read-at path.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("store: mmap not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,30 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map cold-tier
+// segment files. On unsupported platforms the cold tier silently uses the
+// portable read-at path behind the same interface.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared (coherent with
+// appends written through the file descriptor on the same page cache).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

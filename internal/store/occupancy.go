@@ -6,7 +6,6 @@ import (
 
 	"locater/internal/event"
 	"locater/internal/space"
-	"locater/internal/wal"
 )
 
 // DefaultOccupancyBucket is the default width of the temporal occupancy
@@ -131,22 +130,10 @@ func (s *Store) ConfigureOccupancy(width time.Duration, enabled bool) {
 	ix := newOccupancyIndex(width)
 	var scratch []event.Event
 	for dev, lg := range s.logs {
-		for i := range lg.segs {
-			ref := lg.segs[i]
-			if evs, ok := s.segCache.Peek(segKey{dev, ref.meta.Seq}); ok {
-				for j := range evs {
-					ix.add(evs[j])
-				}
-				continue
-			}
-			payload, err := s.segBackend.Get(dev, ref.meta.Seq)
+		for _, ref := range lg.segs {
+			var err error
+			scratch, err = s.decodeSegmentEvents(dev, ref, scratch[:0])
 			if err != nil {
-				s.decodeFails.Add(1)
-				continue
-			}
-			scratch, err = wal.DecodeEventBlock(payload, dev, scratch[:0])
-			if err != nil {
-				s.decodeFails.Add(1)
 				continue
 			}
 			for j := range scratch {
@@ -307,8 +294,8 @@ func (s *Store) deviceActiveInWindowLocked(d event.DeviceID, lg *deviceLog, aps 
 		return false
 	}
 	startN, endN := clampedNanos(start), clampedNanos(end)
-	for i := range lg.segs {
-		m := &lg.segs[i].meta
+	for _, ref := range lg.segs {
+		m := &ref.meta
 		if m.MaxNanos < startN || m.MinNanos > endN {
 			continue
 		}
@@ -317,12 +304,30 @@ func (s *Store) deviceActiveInWindowLocked(d event.DeviceID, lg *deviceLog, aps 
 		if aps == nil && (m.MinNanos >= startN || m.MaxNanos <= endN) {
 			return true
 		}
-		evs, err := s.segEventsCached(d, lg.segs[i])
+		idx, err := s.blocksFor(d, ref)
 		if err != nil {
 			continue
 		}
-		if windowHasAP(evs, aps, start, end) {
-			return true
+		blocks := idx.metas
+		blo, bhi := blockRange(blocks, startN, endN)
+		s.blockSkips.Add(int64(blo + len(blocks) - bhi))
+		for bi := blo; bi < bhi; bi++ {
+			// The same endpoint argument prunes at block granularity — but
+			// only where the bound is an exact event time: every block's
+			// MinNanos is, while MaxNanos is exact only for the final block
+			// (earlier blocks carry their successor's min as a conservative
+			// cap, see wal.BlockMeta).
+			if aps == nil && (blocks[bi].MinNanos >= startN ||
+				(bi == len(blocks)-1 && blocks[bi].MaxNanos <= endN)) {
+				return true
+			}
+			evs, err := s.blockEventsCached(d, ref, idx, bi, nil)
+			if err != nil {
+				continue
+			}
+			if windowHasAP(evs, aps, start, end) {
+				return true
+			}
 		}
 	}
 	return false

@@ -6,28 +6,56 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locater/internal/cache"
 	"locater/internal/event"
+	"locater/internal/space"
 	"locater/internal/wal"
 )
 
-// Default segmentation parameters. 512 events per segment keeps blocks in
-// the few-KiB range (decode cost measured in microseconds) while a device
-// with fleet-typical history still seals most of its log; 1024 cached
-// decoded segments bound the warm working set to a few tens of MiB.
+// Default segmentation parameters. 512 events per segment keeps payloads in
+// the few-KiB range while a device with fleet-typical history still seals
+// most of its log; 64-event blocks inside each segment make the unit of
+// decode (and of cache residency) a few hundred bytes, so a point lookup
+// touches one or two blocks instead of a whole segment. The default cache
+// size is expressed in segments for compatibility and scaled to blocks at
+// configuration time.
 const (
-	DefaultSegmentMaxEvents = 512
-	DefaultSegmentCacheSize = 1024
+	DefaultSegmentMaxEvents   = 512
+	DefaultSegmentCacheSize   = 1024
+	DefaultSegmentBlockEvents = 64
 )
 
-// segmentRef is a device log's handle on one sealed segment: metadata only.
-// The encoded payload lives in the SegmentBackend and decoded events are
-// materialized on demand through the bounded segment cache.
-type segmentRef struct {
-	meta wal.SegmentMeta
+// approxEventBytes is the decoded-block cache's per-event weight: the Event
+// struct itself (ID + string headers + Time). String bytes are shared with
+// the block's AP dictionary and between events, so they are deliberately
+// not charged per event.
+const approxEventBytes = 64
+
+// segIndex is a segment's parsed trailer state: the block index plus the
+// segment-wide AP dictionary the blocks decode against. dict is nil for
+// legacy whole-segment payloads, whose synthesized single block is
+// self-contained.
+type segIndex struct {
+	metas []wal.BlockMeta
+	dict  []space.APID
 }
+
+// segmentRef is a device log's handle on one sealed segment: metadata plus
+// the lazily parsed block index and dictionary. The encoded payload lives
+// in the SegmentBackend and decoded blocks are materialized on demand
+// through the bounded block cache. index is atomic because it is parsed on
+// first use under the shared store lock; refs are heap-allocated and shared
+// by pointer (deviceLog.segs is []*segmentRef) so the atomic is never
+// copied.
+type segmentRef struct {
+	meta  wal.SegmentMeta
+	index atomic.Pointer[segIndex]
+}
+
+func (r *segmentRef) blockIndex() *segIndex { return r.index.Load() }
 
 // SegmentConfig configures the store's log-structured layout.
 type SegmentConfig struct {
@@ -36,11 +64,19 @@ type SegmentConfig struct {
 	// DefaultSegmentMaxEvents; a negative value disables sealing entirely
 	// (every log stays a plain slice). Values 1..2 are clamped to 2.
 	MaxEvents int
-	// CacheSize bounds the decoded-segment cache (entries = segments).
-	// 0 selects DefaultSegmentCacheSize.
+	// BlockEvents is the intra-segment block size: sealed payloads are
+	// encoded as consecutive blocks of at most this many events, each
+	// independently decodable, with a block index in the payload trailer.
+	// 0 selects DefaultSegmentBlockEvents; a negative value selects the
+	// legacy whole-segment encoding (one block, no index trailer) — the
+	// format PR 8 wrote, kept readable and writable for compatibility.
+	BlockEvents int
+	// CacheSize bounds the decoded-block cache (entries = blocks).
+	// 0 selects DefaultSegmentCacheSize segments' worth of blocks.
 	CacheSize int
 	// Backend stores sealed segment payloads; nil selects the in-memory
-	// compressed tier. Pass NewDiskSegmentBackend for a cold tier.
+	// compressed tier. Pass NewDiskSegmentBackend or NewMmapSegmentBackend
+	// for a cold tier.
 	Backend SegmentBackend
 }
 
@@ -63,15 +99,41 @@ func (s *Store) ConfigureSegments(cfg SegmentConfig) error {
 	default:
 		s.segMax = cfg.MaxEvents
 	}
+	switch {
+	case cfg.BlockEvents < 0:
+		s.segBlockEvents = -1
+	case cfg.BlockEvents == 0:
+		s.segBlockEvents = DefaultSegmentBlockEvents
+	default:
+		s.segBlockEvents = cfg.BlockEvents
+	}
 	size := cfg.CacheSize
 	if size <= 0 {
-		size = DefaultSegmentCacheSize
+		size = DefaultSegmentCacheSize * blocksPerSegment(s.segMax, s.segBlockEvents)
 	}
-	s.segCache = cache.New[segKey, []event.Event](size, segKeyHash)
+	s.segCache = newBlockCache(size)
 	if cfg.Backend != nil {
 		s.segBackend = cfg.Backend
 	}
 	return nil
+}
+
+// blocksPerSegment is how many decodable blocks a full segment holds under
+// the given configuration (at least 1).
+func blocksPerSegment(segMax, blockEvents int) int {
+	if segMax <= 0 || blockEvents <= 0 || blockEvents >= segMax {
+		return 1
+	}
+	return (segMax + blockEvents - 1) / blockEvents
+}
+
+// newBlockCache builds the decoded-block cache with its heap-bytes weigher
+// attached, so SegmentStats can report the decoded working set the GC
+// actually sees.
+func newBlockCache(entries int) *cache.Cache[blockKey, []event.Event] {
+	c := cache.New[blockKey, []event.Event](entries, blockKeyHash)
+	c.SetWeigher(func(evs []event.Event) int64 { return int64(len(evs)) * approxEventBytes })
+	return c
 }
 
 // CloseSegments closes the segment backend. Call once the store will no
@@ -82,10 +144,12 @@ func (s *Store) CloseSegments() error {
 	return s.segBackend.Close()
 }
 
-// InvalidateSegmentCache drops every decoded segment in O(1) (epoch bump),
+// InvalidateSegmentCache drops every decoded block in O(1) (epoch bump),
 // releasing the decoded working set. Purely an operational control — the
 // encoded payloads in the backend stay authoritative and are paged back in
-// on demand — used under memory pressure and by the cold-query benchmarks.
+// block-at-a-time on demand — used under memory pressure and by the
+// cold-query benchmarks. Parsed block indexes are kept: they are metadata
+// on the order of the segment manifest, not decoded data.
 func (s *Store) InvalidateSegmentCache() {
 	s.segCache.Invalidate()
 }
@@ -98,7 +162,21 @@ func (s *Store) SyncSegments() error {
 	return s.segBackend.Sync()
 }
 
-func segKeyHash(k segKey) uint64 {
+// blockKey identifies one decoded block: (device, segment seq, block index).
+type blockKey struct {
+	dev   event.DeviceID
+	seq   uint64
+	block int
+}
+
+// mergedBlock is the sentinel block index caching a segment's contiguous
+// full decode. Scans that cover every block of a multi-block segment
+// assemble one and serve repeat scans from it with a single cache hit —
+// the same per-scan cost as the whole-segment layout — while point lookups
+// keep paging individual blocks. Real block indexes are always >= 0.
+const mergedBlock = -1
+
+func blockKeyHash(k blockKey) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(k.dev); i++ {
 		h ^= uint64(k.dev[i])
@@ -106,96 +184,328 @@ func segKeyHash(k segKey) uint64 {
 	}
 	h ^= k.seq
 	h *= 1099511628211
+	h ^= uint64(k.block)
+	h *= 1099511628211
 	return h
 }
 
+// viewPayload runs fn over a segment's encoded payload, borrowing it
+// zero-copy from a ViewBackend (the slice may alias a memory mapping and
+// must not escape fn) and falling back to a heap copy for plain backends.
+func (s *Store) viewPayload(d event.DeviceID, seq uint64, fn func(payload []byte) error) error {
+	if vb, ok := s.segBackend.(ViewBackend); ok {
+		return vb.View(d, seq, fn)
+	}
+	p, err := s.segBackend.Get(d, seq)
+	if err != nil {
+		return err
+	}
+	return fn(p)
+}
+
+// blocksFor returns a segment's block index, parsing the payload trailer on
+// first use (touching only the payload's final bytes — its final pages when
+// memory-mapped). Legacy payloads without an index get a synthesized
+// single-block entry covering the whole payload, so every read path is
+// uniformly block-granular. The parsed index is published atomically on the
+// shared ref; concurrent first readers may parse twice, idempotently.
+func (s *Store) blocksFor(d event.DeviceID, ref *segmentRef) (*segIndex, error) {
+	if idx := ref.blockIndex(); idx != nil {
+		return idx, nil
+	}
+	var idx segIndex
+	err := s.viewPayload(d, ref.meta.Seq, func(payload []byte) error {
+		ms, dict, indexed, err := wal.ParseSegmentIndex(payload)
+		if err != nil {
+			return err
+		}
+		if !indexed {
+			ms = []wal.BlockMeta{{
+				Off: 0, Len: len(payload),
+				Count:    ref.meta.Count,
+				MinNanos: ref.meta.MinNanos,
+				MaxNanos: ref.meta.MaxNanos,
+			}}
+		}
+		idx = segIndex{metas: ms, dict: dict}
+		return nil
+	})
+	if err != nil {
+		s.decodeFails.Add(1)
+		return nil, fmt.Errorf("store: indexing segment %d for device %s: %w", ref.meta.Seq, d, err)
+	}
+	s.indexLoads.Add(1)
+	ref.index.Store(&idx)
+	return &idx, nil
+}
+
+// decodeBlockAt decodes block bi against the segment's dictionary (or as a
+// self-contained legacy block when dict is nil), appending to dst.
+func decodeBlockAt(payload []byte, d event.DeviceID, idx *segIndex, bi int, dst []event.Event) ([]event.Event, error) {
+	bm := idx.metas[bi]
+	if bm.Off < 0 || bm.Len < 0 || bm.Off+bm.Len > len(payload) {
+		return dst, fmt.Errorf("store: block %d outside payload", bi)
+	}
+	if idx.dict == nil {
+		return wal.DecodeEventBlock(payload[bm.Off:bm.Off+bm.Len], d, dst)
+	}
+	return wal.DecodeIndexedBlock(payload[bm.Off:bm.Off+bm.Len], d, idx.dict, bm.MinNanos, dst)
+}
+
+// blockEventsCached returns one block's decoded events through the bounded
+// block cache, paging just that block's bytes in from the backend on a
+// miss. The returned slice is shared and immutable: callers must not mutate
+// it, and non-copying callers must not let it escape the store lock.
+// lookupBytes, when non-nil, accrues the encoded bytes actually decoded
+// (zero on a cache hit) — the point-lookup paths use it to measure their
+// decode traffic. Errors are not cached, so a corrupt block is refused on
+// every access.
+func (s *Store) blockEventsCached(d event.DeviceID, ref *segmentRef, idx *segIndex, bi int, lookupBytes *int64) ([]event.Event, error) {
+	bm := idx.metas[bi]
+	return s.segCache.GetOrCompute(blockKey{d, ref.meta.Seq, bi}, func() ([]event.Event, error) {
+		s.pageIns.Add(1)
+		var out []event.Event
+		err := s.viewPayload(d, ref.meta.Seq, func(payload []byte) error {
+			var derr error
+			out, derr = decodeBlockAt(payload, d, idx, bi, make([]event.Event, 0, bm.Count))
+			return derr
+		})
+		if err != nil {
+			s.decodeFails.Add(1)
+			return nil, fmt.Errorf("store: decoding segment %d block %d for device %s: %w", ref.meta.Seq, bi, d, err)
+		}
+		if len(out) != bm.Count {
+			s.decodeFails.Add(1)
+			return nil, fmt.Errorf("store: segment %d block %d for device %s decoded %d events, index says %d",
+				ref.meta.Seq, bi, d, len(out), bm.Count)
+		}
+		s.decodedBytes.Add(int64(bm.Len))
+		if lookupBytes != nil {
+			*lookupBytes += int64(bm.Len)
+		}
+		return out, nil
+	})
+}
+
+// blockRunsCached appends decoded events for blocks [blo, bhi) of one
+// segment to runs, one run per block. Cached blocks come straight from the
+// block cache; all misses are paged in together — one backend view, one
+// decode arena shared by every missed block — so a bulk scan pays the
+// per-view and per-allocation cost once per segment instead of once per
+// block. Decoded misses are inserted into the cache for later point
+// lookups. The runs alias cached slices and must not be mutated.
+func (s *Store) blockRunsCached(d event.DeviceID, ref *segmentRef, idx *segIndex, blo, bhi int, runs [][]event.Event) ([][]event.Event, error) {
+	blocks := idx.metas
+	base := len(runs)
+	total := 0
+	nMiss := 0
+	for bi := blo; bi < bhi; bi++ {
+		if evs, ok := s.segCache.Get(blockKey{d, ref.meta.Seq, bi}); ok {
+			runs = append(runs, evs)
+			continue
+		}
+		runs = append(runs, nil)
+		nMiss++
+		total += blocks[bi].Count
+	}
+	if nMiss == 0 {
+		return runs, nil
+	}
+	arena := make([]event.Event, 0, total)
+	pos := 0
+	err := s.viewPayload(d, ref.meta.Seq, func(payload []byte) error {
+		for bi := blo; bi < bhi; bi++ {
+			ri := base + bi - blo
+			if runs[ri] != nil {
+				continue
+			}
+			bm := blocks[bi]
+			out, derr := decodeBlockAt(payload, d, idx, bi, arena[pos:pos:pos+bm.Count])
+			if derr != nil {
+				return derr
+			}
+			if len(out) != bm.Count {
+				return fmt.Errorf("store: segment %d block %d for device %s decoded %d events, index says %d",
+					ref.meta.Seq, bi, d, len(out), bm.Count)
+			}
+			runs[ri] = out
+			pos += bm.Count
+			s.pageIns.Add(1)
+			s.decodedBytes.Add(int64(bm.Len))
+			s.segCache.Put(blockKey{d, ref.meta.Seq, bi}, out)
+		}
+		return nil
+	})
+	if err != nil {
+		s.decodeFails.Add(1)
+		return runs[:base], fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
+	}
+	return runs, nil
+}
+
+// mergedRunCached returns a multi-block segment's full contiguous run
+// through the cache's mergedBlock sentinel entry, assembling it on a miss.
+// Blocks partition the sorted run in order, so misses decode directly into
+// their slot of one contiguous arena — the arena IS the merged run, no
+// second copy — and individual block entries that contributed are deleted:
+// the sentinel is probed before per-block entries on every read path, so
+// keeping both would just double the cached heap (and the GC scan work)
+// for every fully-scanned segment. History scans hit the same segments
+// repeatedly; one entry per segment is their steady state.
+func (s *Store) mergedRunCached(d event.DeviceID, ref *segmentRef, idx *segIndex) ([]event.Event, error) {
+	key := blockKey{d, ref.meta.Seq, mergedBlock}
+	if evs, hit := s.segCache.Get(key); hit {
+		return evs, nil
+	}
+	blocks := idx.metas
+	total := 0
+	for _, bm := range blocks {
+		total += bm.Count
+	}
+	merged := make([]event.Event, total)
+	miss := make([][2]int, 0, len(blocks)) // (block index, event offset) still to decode
+	pos := 0
+	for bi := range blocks {
+		if evs, ok := s.segCache.Get(blockKey{d, ref.meta.Seq, bi}); ok {
+			if len(evs) != blocks[bi].Count {
+				s.decodeFails.Add(1)
+				return nil, fmt.Errorf("store: segment %d block %d for device %s cached %d events, index says %d",
+					ref.meta.Seq, bi, d, len(evs), blocks[bi].Count)
+			}
+			copy(merged[pos:], evs)
+			s.segCache.Delete(blockKey{d, ref.meta.Seq, bi})
+		} else {
+			miss = append(miss, [2]int{bi, pos})
+		}
+		pos += blocks[bi].Count
+	}
+	if len(miss) > 0 {
+		err := s.viewPayload(d, ref.meta.Seq, func(payload []byte) error {
+			for _, m := range miss {
+				bi, off := m[0], m[1]
+				bm := blocks[bi]
+				out, derr := decodeBlockAt(payload, d, idx, bi, merged[off:off:off+bm.Count])
+				if derr != nil {
+					return derr
+				}
+				if len(out) != bm.Count {
+					return fmt.Errorf("store: segment %d block %d for device %s decoded %d events, index says %d",
+						ref.meta.Seq, bi, d, len(out), bm.Count)
+				}
+				s.pageIns.Add(1)
+				s.decodedBytes.Add(int64(bm.Len))
+			}
+			return nil
+		})
+		if err != nil {
+			s.decodeFails.Add(1)
+			return nil, fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
+		}
+	}
+	s.segCache.Put(key, merged)
+	return merged, nil
+}
+
+// encodeSegmentVerified encodes evs per the configured block layout and
+// round-trip verifies the payload — the decode re-parses the trailer and
+// re-checks every CRC, so a mis-encoded segment is caught before it reaches
+// the backend.
+func (s *Store) encodeSegmentVerified(d event.DeviceID, evs []event.Event) ([]byte, error) {
+	var payload []byte
+	if s.segBlockEvents < 0 {
+		payload = wal.EncodeEventBlock(nil, evs)
+	} else {
+		payload, _ = wal.EncodeSegment(nil, evs, s.segBlockEvents)
+	}
+	decoded, err := wal.DecodeSegment(payload, d, make([]event.Event, 0, len(evs)))
+	if err == nil && len(decoded) != len(evs) {
+		err = fmt.Errorf("store: segment round-trip decoded %d events, encoded %d", len(decoded), len(evs))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
 // sealLocked compresses the device's head into an immutable segment: sort,
-// encode (dictionary APs + delta-of-delta timestamps), store the payload in
-// the backend, register the metadata, and start a fresh head. The freshly
-// decoded block — a round-trip that also verifies the encoding — pre-warms
-// the segment cache. Caller holds the exclusive lock.
+// encode (segment AP dictionary + delta-of-delta timestamps, with a block
+// index in the trailer), verify by round-trip decode, store the payload in
+// the backend, register the metadata, and start a fresh head. The block
+// cache is deliberately NOT warmed from the seal: it holds what queries
+// read, so write-heavy devices that are never queried cannot evict the read
+// working set, and an idle store's footprint is the encoded payloads alone.
+// Caller holds the exclusive lock.
 //
 // On failure the head is simply kept: the next append re-attempts the seal,
 // and an over-full head is only a memory regression, never a correctness
 // one.
 func (s *Store) sealLocked(d event.DeviceID, lg *deviceLog) {
 	s.ensureSorted(lg)
-	block := wal.EncodeEventBlock(nil, lg.head)
-	decoded, err := wal.DecodeEventBlock(block, d, make([]event.Event, 0, len(lg.head)))
-	if err != nil || len(decoded) != len(lg.head) {
+	payload, err := s.encodeSegmentVerified(d, lg.head)
+	if err != nil {
 		s.sealFails.Add(1)
 		return
 	}
 	seq := lg.nextSeq
-	if err := s.segBackend.Put(d, seq, block); err != nil {
+	if err := s.segBackend.Put(d, seq, payload); err != nil {
 		s.sealFails.Add(1)
 		return
 	}
 	lg.nextSeq++
-	lg.segs = append(lg.segs, segmentRef{meta: wal.SegmentMeta{
+	ref := &segmentRef{meta: wal.SegmentMeta{
 		Seq:      seq,
 		Count:    len(lg.head),
 		MinNanos: lg.head[0].Time.UnixNano(),
 		MaxNanos: lg.head[len(lg.head)-1].Time.UnixNano(),
-		Bytes:    len(block),
-	}})
+		Bytes:    len(payload),
+	}}
+	lg.segs = append(lg.segs, ref)
 	lg.segEvents += len(lg.head)
 	s.segCount++
 	s.segEvents += len(lg.head)
-	s.segBytes += int64(len(block))
+	s.segBytes += int64(len(payload))
 	s.seals.Add(1)
-	s.segCache.Put(segKey{d, seq}, decoded)
 	lg.head = nil
 }
 
-// segEventsCached returns a segment's decoded events through the bounded
-// segment cache, paging the payload in from the backend on a miss. The
-// returned slice is shared and immutable: callers must not mutate it, and
-// non-copying callers must not let it escape the store lock. Errors are not
-// cached, so a corrupt segment is refused on every access.
-func (s *Store) segEventsCached(d event.DeviceID, ref segmentRef) ([]event.Event, error) {
-	return s.segCache.GetOrCompute(segKey{d, ref.meta.Seq}, func() ([]event.Event, error) {
-		s.pageIns.Add(1)
-		payload, err := s.segBackend.Get(d, ref.meta.Seq)
-		if err != nil {
-			s.decodeFails.Add(1)
-			return nil, err
-		}
-		out, err := wal.DecodeEventBlock(payload, d, make([]event.Event, 0, ref.meta.Count))
-		if err != nil {
-			s.decodeFails.Add(1)
-			return nil, fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
-		}
-		if len(out) != ref.meta.Count {
-			s.decodeFails.Add(1)
-			return nil, fmt.Errorf("store: segment %d for device %s decoded %d events, manifest says %d",
-				ref.meta.Seq, d, len(out), ref.meta.Count)
-		}
-		return out, nil
+// decodeSegmentEvents appends a segment's full decode to dst, borrowing the
+// payload from the backend. Bulk paths (materialization, occupancy rebuild,
+// compaction) use it directly rather than through the block cache, so a
+// one-off full read doesn't evict the point-lookup working set.
+func (s *Store) decodeSegmentEvents(d event.DeviceID, ref *segmentRef, dst []event.Event) ([]event.Event, error) {
+	var n int64
+	out := dst
+	err := s.viewPayload(d, ref.meta.Seq, func(payload []byte) error {
+		n = int64(len(payload))
+		var derr error
+		out, derr = wal.DecodeSegment(payload, d, dst)
+		return derr
 	})
+	if err != nil {
+		s.decodeFails.Add(1)
+		return dst, fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
+	}
+	// A payload torn exactly at a block boundary decodes cleanly to a prefix
+	// (it is byte-identical to a valid shorter segment); the manifest count
+	// is the only thing that can tell, so check it.
+	if got := len(out) - len(dst); got != ref.meta.Count {
+		s.decodeFails.Add(1)
+		return dst, fmt.Errorf("store: segment %d for device %s decoded %d events, manifest says %d", ref.meta.Seq, d, got, ref.meta.Count)
+	}
+	s.decodedBytes.Add(n)
+	return out, nil
 }
 
 // materializeLocked appends the device's full log — every sealed segment
-// plus the head — to out in time order. Cached decodes are reused (via Peek,
-// so bulk materialization doesn't skew cache traffic counters); uncached
-// segments are decoded straight into out without populating the cache.
-// Caller holds a store lock and has sorted the head.
+// plus the head — to out in time order. Segments are decoded straight into
+// out without populating the block cache. Caller holds a store lock and has
+// sorted the head.
 func (s *Store) materializeLocked(d event.DeviceID, lg *deviceLog, out []event.Event) ([]event.Event, error) {
-	for i := range lg.segs {
-		ref := lg.segs[i]
-		if evs, ok := s.segCache.Peek(segKey{d, ref.meta.Seq}); ok {
-			out = append(out, evs...)
-			continue
-		}
-		payload, err := s.segBackend.Get(d, ref.meta.Seq)
+	for _, ref := range lg.segs {
+		var err error
+		out, err = s.decodeSegmentEvents(d, ref, out)
 		if err != nil {
-			s.decodeFails.Add(1)
 			return out, err
-		}
-		out, err = wal.DecodeEventBlock(payload, d, out)
-		if err != nil {
-			s.decodeFails.Add(1)
-			return out, fmt.Errorf("store: decoding segment %d for device %s: %w", ref.meta.Seq, d, err)
 		}
 	}
 	out = append(out, lg.head...)
@@ -232,6 +542,15 @@ func searchWindow(evs []event.Event, start, end time.Time) (int, int) {
 	return lo, hi
 }
 
+// blockRange returns the [lo, hi) range of blocks whose time bounds overlap
+// [startN, endN]. Blocks are consecutive ranges of a sorted segment —
+// non-overlapping, both bounds non-decreasing — so both ends binary-search.
+func blockRange(blocks []wal.BlockMeta, startN, endN int64) (int, int) {
+	lo := sort.Search(len(blocks), func(i int) bool { return blocks[i].MaxNanos >= startN })
+	hi := sort.Search(len(blocks), func(i int) bool { return blocks[i].MinNanos > endN })
+	return lo, hi
+}
+
 // eventsSorted reports whether evs is sorted by the store's event order.
 func eventsSorted(evs []event.Event) bool {
 	for i := 1; i < len(evs); i++ {
@@ -245,11 +564,13 @@ func eventsSorted(evs []event.Event) bool {
 // scanBuf is the pooled scratch a segmented read assembles its window or
 // point-lookup neighborhood into. Pooled per call (Get/Put around each use),
 // so re-entrant reads — the fine stage scans candidate logs while holding
-// results of an outer scan — each get their own buffer.
+// results of an outer scan — each get their own buffer. decoded accrues the
+// encoded bytes a point lookup actually decoded (cache misses only).
 type scanBuf struct {
-	evs  []event.Event
-	idx  []int
-	runs [][]event.Event
+	evs     []event.Event
+	idx     []int
+	runs    [][]event.Event
+	decoded int64
 }
 
 var scanBufPool = sync.Pool{New: func() any { return new(scanBuf) }}
@@ -258,10 +579,10 @@ var scanBufPool = sync.Pool{New: func() any { return new(scanBuf) }}
 // out in the store's (Time, ID, Device) event order. The run list is kept
 // sorted by head event; each step binary-searches how far the front run
 // extends before the second run's head and copies that whole stretch. Runs
-// that do not interleave — the common shape, since segments are sealed in
-// rough time order and overlap only around late-arriving events — thus cost
+// that do not interleave — the common shape, since blocks within a segment
+// never overlap and segments are sealed in rough time order — thus cost
 // one wholesale copy each, and a store fragmented into thousands of tiny
-// segments still merges in O(m) instead of re-sorting every window. The
+// blocks still merges in O(m) instead of re-sorting every window. The
 // order is total (event IDs are unique per device), so the result is
 // exactly what sorting the concatenation would produce.
 func mergeRuns(out []event.Event, runs [][]event.Event) []event.Event {
@@ -301,13 +622,15 @@ func mergeRuns(out []event.Event, runs [][]event.Event) []event.Event {
 }
 
 // scanWindowLocked is the segmented ScanEvents core: it assembles the
-// device's events in [start, end] and hands them to fn. Zero-copy fast
-// paths cover the no-segments and single-source cases; otherwise the
-// windowed runs from cached segment decodes plus the head are k-way merged
-// (see mergeRuns) into a pooled buffer. On a page-in or decode failure the
-// scan degrades to an empty window — the corrupt segment is refused, never
-// served — with the failure counted in SegmentStats. Caller holds a store
-// lock and has sorted the head.
+// device's events in [start, end] and hands them to fn. The window's
+// overlapping segments contribute lazily decoded block runs — the block
+// index prunes blocks outside the window without decoding them — and the
+// runs plus the head are k-way merged (see mergeRuns) into a pooled buffer.
+// Zero-copy fast paths cover the no-segments and single-source cases,
+// including a window that lives inside one block of one segment. On a
+// page-in or decode failure the scan degrades to an empty window — the
+// corrupt block is refused, never served — with the failure counted in
+// SegmentStats. Caller holds a store lock and has sorted the head.
 func (s *Store) scanWindowLocked(d event.DeviceID, lg *deviceLog, start, end time.Time, delta time.Duration, fn func([]event.Event, time.Duration)) {
 	hl, hh := searchWindow(lg.head, start, end)
 	if len(lg.segs) == 0 || end.Before(start) {
@@ -319,14 +642,11 @@ func (s *Store) scanWindowLocked(d event.DeviceID, lg *deviceLog, start, end tim
 		return
 	}
 	startN, endN := clampedNanos(start), clampedNanos(end)
-	nOver, single := 0, -1
-	for i := range lg.segs {
-		m := &lg.segs[i].meta
-		if m.MaxNanos < startN || m.MinNanos > endN {
-			continue
+	nOver := 0
+	for _, ref := range lg.segs {
+		if ref.meta.MaxNanos >= startN && ref.meta.MinNanos <= endN {
+			nOver++
 		}
-		nOver++
-		single = i
 	}
 	if nOver == 0 {
 		if hl >= hh {
@@ -336,50 +656,82 @@ func (s *Store) scanWindowLocked(d event.DeviceID, lg *deviceLog, start, end tim
 		}
 		return
 	}
-	if nOver == 1 && hl >= hh {
-		evs, err := s.segEventsCached(d, lg.segs[single])
-		if err != nil {
-			fn(nil, delta)
-			return
-		}
-		lo, hi := searchWindow(evs, start, end)
-		if lo >= hi {
-			fn(nil, delta)
-		} else {
-			fn(evs[lo:hi], delta)
-		}
-		return
-	}
 	bp := scanBufPool.Get().(*scanBuf)
 	runs := bp.runs[:0]
 	ok := true
-	for i := range lg.segs {
-		m := &lg.segs[i].meta
-		if m.MaxNanos < startN || m.MinNanos > endN {
+	for _, ref := range lg.segs {
+		if ref.meta.MaxNanos < startN || ref.meta.MinNanos > endN {
 			continue
 		}
-		evs, err := s.segEventsCached(d, lg.segs[i])
+		// Fast path: a previous full-coverage scan already assembled this
+		// segment into one contiguous run — one cache hit, one merge source.
+		if evs, hit := s.segCache.Get(blockKey{d, ref.meta.Seq, mergedBlock}); hit {
+			if lo, hi := searchWindow(evs, start, end); lo < hi {
+				runs = append(runs, evs[lo:hi])
+			}
+			continue
+		}
+		idx, err := s.blocksFor(d, ref)
 		if err != nil {
 			ok = false
 			break
 		}
-		if lo, hi := searchWindow(evs, start, end); lo < hi {
-			runs = append(runs, evs[lo:hi])
+		blocks := idx.metas
+		blo, bhi := blockRange(blocks, startN, endN)
+		s.blockSkips.Add(int64(blo + len(blocks) - bhi))
+		if blo == 0 && bhi == len(blocks) && len(blocks) > 1 {
+			// Full coverage of a multi-block segment: assemble (or fetch)
+			// the single merged run so every later scan pays one lookup —
+			// and one cache entry — instead of one per block. History
+			// scans (training, gap extraction) hit the same segments
+			// repeatedly; this is their steady state.
+			merged, merr := s.mergedRunCached(d, ref, idx)
+			if merr != nil {
+				ok = false
+				break
+			}
+			if lo, hi := searchWindow(merged, start, end); lo < hi {
+				runs = append(runs, merged[lo:hi])
+			}
+			continue
 		}
+		base := len(runs)
+		runs, err = s.blockRunsCached(d, ref, idx, blo, bhi, runs)
+		if err != nil {
+			ok = false
+			break
+		}
+		// Trim each block's run to the window in place; drop empty ones.
+		keep := base
+		for _, evs := range runs[base:] {
+			if lo, hi := searchWindow(evs, start, end); lo < hi {
+				runs[keep] = evs[lo:hi]
+				keep++
+			}
+		}
+		runs = runs[:keep]
 	}
 	out := bp.evs[:0]
-	if ok {
+	switch {
+	case !ok:
+		fn(nil, delta)
+	case len(runs) == 0:
+		if hl >= hh {
+			fn(nil, delta)
+		} else {
+			fn(lg.head[hl:hh], delta)
+		}
+	case len(runs) == 1 && hl >= hh:
+		// Single-source window: served zero-copy from the cached block.
+		fn(runs[0], delta)
+	default:
 		if hl < hh {
 			runs = append(runs, lg.head[hl:hh])
 		}
 		out = mergeRuns(out, runs)
-	}
-	if !ok || len(out) == 0 {
-		fn(nil, delta)
-	} else {
 		fn(out, delta)
 	}
-	// Drop the run views before pooling: they alias cached segment decodes,
+	// Drop the run views before pooling: they alias cached block decodes,
 	// which the pool must not pin.
 	for i := range runs {
 		runs[i] = nil
@@ -442,6 +794,68 @@ func gtStats(buf []event.Event, tN int64) (int, int64) {
 	return n, min2
 }
 
+// appendSegNeighborhood appends to buf the events adjacent to t within one
+// segment, decoding only the block containing t plus whatever neighboring
+// blocks are needed to cover the two nearest events on each side (ties at
+// exactly t can spill across block boundaries; the backward walk keeps
+// decoding until two ≤-side events are in hand, so equal-time events still
+// tie-break by ID exactly as a full decode would). Typically one or two
+// block decodes; the rest of the segment's blocks are skipped via the index.
+func (s *Store) appendSegNeighborhood(d event.DeviceID, ref *segmentRef, t time.Time, tN int64, buf []event.Event, bp *scanBuf) ([]event.Event, error) {
+	// A scan may have assembled the segment's merged run already; the
+	// neighborhood then costs one cache hit and zero decode.
+	if evs, hit := s.segCache.Get(blockKey{d, ref.meta.Seq, mergedBlock}); hit {
+		return appendNeighborhood(buf, evs, t), nil
+	}
+	idx, err := s.blocksFor(d, ref)
+	if err != nil {
+		return buf, err
+	}
+	blocks := idx.metas
+	// Start from the last block whose first event is at or before t — the
+	// block holding t's insertion point. The search steers by MinNanos only:
+	// every block's min is an exact event time, while a non-final MaxNanos is
+	// merely the successor's min (see wal.BlockMeta), and keying on it would
+	// start one block early whenever t falls in the gap between two blocks.
+	bi := sort.Search(len(blocks), func(i int) bool { return blocks[i].MinNanos > tN }) - 1
+	if bi < 0 {
+		bi = 0
+	}
+	used, leq, gt := 0, 0, 0
+	decodeAt := func(i int) error {
+		evs, err := s.blockEventsCached(d, ref, idx, i, &bp.decoded)
+		if err != nil {
+			return err
+		}
+		used++
+		idx := sort.Search(len(evs), func(k int) bool { return evs[k].Time.After(t) })
+		leq += idx
+		gt += len(evs) - idx
+		buf = appendNeighborhood(buf, evs, t)
+		return nil
+	}
+	if err := decodeAt(bi); err != nil {
+		return buf, err
+	}
+	// Every event at or before t lives in blocks ≤ bi (later blocks start
+	// strictly after t), and equal-time events order by ID in seal order, so
+	// the nearest neighbors on the ≤ side are bi's own — walking backward
+	// while fewer than two are in hand covers ties spilling across block
+	// boundaries exactly.
+	for k := bi - 1; leq < 2 && k >= 0; k-- {
+		if err := decodeAt(k); err != nil {
+			return buf, err
+		}
+	}
+	for j := bi + 1; gt < 2 && j < len(blocks); j++ {
+		if err := decodeAt(j); err != nil {
+			return buf, err
+		}
+	}
+	s.blockSkips.Add(int64(len(blocks) - used))
+	return buf, nil
+}
+
 // neighborhoodLocked assembles into bp the sorted set of events adjacent to
 // t across every source (head + segments): at least the two nearest events
 // on each side of t, drawn from whichever sources hold them.
@@ -450,12 +864,16 @@ func gtStats(buf []event.Event, tN int64) (int, int64) {
 // it — validity truncation uses the immediate neighbors and gap bounds use
 // the straddling pair — so running them over this neighborhood reproduces
 // the flat-log answer exactly. Segments whose time range overlaps t are
-// always decoded; segments entirely before (after) t are visited in
-// decreasing-max (increasing-min) order and decoding stops as soon as the
-// next segment provably cannot displace the two best candidates already
-// found (ties keep decoding, so equal-time events still tie-break by ID).
-// Caller holds a store lock and has sorted the head.
+// always visited (block-granularly: see appendSegNeighborhood); segments
+// entirely before (after) t are visited in decreasing-max (increasing-min)
+// order and decoding stops as soon as the next segment provably cannot
+// displace the two best candidates already found (ties keep decoding, so
+// equal-time events still tie-break by ID). Caller holds a store lock and
+// has sorted the head.
 func (s *Store) neighborhoodLocked(d event.DeviceID, lg *deviceLog, t time.Time, bp *scanBuf) ([]event.Event, error) {
+	s.pointLookups.Add(1)
+	bp.decoded = 0
+	defer func() { s.lookupDecodedBytes.Add(bp.decoded) }()
 	buf := appendNeighborhood(bp.evs[:0], lg.head, t)
 	tN := clampedNanos(t)
 	before, after := bp.idx[:0], make([]int, 0)
@@ -479,12 +897,12 @@ func (s *Store) neighborhoodLocked(d event.DeviceID, lg *deviceLog, t time.Time,
 			}
 			after[j] = i
 		default:
-			evs, err := s.segEventsCached(d, lg.segs[i])
+			var err error
+			buf, err = s.appendSegNeighborhood(d, lg.segs[i], t, tN, buf, bp)
 			if err != nil {
 				bp.evs, bp.idx = buf, before
 				return nil, err
 			}
-			buf = appendNeighborhood(buf, evs, t)
 		}
 	}
 	for _, i := range before {
@@ -492,24 +910,24 @@ func (s *Store) neighborhoodLocked(d event.DeviceID, lg *deviceLog, t time.Time,
 		if n >= 2 && lg.segs[i].meta.MaxNanos < second {
 			break
 		}
-		evs, err := s.segEventsCached(d, lg.segs[i])
+		var err error
+		buf, err = s.appendSegNeighborhood(d, lg.segs[i], t, tN, buf, bp)
 		if err != nil {
 			bp.evs, bp.idx = buf, before
 			return nil, err
 		}
-		buf = appendNeighborhood(buf, evs, t)
 	}
 	for _, i := range after {
 		n, second := gtStats(buf, tN)
 		if n >= 2 && lg.segs[i].meta.MinNanos > second {
 			break
 		}
-		evs, err := s.segEventsCached(d, lg.segs[i])
+		var err error
+		buf, err = s.appendSegNeighborhood(d, lg.segs[i], t, tN, buf, bp)
 		if err != nil {
 			bp.evs, bp.idx = buf, before
 			return nil, err
 		}
-		buf = appendNeighborhood(buf, evs, t)
 	}
 	if !eventsSorted(buf) {
 		event.SortEvents(buf)
@@ -522,9 +940,10 @@ func (s *Store) neighborhoodLocked(d event.DeviceID, lg *deviceLog, t time.Time,
 // metadata only: no segment is decoded to restore it, which is what makes
 // recovery incremental. Per-device sequence counters resume past the
 // highest restored seq, and the occupancy index (when enabled) is rebuilt
-// by streaming the segments block-at-a-time — the one full read, which
-// doubles as an integrity pass over the cold tier; run with occupancy
-// disabled, restore touches no segment bytes at all.
+// by streaming the segments — the one full read, which doubles as an
+// integrity pass over the cold tier; run with occupancy disabled, restore
+// touches no segment bytes at all. Block indexes are parsed lazily on first
+// query, so restore cost stays proportional to the manifest.
 func (s *Store) RestoreSegments(manifest map[event.DeviceID][]wal.SegmentMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -540,7 +959,7 @@ func (s *Store) RestoreSegments(manifest map[event.DeviceID][]wal.SegmentMeta) e
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
 		lg := &deviceLog{sorted: true, nextSeq: 1}
 		for _, m := range sorted {
-			lg.segs = append(lg.segs, segmentRef{meta: m})
+			lg.segs = append(lg.segs, &segmentRef{meta: m})
 			if m.Seq >= lg.nextSeq {
 				lg.nextSeq = m.Seq + 1
 			}
@@ -565,16 +984,10 @@ func (s *Store) RestoreSegments(manifest map[event.DeviceID][]wal.SegmentMeta) e
 	}
 	var scratch []event.Event
 	for dev, lg := range s.logs {
-		for i := range lg.segs {
-			ref := lg.segs[i]
-			payload, err := s.segBackend.Get(dev, ref.meta.Seq)
+		for _, ref := range lg.segs {
+			var err error
+			scratch, err = s.decodeSegmentEvents(dev, ref, scratch[:0])
 			if err != nil {
-				return fmt.Errorf("store: restoring segment %d for device %s: %w", ref.meta.Seq, dev, err)
-			}
-			scratch = scratch[:0]
-			scratch, err = wal.DecodeEventBlock(payload, dev, scratch)
-			if err != nil {
-				s.decodeFails.Add(1)
 				return fmt.Errorf("store: restoring segment %d for device %s: %w", ref.meta.Seq, dev, err)
 			}
 			for j := range scratch {
@@ -585,16 +998,67 @@ func (s *Store) RestoreSegments(manifest map[event.DeviceID][]wal.SegmentMeta) e
 	return nil
 }
 
+// LiveSegmentSeqs captures, per device, the segment seqs the store
+// currently references plus a floor (the device's next unissued seq): any
+// record sealed after this capture carries a seq at or above the floor and
+// is unconditionally live. The checkpoint path unions this with the seqs
+// referenced by retained snapshot manifests before asking the backend to
+// reclaim dead records.
+func (s *Store) LiveSegmentSeqs() map[event.DeviceID]LiveSegments {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	live := make(map[event.DeviceID]LiveSegments, len(s.logs))
+	for dev, lg := range s.logs {
+		ls := LiveSegments{Floor: lg.nextSeq}
+		if len(lg.segs) > 0 {
+			ls.Seqs = make([]uint64, len(lg.segs))
+			for i, ref := range lg.segs {
+				ls.Seqs[i] = ref.meta.Seq
+			}
+		}
+		live[dev] = ls
+	}
+	return live
+}
+
+// ReclaimSegments asks the backend to drop segment records that are neither
+// referenced by the current store state nor by any of the given retained
+// snapshot manifests (the fallback manifests crash recovery may still read
+// — reclaiming their records would break recovery from an older snapshot).
+// Returns the bytes reclaimed; zero with a nil error when the backend does
+// not support reclamation. Call only after the current checkpoint has been
+// published durably.
+func (s *Store) ReclaimSegments(retained []map[event.DeviceID][]wal.SegmentMeta) (int64, error) {
+	rb, ok := s.segBackend.(ReclaimableBackend)
+	if !ok {
+		return 0, nil
+	}
+	live := s.LiveSegmentSeqs()
+	for _, manifest := range retained {
+		for dev, metas := range manifest {
+			ls := live[dev]
+			for _, m := range metas {
+				if !seqLive(m.Seq, ls) {
+					ls.Seqs = append(ls.Seqs, m.Seq)
+				}
+			}
+			live[dev] = ls
+		}
+	}
+	return rb.Reclaim(live)
+}
+
 // CompactRuntSegments merges runt segments — sealed blocks holding fewer
 // than MaxEvents/4 events, the debris of checkpoint-time partial seals and
 // low-traffic devices — into their predecessor segment, provided the
 // combined block still fits under MaxEvents. Compaction re-seals the merged
-// events under a fresh sequence number (the backend has no delete, so the
-// old payloads are simply orphaned; last-wins recovery ignores them) and
-// replaces the two refs with one, shrinking the per-device manifest and the
-// decoded-segment cache's working set. Returns the number of merges
-// performed. Failures leave the original refs untouched: compaction is a
-// pure space optimization, never a correctness risk.
+// events under a fresh sequence number and replaces the two refs with one,
+// shrinking the per-device manifest. The superseded records are dropped
+// from the cold tier by the next checkpoint's reclaim pass (see
+// ReclaimSegments); until then last-wins recovery simply ignores them.
+// Returns the number of merges performed. Failures leave the original refs
+// untouched: compaction is a pure space optimization, never a correctness
+// risk.
 func (s *Store) CompactRuntSegments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -610,22 +1074,22 @@ func (s *Store) CompactRuntSegments() int {
 		if len(lg.segs) < 2 {
 			continue
 		}
-		out := make([]segmentRef, 0, len(lg.segs))
+		out := make([]*segmentRef, 0, len(lg.segs))
 		out = append(out, lg.segs[0])
 		changed := false
 		for i := 1; i < len(lg.segs); i++ {
 			cur := lg.segs[i]
-			prev := &out[len(out)-1]
+			prev := out[len(out)-1]
 			if cur.meta.Count >= runt || prev.meta.Count+cur.meta.Count > s.segMax {
 				out = append(out, cur)
 				continue
 			}
-			ref, ok := s.mergeSegmentsLocked(d, lg, *prev, cur)
+			ref, ok := s.mergeSegmentsLocked(d, lg, prev, cur)
 			if !ok {
 				out = append(out, cur)
 				continue
 			}
-			*prev = ref
+			out[len(out)-1] = ref
 			changed = true
 			merged++
 		}
@@ -636,50 +1100,45 @@ func (s *Store) CompactRuntSegments() int {
 	return merged
 }
 
-// mergeSegmentsLocked re-seals two adjacent segments as one: decode both
-// through the cache, merge-sort (out-of-order ingest means ranges can
-// overlap), encode, and store under a fresh sequence number. Caller holds
-// the exclusive lock and splices the returned ref in place of the pair.
-func (s *Store) mergeSegmentsLocked(d event.DeviceID, lg *deviceLog, a, b segmentRef) (segmentRef, bool) {
-	ea, err := s.segEventsCached(d, a)
+// mergeSegmentsLocked re-seals two adjacent segments as one: decode both,
+// merge-sort (out-of-order ingest means ranges can overlap), encode under
+// the configured block layout, and store under a fresh sequence number.
+// Caller holds the exclusive lock and splices the returned ref in place of
+// the pair.
+func (s *Store) mergeSegmentsLocked(d event.DeviceID, lg *deviceLog, a, b *segmentRef) (*segmentRef, bool) {
+	evs, err := s.decodeSegmentEvents(d, a, make([]event.Event, 0, a.meta.Count+b.meta.Count))
+	if err == nil {
+		evs, err = s.decodeSegmentEvents(d, b, evs)
+	}
 	if err != nil {
 		s.compactFails.Add(1)
-		return segmentRef{}, false
+		return nil, false
 	}
-	eb, err := s.segEventsCached(d, b)
-	if err != nil {
-		s.compactFails.Add(1)
-		return segmentRef{}, false
-	}
-	evs := make([]event.Event, 0, len(ea)+len(eb))
-	evs = append(evs, ea...)
-	evs = append(evs, eb...)
 	if !eventsSorted(evs) {
 		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
 	}
-	block := wal.EncodeEventBlock(nil, evs)
-	decoded, err := wal.DecodeEventBlock(block, d, make([]event.Event, 0, len(evs)))
-	if err != nil || len(decoded) != len(evs) {
+	payload, err := s.encodeSegmentVerified(d, evs)
+	if err != nil {
 		s.compactFails.Add(1)
-		return segmentRef{}, false
+		return nil, false
 	}
 	seq := lg.nextSeq
-	if err := s.segBackend.Put(d, seq, block); err != nil {
+	if err := s.segBackend.Put(d, seq, payload); err != nil {
 		s.compactFails.Add(1)
-		return segmentRef{}, false
+		return nil, false
 	}
 	lg.nextSeq++
 	s.segCount--
-	s.segBytes += int64(len(block)) - int64(a.meta.Bytes) - int64(b.meta.Bytes)
+	s.segBytes += int64(len(payload)) - int64(a.meta.Bytes) - int64(b.meta.Bytes)
 	s.compactions.Add(1)
-	s.segCache.Put(segKey{d, seq}, decoded)
-	return segmentRef{meta: wal.SegmentMeta{
+	ref := &segmentRef{meta: wal.SegmentMeta{
 		Seq:      seq,
 		Count:    len(evs),
 		MinNanos: evs[0].Time.UnixNano(),
 		MaxNanos: evs[len(evs)-1].Time.UnixNano(),
-		Bytes:    len(block),
-	}}, true
+		Bytes:    len(payload),
+	}}
+	return ref, true
 }
 
 // CheckpointState is the store's durable state in incremental-snapshot
@@ -729,9 +1188,11 @@ func (s *Store) CheckpointState() CheckpointState {
 // SegmentStats reports the log-structured layout's shape and traffic.
 type SegmentStats struct {
 	// Enabled reports whether heads are sealed into segments; MaxEvents is
-	// the seal threshold.
-	Enabled   bool
-	MaxEvents int
+	// the seal threshold. BlockEvents is the intra-segment block size
+	// (negative = legacy whole-segment encoding).
+	Enabled     bool
+	MaxEvents   int
+	BlockEvents int
 	// ColdTier reports whether sealed payloads live on disk (a persistent
 	// backend) rather than in memory.
 	ColdTier bool
@@ -741,22 +1202,41 @@ type SegmentStats struct {
 	SegmentEvents int
 	HeadEvents    int
 	EncodedBytes  int64
-	// Seals / SealFailures count seal attempts; PageIns counts backend
-	// reads (decoded-segment cache misses), CacheHits the reads served
-	// without one. DecodeFailures counts refused page-ins (corrupt or
-	// missing payloads).
+	// Seals / SealFailures count seal attempts; PageIns counts block
+	// decodes from the backend (block-cache misses), CacheHits the reads
+	// served without one. DecodedBytes is the encoded bytes those decodes
+	// consumed. DecodeFailures counts refused page-ins (corrupt or missing
+	// payloads/blocks).
 	Seals          int64
 	SealFailures   int64
 	PageIns        int64
+	DecodedBytes   int64
 	CacheHits      int64
 	CacheSize      int
 	CacheCapacity  int
 	DecodeFailures int64
+	// CachedBytes approximates the heap bytes held by the decoded-block
+	// cache — the GC-visible decoded working set, as opposed to
+	// Backend.MappedBytes which the OS owns.
+	CachedBytes int64
+	// PointLookups counts segmented point lookups (At/CurrentAP/...);
+	// LookupDecodedBytes the encoded bytes those lookups decoded (cache
+	// misses only). Their ratio is the bytes-decoded-per-point-lookup the
+	// memory benchmark gates.
+	PointLookups       int64
+	LookupDecodedBytes int64
+	// BlockSkips counts blocks pruned via the block index without being
+	// decoded; IndexLoads counts block-index trailer parses.
+	BlockSkips int64
+	IndexLoads int64
 	// Compactions counts runt-segment merges performed at checkpoint;
 	// CompactionFailures counts merges abandoned (decode or backend
 	// errors), which leave the original segments in place.
 	Compactions        int64
 	CompactionFailures int64
+	// Backend reports storage-level stats — mmap residency and cold-tier
+	// reclamation — for backends that expose them.
+	Backend BackendStats
 }
 
 // SegmentStats returns the segmented layout's current shape and counters.
@@ -764,9 +1244,10 @@ func (s *Store) SegmentStats() SegmentStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cst := s.segCache.Stats()
-	return SegmentStats{
+	st := SegmentStats{
 		Enabled:            s.segMax > 0,
 		MaxEvents:          s.segMax,
+		BlockEvents:        s.segBlockEvents,
 		ColdTier:           s.segBackend.Persistent(),
 		Segments:           s.segCount,
 		SegmentEvents:      s.segEvents,
@@ -775,11 +1256,21 @@ func (s *Store) SegmentStats() SegmentStats {
 		Seals:              s.seals.Load(),
 		SealFailures:       s.sealFails.Load(),
 		PageIns:            s.pageIns.Load(),
+		DecodedBytes:       s.decodedBytes.Load(),
 		CacheHits:          cst.Hits,
 		CacheSize:          cst.Size,
 		CacheCapacity:      cst.Capacity,
+		CachedBytes:        cst.Weight,
 		DecodeFailures:     s.decodeFails.Load(),
+		PointLookups:       s.pointLookups.Load(),
+		LookupDecodedBytes: s.lookupDecodedBytes.Load(),
+		BlockSkips:         s.blockSkips.Load(),
+		IndexLoads:         s.indexLoads.Load(),
 		Compactions:        s.compactions.Load(),
 		CompactionFailures: s.compactFails.Load(),
 	}
+	if sb, ok := s.segBackend.(StatsBackend); ok {
+		st.Backend = sb.BackendStats()
+	}
+	return st
 }

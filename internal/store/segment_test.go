@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -483,7 +484,12 @@ func TestCorruptSegmentRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[len(raw)-1] ^= 0xff // CRC trailer of the last sealed payload
+	// Flip the first byte of the last record's payload — inside the block's
+	// CRC-covered data, for the legacy and block-indexed formats alike.
+	rec1 := len(segFileMagic)
+	n1 := int(binary.LittleEndian.Uint32(raw[rec1+8 : rec1+12]))
+	p2 := rec1 + segRecHdrLen + n1 + segRecHdrLen
+	raw[p2] ^= 0xff
 	if err := os.WriteFile(matches[0], raw, 0o644); err != nil {
 		t.Fatal(err)
 	}

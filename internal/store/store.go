@@ -86,22 +86,33 @@ type Store struct {
 	resorts int64
 
 	// Segmented layout (see segment.go): segMax is the seal threshold
-	// (0 = sealing disabled), segBackend stores sealed payloads, segCache
-	// bounds the decoded working set. segCount/segEvents/segBytes track the
-	// sealed shape; the atomics count seal and page-in traffic (bumped
-	// under the shared lock).
-	segMax       int
-	segBackend   SegmentBackend
-	segCache     *cache.Cache[segKey, []event.Event]
-	segCount     int
-	segEvents    int
-	segBytes     int64
-	seals        atomic.Int64
-	sealFails    atomic.Int64
-	pageIns      atomic.Int64
-	decodeFails  atomic.Int64
-	compactions  atomic.Int64
-	compactFails atomic.Int64
+	// (0 = sealing disabled), segBlockEvents the intra-segment block size
+	// (negative = legacy whole-segment encoding), segBackend stores sealed
+	// payloads, segCache bounds the decoded-block working set.
+	// segCount/segEvents/segBytes track the sealed shape; the atomics count
+	// seal, page-in, and block-index traffic (bumped under the shared lock).
+	segMax         int
+	segBlockEvents int
+	segBackend     SegmentBackend
+	segCache       *cache.Cache[blockKey, []event.Event]
+	segCount       int
+	segEvents      int
+	segBytes       int64
+	seals          atomic.Int64
+	sealFails      atomic.Int64
+	pageIns        atomic.Int64
+	decodeFails    atomic.Int64
+	compactions    atomic.Int64
+	compactFails   atomic.Int64
+	// decodedBytes counts encoded bytes decoded on block page-ins;
+	// pointLookups / lookupDecodedBytes isolate point-lookup decode
+	// traffic; blockSkips counts blocks pruned via the block index;
+	// indexLoads counts block-index trailer parses.
+	decodedBytes       atomic.Int64
+	pointLookups       atomic.Int64
+	lookupDecodedBytes atomic.Int64
+	blockSkips         atomic.Int64
+	indexLoads         atomic.Int64
 
 	// occ is the temporal occupancy index serving ActiveDevices /
 	// ActiveDevicesAt; nil when disabled (see ConfigureOccupancy).
@@ -126,7 +137,7 @@ type deviceLog struct {
 	head   []event.Event // mutable tail, sorted by (Time, ID) when sorted
 	sorted bool
 
-	segs      []segmentRef
+	segs      []*segmentRef
 	segEvents int
 	nextSeq   uint64 // next segment sequence number (1-based)
 }
@@ -140,15 +151,17 @@ func New(defaultDelta time.Duration) *Store {
 		defaultDelta = DefaultDelta
 	}
 	return &Store{
-		logs:         make(map[event.DeviceID]*deviceLog),
-		deltas:       make(map[event.DeviceID]time.Duration),
-		defaultDelta: defaultDelta,
-		nextID:       1,
-		dirty:        make(map[*deviceLog]struct{}),
-		occ:          newOccupancyIndex(DefaultOccupancyBucket),
-		segMax:       DefaultSegmentMaxEvents,
-		segBackend:   NewMemorySegmentBackend(),
-		segCache:     cache.New[segKey, []event.Event](DefaultSegmentCacheSize, segKeyHash),
+		logs:           make(map[event.DeviceID]*deviceLog),
+		deltas:         make(map[event.DeviceID]time.Duration),
+		defaultDelta:   defaultDelta,
+		nextID:         1,
+		dirty:          make(map[*deviceLog]struct{}),
+		occ:            newOccupancyIndex(DefaultOccupancyBucket),
+		segMax:         DefaultSegmentMaxEvents,
+		segBlockEvents: DefaultSegmentBlockEvents,
+		segBackend:     NewMemorySegmentBackend(),
+		segCache: newBlockCache(DefaultSegmentCacheSize *
+			blocksPerSegment(DefaultSegmentMaxEvents, DefaultSegmentBlockEvents)),
 	}
 }
 

@@ -279,6 +279,350 @@ func DecodeEventBlock(block []byte, dev event.DeviceID, dst []event.Event) ([]ev
 	return dst, nil
 }
 
+// --- Block-indexed segment payloads ------------------------------------------
+//
+// A sealed segment used to be encoded as ONE event block, so any read — a
+// two-event point lookup included — decoded the whole thing. The
+// block-indexed layout splits the segment into consecutive dictionary-
+// relative blocks and appends an indexed trailer describing them:
+//
+//	block[0] block[1] ... block[k-1]
+//	trailer body:
+//	    uvarint k
+//	    per block: uvarint len, uvarint count,
+//	               varint minNanos (first absolute, then delta from the
+//	               previous block's min)
+//	    varint lastSpan (final block's maxNanos - minNanos)
+//	    uvarint nAPs, then nAPs length-prefixed AP strings — the segment
+//	    dictionary shared by every block
+//	4-byte LE CRC-32C over the trailer body
+//	4-byte LE trailer length (body + CRC)
+//	4-byte magic "LSIX"
+//
+// Only block minima are stored: blocks partition a sorted run, so block i's
+// true maximum is bounded by block i+1's minimum, and ParseSegmentIndex
+// reports exactly that as MaxNanos — a tight conservative bound that prunes
+// just as well while costing zero trailer bytes. Only the final block,
+// which has no successor, carries its span explicitly, so its MaxNanos (the
+// segment's own maximum) is exact.
+//
+// Each block is: uvarint count, then per event (uvarint AP index into the
+// segment dictionary; varint time as a delta-of-delta chain seeded from the
+// index's minNanos for that block; varint ID delta), then a 4-byte LE
+// CRC-32C over everything before it. Blocks carry no dictionary and no
+// absolute timestamp of their own — both live in the trailer, parsed once
+// and shared — which keeps a 1–2-block point lookup from re-decoding
+// per-block copies of state the whole segment has in common.
+//
+// Block offsets are implicit (blocks are contiguous from offset 0), so the
+// trailer costs ~10 bytes per block. Readers parse the trailer once —
+// touching only the payload's final pages when it is memory-mapped — then
+// decode exactly the blocks a query needs, binary-searching the per-block
+// time bounds to skip the rest. Each block still verifies its own CRC
+// before any field is parsed, so a truncated or bit-flipped mapping is
+// refused block-by-block and a decoder can never over-read the payload
+// slice it was handed.
+//
+// Payloads without the trailer magic are the legacy single-block format and
+// remain fully readable: ParseSegmentIndex reports them as unindexed and
+// the caller treats the whole payload as one block.
+
+// segIndexMagic terminates every block-indexed segment payload.
+const segIndexMagic = "LSIX"
+
+// segIndexFooterLen is the fixed footer: trailer length + magic.
+const segIndexFooterLen = 8
+
+// BlockMeta describes one event block inside a sealed segment payload:
+// where it lives, how many events it holds, and the time range it covers.
+type BlockMeta struct {
+	// Off/Len locate the block's bytes (CRC trailer included) within the
+	// segment payload.
+	Off, Len int
+	// Count is the number of events in the block.
+	Count int
+	// MinNanos/MaxNanos bound the block's event times (inclusive). Blocks
+	// are consecutive ranges of the segment's sorted events, so MinNanos is
+	// non-decreasing across the index. MinNanos is always an exact event
+	// time (the block's first); MaxNanos is exact only for a segment's final
+	// block — earlier blocks report their successor's MinNanos, a tight
+	// upper bound that need not be one of the block's own event times.
+	MinNanos, MaxNanos int64
+}
+
+// EncodeSegment appends the block-indexed encoding of evs to dst: the
+// events split into consecutive dictionary-relative blocks of at most
+// blockEvents each (blockEvents <= 0 or >= len(evs) yields a single
+// block), followed by the indexed trailer carrying the block index and the
+// segment-wide AP dictionary. Returns the extended slice and the block
+// index (offsets relative to the start of this segment's payload). evs
+// must be non-empty and sorted; all events must belong to the same device.
+func EncodeSegment(dst []byte, evs []event.Event, blockEvents int) ([]byte, []BlockMeta) {
+	if blockEvents <= 0 || blockEvents > len(evs) {
+		blockEvents = len(evs)
+	}
+	apIdx := make(map[space.APID]uint64, 8)
+	order := make([]space.APID, 0, 8)
+	for i := range evs {
+		if _, ok := apIdx[evs[i].AP]; !ok {
+			apIdx[evs[i].AP] = uint64(len(order))
+			order = append(order, evs[i].AP)
+		}
+	}
+	start := len(dst)
+	nBlocks := (len(evs) + blockEvents - 1) / blockEvents
+	metas := make([]BlockMeta, 0, nBlocks)
+	for lo := 0; lo < len(evs); lo += blockEvents {
+		hi := lo + blockEvents
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		off := len(dst) - start
+		dst = encodeDictBlock(dst, evs[lo:hi], apIdx)
+		metas = append(metas, BlockMeta{
+			Off:      off,
+			Len:      len(dst) - start - off,
+			Count:    hi - lo,
+			MinNanos: evs[lo].Time.UnixNano(),
+			MaxNanos: evs[hi-1].Time.UnixNano(),
+		})
+	}
+	// Non-final maxes are not encoded; report the same conservative bound the
+	// parser will reconstruct (the next block's min) so encoder-returned and
+	// parsed indexes agree byte-for-byte in tests and callers alike.
+	for i := range metas[:len(metas)-1] {
+		metas[i].MaxNanos = metas[i+1].MinNanos
+	}
+	trailerStart := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(metas)))
+	prevMin := int64(0)
+	for i, m := range metas {
+		dst = binary.AppendUvarint(dst, uint64(m.Len))
+		dst = binary.AppendUvarint(dst, uint64(m.Count))
+		if i == 0 {
+			dst = binary.AppendVarint(dst, m.MinNanos)
+		} else {
+			dst = binary.AppendVarint(dst, m.MinNanos-prevMin)
+		}
+		prevMin = m.MinNanos
+	}
+	last := metas[len(metas)-1]
+	dst = binary.AppendVarint(dst, last.MaxNanos-last.MinNanos)
+	dst = binary.AppendUvarint(dst, uint64(len(order)))
+	for _, ap := range order {
+		dst = appendString(dst, string(ap))
+	}
+	crc := crc32.Checksum(dst[trailerStart:], castagnoli)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	trailerLen := len(dst) - trailerStart
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(trailerLen))
+	return append(dst, segIndexMagic...), metas
+}
+
+// encodeDictBlock appends one dictionary-relative block: count, then per
+// event (AP index, delta-of-delta time, ID delta), then the block CRC. The
+// time chain is seeded from the block's first event — whose absolute time
+// the index trailer records as the block's minNanos — so the block itself
+// stores only small deltas.
+func encodeDictBlock(dst []byte, evs []event.Event, apIdx map[space.APID]uint64) []byte {
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(evs)))
+	var prevT, prevDelta, prevID int64
+	for i := range evs {
+		dst = binary.AppendUvarint(dst, apIdx[evs[i].AP])
+		t := evs[i].Time.UnixNano()
+		if i == 0 {
+			// The absolute time lives in the index; in-block it is the
+			// chain seed, always encoding as zero.
+			dst = binary.AppendVarint(dst, 0)
+			dst = binary.AppendVarint(dst, evs[i].ID)
+		} else {
+			d := t - prevT
+			dst = binary.AppendVarint(dst, d-prevDelta)
+			dst = binary.AppendVarint(dst, evs[i].ID-prevID)
+			prevDelta = d
+		}
+		prevT = t
+		prevID = evs[i].ID
+	}
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeIndexedBlock verifies and decodes one dictionary-relative block of
+// an indexed segment payload, appending its events for device dev to dst.
+// dict is the segment dictionary and minNanos the block's index-recorded
+// first-event time, both from ParseSegmentIndex. The CRC is checked before
+// any field is parsed; on error dst must be discarded by the caller.
+func DecodeIndexedBlock(block []byte, dev event.DeviceID, dict []space.APID, minNanos int64, dst []event.Event) ([]event.Event, error) {
+	if len(block) < 4 {
+		return dst, fmt.Errorf("wal: indexed block too short (%d bytes)", len(block))
+	}
+	body := block[:len(block)-4]
+	want := binary.LittleEndian.Uint32(block[len(block)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return dst, fmt.Errorf("wal: indexed block CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	d := &decoder{b: body}
+	count := d.uvarint()
+	if d.err != nil {
+		return dst, d.err
+	}
+	if count == 0 || count > uint64(len(body)) {
+		return dst, fmt.Errorf("wal: indexed block count %d implausible (%d body bytes)", count, len(body))
+	}
+	var prevT, prevDelta, prevID int64
+	for i := uint64(0); i < count; i++ {
+		ai := d.uvarint()
+		dd := d.varint()
+		di := d.varint()
+		if d.err != nil {
+			return dst, d.err
+		}
+		if ai >= uint64(len(dict)) {
+			return dst, fmt.Errorf("wal: indexed block AP index %d out of range (%d dictionary entries)", ai, len(dict))
+		}
+		var t, id int64
+		if i == 0 {
+			t, id = minNanos+dd, di
+		} else {
+			prevDelta += dd
+			t = prevT + prevDelta
+			id = prevID + di
+		}
+		prevT, prevID = t, id
+		dst = append(dst, event.Event{
+			ID:     id,
+			Device: dev,
+			Time:   time.Unix(0, t).UTC(),
+			AP:     dict[ai],
+		})
+	}
+	if d.remaining() != 0 {
+		return dst, fmt.Errorf("wal: %d trailing bytes after indexed block", d.remaining())
+	}
+	return dst, nil
+}
+
+// ParseSegmentIndex parses a segment payload's block index and segment
+// dictionary. indexed reports whether the payload carries them: a payload
+// without the trailer magic is the legacy single-block format
+// (indexed=false, nil metas, nil dict, nil error) and the caller decodes it
+// as one self-contained block covering the whole payload. A payload that
+// carries the magic but whose trailer fails validation is corrupt — the
+// error is returned and nothing is decoded (the legacy interpretation
+// would fail its whole-payload CRC anyway, so corruption is refused rather
+// than misread). The returned metas reference only byte ranges inside the
+// blocks region, so decoding through them can never over-read the payload.
+func ParseSegmentIndex(payload []byte) (metas []BlockMeta, dict []space.APID, indexed bool, err error) {
+	n := len(payload)
+	if n < segIndexFooterLen || string(payload[n-4:]) != segIndexMagic {
+		return nil, nil, false, nil
+	}
+	trailerLen := int(binary.LittleEndian.Uint32(payload[n-8 : n-4]))
+	if trailerLen < 5 || trailerLen > n-segIndexFooterLen {
+		return nil, nil, true, fmt.Errorf("wal: segment index trailer length %d out of range (payload %d bytes)", trailerLen, n)
+	}
+	trailer := payload[n-segIndexFooterLen-trailerLen : n-segIndexFooterLen]
+	body := trailer[:len(trailer)-4]
+	want := binary.LittleEndian.Uint32(trailer[len(trailer)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, nil, true, fmt.Errorf("wal: segment index CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	blocksLen := n - segIndexFooterLen - trailerLen
+	d := &decoder{b: body}
+	k := d.uvarint()
+	if d.err != nil {
+		return nil, nil, true, d.err
+	}
+	if k == 0 || k > uint64(len(body)) {
+		return nil, nil, true, fmt.Errorf("wal: segment index block count %d implausible (trailer %d bytes)", k, len(body))
+	}
+	metas = make([]BlockMeta, 0, k)
+	off := 0
+	total := uint64(0)
+	prevMin := int64(0)
+	for i := uint64(0); i < k; i++ {
+		blen := d.uvarint()
+		count := d.uvarint()
+		dmin := d.varint()
+		if d.err != nil {
+			return nil, nil, true, d.err
+		}
+		if blen < 5 || blen > uint64(blocksLen-off) {
+			return nil, nil, true, fmt.Errorf("wal: segment index block %d length %d out of range", i, blen)
+		}
+		if count == 0 || count > blen {
+			return nil, nil, true, fmt.Errorf("wal: segment index block %d count %d implausible (%d bytes)", i, count, blen)
+		}
+		min := prevMin + dmin
+		if i == 0 {
+			min = dmin
+		} else if dmin < 0 {
+			return nil, nil, true, fmt.Errorf("wal: segment index block %d out of order (min delta %d)", i, dmin)
+		}
+		metas = append(metas, BlockMeta{Off: off, Len: int(blen), Count: int(count), MinNanos: min})
+		off += int(blen)
+		total += count
+		prevMin = min
+	}
+	// Reconstruct the time upper bounds: each non-final block is capped by its
+	// successor's min (blocks partition a sorted run); the final block's exact
+	// span is encoded.
+	lastSpan := d.varint()
+	if d.err != nil {
+		return nil, nil, true, d.err
+	}
+	if lastSpan < 0 {
+		return nil, nil, true, fmt.Errorf("wal: segment index final block has max before min")
+	}
+	for i := range metas[:len(metas)-1] {
+		metas[i].MaxNanos = metas[i+1].MinNanos
+	}
+	metas[len(metas)-1].MaxNanos = metas[len(metas)-1].MinNanos + lastSpan
+	nAPs := d.uvarint()
+	if d.err != nil {
+		return nil, nil, true, d.err
+	}
+	if nAPs == 0 || nAPs > total {
+		return nil, nil, true, fmt.Errorf("wal: segment dictionary has %d APs for %d events", nAPs, total)
+	}
+	dict = make([]space.APID, nAPs)
+	for i := range dict {
+		dict[i] = space.APID(d.str())
+	}
+	if d.err != nil {
+		return nil, nil, true, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, nil, true, fmt.Errorf("wal: %d trailing bytes in segment index", d.remaining())
+	}
+	if off != blocksLen {
+		return nil, nil, true, fmt.Errorf("wal: segment index covers %d block bytes, payload has %d", off, blocksLen)
+	}
+	return metas, dict, true, nil
+}
+
+// DecodeSegment decodes a full segment payload — block-indexed or legacy
+// single-block — appending the events to dst. Each block's CRC is verified
+// before its fields are parsed.
+func DecodeSegment(payload []byte, dev event.DeviceID, dst []event.Event) ([]event.Event, error) {
+	metas, dict, indexed, err := ParseSegmentIndex(payload)
+	if err != nil {
+		return dst, err
+	}
+	if !indexed {
+		return DecodeEventBlock(payload, dev, dst)
+	}
+	for _, m := range metas {
+		dst, err = DecodeIndexedBlock(payload[m.Off:m.Off+m.Len], dev, dict, m.MinNanos, dst)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
 // decodeRecord parses one record payload. Every byte must be consumed; a
 // short or over-long payload is malformed.
 func decodeRecord(payload []byte) (record, error) {

@@ -1,0 +1,254 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locater/internal/event"
+	"locater/internal/space"
+)
+
+// segEvents builds n sorted same-device events with semi-regular spacing and
+// a small AP alphabet — the shape real association logs have.
+func segEvents(n int, seed int64) []event.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]event.Event, n)
+	at := t0
+	for i := range evs {
+		at = at.Add(time.Duration(1+rng.Intn(600)) * time.Second)
+		evs[i] = event.Event{
+			ID:     int64(100 + i),
+			Device: "dev-a",
+			Time:   at,
+			AP:     space.APID([]string{"ap-1", "ap-2", "ap-3"}[rng.Intn(3)]),
+		}
+	}
+	return evs
+}
+
+func TestEncodeSegmentRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 200} {
+		for _, blockEvents := range []int{-1, 0, 1, 3, 64, 1000} {
+			evs := segEvents(n, int64(n*1000+blockEvents))
+			payload, metas := EncodeSegment(nil, evs, blockEvents)
+
+			// The returned index and the parsed one must agree exactly
+			// (modulo the trailer: EncodeSegment's Len excludes it only for
+			// the region covered — both describe the same block ranges).
+			parsed, dict, indexed, err := ParseSegmentIndex(payload)
+			if err != nil || !indexed {
+				t.Fatalf("n=%d be=%d: ParseSegmentIndex = (%v, %v)", n, blockEvents, indexed, err)
+			}
+			if len(dict) == 0 || len(dict) > 3 {
+				t.Fatalf("n=%d be=%d: segment dictionary has %d APs", n, blockEvents, len(dict))
+			}
+			if len(parsed) != len(metas) {
+				t.Fatalf("n=%d be=%d: %d parsed blocks, encoder returned %d", n, blockEvents, len(parsed), len(metas))
+			}
+			wantBlocks := 1
+			if blockEvents > 0 && blockEvents < n {
+				wantBlocks = (n + blockEvents - 1) / blockEvents
+			}
+			if len(parsed) != wantBlocks {
+				t.Fatalf("n=%d be=%d: %d blocks, want %d", n, blockEvents, len(parsed), wantBlocks)
+			}
+			total := 0
+			for i, m := range parsed {
+				if m != metas[i] {
+					t.Fatalf("n=%d be=%d: block %d parsed %+v, encoded %+v", n, blockEvents, i, m, metas[i])
+				}
+				total += m.Count
+				// Every block must decode independently against its slice.
+				sub, err := DecodeIndexedBlock(payload[m.Off:m.Off+m.Len], "dev-a", dict, m.MinNanos, nil)
+				if err != nil {
+					t.Fatalf("n=%d be=%d: block %d decode: %v", n, blockEvents, i, err)
+				}
+				if len(sub) != m.Count {
+					t.Fatalf("n=%d be=%d: block %d decoded %d events, meta says %d", n, blockEvents, i, len(sub), m.Count)
+				}
+				// MinNanos is always the block's exact first event time.
+				// MaxNanos is the exact last event time for the final block;
+				// earlier blocks report the successor's min — an upper bound.
+				if sub[0].Time.UnixNano() != m.MinNanos {
+					t.Fatalf("n=%d be=%d: block %d min diverges from index", n, blockEvents, i)
+				}
+				last := sub[len(sub)-1].Time.UnixNano()
+				if i == len(parsed)-1 {
+					if last != m.MaxNanos {
+						t.Fatalf("n=%d be=%d: final block max %d, index says %d", n, blockEvents, last, m.MaxNanos)
+					}
+				} else if last > m.MaxNanos || m.MaxNanos != parsed[i+1].MinNanos {
+					t.Fatalf("n=%d be=%d: block %d conservative max %d (last event %d, next min %d)",
+						n, blockEvents, i, m.MaxNanos, last, parsed[i+1].MinNanos)
+				}
+			}
+			if total != n {
+				t.Fatalf("n=%d be=%d: index counts sum to %d", n, blockEvents, total)
+			}
+
+			got, err := DecodeSegment(payload, "dev-a", nil)
+			if err != nil {
+				t.Fatalf("n=%d be=%d: DecodeSegment: %v", n, blockEvents, err)
+			}
+			sameEvents(t, got, evs)
+		}
+	}
+}
+
+// TestLegacySegmentStillReadable pins the v2 compatibility contract: a bare
+// EncodeEventBlock payload (no index trailer) parses as unindexed and
+// decodes through DecodeSegment unchanged.
+func TestLegacySegmentStillReadable(t *testing.T) {
+	evs := segEvents(40, 7)
+	payload := EncodeEventBlock(nil, evs)
+	metas, dict, indexed, err := ParseSegmentIndex(payload)
+	if err != nil || indexed || metas != nil || dict != nil {
+		t.Fatalf("legacy payload: ParseSegmentIndex = (%v, %v, %v, %v), want unindexed", metas, dict, indexed, err)
+	}
+	got, err := DecodeSegment(payload, "dev-a", nil)
+	if err != nil {
+		t.Fatalf("legacy payload: DecodeSegment: %v", err)
+	}
+	sameEvents(t, got, evs)
+}
+
+// TestSegmentRefusesEveryByteFlip flips every single byte of a
+// block-indexed payload and requires DecodeSegment to refuse it: block
+// corruption fails the block CRC, trailer corruption fails the index CRC or
+// its validation, and magic corruption demotes the payload to the legacy
+// interpretation whose whole-payload CRC then fails. Nothing may panic and
+// nothing may decode silently.
+func TestSegmentRefusesEveryByteFlip(t *testing.T) {
+	evs := segEvents(48, 3)
+	payload, _ := EncodeSegment(nil, evs, 8)
+	mut := make([]byte, len(payload))
+	for i := range payload {
+		copy(mut, payload)
+		mut[i] ^= 0x41
+		if _, err := DecodeSegment(mut, "dev-a", nil); err == nil {
+			t.Fatalf("byte %d of %d: corrupted payload decoded without error", i, len(payload))
+		}
+	}
+}
+
+// TestSegmentRefusesTruncation truncates the payload at every length — a
+// torn cold-tier write can persist any prefix. Almost every truncation must
+// be refused; the one structural exception is a prefix that IS exactly the
+// first block, which is byte-identical to a valid legacy single-block
+// payload and so decodes to a strict prefix of the events (the store's
+// count-vs-manifest check catches that case one layer up). Silently
+// decoding anything else is a failure.
+func TestSegmentRefusesTruncation(t *testing.T) {
+	evs := segEvents(32, 11)
+	payload, _ := EncodeSegment(nil, evs, 8)
+	for n := 0; n < len(payload); n++ {
+		got, err := DecodeSegment(payload[:n], "dev-a", nil)
+		if err != nil {
+			continue
+		}
+		if len(got) >= len(evs) {
+			t.Fatalf("truncation to %d of %d bytes decoded %d events without error", n, len(payload), len(got))
+		}
+		for i := range got {
+			if got[i].ID != evs[i].ID || !got[i].Time.Equal(evs[i].Time) || got[i].AP != evs[i].AP {
+				t.Fatalf("truncation to %d decoded non-prefix event %d", n, i)
+			}
+		}
+	}
+}
+
+// TestParseSegmentIndexHostileCounts feeds trailers with absurd block
+// counts/lengths and requires bounded, error-returning behavior (no huge
+// allocations, no over-read panics).
+func TestParseSegmentIndexHostileCounts(t *testing.T) {
+	evs := segEvents(16, 5)
+	payload, _ := EncodeSegment(nil, evs, 4)
+	// Grow the declared trailer length past the payload.
+	mut := append([]byte(nil), payload...)
+	mut[len(mut)-8] = 0xff
+	mut[len(mut)-7] = 0xff
+	if _, _, _, err := ParseSegmentIndex(mut); err == nil {
+		t.Fatal("oversized trailer length accepted")
+	}
+	// A tiny fabricated trailer claiming 2^60 blocks.
+	hostile := append([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10}, make([]byte, 16)...)
+	hostile = append(hostile, []byte{0, 0, 0, 0}...) // bogus CRC, will be refused
+	hostile = append(hostile, byte(len(hostile)), 0, 0, 0)
+	hostile = append(hostile, segIndexMagic...)
+	if _, _, _, err := ParseSegmentIndex(hostile); err == nil {
+		t.Fatal("hostile block count accepted")
+	}
+}
+
+func FuzzParseSegmentIndex(f *testing.F) {
+	evs := segEvents(32, 1)
+	indexed, _ := EncodeSegment(nil, evs, 8)
+	f.Add(indexed)
+	f.Add(EncodeEventBlock(nil, evs))
+	f.Add([]byte(segIndexMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		metas, dict, ok, err := ParseSegmentIndex(data)
+		if err != nil || !ok {
+			return
+		}
+		if len(dict) == 0 {
+			t.Fatal("indexed parse returned an empty dictionary")
+		}
+		// A parse that succeeds must describe in-bounds, contiguous blocks;
+		// decoding through it must never over-read (slicing would panic).
+		off := 0
+		for _, m := range metas {
+			if m.Off != off || m.Len < 5 || m.Off+m.Len > len(data) {
+				t.Fatalf("index meta out of bounds: %+v in %d bytes", m, len(data))
+			}
+			off = m.Off + m.Len
+			_, _ = DecodeIndexedBlock(data[m.Off:m.Off+m.Len], "dev-a", dict, m.MinNanos, nil)
+		}
+	})
+}
+
+func FuzzDecodeSegment(f *testing.F) {
+	evs := segEvents(24, 2)
+	indexed, _ := EncodeSegment(nil, evs, 6)
+	f.Add(indexed)
+	f.Add(EncodeEventBlock(nil, evs[:4]))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or over-read, whatever the bytes claim.
+		_, _ = DecodeSegment(data, "dev-a", nil)
+	})
+}
+
+// TestDecodeEventBlockHostileHeaders hand-crafts blocks whose CRC is valid
+// but whose contents lie: implausible counts, AP indexes out of range,
+// truncated varint streams, and trailing garbage. Each must be refused with
+// an error — a valid checksum over hostile bytes is not a licence to decode.
+func TestDecodeEventBlockHostileHeaders(t *testing.T) {
+	seal := func(body []byte) []byte {
+		crc := crc32.Checksum(body, castagnoli)
+		return binary.LittleEndian.AppendUint32(body, crc)
+	}
+	cases := map[string][]byte{
+		"count exceeds body":   seal(binary.AppendUvarint(binary.AppendUvarint(nil, 1<<40), 1)),
+		"more APs than events": seal(binary.AppendUvarint(binary.AppendUvarint(nil, 2), 3)),
+		"truncated varints": seal(append(
+			// count=3, one AP "a", then only one complete event record.
+			appendString(binary.AppendUvarint(binary.AppendUvarint(nil, 3), 1), "a"),
+			0, 2, 2)),
+		"ap index out of range": seal(append(
+			appendString(binary.AppendUvarint(binary.AppendUvarint(nil, 1), 1), "a"),
+			7, 2, 2)),
+		"trailing bytes": seal(append(EncodeEventBlock(nil, segEvents(2, 3))[:0:0],
+			append(func() []byte {
+				b := EncodeEventBlock(nil, segEvents(2, 3))
+				return b[:len(b)-4]
+			}(), 0xEE)...)),
+	}
+	for name, block := range cases {
+		if _, err := DecodeEventBlock(block, "dev-a", nil); err == nil {
+			t.Errorf("%s: hostile block decoded without error", name)
+		}
+	}
+}

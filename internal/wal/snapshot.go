@@ -274,6 +274,34 @@ func (w *WAL) pruneSnapshots(newest string, newestLSN uint64) uint64 {
 	return oldestRetained
 }
 
+// RetainedSegmentManifests parses every retained snapshot file and returns
+// their sealed-segment manifests (nil entries for v1 snapshots, which carry
+// none). The union of these manifests plus the store's current refs is the
+// cold tier's live set: a (device, seq) referenced by NO retained snapshot
+// and no current ref can never be needed by recovery again, so checkpoint
+// uses this to reclaim dead cold-tier records. Unreadable snapshots are
+// skipped — a manifest that cannot be parsed keeps nothing alive, exactly as
+// recovery itself would treat it.
+func (w *WAL) RetainedSegmentManifests() ([]map[event.DeviceID][]SegmentMeta, error) {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	snaps, err := listSnapshots(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	manifests := make([]map[event.DeviceID][]SegmentMeta, 0, len(snaps))
+	for _, sn := range snaps {
+		var rec Recovered
+		if _, err := readSnapshotFile(sn.path, &rec); err != nil {
+			continue
+		}
+		if rec.Segments != nil {
+			manifests = append(manifests, rec.Segments)
+		}
+	}
+	return manifests, nil
+}
+
 type snapshotInfo struct {
 	path string
 	lsn  uint64

@@ -172,3 +172,63 @@ func TestTornV2SnapshotFallsBack(t *testing.T) {
 	}
 	sameEvents(t, rec.Events, append(append([]event.Event(nil), evs...), more...))
 }
+
+// TestRetainedSegmentManifests checks the checkpoint-reclaim input: after
+// several snapshots only the two newest are retained, and their manifests —
+// not the pruned ones' — come back. An unreadable (corrupted) retained
+// snapshot contributes nothing, matching what recovery itself would do.
+func TestRetainedSegmentManifests(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{SegmentSize: 1 << 20})
+	defer w.Close()
+	manifestAt := func(seq uint64) map[event.DeviceID][]SegmentMeta {
+		return map[event.DeviceID][]SegmentMeta{
+			"aa": {{Seq: seq, Count: 4, MinNanos: 10, MaxNanos: 20, Bytes: 64}},
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.AppendEvents([]event.Event{mkEvent(int64(i), "aa", time.Duration(i)*time.Second, "ap1")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteSnapshotV2(w.LastLSN(), &SnapshotData{NextID: int64(i + 1), Segments: manifestAt(uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := w.RetainedSegmentManifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d retained manifests, want 2 (keep-two pruning)", len(got))
+	}
+	seqs := map[uint64]bool{}
+	for _, m := range got {
+		for _, sm := range m["aa"] {
+			seqs[sm.Seq] = true
+		}
+	}
+	if !seqs[2] || !seqs[3] || seqs[1] {
+		t.Fatalf("retained manifests carry seqs %v, want exactly {2, 3}", seqs)
+	}
+
+	// Corrupt the older retained snapshot: it must silently drop out.
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("listSnapshots = %v, %v", snaps, err)
+	}
+	data, err := os.ReadFile(snaps[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snaps[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = w.RetainedSegmentManifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d manifests after corrupting one, want 1", len(got))
+	}
+}

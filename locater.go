@@ -177,15 +177,29 @@ type Config struct {
 	// APs, delta-of-delta timestamps). 0 selects the default (512); a
 	// negative value disables sealing, keeping every log a plain slice.
 	SegmentMaxEvents int
-	// SegmentCacheSize bounds the decoded-segment cache in segments.
-	// Default 1024. Sealed payloads are paged back in through this cache on
-	// demand, so the bound caps the decoded warm working set.
+	// SegmentBlockEvents is the intra-segment block size: sealed payloads
+	// are encoded as consecutive independently-decodable blocks of this
+	// many events plus a block index (min/max timestamp per block), so a
+	// point lookup decodes 1–2 blocks instead of the whole segment. 0
+	// selects the default (64); a negative value reverts to whole-segment
+	// encoding (one block per segment, no index) — the pre-block baseline.
+	SegmentBlockEvents int
+	// SegmentCacheSize bounds the decoded-block cache in blocks. 0 selects
+	// the default (1024 segments' worth of blocks). Sealed payloads are
+	// paged back in block-at-a-time through this cache, so the bound caps
+	// the decoded warm working set.
 	SegmentCacheSize int
 	// ColdTierDir spills sealed segments to per-device files under this
 	// directory instead of holding the compressed payloads in memory. On
 	// systems built with Open it defaults to "<dir>/segments"; with New it
 	// defaults to the in-memory compressed tier.
 	ColdTierDir string
+	// ColdTierMmap memory-maps the cold tier's segment files so block
+	// decodes read borrowed mapped bytes instead of copying through read
+	// syscalls, and residency is owned by the OS page cache rather than the
+	// Go heap. Effective only with ColdTierDir set, on platforms with mmap
+	// support (elsewhere the portable read-at path is used transparently).
+	ColdTierMmap bool
 
 	// EnableCleansing turns on the ingest-time cleansing stage: oscillating
 	// AP re-associations are deduplicated, physically impossible transitions
@@ -372,11 +386,16 @@ func New(cfg Config) (*System, error) {
 	}
 	st := store.New(cfg.DefaultDelta)
 	segCfg := store.SegmentConfig{
-		MaxEvents: cfg.SegmentMaxEvents,
-		CacheSize: cfg.SegmentCacheSize,
+		MaxEvents:   cfg.SegmentMaxEvents,
+		BlockEvents: cfg.SegmentBlockEvents,
+		CacheSize:   cfg.SegmentCacheSize,
 	}
 	if cfg.ColdTierDir != "" {
-		backend, err := store.NewDiskSegmentBackend(cfg.ColdTierDir)
+		open := store.NewDiskSegmentBackend
+		if cfg.ColdTierMmap {
+			open = store.NewMmapSegmentBackend
+		}
+		backend, err := open(cfg.ColdTierDir)
 		if err != nil {
 			return nil, fmt.Errorf("locater: opening cold tier: %w", err)
 		}

@@ -152,13 +152,31 @@ func (s *System) Checkpoint() error {
 	if err := s.store.SyncSegments(); err != nil {
 		return fmt.Errorf("locater: syncing segments: %w", err)
 	}
-	return s.wal.WriteSnapshotV2(lsn, &wal.SnapshotData{
+	if err := s.wal.WriteSnapshotV2(lsn, &wal.SnapshotData{
 		NextID:   st.NextID,
 		Deltas:   st.Deltas,
 		Events:   st.Heads,
 		Segments: st.Segments,
 		Labels:   labels,
-	})
+	}); err != nil {
+		return err
+	}
+	// With the new manifest published (and older snapshots pruned to the
+	// fallback), cold-tier records referenced by no retained snapshot and no
+	// live segment are dead forever: superseded by a re-seal or merged away
+	// by compaction. Rewrite the worst per-device files to drop them —
+	// strictly after the commit point, so a crash anywhere in Checkpoint
+	// still recovers from a manifest whose payloads are all intact.
+	// Reclamation is best-effort space maintenance: a failure is reported
+	// (the checkpoint itself already succeeded) and retried next time.
+	retained, err := s.wal.RetainedSegmentManifests()
+	if err != nil {
+		return fmt.Errorf("locater: listing retained snapshots: %w", err)
+	}
+	if _, err := s.store.ReclaimSegments(retained); err != nil {
+		return fmt.Errorf("locater: reclaiming cold tier: %w", err)
+	}
+	return nil
 }
 
 // Close checkpoints and releases the durable event store: the snapshot

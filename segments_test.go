@@ -140,3 +140,91 @@ func TestIncrementalCheckpointSkipsSealedHistory(t *testing.T) {
 			snapBytes, segs.SegmentEvents, segs.HeadEvents, limit)
 	}
 }
+
+// TestCheckpointReclaimsDeadColdTier drives the full reclamation loop: each
+// crash-replay cycle re-seals the WAL tail and supersedes the cold tier's
+// (device, seq) records, piling up dead prefix copies in the per-device
+// files. A later Checkpoint — after its snapshot commits — must rewrite
+// those files down to the live set, and every Locate answer must survive the
+// rewrite, both against the warm process and across one more recovery.
+func TestCheckpointReclaimsDeadColdTier(t *testing.T) {
+	ds := buildDataset(t, 6)
+	dir := t.TempDir()
+	cfg := locater.Config{
+		Building:           ds.Building,
+		HistoryDays:        14,
+		PromotionsPerRound: 8,
+		MaxTrainingGaps:    100,
+		SegmentMaxEvents:   16,
+		ColdTierMmap:       true,
+	}
+	popts := locater.PersistOptions{Fsync: false}
+
+	// Seed: first half checkpointed, second half only in the WAL tail.
+	sys, err := locater.Open(dir, cfg, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(ds.Events) / 2
+	if err := sys.Ingest(ds.Events[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(ds.Events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	// Crash cycles: every reopen replays the same tail, re-seals the same
+	// segment seqs, and leaves one more dead copy per record behind.
+	for i := 0; i < 6; i++ {
+		sys, err = locater.Open(dir, cfg, popts)
+		if err != nil {
+			t.Fatalf("crash cycle %d: %v", i, err)
+		}
+	}
+	if err := sys.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	queries := sampleQueries(ds, 40)
+	before := sys.LocateBatch(queries, 4)
+
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.CacheStats().Segments
+	if st.Backend.Rewrites == 0 || st.Backend.ReclaimedBytes <= 0 {
+		t.Fatalf("checkpoint reclaimed nothing despite %d crash replays: %+v", 6, st.Backend)
+	}
+	if st.Backend.RewriteFailures != 0 {
+		t.Fatalf("reclaim reported rewrite failures: %+v", st.Backend)
+	}
+
+	// The rewrite must be invisible to readers: cold reads post-reclaim...
+	sys.InvalidateSegmentCache()
+	after := sys.LocateBatch(queries, 4)
+	// ...and a full recovery from the rewritten files must agree too.
+	rec, err := locater.Open(dir, cfg, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if err := rec.EstimateDeltas(0.9, 2*time.Minute, 15*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	recovered := rec.LocateBatch(queries, 4)
+	for i := range queries {
+		if before[i].Err != nil || after[i].Err != nil || recovered[i].Err != nil {
+			t.Fatalf("query %d errored: before=%v after=%v recovered=%v",
+				i, before[i].Err, after[i].Err, recovered[i].Err)
+		}
+		b, a, r := before[i].Result, after[i].Result, recovered[i].Result
+		if b != a || b != r {
+			t.Errorf("query %d (%s, %v): before=%+v after=%+v recovered=%+v",
+				i, queries[i].Device, queries[i].Time, b, a, r)
+		}
+	}
+	if rs := rec.CacheStats().Segments; rs.DecodeFailures != 0 {
+		t.Fatalf("recovery after reclaim hit decode failures: %+v", rs)
+	}
+}

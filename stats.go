@@ -247,6 +247,7 @@ func MergeCacheStats(parts ...CacheStats) CacheStats {
 		if p.Segments.Enabled && !seg.Enabled {
 			seg.Enabled = true
 			seg.MaxEvents = p.Segments.MaxEvents
+			seg.BlockEvents = p.Segments.BlockEvents
 		}
 		seg.ColdTier = seg.ColdTier || p.Segments.ColdTier
 		seg.Segments += p.Segments.Segments
@@ -256,12 +257,24 @@ func MergeCacheStats(parts ...CacheStats) CacheStats {
 		seg.Seals += p.Segments.Seals
 		seg.SealFailures += p.Segments.SealFailures
 		seg.PageIns += p.Segments.PageIns
+		seg.DecodedBytes += p.Segments.DecodedBytes
 		seg.CacheHits += p.Segments.CacheHits
 		seg.CacheSize += p.Segments.CacheSize
 		seg.CacheCapacity += p.Segments.CacheCapacity
+		seg.CachedBytes += p.Segments.CachedBytes
 		seg.DecodeFailures += p.Segments.DecodeFailures
+		seg.PointLookups += p.Segments.PointLookups
+		seg.LookupDecodedBytes += p.Segments.LookupDecodedBytes
+		seg.BlockSkips += p.Segments.BlockSkips
+		seg.IndexLoads += p.Segments.IndexLoads
 		seg.Compactions += p.Segments.Compactions
 		seg.CompactionFailures += p.Segments.CompactionFailures
+		seg.Backend.MappedFiles += p.Segments.Backend.MappedFiles
+		seg.Backend.MappedBytes += p.Segments.Backend.MappedBytes
+		seg.Backend.Remaps += p.Segments.Backend.Remaps
+		seg.Backend.Rewrites += p.Segments.Backend.Rewrites
+		seg.Backend.RewriteFailures += p.Segments.Backend.RewriteFailures
+		seg.Backend.ReclaimedBytes += p.Segments.Backend.ReclaimedBytes
 		cl := &out.Cleanse
 		cl.Ingested += p.Cleanse.Ingested
 		cl.Kept += p.Cleanse.Kept
